@@ -1,0 +1,24 @@
+"""Result formatting shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a table and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / name).write_text(text + "\n")
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Minimal fixed-width table renderer."""
+    table = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Ablations of thin slicing's design choices (DESIGN.md §5).
+
+The paper makes three deliberate exclusions when defining producers:
+base pointers, *array indices* (treated like base pointers, §4.1), and
+*control dependences* (§4.2).  Each ablation re-runs the Table 2/3
+inspection metric with one choice flipped, quantifying what the paper's
+definition buys:
+
+* ``index-as-producer`` — classify array-index uses as producer flow;
+* ``thin+control`` — let the thin slicer traverse control dependences;
+* ``context depth`` — object-sensitivity context chains of depth 1 vs 2.
+"""
+
+from __future__ import annotations
+
+from _util import emit, format_table
+from repro.analysis.pointsto import solve_points_to
+from repro.frontend import compile_source
+from repro.sdg.nodes import EdgeKind, THIN_KINDS
+from repro.sdg.sdg import build_sdg
+from repro.slicing.engine import Slicer
+from repro.slicing.inspection import count_inspected
+from repro.slicing.thin import ThinSlicer
+from repro.suite.bugs import bugs_for_table2, resolve_task
+from repro.suite.casts import all_casts, resolve_cast_lines
+from repro.suite.loader import load_source
+
+
+class _ThinPlusControl(Slicer):
+    kinds = THIN_KINDS | {EdgeKind.CONTROL}
+
+
+def _bug_tasks():
+    """(task id, compiled, sdg-kwargs-independent seed/desired) tuples."""
+    tasks = []
+    for bug in bugs_for_table2():
+        if bug.needs_alias_expansion:
+            continue  # measured with its own configuration in Table 2
+        source = bug.apply()
+        compiled = compile_source(source, bug.bug_id, include_stdlib=True)
+        task = resolve_task(bug, compiled.source.text)
+        tasks.append((bug.bug_id, compiled, task.seed_lines(), set(task.desired),
+                      bug.n_control))
+    return tasks
+
+
+def _cast_tasks():
+    tasks = []
+    cache: dict[str, object] = {}
+    for cast in all_casts():
+        if cast.program not in cache:
+            cache[cast.program] = compile_source(
+                load_source(cast.program), cast.program, include_stdlib=True
+            )
+        compiled = cache[cast.program]
+        cast_line, desired, control = resolve_cast_lines(
+            cast, compiled.source.text
+        )
+        tasks.append(
+            (cast.cast_id, compiled, [cast_line, *sorted(control)],
+             set(desired), cast.n_control)
+        )
+    return tasks
+
+
+def _total_inspected(tasks, slicer_factory) -> tuple[int, int]:
+    """(total inspected, tasks where the target was found)."""
+    total = found = 0
+    slicers: dict[int, Slicer] = {}
+    for task_id, compiled, seeds, desired, n_control in tasks:
+        key = id(compiled)
+        if key not in slicers:
+            slicers[key] = slicer_factory(compiled)
+        result = count_inspected(slicers[key], seeds, desired, n_control)
+        total += result.inspected
+        found += int(result.found_all)
+    return total, found
+
+
+def test_ablation_array_index_classification(benchmark, results_dir):
+    """§4.1's choice: array indices as base pointers vs as producers."""
+
+    def build():
+        rows = []
+        for label, tasks in (("bugs", _bug_tasks()), ("casts", _cast_tasks())):
+            def default_slicer(compiled):
+                pts = solve_points_to(compiled.ir)
+                return ThinSlicer(compiled, build_sdg(compiled, pts))
+
+            def index_slicer(compiled):
+                pts = solve_points_to(compiled.ir)
+                return ThinSlicer(
+                    compiled,
+                    build_sdg(compiled, pts, index_as_producer=True),
+                )
+
+            base_total, base_found = _total_inspected(tasks, default_slicer)
+            index_total, index_found = _total_inspected(tasks, index_slicer)
+            rows.append(
+                [label, len(tasks), base_total, index_total,
+                 f"{index_total / base_total:.2f}x", base_found, index_found]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = format_table(
+        ["tasks", "n", "paper (index=base)", "index=producer", "cost",
+         "found", "found'"],
+        rows,
+    )
+    emit(
+        results_dir,
+        "ablation_index.txt",
+        "Ablation: array indices as producers (paper excludes them, §4.1)\n"
+        + text,
+    )
+    # The paper's choice must never lose tasks, and treating indices as
+    # producers must not be cheaper (it can only widen slices).
+    for row in rows:
+        assert row[3] >= row[2], row[0]
+        assert row[6] >= row[5], row[0]
+
+
+def test_ablation_thin_plus_control(benchmark, results_dir):
+    """§4.2's choice: excluding control dependences from thin slices."""
+
+    def build():
+        rows = []
+        for label, tasks in (("bugs", _bug_tasks()), ("casts", _cast_tasks())):
+            def thin_factory(compiled):
+                pts = solve_points_to(compiled.ir)
+                return ThinSlicer(compiled, build_sdg(compiled, pts))
+
+            def control_factory(compiled):
+                pts = solve_points_to(compiled.ir)
+                return _ThinPlusControl(compiled, build_sdg(compiled, pts))
+
+            thin_total, thin_found = _total_inspected(tasks, thin_factory)
+            ctl_total, ctl_found = _total_inspected(tasks, control_factory)
+            rows.append(
+                [label, len(tasks), thin_total, ctl_total,
+                 f"{ctl_total / thin_total:.2f}x", thin_found, ctl_found]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = format_table(
+        ["tasks", "n", "thin", "thin+control", "cost", "found", "found'"],
+        rows,
+    )
+    emit(
+        results_dir,
+        "ablation_control.txt",
+        "Ablation: thin slices traversing control dependences (§4.2 "
+        "excludes them)\n" + text,
+    )
+    for row in rows:
+        assert row[3] >= row[2], row[0]  # control deps only add cost here
+
+
+def test_ablation_context_depth(benchmark, results_dir):
+    """Object-sensitivity context depth (default 2, truncation bound)."""
+
+    def build():
+        rows = []
+        tasks = _cast_tasks()
+        for depth in (1, 2, 3):
+            def factory(compiled, depth=depth):
+                pts = solve_points_to(compiled.ir, max_context_depth=depth)
+                return ThinSlicer(compiled, build_sdg(compiled, pts))
+
+            total, found = _total_inspected(tasks, factory)
+            rows.append([depth, total, found, len(tasks)])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = format_table(["context depth", "total inspected", "found", "n"], rows)
+    emit(
+        results_dir,
+        "ablation_context_depth.txt",
+        "Ablation: object-sensitivity context depth (tough casts)\n" + text,
+    )
+    by_depth = {row[0]: row[1] for row in rows}
+    # Deeper contexts never hurt precision.
+    assert by_depth[2] <= by_depth[1]
+    assert by_depth[3] <= by_depth[2]

@@ -1,0 +1,167 @@
+"""Figures 1, 2/3, 4, 5 — the paper's worked examples, regenerated.
+
+These are the paper's qualitative "figures": each bench recomputes the
+thin slice / expansion the paper walks through and prints the statements
+with their roles, asserting the exact sets the text describes.
+"""
+
+from __future__ import annotations
+
+from _util import emit, format_table
+from repro.analysis.pointsto import solve_points_to
+from repro.frontend import compile_source
+from repro.ir import instructions as ins
+from repro.lang.source import find_markers
+from repro.sdg.sdg import build_sdg
+from repro.slicing.expansion import explain_aliasing
+from repro.slicing.thin import ThinSlicer
+from repro.slicing.traditional import TraditionalSlicer
+from repro.suite.loader import load_source
+
+
+def _analyze(name: str, stdlib: bool):
+    source = load_source(name)
+    compiled = compile_source(source, f"{name}.mj", include_stdlib=stdlib)
+    pts = solve_points_to(compiled.ir)
+    sdg = build_sdg(compiled, pts)
+    return source, compiled, pts, sdg
+
+
+def _rows_for(source: str, tag_map: dict[str, int], lines: set[int]):
+    inverse = {line: tag for tag, line in tag_map.items()}
+    rows = []
+    for line in sorted(lines):
+        text = source.splitlines()[line - 1].split("//@tag:")[0].strip()
+        rows.append([line, inverse.get(line, ""), text[:60]])
+    return rows
+
+
+def test_figure1_first_names(benchmark, results_dir):
+    """Figure 1: the thin slice traces the erroneous first name through
+    the Vector and excludes the SessionState pointer plumbing."""
+
+    def build():
+        source, compiled, pts, sdg = _analyze("figure1", stdlib=True)
+        tags = find_markers(source)["tag"]
+        thin = ThinSlicer(compiled, sdg).slice_from_line(tags["seed"])
+        trad = TraditionalSlicer(compiled, sdg).slice_from_line(tags["seed"])
+        # Render against the full text (slices reach into the stdlib).
+        return compiled.source.text, tags, thin.lines, trad.lines
+
+    source, tags, thin_lines, trad_lines = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["line", "tag", "statement"], _rows_for(source, tags, thin_lines)
+    )
+    emit(
+        results_dir,
+        "figure1.txt",
+        f"Figure 1: thin slice ({len(thin_lines)} lines) vs traditional "
+        f"({len(trad_lines)} lines)\n" + text,
+    )
+    for name in ("read", "indexOf", "buggy", "get", "seed"):
+        assert tags[name] in thin_lines
+    for name in ("setNames", "getNames"):
+        assert tags[name] not in thin_lines
+        assert tags[name] in trad_lines
+
+
+def test_figure2_producers_vs_explainers(benchmark, results_dir):
+    """Figures 2/3: producers {allocB, store, seed}; everything else is
+    an explainer reached only by the traditional slicer."""
+
+    def build():
+        source, compiled, pts, sdg = _analyze("figure2", stdlib=False)
+        tags = find_markers(source)["tag"]
+        thin = ThinSlicer(compiled, sdg).slice_from_line(tags["seed"])
+        trad = TraditionalSlicer(compiled, sdg).slice_from_line(tags["seed"])
+        return source, tags, thin.lines, trad.lines
+
+    source, tags, thin_lines, trad_lines = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    rows = []
+    for tag in ("allocA", "copyz", "allocB", "copyw", "store", "cond", "seed"):
+        line = tags[tag]
+        role = "producer" if line in thin_lines else (
+            "explainer" if line in trad_lines else "-"
+        )
+        rows.append([tag, line, role])
+    emit(
+        results_dir,
+        "figure2.txt",
+        "Figure 2/3: producer vs explainer classification\n"
+        + format_table(["tag", "line", "role"], rows),
+    )
+    assert thin_lines == {tags["allocB"], tags["store"], tags["seed"]}
+    assert trad_lines >= thin_lines | {tags["allocA"], tags["copyw"], tags["cond"]}
+
+
+def test_figure4_aliasing_expansion(benchmark, results_dir):
+    """Figure 4: the initial thin slice plus the two-slice aliasing
+    explanation that reveals the close() call."""
+
+    def build():
+        source, compiled, pts, sdg = _analyze("figure4", stdlib=True)
+        tags = find_markers(source)["tag"]
+        thin = ThinSlicer(compiled, sdg).slice_from_line(tags["seed"])
+        store = next(
+            i
+            for i in compiled.instructions_at_line(tags["close"])
+            if isinstance(i, ins.FieldStore)
+        )
+        load = next(
+            i
+            for i in compiled.instructions_at_line(tags["isopen"])
+            if isinstance(i, ins.FieldLoad)
+        )
+        explanation = explain_aliasing(compiled, sdg, pts, load, store)
+        return compiled.source.text, tags, thin.lines, explanation
+
+    source, tags, thin_lines, explanation = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    rows = _rows_for(source, tags, thin_lines)
+    rows.extend(
+        [line, "(aliasing)", source.splitlines()[line - 1].split("//@tag:")[0].strip()[:60]]
+        for line in sorted(explanation.lines() - thin_lines)
+    )
+    emit(
+        results_dir,
+        "figure4.txt",
+        "Figure 4: thin slice + aliasing expansion\n"
+        + format_table(["line", "tag", "statement"], rows),
+    )
+    assert thin_lines == {
+        tags[name] for name in ("setopen", "close", "isopen", "readopen", "seed")
+    }
+    assert tags["closecall"] in explanation.lines()
+    assert tags["allocvec"] not in explanation.lines()
+
+
+def test_figure5_tough_cast(benchmark, results_dir):
+    """Figure 5: thin-slicing the op read reveals the constructor writes
+    that make the cast safe."""
+
+    def build():
+        source, compiled, pts, sdg = _analyze("figure5", stdlib=False)
+        tags = find_markers(source)["tag"]
+        thin = ThinSlicer(compiled, sdg).slice_from_line(tags["opread"])
+        trad = TraditionalSlicer(compiled, sdg).slice_from_line(tags["opread"])
+        return source, tags, thin.lines, trad.lines
+
+    source, tags, thin_lines, trad_lines = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    emit(
+        results_dir,
+        "figure5.txt",
+        f"Figure 5: thin slice from op read ({len(thin_lines)} lines, "
+        f"traditional {len(trad_lines)})\n"
+        + format_table(["line", "tag", "statement"],
+                       _rows_for(source, tags, thin_lines)),
+    )
+    for name in ("opwrite", "addctor", "mulctor", "constctor"):
+        assert tags[name] in thin_lines
+    assert len(thin_lines) <= len(trad_lines)

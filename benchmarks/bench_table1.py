@@ -1,0 +1,74 @@
+"""Table 1 — benchmark characteristics.
+
+The paper's Table 1 reports, per benchmark, class/method counts, call
+graph nodes (inflated by cloning-based context sensitivity), and SDG
+statement counts.  This bench regenerates the analogous table for the
+suite programs and times the full analysis pipeline per program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, format_table
+from repro.suite.harness import SUITE_PROGRAMS, analyze_program, program_stats
+
+
+@pytest.mark.parametrize("program", SUITE_PROGRAMS)
+def test_analysis_pipeline_per_program(benchmark, program):
+    """Time compile + points-to + SDG for one suite program."""
+    from repro.suite.harness import _analyze_cached
+    from repro.suite.loader import load_source
+
+    source = load_source(program)
+
+    def pipeline():
+        _analyze_cached.cache_clear()
+        return analyze_program(program)
+
+    bundle = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    assert bundle.sdg.statement_count() > 0
+
+
+def test_table1(benchmark, results_dir):
+    """Regenerate Table 1 (program characteristics, both configurations)."""
+
+    def build():
+        rows = []
+        for program in SUITE_PROGRAMS:
+            sens = program_stats(program, object_sensitive=True)
+            insens = program_stats(program, object_sensitive=False)
+            rows.append(
+                [
+                    program,
+                    sens.classes,
+                    sens.methods_reachable,
+                    sens.call_graph_nodes,
+                    insens.call_graph_nodes,
+                    sens.sdg_statements,
+                    sens.sdg_edges,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "program",
+            "classes",
+            "methods",
+            "CG nodes",
+            "CG nodes (noobj)",
+            "SDG stmts",
+            "SDG edges",
+        ],
+        rows,
+    )
+    emit(results_dir, "table1.txt", "Table 1: benchmark characteristics\n" + text)
+
+    by_name = {row[0]: row for row in rows}
+    for program in SUITE_PROGRAMS:
+        row = by_name[program]
+        # Cloning: CG nodes with object sensitivity >= without.
+        assert row[3] >= row[4], program
+        assert row[5] > 0

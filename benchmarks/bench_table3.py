@@ -1,0 +1,75 @@
+"""Table 3 — understanding tough casts (§6.3).
+
+For each tough cast: inspected statements for thin vs traditional
+slicing until the cast's safety argument is discovered (the tag-writing
+constructors / single store sites), plus the NoObjSens ablation, whose
+degradation concentrates on the container-mediated parsegen (jack-
+style) casts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, format_table
+from repro.suite.casts import all_casts
+from repro.suite.harness import measure_cast
+
+
+def _build_rows():
+    measurements = [measure_cast(cast) for cast in all_casts()]
+    rows = []
+    for m in measurements:
+        rows.append(
+            [
+                m.cast_id,
+                m.thin.inspected,
+                m.traditional.inspected,
+                f"{m.ratio:.2f}",
+                m.n_control,
+                m.thin_noobj.inspected if m.thin_noobj.found_all else "n/f",
+                m.trad_noobj.inspected if m.trad_noobj.found_all else "n/f",
+                "no" if m.verified_by_pointer_analysis else "yes",
+            ]
+        )
+    return measurements, rows
+
+
+@pytest.mark.parametrize("cast", all_casts(), ids=lambda c: c.cast_id)
+def test_cast_measurement(benchmark, cast):
+    m = benchmark.pedantic(measure_cast, args=(cast,), rounds=1, iterations=1)
+    assert m.thin.found_all
+    assert m.thin.inspected <= m.traditional.inspected
+
+
+def test_table3(benchmark, results_dir):
+    measurements, rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
+
+    total_thin = sum(m.thin.inspected for m in measurements)
+    total_trad = sum(m.traditional.inspected for m in measurements)
+    aggregate = total_trad / total_thin
+    avg_thin = total_thin / len(measurements)
+    avg_trad = total_trad / len(measurements)
+
+    text = format_table(
+        ["cast", "#Thin", "#Trad", "Ratio", "#Control", "#ThinNoObjSens",
+         "#TradNoObjSens", "tough?"],
+        rows,
+    )
+    summary = (
+        f"\naggregate inspected: thin {total_thin}, traditional {total_trad} "
+        f"(ratio {aggregate:.2f}; paper reports 9.4x on SPECjvm98)"
+        f"\naverage per cast: thin {avg_thin:.1f}, traditional {avg_trad:.1f} "
+        "(paper: 29.3 vs 280)"
+    )
+    emit(
+        results_dir,
+        "table3.txt",
+        "Table 3: understanding tough casts (inspected statements)\n"
+        + text
+        + summary,
+    )
+
+    assert aggregate > 1.5
+    for m in measurements:
+        assert m.thin.found_all and m.traditional.found_all, m.cast_id

@@ -1,0 +1,51 @@
+"""Suite-wide comparison: thin vs traditional inspection cost.
+
+Regenerates a compact view of Tables 2 and 3 (see benchmarks/ for the
+full harness) and prints the aggregate ratios the paper headlines.
+
+Run:  python examples/compare_slicers.py
+"""
+
+from __future__ import annotations
+
+from repro.suite.bugs import bugs_for_table2
+from repro.suite.casts import all_casts
+from repro.suite.harness import measure_bug, measure_cast
+
+
+def main() -> None:
+    print(f"{'task':16s} {'thin':>6s} {'trad':>6s} {'ratio':>7s}")
+    print("-" * 38)
+
+    thin_total = trad_total = 0
+    for bug in bugs_for_table2():
+        m = measure_bug(bug)
+        thin_total += m.thin.inspected
+        trad_total += m.traditional.inspected
+        print(
+            f"{m.bug_id:16s} {m.thin.inspected:6d} "
+            f"{m.traditional.inspected:6d} {m.ratio:7.2f}"
+        )
+    print(
+        f"{'debugging total':16s} {thin_total:6d} {trad_total:6d} "
+        f"{trad_total / thin_total:7.2f}   (paper: 3.3x)"
+    )
+
+    print()
+    thin_total = trad_total = 0
+    for cast in all_casts():
+        m = measure_cast(cast)
+        thin_total += m.thin.inspected
+        trad_total += m.traditional.inspected
+        print(
+            f"{m.cast_id:16s} {m.thin.inspected:6d} "
+            f"{m.traditional.inspected:6d} {m.ratio:7.2f}"
+        )
+    print(
+        f"{'tough-cast total':16s} {thin_total:6d} {trad_total:6d} "
+        f"{trad_total / thin_total:7.2f}   (paper: 9.4x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""End-to-end SIR-style debugging session on an injected bug.
+
+Reproduces the paper's §6.2 protocol on minixml-2 (a nanoxml-style bug):
+inject the bug, run the test input to expose the failure, slice from the
+failure point, and walk the BFS inspection order until the buggy
+statement appears — comparing how far a thin-slice user and a
+traditional-slice user must read.
+
+Run:  python examples/debug_injected_bug.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.pointsto import solve_points_to
+from repro.frontend import compile_source
+from repro.interp.interpreter import run_program
+from repro.sdg.sdg import build_sdg
+from repro.slicing.thin import ThinSlicer
+from repro.slicing.traditional import TraditionalSlicer
+from repro.suite.bugs import BUGS, resolve_task
+from repro.suite.loader import load_source
+
+
+def main() -> None:
+    bug = BUGS["minixml-2"]
+    print(f"bug: {bug.bug_id} — {bug.description}")
+    print(f"injected at tag '{bug.marker}': {bug.buggy_code}")
+
+    fixed_src = load_source(bug.program)
+    buggy_src = bug.apply()
+
+    print("\n=== expose the failure (run the test input) ===")
+    for label, src in (("fixed", fixed_src), ("buggy", buggy_src)):
+        compiled = compile_source(src, bug.program, include_stdlib=True)
+        result = run_program(compiled.ast, compiled.table, list(bug.args))
+        id_line = next((l for l in result.output if l.startswith("id:")), "?")
+        print(f"  {label:6s} -> {id_line}")
+
+    print("\n=== analyze the buggy program ===")
+    compiled = compile_source(buggy_src, bug.program, include_stdlib=True)
+    pts = solve_points_to(compiled.ir)
+    sdg = build_sdg(compiled, pts)
+    task = resolve_task(bug, compiled.source.text)
+    print(f"  seed (failure point): line {task.seed}")
+    print(f"  buggy statement:      line {sorted(task.desired)}")
+
+    lines = compiled.source.lines()
+    for name, slicer in (
+        ("thin", ThinSlicer(compiled, sdg)),
+        ("traditional", TraditionalSlicer(compiled, sdg)),
+    ):
+        order = slicer.slice_from_line(task.seed).traversal.lines()
+        print(f"\n=== {name} slicer: BFS inspection order ===")
+        for rank, line in enumerate(order, 1):
+            marker = " <-- the bug!" if line in task.desired else ""
+            if rank <= 8 or marker:
+                print(f"  {rank:3d}. line {line:4d}  "
+                      f"{lines[line - 1].strip()[:58]}{marker}")
+            if marker:
+                print(f"  ({name}: found after inspecting {rank} lines)")
+                break
+
+
+if __name__ == "__main__":
+    main()

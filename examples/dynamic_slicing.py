@@ -1,0 +1,58 @@
+"""Dynamic thin slicing (§7 extension): exact dependences from a trace.
+
+Runs Figure 1 under the tracing interpreter, which tags every runtime
+value with the event that produced it.  The dynamic thin slice from the
+wrong output is execution-exact: no points-to approximation, and only
+the statements that actually produced this value on this run.
+
+Run:  python examples/dynamic_slicing.py
+"""
+
+from __future__ import annotations
+
+from repro import analyze
+from repro.dynamic import trace_and_slice
+from repro.lang.source import marker_line
+from repro.slicing.thin import ThinSlicer
+from repro.suite.loader import load_source
+
+
+def main() -> None:
+    source = load_source("figure1")
+
+    print("=== trace the failing run ===")
+    run = trace_and_slice(source, ["John Doe"], "figure1.mj",
+                          seed_output_index=0)
+    print(f"  output: {run.trace.output[0]!r}   (should end with 'John')")
+    print(f"  events recorded: {run.trace.events_created}")
+
+    lines = (source + "\n").splitlines()
+    print("\n=== dynamic thin slice of the printed value ===")
+    for line in sorted(run.thin.lines):
+        if 1 <= line <= len(lines):
+            print(f"  {line:4d}  {lines[line - 1].strip()[:64]}")
+
+    print(
+        f"\n  dynamic thin: {len(run.thin.lines)} lines, "
+        f"dynamic traditional: {len(run.traditional.lines)} lines"
+    )
+
+    print("\n=== compare with the static thin slice ===")
+    analyzed = analyze(source, "figure1.mj")
+    seed = marker_line(source, "tag", "seed")
+    static_lines = ThinSlicer(analyzed.compiled, analyzed.sdg).slice_from_line(
+        seed
+    ).lines
+    print(f"  static thin slice: {len(static_lines)} lines")
+    only_static = sorted(static_lines - run.thin.lines)
+    print(
+        "  statements in the static but not the dynamic slice "
+        f"(may-flow that did not happen on this run): {only_static}"
+    )
+    buggy = marker_line(source, "tag", "buggy")
+    print(f"  both contain the buggy substring (line {buggy}): "
+          f"{buggy in static_lines and buggy in run.thin.lines}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Hierarchical expansion (§4.1): explaining aliasing on Figure 4.
+
+A File is stored in a Vector, fetched through one alias and closed, then
+fetched through another alias and read — throwing ClosedException.  The
+thin slice alone shows *that* `open` became false but not *why* the two
+accesses touch the same File; the aliasing expansion answers that with
+two more (filtered) thin slices.
+
+Run:  python examples/explain_aliasing.py
+"""
+
+from __future__ import annotations
+
+from repro import analyze, thin_slice
+from repro.ir import instructions as ins
+from repro.lang.source import marker_line
+from repro.slicing.expansion import control_explainers, explain_aliasing
+from repro.suite.loader import load_source
+
+
+def main() -> None:
+    source = load_source("figure4")
+    analyzed = analyze(source, "figure4.mj")
+
+    print("=== running the program ===")
+    result = analyzed.run([])
+    print(f"  uncaught: {result.error}")
+
+    seed = marker_line(source, "tag", "seed")
+    print(f"\n=== step 1: thin slice from the failing condition (line {seed}) ===")
+    thin = thin_slice(analyzed, seed)
+    print(thin.source_view())
+    print(
+        "\nThe slice shows open=true (ctor), open=false (close()), and the\n"
+        "read — but not WHY close() and isOpen() hit the same File."
+    )
+
+    close_line = marker_line(source, "tag", "close")
+    isopen_line = marker_line(source, "tag", "isopen")
+    store = next(
+        i
+        for i in analyzed.compiled.instructions_at_line(close_line)
+        if isinstance(i, ins.FieldStore)
+    )
+    load = next(
+        i
+        for i in analyzed.compiled.instructions_at_line(isopen_line)
+        if isinstance(i, ins.FieldLoad)
+    )
+
+    print("\n=== step 2: explain the aliasing (two more thin slices) ===")
+    explanation = explain_aliasing(
+        analyzed.compiled, analyzed.sdg, analyzed.pts, load, store
+    )
+    print(f"common object(s): {[str(o) for o in explanation.common_objects]}")
+    lines = analyzed.compiled.source.lines()
+    for line in sorted(explanation.lines()):
+        if 1 <= line <= len(lines):
+            print(f"  {line:4d}  {lines[line - 1].strip()}")
+    print(
+        "\nThe expansion reveals files.add(f) / files.get(0) / g.close() —\n"
+        "the close happens on an alias fetched from the same Vector slot.\n"
+        "(The Vector allocation itself is filtered out: it never carries\n"
+        "the File object, matching the paper's Figure 4 discussion.)"
+    )
+
+    throw_line = marker_line(source, "tag", "throw")
+    throw = next(
+        i
+        for i in analyzed.compiled.instructions_at_line(throw_line)
+        if isinstance(i, ins.Throw)
+    )
+    print("\n=== step 3: control explainer for the throw (§4.2) ===")
+    for cond in control_explainers(analyzed.sdg, throw).conditionals:
+        line = cond.position.line
+        print(f"  governed by line {line}: {lines[line - 1].strip()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""The paper's motivating scenario: deeply nested data structures.
+
+The introduction's worst case: "a value stored in a deeply nested data
+structure, e.g., a hash table which holds trees with lists at each tree
+node. A backwards slice for a read from one such list must include the
+statements that construct and manipulate all levels of this complex
+data structure."
+
+We build exactly that — HashMap(region) → TreeMap(user) → LinkedList of
+orders — read one order back out, and compare the slices.
+
+Run:  python examples/nested_structures.py
+"""
+
+from __future__ import annotations
+
+from repro import analyze
+from repro.lang.source import marker_line
+
+PROGRAM = """\
+class Order {
+  String item;
+  int quantity;
+
+  Order(String i, int q) {
+    item = i;                                        //@tag:orderitem
+    quantity = q;
+  }
+}
+
+class Main {
+  static void main(String[] args) {
+    // hash table (region) -> tree (user) -> list of orders
+    HashMap regions = new HashMap();
+
+    TreeMap west = new TreeMap();
+    regions.put("west", west);
+    TreeMap east = new TreeMap();
+    regions.put("east", east);
+
+    west.add("alice", new Order("anvil", 2));        //@tag:anvil
+    west.add("alice", new Order("rope", 10));
+    west.add("bob", new Order("tnt", 1));
+    east.add("carol", new Order("magnet", 3));
+
+    TreeMap region = (TreeMap) regions.get("west");
+    Order first = (Order) region.getFirst("alice");  //@tag:retrieve
+    print("first order: " + first.item);             //@tag:seed
+  }
+}
+"""
+
+
+def main() -> None:
+    analyzed = analyze(PROGRAM, "nested.mj")
+    result = analyzed.run([])
+    print("program output:", result.output)
+
+    seed = marker_line(PROGRAM, "tag", "seed")
+    thin = analyzed.thin_slicer.slice_from_line(seed)
+    trad = analyzed.traditional_slicer.slice_from_line(seed)
+
+    print(f"\nthin slice: {len(thin.lines)} lines; "
+          f"traditional: {len(trad.lines)} lines "
+          f"({len(trad.lines) / len(thin.lines):.1f}x)")
+
+    print("\n=== the thin slice (producers only) ===")
+    print(thin.source_view())
+
+    item_line = marker_line(PROGRAM, "tag", "orderitem")
+    anvil_line = marker_line(PROGRAM, "tag", "anvil")
+    print(
+        f"\nitem field write (line {item_line}) in thin slice: "
+        f"{item_line in thin.lines}"
+    )
+    print(
+        f"the anvil insertion (line {anvil_line}) in thin slice: "
+        f"{anvil_line in thin.lines}"
+    )
+    print(
+        "three levels of container plumbing (bucket arrays, tree links,\n"
+        "list nodes) appear only in the traditional slice — the exact\n"
+        "pollution the paper's introduction describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

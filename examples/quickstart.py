@@ -1,0 +1,50 @@
+"""Quickstart: thin-slice the paper's Figure 1 program.
+
+The program reads full names, stores first names in a Vector, stashes
+the Vector in a SessionState, and later prints the names.  A bug makes
+it print "Joh" instead of "John".  We run the program to see the
+failure, then compute a thin slice from the failing print and compare it
+with the traditional slice.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import analyze, thin_slice, traditional_slice
+from repro.lang.source import marker_line
+from repro.suite.loader import load_source
+
+
+def main() -> None:
+    source = load_source("figure1")
+    analyzed = analyze(source, "figure1.mj")
+
+    print("=== running the program ===")
+    result = analyzed.run(["John Doe", "Jane Roe"])
+    for line in result.output:
+        print(f"  {line}")
+    print('  (bug: should print "John", prints "Joh")')
+
+    seed = marker_line(source, "tag", "seed")
+    print(f"\n=== thin slice from line {seed} (the failing print) ===")
+    thin = thin_slice(analyzed, seed)
+    print(thin.source_view())
+
+    trad = traditional_slice(analyzed, seed)
+    print(
+        f"\nthin slice: {len(thin.lines)} lines; "
+        f"traditional slice: {len(trad.lines)} lines"
+    )
+    buggy = marker_line(source, "tag", "buggy")
+    print(f"the buggy statement (line {buggy}) is in the thin slice: "
+          f"{buggy in thin.lines}")
+    plumbing = marker_line(source, "tag", "setNames")
+    print(
+        f"the SessionState plumbing (line {plumbing}) is excluded from the "
+        f"thin slice: {plumbing not in thin.lines}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Understanding a tough cast (§6.3) on the Figure 5 program.
+
+The cast `(AddNode) n` is safe because only AddNode constructors write
+op code 1 — a global invariant that points-to analysis cannot verify.
+The paper's workflow: follow a control dependence from the cast to the
+guard, then thin-slice the tag read; the slice lands on the constructor
+writes that establish the invariant.
+
+Run:  python examples/tough_cast.py
+"""
+
+from __future__ import annotations
+
+from repro import analyze, thin_slice
+from repro.ir import instructions as ins
+from repro.lang.source import marker_line
+from repro.lang.types import ClassType
+from repro.slicing.expansion import control_explainers
+from repro.suite.loader import load_source
+
+
+def main() -> None:
+    source = load_source("figure5")
+    analyzed = analyze(source, "figure5.mj", include_stdlib=False)
+    lines = analyzed.compiled.source.lines()
+
+    cast_line = marker_line(source, "tag", "cast")
+    print(f"the tough cast, line {cast_line}: {lines[cast_line - 1].strip()}")
+
+    # Is it verified by points-to alone?  (If yes it would not be tough.)
+    cast = next(
+        i
+        for i in analyzed.compiled.instructions_at_line(cast_line)
+        if isinstance(i, ins.Cast)
+    )
+    fn = analyzed.compiled.ir.function_of(cast).name
+    objs = analyzed.pts.points_to(fn, cast.src)
+    target = cast.target_type
+    assert isinstance(target, ClassType)
+    verified = all(
+        o.kind == "object"
+        and analyzed.compiled.table.is_subclass(o.class_name, target.name)
+        for o in objs
+    )
+    print(f"points-to sees {sorted(o.class_name for o in objs)} at the cast")
+    print(f"verified by pointer analysis alone: {verified} (tough: {not verified})")
+
+    print("\n=== step 1: follow the control dependence from the cast ===")
+    for cond in control_explainers(analyzed.sdg, cast).conditionals:
+        print(f"  guard at line {cond.position.line}: "
+              f"{lines[cond.position.line - 1].strip()}")
+
+    opread_line = marker_line(source, "tag", "opread")
+    print(f"\n=== step 2: thin slice from the op read (line {opread_line}) ===")
+    result = thin_slice(analyzed, opread_line)
+    print(result.source_view())
+    print(
+        "\nEvery constructor's op write is in the slice — inspecting them\n"
+        "shows op==1 is written only by AddNode, so the cast cannot fail."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Whole-program analyses: points-to, call graph, mod-ref."""
+
+from repro.analysis.callgraph import CallGraph, MethodInstance
+from repro.analysis.heapmodel import (
+    ARRAY_FIELD,
+    AbstractObject,
+    FieldKey,
+    RetKey,
+    STRING_OBJECT,
+    StaticKey,
+    VarKey,
+)
+from repro.analysis.modref import HeapLoc, ModRefResult, compute_modref
+from repro.analysis.pointsto import (
+    DEFAULT_CONTAINER_CLASSES,
+    PointsToAnalysis,
+    PointsToResult,
+    solve_points_to,
+)
+
+__all__ = [
+    "ARRAY_FIELD",
+    "AbstractObject",
+    "CallGraph",
+    "DEFAULT_CONTAINER_CLASSES",
+    "FieldKey",
+    "HeapLoc",
+    "MethodInstance",
+    "ModRefResult",
+    "PointsToAnalysis",
+    "PointsToResult",
+    "RetKey",
+    "STRING_OBJECT",
+    "StaticKey",
+    "VarKey",
+    "compute_modref",
+    "solve_points_to",
+]

@@ -1,0 +1,139 @@
+"""Abstract heap model shared by points-to, mod-ref, and the SDG.
+
+Objects are abstracted by allocation site, optionally qualified by a
+receiver-object *context* — the object-sensitive cloning of Milanova et
+al. that the paper applies to "key collections classes".  Contexts nest
+(a Vector allocated inside a HashMap method is distinguished per map) up
+to a configurable depth.
+
+Heap locations are ``(abstract object, field)`` pairs; arrays use the
+pseudo-field ``[]`` (array smashing); static fields are their own key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ARRAY_FIELD = "[]"
+
+# Singleton abstract objects (created below, after the class definition).
+STRING_SITE = -1
+ARGS_ARRAY_SITE = -2
+
+
+@dataclass(frozen=True)
+class AbstractObject:
+    """An allocation site, possibly cloned by receiver context."""
+
+    site: int  # instruction uid of the New/NewArray, or a special site
+    class_name: str  # runtime class, or 'Array'/'String'
+    kind: str  # 'object' | 'array' | 'string'
+    context: "AbstractObject | None" = None
+    label: str = ""  # human-readable site description
+
+    def depth(self) -> int:
+        depth = 0
+        cursor = self.context
+        while cursor is not None:
+            depth += 1
+            cursor = cursor.context
+        return depth
+
+    def base(self) -> "AbstractObject":
+        """The same site with its context stripped."""
+        if self.context is None:
+            return self
+        return AbstractObject(self.site, self.class_name, self.kind, None, self.label)
+
+    def __str__(self) -> str:
+        ctx = f" in {self.context}" if self.context is not None else ""
+        where = self.label or f"site{self.site}"
+        return f"<{self.class_name}@{where}{ctx}>"
+
+
+STRING_OBJECT = AbstractObject(STRING_SITE, "String", "string", None, "strings")
+ARGS_ARRAY_OBJECT = AbstractObject(
+    ARGS_ARRAY_SITE, "Array", "array", None, "main-args"
+)
+
+
+def make_object(
+    site: int,
+    class_name: str,
+    kind: str,
+    context: AbstractObject | None,
+    label: str = "",
+    max_depth: int = 2,
+) -> AbstractObject:
+    """Create an abstract object, truncating over-deep context chains."""
+    if context is not None and context.depth() >= max_depth - 1:
+        context = _truncate(context, max_depth - 1)
+    return AbstractObject(site, class_name, kind, context, label)
+
+
+def _truncate(obj: AbstractObject, levels: int) -> AbstractObject | None:
+    """Keep at most ``levels`` levels of context on ``obj``."""
+    if levels <= 0:
+        return None
+    if obj.context is None:
+        return obj
+    return AbstractObject(
+        obj.site,
+        obj.class_name,
+        obj.kind,
+        _truncate(obj.context, levels - 1),
+        obj.label,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pointer keys: the nodes of the constraint graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarKey:
+    """An SSA variable in a (possibly context-cloned) function instance."""
+
+    function: str
+    var: str
+    context: AbstractObject | None = None
+
+    def __str__(self) -> str:
+        ctx = f"@{self.context}" if self.context is not None else ""
+        return f"{self.function}{ctx}::{self.var}"
+
+
+@dataclass(frozen=True)
+class FieldKey:
+    """An instance field (or ``[]`` element slot) of an abstract object."""
+
+    obj: AbstractObject
+    field: str
+
+    def __str__(self) -> str:
+        return f"{self.obj}.{self.field}"
+
+
+@dataclass(frozen=True)
+class StaticKey:
+    class_name: str
+    field: str
+
+    def __str__(self) -> str:
+        return f"{self.class_name}.{self.field}"
+
+
+@dataclass(frozen=True)
+class RetKey:
+    """The return value of a function instance."""
+
+    function: str
+    context: AbstractObject | None = None
+
+    def __str__(self) -> str:
+        ctx = f"@{self.context}" if self.context is not None else ""
+        return f"ret({self.function}{ctx})"
+
+
+PointerKey = object  # VarKey | FieldKey | StaticKey | RetKey

@@ -1,0 +1,119 @@
+"""Interprocedural mod-ref analysis over heap partitions.
+
+For the context-sensitive SDG (§5.3), every procedure needs formal-in
+nodes for the heap partitions it may (transitively) read and formal-out
+nodes for those it may write.  Partitions reuse the points-to heap
+abstraction — ``(abstract object, field)`` pairs and static fields — as
+in the paper: "Our implementation introduces such parameters using the
+same heap partitions used by the preliminary pointer analysis."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.heapmodel import ARRAY_FIELD, AbstractObject
+from repro.analysis.pointsto import PointsToResult
+from repro.ir import instructions as ins
+from repro.ir.cfg import IRProgram
+
+
+@dataclass(frozen=True)
+class HeapLoc:
+    """One heap partition: an object field, array contents, or a static."""
+
+    kind: str  # 'field' | 'static'
+    obj: AbstractObject | None
+    class_name: str
+    field: str
+
+    def __str__(self) -> str:
+        if self.kind == "static":
+            return f"{self.class_name}.{self.field}"
+        return f"{self.obj}.{self.field}"
+
+
+def field_loc(obj: AbstractObject, field: str) -> HeapLoc:
+    return HeapLoc("field", obj, obj.class_name, field)
+
+
+def static_loc(class_name: str, field: str) -> HeapLoc:
+    return HeapLoc("static", None, class_name, field)
+
+
+@dataclass
+class ModRefResult:
+    """Per-function transitive mod/ref heap partition sets."""
+
+    mod: dict[str, frozenset[HeapLoc]]
+    ref: dict[str, frozenset[HeapLoc]]
+    local_mod: dict[str, frozenset[HeapLoc]]
+    local_ref: dict[str, frozenset[HeapLoc]]
+
+    def heap_param_count(self, function: str) -> int:
+        return len(self.mod.get(function, ())) + len(self.ref.get(function, ()))
+
+
+def _locs_for_access(
+    pts: PointsToResult, function: str, base_var: str, field: str
+) -> set[HeapLoc]:
+    return {field_loc(obj, field) for obj in pts.points_to(function, base_var)}
+
+
+def compute_modref(program: IRProgram, pts: PointsToResult) -> ModRefResult:
+    """Direct mod/ref per function, then transitive closure over calls."""
+    local_mod: dict[str, set[HeapLoc]] = defaultdict(set)
+    local_ref: dict[str, set[HeapLoc]] = defaultdict(set)
+
+    reachable = pts.call_graph.reachable_functions()
+    for name in reachable:
+        function = program.functions.get(name)
+        if function is None:
+            continue
+        for instr in function.instructions():
+            if isinstance(instr, ins.FieldStore):
+                local_mod[name] |= _locs_for_access(
+                    pts, name, instr.base, instr.field_name
+                )
+            elif isinstance(instr, ins.FieldLoad):
+                local_ref[name] |= _locs_for_access(
+                    pts, name, instr.base, instr.field_name
+                )
+            elif isinstance(instr, ins.ArrayStore):
+                local_mod[name] |= _locs_for_access(
+                    pts, name, instr.base, ARRAY_FIELD
+                )
+            elif isinstance(instr, (ins.ArrayLoad, ins.ArrayLength)):
+                local_ref[name] |= _locs_for_access(
+                    pts, name, instr.base, ARRAY_FIELD
+                )
+            elif isinstance(instr, ins.StaticStore):
+                local_mod[name].add(static_loc(instr.class_name, instr.field_name))
+            elif isinstance(instr, ins.StaticLoad):
+                local_ref[name].add(static_loc(instr.class_name, instr.field_name))
+
+    mod = {name: set(v) for name, v in local_mod.items()}
+    ref = {name: set(v) for name, v in local_ref.items()}
+    for name in reachable:
+        mod.setdefault(name, set())
+        ref.setdefault(name, set())
+
+    # Propagate callee effects to callers until fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for caller in reachable:
+            for callee in pts.call_graph.callee_functions(caller):
+                for table, source in ((mod, mod), (ref, ref)):
+                    extra = source.get(callee, set()) - table[caller]
+                    if extra:
+                        table[caller] |= extra
+                        changed = True
+
+    return ModRefResult(
+        mod={k: frozenset(v) for k, v in mod.items()},
+        ref={k: frozenset(v) for k, v in ref.items()},
+        local_mod={k: frozenset(v) for k, v in local_mod.items()},
+        local_ref={k: frozenset(v) for k, v in local_ref.items()},
+    )

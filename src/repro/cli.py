@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro.cli``.
+
+Subcommands::
+
+    slice FILE --line N [--traditional] [--no-stdlib] [--context N]
+    run FILE [ARG ...]
+    explain FILE --line N            # control explainers for a line
+    why FILE --source N --sink M     # producer path between two lines
+    chop FILE --source N --sink M    # thin chop between two lines
+    dot FILE [--line N] [-o OUT]     # Graphviz export (slice or full)
+    stats FILE                       # analysis statistics
+
+``FILE`` may also be the name of a shipped suite program (e.g.
+``figure1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import analyze
+from repro.slicing.expansion import control_explainers
+from repro.suite.loader import load_source, program_names
+
+
+def _read_program(spec: str) -> tuple[str, str]:
+    path = Path(spec)
+    if path.exists():
+        return path.read_text(), path.name
+    if spec in program_names():
+        return load_source(spec), f"{spec}.mj"
+    raise SystemExit(
+        f"error: {spec!r} is neither a file nor a suite program "
+        f"(known: {', '.join(program_names())})"
+    )
+
+
+def _cmd_slice(args: argparse.Namespace) -> int:
+    source, name = _read_program(args.file)
+    analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+    slicer = (
+        analyzed.traditional_slicer if args.traditional else analyzed.thin_slicer
+    )
+    result = slicer.slice_from_line(args.line)
+    if not result.seeds:
+        print(f"no statements found at {name}:{args.line}", file=sys.stderr)
+        return 1
+    flavor = "traditional" if args.traditional else "thin"
+    print(f"{flavor} slice from {name}:{args.line} "
+          f"({len(result.lines)} lines):\n")
+    print(result.source_view(context=args.context))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    source, name = _read_program(args.file)
+    analyzed = analyze(source, name)
+    result = analyzed.run(args.args)
+    for line in result.output:
+        print(line)
+    if result.error is not None:
+        print(f"uncaught exception: {result.error}", file=sys.stderr)
+        return 1
+    if result.timed_out:
+        print("execution timed out", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    source, name = _read_program(args.file)
+    analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+    instrs = [
+        i
+        for i in analyzed.compiled.instructions_at_line(args.line)
+        if analyzed.sdg.nodes_of_instruction(i)
+    ]
+    if not instrs:
+        print(f"no statements found at {name}:{args.line}", file=sys.stderr)
+        return 1
+    lines = analyzed.compiled.source.lines()
+    shown: set[int] = set()
+    for instr in instrs:
+        explanation = control_explainers(analyzed.sdg, instr)
+        for conditional in explanation.conditionals:
+            line = conditional.position.line
+            if line in shown or not (1 <= line <= len(lines)):
+                continue
+            shown.add(line)
+            print(f"{line:5d}  {lines[line - 1]}")
+    if not shown:
+        print("(no governing conditionals)")
+    return 0
+
+
+def _cmd_why(args: argparse.Namespace) -> int:
+    from repro.tooling.navigator import Navigator
+
+    source, name = _read_program(args.file)
+    analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+    navigator = Navigator(analyzed.compiled, analyzed.sdg)
+    path = navigator.why(args.source, args.sink)
+    if path is None:
+        print(
+            f"no producer-flow path from {name}:{args.source} to "
+            f"{name}:{args.sink}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"value flow from {name}:{args.source} to {name}:{args.sink}:\n"
+    )
+    print(navigator.render_path(path))
+    return 0
+
+
+def _cmd_chop(args: argparse.Namespace) -> int:
+    from repro.slicing.chopping import thin_chop, traditional_chop
+
+    source, name = _read_program(args.file)
+    analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+    chopper = traditional_chop if args.traditional else thin_chop
+    result = chopper(analyzed.compiled, analyzed.sdg, args.source, args.sink)
+    if result.empty:
+        print(
+            f"empty chop: {name}:{args.source} does not reach "
+            f"{name}:{args.sink}",
+            file=sys.stderr,
+        )
+        return 1
+    lines = analyzed.compiled.source.lines()
+    flavor = "traditional" if args.traditional else "thin"
+    print(f"{flavor} chop ({len(result.lines)} lines):")
+    for line in sorted(result.lines):
+        if 1 <= line <= len(lines):
+            print(f"  {line:5d}  {lines[line - 1].strip()}")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.sdg.export import sdg_to_dot, slice_to_dot
+
+    source, name = _read_program(args.file)
+    analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+    if args.line is not None:
+        result = analyzed.thin_slicer.slice_from_line(args.line)
+        if not result.seeds:
+            print(f"no statements found at {name}:{args.line}", file=sys.stderr)
+            return 1
+        dot = slice_to_dot(result, analyzed.sdg, title=f"{name}:{args.line}")
+    else:
+        dot = sdg_to_dot(analyzed.sdg, title=name)
+    if args.output:
+        Path(args.output).write_text(dot + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    source, name = _read_program(args.file)
+    analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+    graph = analyzed.pts.call_graph
+    print(f"program:            {name}")
+    print(f"classes:            {len(analyzed.compiled.table.classes)}")
+    print(f"functions (IR):     {len(analyzed.compiled.ir.functions)}")
+    print(f"reachable functions:{graph.function_count():6d}")
+    print(f"call graph nodes:   {graph.node_count():6d}")
+    print(f"call graph edges:   {graph.edge_count():6d}")
+    print(f"SDG statements:     {analyzed.sdg.statement_count():6d}")
+    print(f"SDG edges:          {analyzed.sdg.edge_count():6d}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Thin slicing for MJ programs"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_slice = sub.add_parser("slice", help="compute a slice from a line")
+    p_slice.add_argument("file")
+    p_slice.add_argument("--line", type=int, required=True)
+    p_slice.add_argument("--traditional", action="store_true")
+    p_slice.add_argument("--no-stdlib", action="store_true")
+    p_slice.add_argument("--context", type=int, default=0)
+    p_slice.set_defaults(fn=_cmd_slice)
+
+    p_run = sub.add_parser("run", help="run a program's main")
+    p_run.add_argument("file")
+    p_run.add_argument("args", nargs="*")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_explain = sub.add_parser(
+        "explain", help="show governing conditionals for a line"
+    )
+    p_explain.add_argument("file")
+    p_explain.add_argument("--line", type=int, required=True)
+    p_explain.add_argument("--no-stdlib", action="store_true")
+    p_explain.set_defaults(fn=_cmd_explain)
+
+    p_why = sub.add_parser(
+        "why", help="shortest producer-flow path between two lines"
+    )
+    p_why.add_argument("file")
+    p_why.add_argument("--source", type=int, required=True)
+    p_why.add_argument("--sink", type=int, required=True)
+    p_why.add_argument("--no-stdlib", action="store_true")
+    p_why.set_defaults(fn=_cmd_why)
+
+    p_chop = sub.add_parser("chop", help="statements between source and sink")
+    p_chop.add_argument("file")
+    p_chop.add_argument("--source", type=int, required=True)
+    p_chop.add_argument("--sink", type=int, required=True)
+    p_chop.add_argument("--traditional", action="store_true")
+    p_chop.add_argument("--no-stdlib", action="store_true")
+    p_chop.set_defaults(fn=_cmd_chop)
+
+    p_dot = sub.add_parser("dot", help="export the SDG (or a slice) as DOT")
+    p_dot.add_argument("file")
+    p_dot.add_argument("--line", type=int)
+    p_dot.add_argument("-o", "--output")
+    p_dot.add_argument("--no-stdlib", action="store_true")
+    p_dot.set_defaults(fn=_cmd_dot)
+
+    p_stats = sub.add_parser("stats", help="print analysis statistics")
+    p_stats.add_argument("file")
+    p_stats.add_argument("--no-stdlib", action="store_true")
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

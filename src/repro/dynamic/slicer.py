@@ -1,0 +1,99 @@
+"""Dynamic slicing over traced executions.
+
+Given a :class:`~repro.dynamic.tracer.DynamicTrace`, a dynamic thin
+slice follows producer parents from a seed event; a dynamic traditional
+slice adds base parents and control parents.  Seeds are usually one of
+the recorded output events or the uncaught-exception event — the natural
+"failure points" of the SIR protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dynamic.events import Event, lines_of, thin_closure, traditional_closure
+from repro.dynamic.tracer import DynamicTrace
+from repro.frontend import compile_source
+from repro.dynamic.tracer import trace_program
+
+
+@dataclass
+class DynamicSlice:
+    """A dynamic slice: events plus the source-line view."""
+
+    seeds: list[Event]
+    events: set[Event]
+
+    @property
+    def lines(self) -> set[int]:
+        return lines_of(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def source_view(self, source_text: str) -> str:
+        """Render the sliced lines of ``source_text``, starred."""
+        rows = []
+        all_lines = source_text.splitlines()
+        for lineno in sorted(self.lines):
+            if 1 <= lineno <= len(all_lines):
+                rows.append(f"*{lineno:5d}  {all_lines[lineno - 1]}")
+        return "\n".join(rows)
+
+    def event_counts_by_kind(self) -> dict[str, int]:
+        """How many events of each kind the slice contains."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+
+def dynamic_thin_slice(seeds: list[Event]) -> DynamicSlice:
+    return DynamicSlice(seeds, thin_closure(seeds))
+
+
+def dynamic_traditional_slice(seeds: list[Event]) -> DynamicSlice:
+    return DynamicSlice(seeds, traditional_closure(seeds))
+
+
+def failure_seeds(trace: DynamicTrace) -> list[Event]:
+    """The failure point: the uncaught exception (plus the events that
+    produced the values it carries — its message names the bad index or
+    key, so the user's slice chases those values), else the last output
+    event (where a wrong value typically surfaces)."""
+    if trace.error_event is not None:
+        return [trace.error_event, *trace.error_field_events]
+    if trace.output_events:
+        return [trace.output_events[-1]]
+    return []
+
+
+@dataclass
+class TracedRun:
+    """Convenience bundle: trace + both dynamic slices from a seed."""
+
+    trace: DynamicTrace
+    thin: DynamicSlice
+    traditional: DynamicSlice
+
+
+def trace_and_slice(
+    source: str,
+    args: list[str],
+    filename: str = "<input>",
+    include_stdlib: bool = True,
+    seed_output_index: int | None = None,
+) -> TracedRun:
+    """Compile, trace, and slice from the failure point (or a chosen
+    output event by index)."""
+    compiled = compile_source(source, filename, include_stdlib=include_stdlib)
+    trace = trace_program(compiled.ast, compiled.table, args)
+    if seed_output_index is not None:
+        seeds = [trace.output_events[seed_output_index]]
+    else:
+        seeds = failure_seeds(trace)
+    return TracedRun(
+        trace=trace,
+        thin=dynamic_thin_slice(seeds),
+        traditional=dynamic_traditional_slice(seeds),
+    )

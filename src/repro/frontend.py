@@ -1,0 +1,72 @@
+"""One-call pipeline from MJ source text to analyzed IR.
+
+:func:`compile_source` is the entry point used by the slicers, the
+benchmark suite, and the examples.  It optionally prepends the MJ
+standard library (containers and exception classes), so programs can use
+``Vector``/``HashMap`` the way the paper's Java benchmarks use
+``java.util``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.source import SourceFile
+from repro.lang.symbols import ClassTable
+from repro.lang.typechecker import check_program
+from repro.ir.builder import build_program
+from repro.ir.cfg import IRProgram
+from repro.ir.dominance import DominatorInfo
+from repro.ir.ssa import to_ssa
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the analyses need about one program."""
+
+    source: SourceFile
+    ast: ast.Program
+    table: ClassTable
+    ir: IRProgram
+    dominators: dict[str, DominatorInfo]
+
+    def instructions_at_line(self, line: int):
+        return self.ir.instructions_at_line(self.source.name, line)
+
+
+def stdlib_source() -> str:
+    """The MJ standard library source (containers, exceptions)."""
+    from repro.suite.loader import load_stdlib
+
+    return load_stdlib()
+
+
+def compile_source(
+    text: str,
+    filename: str = "<input>",
+    include_stdlib: bool = False,
+) -> CompiledProgram:
+    """Parse, type-check, lower to IR, and convert to SSA.
+
+    With ``include_stdlib=True`` the MJ standard library is appended to
+    the program text (as later classes, so user line numbers are stable).
+    """
+    full_text = text
+    if include_stdlib:
+        full_text = text + "\n" + stdlib_source()
+    program = parse_program(full_text, filename)
+    table = check_program(program)
+    ir_program = build_program(program, table)
+    dominators = {
+        name: to_ssa(function)
+        for name, function in ir_program.functions.items()
+    }
+    return CompiledProgram(
+        source=SourceFile(filename, full_text),
+        ast=program,
+        table=table,
+        ir=ir_program,
+        dominators=dominators,
+    )

@@ -1,0 +1,22 @@
+"""MJ reference interpreter (AST-walking, exact semantics)."""
+
+from repro.interp.interpreter import Interpreter, run_program
+from repro.interp.values import (
+    ArrayValue,
+    ExecutionResult,
+    MJThrow,
+    ObjectValue,
+    stringify,
+    values_equal,
+)
+
+__all__ = [
+    "ArrayValue",
+    "ExecutionResult",
+    "Interpreter",
+    "MJThrow",
+    "ObjectValue",
+    "run_program",
+    "stringify",
+    "values_equal",
+]

@@ -1,0 +1,629 @@
+"""Reference interpreter for MJ, operating on the typed AST.
+
+The interpreter implements exact semantics (dynamic dispatch, exceptions
+with unwinding, short-circuit evaluation, Java-style truncated division),
+independent of the IR, so it doubles as an oracle for the frontend and as
+the test-runner that exposes injected bugs in the benchmark suite — the
+reproduction of the SIR "run the test suite to find a failure" step.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lang import ast
+from repro.lang.symbols import ClassTable
+from repro.lang.types import ArrayType, BOOLEAN, ClassType, INT, Type
+from repro.interp.natives import NativeFault, call_native
+from repro.interp.values import (
+    ArrayValue,
+    BreakSignal,
+    ContinueSignal,
+    ExecutionResult,
+    FuelExhausted,
+    MJThrow,
+    MJValue,
+    ObjectValue,
+    ReturnSignal,
+    StaticStore,
+    stringify,
+    values_equal,
+)
+
+_MAX_FRAMES = 900
+
+
+class _Frame:
+    """One activation record: ``this`` plus a stack of local scopes."""
+
+    __slots__ = ("this", "scopes")
+
+    def __init__(self, this: ObjectValue | None) -> None:
+        self.this = this
+        self.scopes: list[dict[str, MJValue]] = [{}]
+
+    def push(self) -> None:
+        self.scopes.append({})
+
+    def pop(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, value: MJValue) -> None:
+        self.scopes[-1][name] = value
+
+    def get(self, name: str) -> MJValue:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise KeyError(name)
+
+    def set(self, name: str, value: MJValue) -> None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                scope[name] = value
+                return
+        raise KeyError(name)
+
+
+class Interpreter:
+    """Executes a type-checked MJ program."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        table: ClassTable,
+        max_steps: int = 5_000_000,
+    ) -> None:
+        self.program = program
+        self.table = table
+        self.max_steps = max_steps
+        self.statics = StaticStore()
+        self.output: list[str] = []
+        self.steps = 0
+        self._frame_depth = 0
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def run_main(self, args: list[str] | None = None) -> ExecutionResult:
+        """Run static initializers then ``main(String[])``."""
+        self.output = []
+        self.steps = 0
+        main = self._find_main()
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(200_000)
+        try:
+            self._run_static_initializers()
+            array = ArrayValue(list(args or []))
+            self._invoke(main[0], main[1], None, [array])
+            return ExecutionResult(self.output, steps=self.steps)
+        except MJThrow as thrown:
+            return ExecutionResult(
+                self.output,
+                error=self._render_exception(thrown.value),
+                error_class=thrown.value.class_name,
+                steps=self.steps,
+            )
+        except FuelExhausted:
+            return ExecutionResult(self.output, steps=self.steps, timed_out=True)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def call_static(self, class_name: str, method_name: str, args: list[MJValue]):
+        """Invoke a static method directly (used by tests)."""
+        info = self.table.info(class_name)
+        method = info.methods[method_name]
+        return self._invoke(class_name, method, None, args)
+
+    def _find_main(self) -> tuple[str, ast.MethodDecl]:
+        for decl in self.program.classes:
+            info = self.table.info(decl.name)
+            method = info.methods.get("main")
+            if method is not None and method.is_static:
+                return decl.name, method
+        raise RuntimeError("program has no static main method")
+
+    def _run_static_initializers(self) -> None:
+        for decl in self.program.classes:
+            for field_decl in decl.fields:
+                if field_decl.is_static:
+                    value: MJValue = self._default(field_decl.declared_type)
+                    self.statics.set(decl.name, field_decl.name, value)
+        for decl in self.program.classes:
+            frame = _Frame(None)
+            for field_decl in decl.fields:
+                if field_decl.is_static and field_decl.init is not None:
+                    value = self._expr(field_decl.init, frame)
+                    self.statics.set(decl.name, field_decl.name, value)
+
+    def _render_exception(self, value: ObjectValue) -> str:
+        message = value.fields.get("message")
+        if isinstance(message, str):
+            return f"{value.class_name}: {message}"
+        return value.class_name
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+
+    def _default(self, declared: Type) -> MJValue:
+        if declared == INT:
+            return 0
+        if declared == BOOLEAN:
+            return False
+        return None
+
+    def construct(self, class_name: str, args: list[MJValue]) -> ObjectValue:
+        fields: dict[str, MJValue] = {}
+        for ancestor in self.table.ancestors(class_name):
+            info = self.table.info(ancestor)
+            for name, decl in info.fields.items():
+                if not decl.is_static and name not in fields:
+                    fields[name] = self._default(decl.declared_type)
+        obj = ObjectValue(class_name, fields)
+        self._run_constructor(class_name, obj, args)
+        return obj
+
+    def _run_constructor(
+        self, class_name: str, obj: ObjectValue, args: list[MJValue]
+    ) -> None:
+        if class_name == "Object":
+            return
+        info = self.table.info(class_name)
+        ctor = info.constructor
+        superclass = info.superclass or "Object"
+        frame = _Frame(obj)
+        body: list[ast.Stmt] = []
+        explicit_super: ast.SuperCall | None = None
+        if ctor is not None:
+            for param, arg in zip(ctor.params, args):
+                frame.declare(param.name, arg)
+            body = list(ctor.body.statements)
+            if body and isinstance(body[0], ast.ExprStmt):
+                first = body[0].expr
+                if isinstance(first, ast.SuperCall):
+                    explicit_super = first
+                    body = body[1:]
+        if explicit_super is not None:
+            super_args = [self._expr(a, frame) for a in explicit_super.args]
+            self._run_constructor(superclass, obj, super_args)
+        else:
+            self._run_constructor(superclass, obj, [])
+        decl = info.decl
+        if decl is not None:
+            init_frame = _Frame(obj)
+            for field_decl in decl.fields:
+                if not field_decl.is_static and field_decl.init is not None:
+                    obj.fields[field_decl.name] = self._expr(
+                        field_decl.init, init_frame
+                    )
+        for stmt in body:
+            try:
+                self._stmt(stmt, frame)
+            except ReturnSignal:
+                break
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def _invoke(
+        self,
+        owner: str,
+        method: ast.MethodDecl,
+        this: ObjectValue | None,
+        args: list[MJValue],
+    ) -> MJValue:
+        self._frame_depth += 1
+        if self._frame_depth > _MAX_FRAMES:
+            self._frame_depth -= 1
+            self._throw("StackOverflowError", f"in {owner}.{method.name}")
+        frame = _Frame(this)
+        for param, arg in zip(method.params, args):
+            frame.declare(param.name, arg)
+        try:
+            self._stmt(method.body, frame)
+        except ReturnSignal as signal:
+            return signal.value
+        finally:
+            self._frame_depth -= 1
+        return None
+
+    def _throw(self, exc_class: str, message: str) -> None:
+        """Raise a builtin runtime exception as an MJ object."""
+        obj = ObjectValue(exc_class, {"message": message})
+        raise MJThrow(obj)
+
+    def _exception_matches(self, value: ObjectValue, exc_type: Type) -> bool:
+        if not isinstance(exc_type, ClassType):
+            return False
+        target = exc_type.name
+        if target == "Object":
+            return True
+        if self.table.has_class(value.class_name):
+            return self.table.is_subclass(value.class_name, target)
+        return value.class_name == target
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise FuelExhausted()
+
+    def _stmt(self, stmt: ast.Stmt, frame: _Frame) -> None:
+        self._tick()
+        handler = getattr(self, "_stmt_" + type(stmt).__name__)
+        handler(stmt, frame)
+
+    def _stmt_Block(self, stmt: ast.Block, frame: _Frame) -> None:
+        frame.push()
+        try:
+            for child in stmt.statements:
+                self._stmt(child, frame)
+        finally:
+            frame.pop()
+
+    def _stmt_VarDecl(self, stmt: ast.VarDecl, frame: _Frame) -> None:
+        if stmt.init is not None:
+            value = self._expr(stmt.init, frame)
+        else:
+            value = self._default(stmt.declared_type)
+        frame.declare(stmt.name, value)
+
+    def _stmt_ExprStmt(self, stmt: ast.ExprStmt, frame: _Frame) -> None:
+        self._expr(stmt.expr, frame)
+
+    def _stmt_Assign(self, stmt: ast.Assign, frame: _Frame) -> None:
+        value = self._expr(stmt.value, frame)
+        if stmt.op is not None:
+            old = self._read_lvalue(stmt.target, frame)
+            value = self._binop_values(stmt.op, old, value, stmt)
+        self._write_lvalue(stmt.target, value, frame)
+
+    def _stmt_If(self, stmt: ast.If, frame: _Frame) -> None:
+        if self._expr(stmt.condition, frame):
+            self._stmt(stmt.then_branch, frame)
+        elif stmt.else_branch is not None:
+            self._stmt(stmt.else_branch, frame)
+
+    def _stmt_While(self, stmt: ast.While, frame: _Frame) -> None:
+        while self._expr(stmt.condition, frame):
+            self._tick()
+            try:
+                self._stmt(stmt.body, frame)
+            except BreakSignal:
+                return
+            except ContinueSignal:
+                continue
+
+    def _stmt_For(self, stmt: ast.For, frame: _Frame) -> None:
+        frame.push()
+        try:
+            if stmt.init is not None:
+                self._stmt(stmt.init, frame)
+            while stmt.condition is None or self._expr(stmt.condition, frame):
+                self._tick()
+                try:
+                    self._stmt(stmt.body, frame)
+                except BreakSignal:
+                    return
+                except ContinueSignal:
+                    pass
+                if stmt.update is not None:
+                    self._stmt(stmt.update, frame)
+        finally:
+            frame.pop()
+
+    def _stmt_Return(self, stmt: ast.Return, frame: _Frame) -> None:
+        value = None
+        if stmt.value is not None:
+            value = self._expr(stmt.value, frame)
+        raise ReturnSignal(value)
+
+    def _stmt_Break(self, stmt: ast.Break, frame: _Frame) -> None:
+        raise BreakSignal()
+
+    def _stmt_Continue(self, stmt: ast.Continue, frame: _Frame) -> None:
+        raise ContinueSignal()
+
+    def _stmt_Throw(self, stmt: ast.Throw, frame: _Frame) -> None:
+        value = self._expr(stmt.value, frame)
+        if value is None:
+            self._throw("NullPointerException", "throw null")
+        assert isinstance(value, ObjectValue)
+        raise MJThrow(value)
+
+    def _stmt_TryCatch(self, stmt: ast.TryCatch, frame: _Frame) -> None:
+        try:
+            self._stmt(stmt.try_block, frame)
+        except MJThrow as thrown:
+            if not self._exception_matches(thrown.value, stmt.exc_type):
+                raise
+            frame.push()
+            try:
+                frame.declare(stmt.exc_name, thrown.value)
+                for child in stmt.catch_block.statements:
+                    self._stmt(child, frame)
+            finally:
+                frame.pop()
+
+    # ------------------------------------------------------------------
+    # L-values
+    # ------------------------------------------------------------------
+
+    def _read_lvalue(self, target: ast.Expr, frame: _Frame) -> MJValue:
+        return self._expr(target, frame)
+
+    def _write_lvalue(self, target: ast.Expr, value: MJValue, frame: _Frame) -> None:
+        if isinstance(target, ast.VarRef):
+            kind, owner = target.resolution or ("", "")
+            if kind == "local":
+                frame.set(target.name, value)
+                return
+            if kind == "field":
+                assert frame.this is not None
+                frame.this.fields[target.name] = value
+                return
+            if kind == "static_field":
+                self.statics.set(owner, target.name, value)
+                return
+            raise RuntimeError(f"bad assignment target {target.name}")
+        if isinstance(target, ast.FieldAccess):
+            kind, owner = target.resolution or ("", "")
+            if kind == "static_field":
+                self.statics.set(owner, target.name, value)
+                return
+            base = self._expr(target.target, frame)
+            if base is None:
+                self._throw("NullPointerException", f"write to {target.name} of null")
+            assert isinstance(base, ObjectValue)
+            base.fields[target.name] = value
+            return
+        if isinstance(target, ast.ArrayAccess):
+            base = self._expr(target.target, frame)
+            index = self._expr(target.index, frame)
+            self._array_store(base, index, value)
+            return
+        raise RuntimeError("bad assignment target")
+
+    def _array_store(self, base: MJValue, index: MJValue, value: MJValue) -> None:
+        if base is None:
+            self._throw("NullPointerException", "store into null array")
+        assert isinstance(base, ArrayValue) and isinstance(index, int)
+        if not 0 <= index < len(base.elements):
+            self._throw(
+                "ArrayIndexOutOfBoundsException",
+                f"index {index}, length {len(base.elements)}",
+            )
+        base.elements[index] = value
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr, frame: _Frame) -> MJValue:
+        handler = getattr(self, "_expr_" + type(expr).__name__)
+        return handler(expr, frame)
+
+    def _expr_IntLit(self, expr: ast.IntLit, frame):
+        return expr.value
+
+    def _expr_BoolLit(self, expr: ast.BoolLit, frame):
+        return expr.value
+
+    def _expr_StringLit(self, expr: ast.StringLit, frame):
+        return expr.value
+
+    def _expr_NullLit(self, expr, frame):
+        return None
+
+    def _expr_This(self, expr, frame: _Frame):
+        return frame.this
+
+    def _expr_VarRef(self, expr: ast.VarRef, frame: _Frame):
+        kind, owner = expr.resolution or ("", "")
+        if kind == "local":
+            return frame.get(expr.name)
+        if kind == "field":
+            assert frame.this is not None
+            return frame.this.fields.get(expr.name)
+        if kind == "static_field":
+            return self.statics.get(owner, expr.name)
+        raise RuntimeError(f"class name {expr.name} used as value")
+
+    def _expr_FieldAccess(self, expr: ast.FieldAccess, frame: _Frame):
+        kind, owner = expr.resolution or ("", "")
+        if kind == "static_field":
+            return self.statics.get(owner, expr.name)
+        base = self._expr(expr.target, frame)
+        if kind == "array_length":
+            if base is None:
+                self._throw("NullPointerException", "length of null array")
+            assert isinstance(base, ArrayValue)
+            return len(base.elements)
+        if base is None:
+            self._throw("NullPointerException", f"read {expr.name} of null")
+        assert isinstance(base, ObjectValue)
+        return base.fields.get(expr.name)
+
+    def _expr_ArrayAccess(self, expr: ast.ArrayAccess, frame: _Frame):
+        base = self._expr(expr.target, frame)
+        index = self._expr(expr.index, frame)
+        if base is None:
+            self._throw("NullPointerException", "load from null array")
+        assert isinstance(base, ArrayValue) and isinstance(index, int)
+        if not 0 <= index < len(base.elements):
+            self._throw(
+                "ArrayIndexOutOfBoundsException",
+                f"index {index}, length {len(base.elements)}",
+            )
+        return base.elements[index]
+
+    def _expr_Call(self, expr: ast.Call, frame: _Frame):
+        self._tick()
+        kind, owner = expr.resolution or ("", "")
+        if kind == "builtin":
+            args = [self._expr(a, frame) for a in expr.args]
+            if expr.name == "print":
+                self.output.append(stringify(args[0]))
+                return None
+            raise RuntimeError(f"unknown builtin {expr.name}")
+        if kind == "native":
+            assert expr.receiver is not None
+            receiver = self._expr(expr.receiver, frame)
+            args = [self._expr(a, frame) for a in expr.args]
+            if receiver is None:
+                self._throw(
+                    "NullPointerException", f"call {expr.name}() on null String"
+                )
+            assert isinstance(receiver, str)
+            try:
+                return call_native(expr.name, receiver, args)
+            except NativeFault as fault:
+                self._throw(fault.exc_class, fault.message)
+        if kind == "static":
+            args = [self._expr(a, frame) for a in expr.args]
+            found = self.table.lookup_method(owner, expr.name)
+            assert found is not None
+            return self._invoke(found[0], found[1], None, args)
+        # virtual
+        if expr.receiver is not None:
+            receiver = self._expr(expr.receiver, frame)
+        else:
+            receiver = frame.this
+        args = [self._expr(a, frame) for a in expr.args]
+        if receiver is None:
+            self._throw("NullPointerException", f"call {expr.name}() on null")
+        assert isinstance(receiver, ObjectValue)
+        target_owner, method = self.table.resolve_virtual(
+            receiver.class_name, expr.name
+        )
+        return self._invoke(target_owner, method, receiver, args)
+
+    def _expr_New(self, expr: ast.New, frame: _Frame):
+        self._tick()
+        args = [self._expr(a, frame) for a in expr.args]
+        return self.construct(expr.class_name, args)
+
+    def _expr_NewArray(self, expr: ast.NewArray, frame: _Frame):
+        length = self._expr(expr.length, frame)
+        assert isinstance(length, int)
+        if length < 0:
+            self._throw("NegativeArraySizeException", str(length))
+        return ArrayValue([self._default(expr.element_type)] * length)
+
+    def _expr_Binary(self, expr: ast.Binary, frame: _Frame):
+        op = expr.op
+        if op == "&&":
+            return bool(self._expr(expr.left, frame)) and bool(
+                self._expr(expr.right, frame)
+            )
+        if op == "||":
+            return bool(self._expr(expr.left, frame)) or bool(
+                self._expr(expr.right, frame)
+            )
+        left = self._expr(expr.left, frame)
+        right = self._expr(expr.right, frame)
+        return self._binop_values(op, left, right, expr)
+
+    def _binop_values(self, op: str, left: MJValue, right: MJValue, node: ast.Node):
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return stringify(left) + stringify(right)
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                self._throw("ArithmeticException", "/ by zero")
+            quotient = abs(left) // abs(right)
+            return quotient if (left < 0) == (right < 0) else -quotient
+        if op == "%":
+            if right == 0:
+                self._throw("ArithmeticException", "% by zero")
+            quotient = abs(left) // abs(right)
+            quotient = quotient if (left < 0) == (right < 0) else -quotient
+            return left - quotient * right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "==":
+            return values_equal(left, right)
+        if op == "!=":
+            return not values_equal(left, right)
+        raise RuntimeError(f"unknown operator {op}")
+
+    def _expr_Unary(self, expr: ast.Unary, frame: _Frame):
+        value = self._expr(expr.operand, frame)
+        if expr.op == "!":
+            return not value
+        return -value
+
+    def _expr_Cast(self, expr: ast.Cast, frame: _Frame):
+        value = self._expr(expr.expr, frame)
+        target = expr.target_type
+        if value is None:
+            return None
+        if isinstance(target, ClassType):
+            if target.name == "Object":
+                return value
+            if target.name == "String":
+                if isinstance(value, str):
+                    return value
+                self._throw(
+                    "ClassCastException", f"{type(value).__name__} to String"
+                )
+            if isinstance(value, ObjectValue) and self.table.has_class(
+                value.class_name
+            ):
+                if self.table.is_subclass(value.class_name, target.name):
+                    return value
+                self._throw(
+                    "ClassCastException", f"{value.class_name} to {target.name}"
+                )
+            self._throw("ClassCastException", f"value to {target.name}")
+        if isinstance(target, ArrayType):
+            if isinstance(value, ArrayValue):
+                return value
+            self._throw("ClassCastException", f"value to {target}")
+        return value
+
+    def _expr_InstanceOf(self, expr: ast.InstanceOf, frame: _Frame):
+        value = self._expr(expr.expr, frame)
+        if value is None:
+            return False
+        if expr.class_name == "Object":
+            return True
+        if expr.class_name == "String":
+            return isinstance(value, str)
+        if isinstance(value, ObjectValue) and self.table.has_class(value.class_name):
+            return self.table.is_subclass(value.class_name, expr.class_name)
+        return False
+
+    def _expr_PostfixIncDec(self, expr: ast.PostfixIncDec, frame: _Frame):
+        old = self._read_lvalue(expr.target, frame)
+        assert isinstance(old, int)
+        delta = 1 if expr.op == "+" else -1
+        self._write_lvalue(expr.target, old + delta, frame)
+        return old
+
+
+def run_program(
+    program: ast.Program,
+    table: ClassTable,
+    args: list[str] | None = None,
+    max_steps: int = 5_000_000,
+) -> ExecutionResult:
+    """Convenience: run ``main`` of a checked program."""
+    return Interpreter(program, table, max_steps=max_steps).run_main(args)

@@ -1,0 +1,88 @@
+"""Native implementations of the builtin String methods.
+
+Each native takes the receiver string and already-evaluated arguments and
+either returns a value or raises :class:`NativeFault` describing the MJ
+exception the interpreter should throw (e.g. an out-of-range substring).
+"""
+
+from __future__ import annotations
+
+from repro.interp.values import MJValue
+
+
+class NativeFault(Exception):
+    """A native method failed; carries the MJ exception class to throw."""
+
+    def __init__(self, exc_class: str, message: str) -> None:
+        self.exc_class = exc_class
+        self.message = message
+        super().__init__(message)
+
+
+def _check_range(receiver: str, begin: int, end: int) -> None:
+    if begin < 0 or end > len(receiver) or begin > end:
+        raise NativeFault(
+            "StringIndexOutOfBoundsException",
+            f"begin {begin}, end {end}, length {len(receiver)}",
+        )
+
+
+def call_native(name: str, receiver: str, args: list[MJValue]) -> MJValue:
+    """Dispatch ``receiver.name(*args)`` for a builtin String method."""
+    if name == "length":
+        return len(receiver)
+    if name == "charAt":
+        (index,) = args
+        if not 0 <= index < len(receiver):
+            raise NativeFault(
+                "StringIndexOutOfBoundsException",
+                f"index {index}, length {len(receiver)}",
+            )
+        return receiver[index]
+    if name == "substring":
+        begin = args[0]
+        end = args[1] if len(args) == 2 else len(receiver)
+        _check_range(receiver, begin, end)
+        return receiver[begin:end]
+    if name == "indexOf":
+        needle = args[0]
+        start = args[1] if len(args) == 2 else 0
+        return receiver.find(needle, max(start, 0))
+    if name == "lastIndexOf":
+        return receiver.rfind(args[0])
+    if name == "equals":
+        return args[0] is not None and receiver == args[0]
+    if name == "startsWith":
+        return receiver.startswith(args[0])
+    if name == "endsWith":
+        return receiver.endswith(args[0])
+    if name == "contains":
+        return args[0] in receiver
+    if name == "trim":
+        return receiver.strip()
+    if name == "toLowerCase":
+        return receiver.lower()
+    if name == "toUpperCase":
+        return receiver.upper()
+    if name == "concat":
+        return receiver + args[0]
+    if name == "replace":
+        return receiver.replace(args[0], args[1])
+    if name == "compareTo":
+        other = args[0]
+        if receiver < other:
+            return -1
+        if receiver > other:
+            return 1
+        return 0
+    if name == "hashCode":
+        # Java's String.hashCode, for deterministic hash-based workloads.
+        result = 0
+        for ch in receiver:
+            result = (31 * result + ord(ch)) & 0xFFFFFFFF
+        if result >= 0x80000000:
+            result -= 0x100000000
+        return result
+    if name == "isEmpty":
+        return len(receiver) == 0
+    raise NativeFault("UnsupportedOperationException", f"unknown native {name}")

@@ -1,0 +1,32 @@
+"""MJ intermediate representation: instructions, CFGs, SSA, dominance."""
+
+from repro.ir import instructions
+from repro.ir.builder import build_program, qualified_name
+from repro.ir.cfg import BasicBlock, IRFunction, IRProgram, TryRegion
+from repro.ir.dominance import (
+    DominatorInfo,
+    compute_dominators,
+    compute_postdominators,
+)
+from repro.ir.interp import IRInterpreter, run_ir_program
+from repro.ir.printer import format_function, format_program
+from repro.ir.ssa import to_ssa, verify_ssa
+
+__all__ = [
+    "BasicBlock",
+    "DominatorInfo",
+    "IRFunction",
+    "IRProgram",
+    "TryRegion",
+    "build_program",
+    "compute_dominators",
+    "compute_postdominators",
+    "IRInterpreter",
+    "format_function",
+    "format_program",
+    "run_ir_program",
+    "instructions",
+    "qualified_name",
+    "to_ssa",
+    "verify_ssa",
+]

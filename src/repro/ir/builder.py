@@ -1,0 +1,823 @@
+"""Lowering from the typed MJ AST to the CFG IR.
+
+One IR function is produced per method, per constructor (synthesized when
+a class declares none), and per class with static field initializers
+(``<clinit>``).  The builder relies on the resolutions recorded by the
+type checker and never re-resolves names.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.errors import IRBuildError
+from repro.lang.source import Position
+from repro.lang.symbols import ClassTable
+from repro.lang.types import BOOLEAN, ClassType, INT, STRING, Type, VOID
+from repro.ir import instructions as ins
+from repro.ir.cfg import BasicBlock, IRFunction, IRProgram, TryRegion
+
+
+def build_program(program: ast.Program, table: ClassTable) -> IRProgram:
+    """Lower every method of ``program`` into an :class:`IRProgram`."""
+    ir_program = IRProgram(table)
+    for decl in program.classes:
+        info = table.info(decl.name)
+        static_inits = [f for f in decl.fields if f.is_static and f.init is not None]
+        if static_inits:
+            builder = _FunctionBuilder(table, decl, None)
+            ir_program.add_function(builder.build_clinit(static_inits))
+        ctor = info.constructor
+        builder = _FunctionBuilder(table, decl, ctor)
+        ir_program.add_function(builder.build_constructor())
+        for method in info.methods.values():
+            builder = _FunctionBuilder(table, decl, method)
+            ir_program.add_function(builder.build_method())
+    ir_program.finalize()
+    return ir_program
+
+
+def qualified_name(class_name: str, method_name: str) -> str:
+    return f"{class_name}.{method_name}"
+
+
+class _LoopContext:
+    """Break/continue targets for the innermost enclosing loop."""
+
+    def __init__(self, break_target: int, continue_target: int) -> None:
+        self.break_target = break_target
+        self.continue_target = continue_target
+
+
+class _FunctionBuilder:
+    """Builds the IR of one function."""
+
+    def __init__(
+        self,
+        table: ClassTable,
+        class_decl: ast.ClassDecl,
+        method: ast.MethodDecl | None,
+    ) -> None:
+        self.table = table
+        self.class_decl = class_decl
+        self.method = method
+        self.function: IRFunction | None = None
+        self.current: BasicBlock | None = None
+        self._scopes: list[dict[str, str]] = []
+        self._var_counter = 0
+        self._loops: list[_LoopContext] = []
+        self._active_regions: list[TryRegion] = []
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def build_method(self) -> IRFunction:
+        method = self.method
+        assert method is not None and not method.is_constructor
+        self._start_function(method.name, method)
+        self._push_scope()
+        self._stmt(method.body)
+        self._pop_scope()
+        self._seal()
+        return self._finish()
+
+    def build_constructor(self) -> IRFunction:
+        method = self.method  # may be None: synthesized default ctor
+        name = "<init>"
+        self._start_function(name, method)
+        self._push_scope()
+        body_stmts = list(method.body.statements) if method is not None else []
+        explicit_super: ast.SuperCall | None = None
+        if body_stmts and isinstance(body_stmts[0], ast.ExprStmt):
+            first = body_stmts[0].expr
+            if isinstance(first, ast.SuperCall):
+                explicit_super = first
+                body_stmts = body_stmts[1:]
+        self._emit_super_call(explicit_super)
+        self._emit_instance_field_inits()
+        for stmt in body_stmts:
+            self._stmt(stmt)
+        self._pop_scope()
+        self._seal()
+        return self._finish()
+
+    def build_clinit(self, static_inits: list[ast.FieldDecl]) -> IRFunction:
+        self._start_function("<clinit>", None, static=True)
+        self._push_scope()
+        for field_decl in static_inits:
+            assert field_decl.init is not None
+            value = self._expr(field_decl.init)
+            self._emit(
+                ins.StaticStore(
+                    field_decl.position,
+                    self.class_decl.name,
+                    field_decl.name,
+                    value,
+                )
+            )
+        self._pop_scope()
+        self._seal()
+        return self._finish()
+
+    # ------------------------------------------------------------------
+    # Function plumbing
+    # ------------------------------------------------------------------
+
+    def _start_function(
+        self, method_name: str, method: ast.MethodDecl | None, static: bool = False
+    ) -> None:
+        class_name = self.class_decl.name
+        if method is not None:
+            is_static = method.is_static and not method.is_constructor
+            params = [] if is_static else ["this"]
+            param_types: list[Type] = [] if is_static else [ClassType(class_name)]
+            for param in method.params:
+                params.append(param.name)
+                param_types.append(param.declared_type)
+            return_type = method.return_type
+        else:
+            is_static = static
+            params = [] if static else ["this"]
+            param_types = [] if static else [ClassType(class_name)]
+            return_type = VOID
+        self.function = IRFunction(
+            qualified_name(class_name, method_name),
+            class_name,
+            method_name,
+            params,
+            param_types,
+            return_type,
+            is_static,
+        )
+        self.current = self.function.block(self.function.entry_block)
+        # Parameters are pre-bound names in the outermost scope.
+        self._scopes = [{p: p for p in params}]
+
+    def _seal(self) -> None:
+        """Terminate any fall-through block with an implicit return."""
+        assert self.function is not None
+        for block in self.function.blocks.values():
+            if block.terminator is None:
+                position = (
+                    block.instructions[-1].position
+                    if block.instructions
+                    else Position(0, 0, "<synthetic>")
+                )
+                block.instructions.append(ins.Return(position, None))
+
+    def _finish(self) -> IRFunction:
+        assert self.function is not None
+        self.function.prune_unreachable()
+        return self.function
+
+    def _emit(self, instr: ins.Instruction) -> ins.Instruction:
+        assert self.current is not None
+        if self.current.terminator is not None:
+            # Unreachable code (after return/throw/break); emit into a
+            # fresh dangling block that pruning will remove.
+            self.current = self.function.new_block()
+        self.current.instructions.append(instr)
+        return instr
+
+    def _switch_to(self, block: BasicBlock) -> None:
+        self.current = block
+
+    def _goto(self, target: int, position: Position) -> None:
+        assert self.current is not None
+        if self.current.terminator is None:
+            self.current.instructions.append(ins.Goto(position, target))
+
+    def _temp(self) -> str:
+        assert self.function is not None
+        return self.function.new_temp()
+
+    # ------------------------------------------------------------------
+    # Scopes
+    # ------------------------------------------------------------------
+
+    def _push_scope(self) -> None:
+        self._scopes.append({})
+
+    def _pop_scope(self) -> None:
+        self._scopes.pop()
+
+    def _declare_var(self, name: str) -> str:
+        ir_name = f"{name}~{self._var_counter}"
+        self._var_counter += 1
+        self._scopes[-1][name] = ir_name
+        return ir_name
+
+    def _lookup_var(self, name: str) -> str:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        raise IRBuildError(f"unresolved local {name} (typechecker bug?)")
+
+    # ------------------------------------------------------------------
+    # Constructor helpers
+    # ------------------------------------------------------------------
+
+    def _emit_super_call(self, explicit: ast.SuperCall | None) -> None:
+        superclass = self.class_decl.superclass or "Object"
+        if explicit is not None:
+            args = [self._expr(a) for a in explicit.args]
+            if superclass != "Object":
+                self._emit(
+                    ins.Call(
+                        explicit.position,
+                        None,
+                        "special",
+                        superclass,
+                        "<init>",
+                        "this",
+                        args,
+                    )
+                )
+            return
+        if superclass != "Object":
+            self._emit(
+                ins.Call(
+                    self.class_decl.position,
+                    None,
+                    "special",
+                    superclass,
+                    "<init>",
+                    "this",
+                    [],
+                )
+            )
+
+    def _emit_instance_field_inits(self) -> None:
+        for field_decl in self.class_decl.fields:
+            if field_decl.is_static or field_decl.init is None:
+                continue
+            value = self._expr(field_decl.init)
+            self._emit(
+                ins.FieldStore(
+                    field_decl.position,
+                    "this",
+                    field_decl.name,
+                    self.class_decl.name,
+                    value,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        handler = getattr(self, "_stmt_" + type(stmt).__name__, None)
+        if handler is None:
+            raise IRBuildError(
+                f"cannot lower statement {type(stmt).__name__}", stmt.position
+            )
+        handler(stmt)
+
+    def _stmt_Block(self, stmt: ast.Block) -> None:
+        self._push_scope()
+        for child in stmt.statements:
+            self._stmt(child)
+        self._pop_scope()
+
+    def _stmt_VarDecl(self, stmt: ast.VarDecl) -> None:
+        if stmt.init is not None:
+            value = self._expr(stmt.init)
+        else:
+            value = self._default_value(stmt.declared_type, stmt.position)
+        ir_name = self._declare_var(stmt.name)
+        self._emit(ins.Move(stmt.position, ir_name, value))
+
+    def _default_value(self, declared: Type, position: Position) -> str:
+        temp = self._temp()
+        if declared == INT:
+            self._emit(ins.Const(position, temp, 0))
+        elif declared == BOOLEAN:
+            self._emit(ins.Const(position, temp, False))
+        else:
+            self._emit(ins.Const(position, temp, None))
+        return temp
+
+    def _stmt_ExprStmt(self, stmt: ast.ExprStmt) -> None:
+        self._expr(stmt.expr, want_value=False)
+
+    def _stmt_Assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.VarRef) and target.resolution is not None:
+            kind, owner = target.resolution
+            if kind == "local":
+                self._assign_local(stmt, target.name)
+                return
+            if kind == "field":
+                self._assign_field(stmt, "this", owner, target.name)
+                return
+            if kind == "static_field":
+                self._assign_static(stmt, owner, target.name)
+                return
+            raise IRBuildError("bad assignment target", stmt.position)
+        if isinstance(target, ast.FieldAccess):
+            kind, owner = target.resolution or ("", "")
+            if kind == "static_field":
+                self._assign_static(stmt, owner, target.name)
+                return
+            base = self._expr(target.target)
+            self._assign_field(stmt, base, owner, target.name)
+            return
+        if isinstance(target, ast.ArrayAccess):
+            base = self._expr(target.target)
+            index = self._expr(target.index)
+            if stmt.op is None:
+                value = self._expr(stmt.value)
+            else:
+                old = self._temp()
+                self._emit(ins.ArrayLoad(stmt.position, old, base, index))
+                rhs = self._expr(stmt.value)
+                value = self._temp()
+                self._emit(
+                    ins.BinOp(
+                        stmt.position,
+                        value,
+                        stmt.op,
+                        old,
+                        rhs,
+                        self._compound_is_string(stmt),
+                    )
+                )
+            self._emit(ins.ArrayStore(stmt.position, base, index, value))
+            return
+        raise IRBuildError("bad assignment target", stmt.position)
+
+    def _assign_local(self, stmt: ast.Assign, name: str) -> None:
+        ir_name = self._lookup_var(name)
+        if stmt.op is None:
+            value = self._expr(stmt.value)
+            self._emit(ins.Move(stmt.position, ir_name, value))
+        else:
+            rhs = self._expr(stmt.value)
+            result = self._temp()
+            self._emit(
+                ins.BinOp(
+                    stmt.position,
+                    result,
+                    stmt.op,
+                    ir_name,
+                    rhs,
+                    self._compound_is_string(stmt),
+                )
+            )
+            self._emit(ins.Move(stmt.position, ir_name, result))
+
+    def _compound_is_string(self, stmt: ast.Assign) -> bool:
+        return stmt.op == "+" and stmt.target.type == STRING
+
+    def _assign_field(
+        self, stmt: ast.Assign, base: str, owner: str, field_name: str
+    ) -> None:
+        if stmt.op is None:
+            value = self._expr(stmt.value)
+        else:
+            old = self._temp()
+            self._emit(ins.FieldLoad(stmt.position, old, base, field_name, owner))
+            rhs = self._expr(stmt.value)
+            value = self._temp()
+            self._emit(
+                ins.BinOp(
+                    stmt.position,
+                    value,
+                    stmt.op,
+                    old,
+                    rhs,
+                    self._compound_is_string(stmt),
+                )
+            )
+        self._emit(ins.FieldStore(stmt.position, base, field_name, owner, value))
+
+    def _assign_static(self, stmt: ast.Assign, owner: str, field_name: str) -> None:
+        if stmt.op is None:
+            value = self._expr(stmt.value)
+        else:
+            old = self._temp()
+            self._emit(ins.StaticLoad(stmt.position, old, owner, field_name))
+            rhs = self._expr(stmt.value)
+            value = self._temp()
+            self._emit(
+                ins.BinOp(
+                    stmt.position,
+                    value,
+                    stmt.op,
+                    old,
+                    rhs,
+                    self._compound_is_string(stmt),
+                )
+            )
+        self._emit(ins.StaticStore(stmt.position, owner, field_name, value))
+
+    def _stmt_If(self, stmt: ast.If) -> None:
+        assert self.function is not None
+        cond = self._expr(stmt.condition)
+        then_block = self.function.new_block()
+        join_block = self.function.new_block()
+        else_target = join_block
+        if stmt.else_branch is not None:
+            else_target = self.function.new_block()
+        self._emit(
+            ins.Branch(
+                stmt.condition.position, cond, then_block.block_id, else_target.block_id
+            )
+        )
+        self._register_region_block(then_block)
+        self._register_region_block(join_block)
+        self._switch_to(then_block)
+        self._stmt(stmt.then_branch)
+        self._goto(join_block.block_id, stmt.position)
+        if stmt.else_branch is not None:
+            self._register_region_block(else_target)
+            self._switch_to(else_target)
+            self._stmt(stmt.else_branch)
+            self._goto(join_block.block_id, stmt.position)
+        self._switch_to(join_block)
+
+    def _stmt_While(self, stmt: ast.While) -> None:
+        assert self.function is not None
+        header = self.function.new_block()
+        body = self.function.new_block()
+        exit_block = self.function.new_block()
+        for block in (header, body, exit_block):
+            self._register_region_block(block)
+        self._goto(header.block_id, stmt.position)
+        self._switch_to(header)
+        cond = self._expr(stmt.condition)
+        self._emit(
+            ins.Branch(
+                stmt.condition.position, cond, body.block_id, exit_block.block_id
+            )
+        )
+        self._loops.append(_LoopContext(exit_block.block_id, header.block_id))
+        self._switch_to(body)
+        self._stmt(stmt.body)
+        self._goto(header.block_id, stmt.position)
+        self._loops.pop()
+        self._switch_to(exit_block)
+
+    def _stmt_For(self, stmt: ast.For) -> None:
+        assert self.function is not None
+        self._push_scope()
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        header = self.function.new_block()
+        body = self.function.new_block()
+        update = self.function.new_block()
+        exit_block = self.function.new_block()
+        for block in (header, body, update, exit_block):
+            self._register_region_block(block)
+        self._goto(header.block_id, stmt.position)
+        self._switch_to(header)
+        if stmt.condition is not None:
+            cond = self._expr(stmt.condition)
+            self._emit(
+                ins.Branch(
+                    stmt.condition.position, cond, body.block_id, exit_block.block_id
+                )
+            )
+        else:
+            self._goto(body.block_id, stmt.position)
+        self._loops.append(_LoopContext(exit_block.block_id, update.block_id))
+        self._switch_to(body)
+        self._stmt(stmt.body)
+        self._goto(update.block_id, stmt.position)
+        self._loops.pop()
+        self._switch_to(update)
+        if stmt.update is not None:
+            self._stmt(stmt.update)
+        self._goto(header.block_id, stmt.position)
+        self._switch_to(exit_block)
+        self._pop_scope()
+
+    def _stmt_Return(self, stmt: ast.Return) -> None:
+        value = None
+        if stmt.value is not None:
+            value = self._expr(stmt.value)
+        self._emit(ins.Return(stmt.position, value))
+
+    def _stmt_Break(self, stmt: ast.Break) -> None:
+        if not self._loops:
+            raise IRBuildError("break outside loop", stmt.position)
+        self._goto(self._loops[-1].break_target, stmt.position)
+
+    def _stmt_Continue(self, stmt: ast.Continue) -> None:
+        if not self._loops:
+            raise IRBuildError("continue outside loop", stmt.position)
+        self._goto(self._loops[-1].continue_target, stmt.position)
+
+    def _stmt_Throw(self, stmt: ast.Throw) -> None:
+        value = self._expr(stmt.value)
+        self._emit(ins.Throw(stmt.position, value))
+
+    def _stmt_TryCatch(self, stmt: ast.TryCatch) -> None:
+        assert self.function is not None
+        try_block = self.function.new_block()
+        catch_block = self.function.new_block()
+        join_block = self.function.new_block()
+        self._register_region_block(try_block)
+        self._register_region_block(catch_block)
+        self._register_region_block(join_block)
+        self._goto(try_block.block_id, stmt.position)
+
+        exc_type = stmt.exc_type
+        exc_class = exc_type.name if isinstance(exc_type, ClassType) else "Object"
+        catch_entry = ins.CatchEntry(stmt.position, self._temp(), exc_class)
+        region = TryRegion(
+            blocks={try_block.block_id},
+            catch_block=catch_block.block_id,
+            catch_entry=catch_entry,
+            exc_class=exc_class,
+        )
+        self.function.try_regions.append(region)
+        self._active_regions.append(region)
+        self._switch_to(try_block)
+        self._stmt(stmt.try_block)
+        self._goto(join_block.block_id, stmt.position)
+        self._active_regions.pop()
+        # Every block of the region may raise into the catch handler.
+        for block_id in region.blocks:
+            block = self.function.blocks.get(block_id)
+            if block is not None and catch_block.block_id not in block.exc_successors:
+                block.exc_successors.append(catch_block.block_id)
+
+        self._switch_to(catch_block)
+        catch_block.instructions.append(catch_entry)
+        self._push_scope()
+        exc_var = self._declare_var(stmt.exc_name)
+        self._emit(ins.Move(stmt.position, exc_var, catch_entry.dest))
+        self._stmt(stmt.catch_block)
+        self._pop_scope()
+        self._goto(join_block.block_id, stmt.position)
+        self._switch_to(join_block)
+
+    def _register_region_block(self, block: BasicBlock) -> None:
+        """New blocks created inside an active try region belong to it."""
+        for region in self._active_regions:
+            region.blocks.add(block.block_id)
+
+    # ------------------------------------------------------------------
+    # Expressions — each returns the variable holding the value
+    # ------------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr, want_value: bool = True) -> str:
+        handler = getattr(self, "_expr_" + type(expr).__name__, None)
+        if handler is None:
+            raise IRBuildError(
+                f"cannot lower expression {type(expr).__name__}", expr.position
+            )
+        return handler(expr, want_value)
+
+    def _expr_IntLit(self, expr: ast.IntLit, want_value: bool) -> str:
+        temp = self._temp()
+        self._emit(ins.Const(expr.position, temp, expr.value))
+        return temp
+
+    def _expr_BoolLit(self, expr: ast.BoolLit, want_value: bool) -> str:
+        temp = self._temp()
+        self._emit(ins.Const(expr.position, temp, expr.value))
+        return temp
+
+    def _expr_StringLit(self, expr: ast.StringLit, want_value: bool) -> str:
+        temp = self._temp()
+        self._emit(ins.Const(expr.position, temp, expr.value))
+        return temp
+
+    def _expr_NullLit(self, expr: ast.NullLit, want_value: bool) -> str:
+        temp = self._temp()
+        self._emit(ins.Const(expr.position, temp, None))
+        return temp
+
+    def _expr_This(self, expr: ast.This, want_value: bool) -> str:
+        return "this"
+
+    def _expr_VarRef(self, expr: ast.VarRef, want_value: bool) -> str:
+        assert expr.resolution is not None, f"unresolved var at {expr.position}"
+        kind, owner = expr.resolution
+        if kind == "local":
+            return self._lookup_var(expr.name)
+        if kind == "field":
+            temp = self._temp()
+            self._emit(ins.FieldLoad(expr.position, temp, "this", expr.name, owner))
+            return temp
+        if kind == "static_field":
+            temp = self._temp()
+            self._emit(ins.StaticLoad(expr.position, temp, owner, expr.name))
+            return temp
+        raise IRBuildError(f"class name {expr.name} used as a value", expr.position)
+
+    def _expr_FieldAccess(self, expr: ast.FieldAccess, want_value: bool) -> str:
+        assert expr.resolution is not None
+        kind, owner = expr.resolution
+        if kind == "static_field":
+            temp = self._temp()
+            self._emit(ins.StaticLoad(expr.position, temp, owner, expr.name))
+            return temp
+        base = self._expr(expr.target)
+        temp = self._temp()
+        if kind == "array_length":
+            self._emit(ins.ArrayLength(expr.position, temp, base))
+        else:
+            self._emit(ins.FieldLoad(expr.position, temp, base, expr.name, owner))
+        return temp
+
+    def _expr_ArrayAccess(self, expr: ast.ArrayAccess, want_value: bool) -> str:
+        base = self._expr(expr.target)
+        index = self._expr(expr.index)
+        temp = self._temp()
+        self._emit(ins.ArrayLoad(expr.position, temp, base, index))
+        return temp
+
+    def _expr_Call(self, expr: ast.Call, want_value: bool) -> str:
+        assert expr.resolution is not None, f"unresolved call at {expr.position}"
+        kind, owner = expr.resolution
+        if kind == "builtin":
+            args = [self._expr(a) for a in expr.args]
+            self._emit(
+                ins.Call(expr.position, None, "builtin", "", expr.name, None, args)
+            )
+            return ""
+        if kind == "native":
+            assert expr.receiver is not None
+            receiver = self._expr(expr.receiver)
+            args = [self._expr(a) for a in expr.args]
+            dest = self._temp()  # every String native returns a value
+            self._emit(
+                ins.Call(
+                    expr.position, dest, "native", "String", expr.name, receiver, args
+                )
+            )
+            return dest
+        if kind == "static":
+            args = [self._expr(a) for a in expr.args]
+            dest = self._call_dest(expr)
+            self._emit(
+                ins.Call(expr.position, dest, "static", owner, expr.name, None, args)
+            )
+            return dest or ""
+        # virtual
+        if expr.receiver is not None:
+            receiver = self._expr(expr.receiver)
+        else:
+            receiver = "this"
+        args = [self._expr(a) for a in expr.args]
+        dest = self._call_dest(expr)
+        self._emit(
+            ins.Call(expr.position, dest, "virtual", owner, expr.name, receiver, args)
+        )
+        return dest or ""
+
+    def _call_dest(self, expr: ast.Expr) -> str | None:
+        if expr.type is not None and expr.type != VOID:
+            return self._temp()
+        return None
+
+    def _expr_SuperCall(self, expr: ast.SuperCall, want_value: bool) -> str:
+        # Explicit super() in non-first position is checked elsewhere; a
+        # first-position super() is consumed by build_constructor.
+        raise IRBuildError(
+            "super(...) must be the first statement of a constructor",
+            expr.position,
+        )
+
+    def _expr_New(self, expr: ast.New, want_value: bool) -> str:
+        temp = self._temp()
+        self._emit(ins.New(expr.position, temp, expr.class_name))
+        args = [self._expr(a) for a in expr.args]
+        self._emit(
+            ins.Call(
+                expr.position, None, "special", expr.class_name, "<init>", temp, args
+            )
+        )
+        return temp
+
+    def _expr_NewArray(self, expr: ast.NewArray, want_value: bool) -> str:
+        size = self._expr(expr.length)
+        temp = self._temp()
+        self._emit(ins.NewArray(expr.position, temp, expr.element_type, size))
+        return temp
+
+    def _expr_Binary(self, expr: ast.Binary, want_value: bool) -> str:
+        if expr.op in ("&&", "||"):
+            return self._short_circuit(expr)
+        left = self._expr(expr.left)
+        right = self._expr(expr.right)
+        temp = self._temp()
+        is_string = expr.op == "+" and expr.type == STRING
+        self._emit(
+            ins.BinOp(expr.position, temp, expr.op, left, right, is_string)
+        )
+        return temp
+
+    def _short_circuit(self, expr: ast.Binary) -> str:
+        """Lower ``a && b`` / ``a || b`` with control flow and a local."""
+        assert self.function is not None
+        result = self._declare_var(f"%sc{self._var_counter}")
+        left = self._expr(expr.left)
+        self._emit(ins.Move(expr.position, result, left))
+        eval_right = self.function.new_block()
+        join_block = self.function.new_block()
+        self._register_region_block(eval_right)
+        self._register_region_block(join_block)
+        if expr.op == "&&":
+            self._emit(
+                ins.Branch(
+                    expr.position, left, eval_right.block_id, join_block.block_id
+                )
+            )
+        else:
+            self._emit(
+                ins.Branch(
+                    expr.position, left, join_block.block_id, eval_right.block_id
+                )
+            )
+        self._switch_to(eval_right)
+        right = self._expr(expr.right)
+        self._emit(ins.Move(expr.position, result, right))
+        self._goto(join_block.block_id, expr.position)
+        self._switch_to(join_block)
+        return result
+
+    def _expr_Unary(self, expr: ast.Unary, want_value: bool) -> str:
+        src = self._expr(expr.operand)
+        temp = self._temp()
+        self._emit(ins.UnOp(expr.position, temp, expr.op, src))
+        return temp
+
+    def _expr_Cast(self, expr: ast.Cast, want_value: bool) -> str:
+        src = self._expr(expr.expr)
+        temp = self._temp()
+        self._emit(ins.Cast(expr.position, temp, expr.target_type, src))
+        return temp
+
+    def _expr_InstanceOf(self, expr: ast.InstanceOf, want_value: bool) -> str:
+        src = self._expr(expr.expr)
+        temp = self._temp()
+        self._emit(ins.InstanceOf(expr.position, temp, expr.class_name, src))
+        return temp
+
+    def _expr_PostfixIncDec(self, expr: ast.PostfixIncDec, want_value: bool) -> str:
+        position = expr.position
+        one = self._temp()
+        target = expr.target
+        if isinstance(target, ast.VarRef) and target.resolution is not None:
+            kind, owner = target.resolution
+            if kind == "local":
+                ir_name = self._lookup_var(target.name)
+                old = self._temp()
+                self._emit(ins.Move(position, old, ir_name))
+                self._emit(ins.Const(position, one, 1))
+                updated = self._temp()
+                self._emit(ins.BinOp(position, updated, expr.op, old, one))
+                self._emit(ins.Move(position, ir_name, updated))
+                return old
+            if kind == "field":
+                return self._incdec_field(expr, "this", owner, target.name)
+            if kind == "static_field":
+                return self._incdec_static(expr, owner, target.name)
+        if isinstance(target, ast.FieldAccess):
+            kind, owner = target.resolution or ("", "")
+            if kind == "static_field":
+                return self._incdec_static(expr, owner, target.name)
+            base = self._expr(target.target)
+            return self._incdec_field(expr, base, owner, target.name)
+        if isinstance(target, ast.ArrayAccess):
+            base = self._expr(target.target)
+            index = self._expr(target.index)
+            old = self._temp()
+            self._emit(ins.ArrayLoad(position, old, base, index))
+            self._emit(ins.Const(position, one, 1))
+            updated = self._temp()
+            self._emit(ins.BinOp(position, updated, expr.op, old, one))
+            self._emit(ins.ArrayStore(position, base, index, updated))
+            return old
+        raise IRBuildError("bad ++/-- target", position)
+
+    def _incdec_field(
+        self, expr: ast.PostfixIncDec, base: str, owner: str, field_name: str
+    ) -> str:
+        position = expr.position
+        old = self._temp()
+        self._emit(ins.FieldLoad(position, old, base, field_name, owner))
+        one = self._temp()
+        self._emit(ins.Const(position, one, 1))
+        updated = self._temp()
+        self._emit(ins.BinOp(position, updated, expr.op, old, one))
+        self._emit(ins.FieldStore(position, base, field_name, owner, updated))
+        return old
+
+    def _incdec_static(
+        self, expr: ast.PostfixIncDec, owner: str, field_name: str
+    ) -> str:
+        position = expr.position
+        old = self._temp()
+        self._emit(ins.StaticLoad(position, old, owner, field_name))
+        one = self._temp()
+        self._emit(ins.Const(position, one, 1))
+        updated = self._temp()
+        self._emit(ins.BinOp(position, updated, expr.op, old, one))
+        self._emit(ins.StaticStore(position, owner, field_name, updated))
+        return old

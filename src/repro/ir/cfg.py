@@ -1,0 +1,215 @@
+"""Control-flow graph containers: basic blocks, functions, whole programs.
+
+Exception modelling: each ``try`` region records its member blocks and its
+catch-entry block.  Every block in the region gets an *exceptional
+successor* edge to the catch entry — a conservative static approximation
+("anything in the try may throw").  The reference interpreter runs on the
+AST and implements exact semantics, so this approximation only affects
+the static analyses, mirroring how bytecode slicers approximate
+exceptional control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir import instructions as ins
+from repro.lang.symbols import ClassTable
+from repro.lang.types import Type
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line instruction sequence ending in a terminator."""
+
+    block_id: int
+    instructions: list[ins.Instruction] = field(default_factory=list)
+    exc_successors: list[int] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> ins.Instruction | None:
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def normal_successors(self) -> list[int]:
+        term = self.terminator
+        if isinstance(term, ins.Goto):
+            return [term.target]
+        if isinstance(term, ins.Branch):
+            return [term.true_target, term.false_target]
+        return []
+
+    def successors(self) -> list[int]:
+        return self.normal_successors() + list(self.exc_successors)
+
+    def phis(self) -> list[ins.Phi]:
+        return [i for i in self.instructions if isinstance(i, ins.Phi)]
+
+
+@dataclass
+class TryRegion:
+    """Blocks protected by one ``try``, plus where its catch begins."""
+
+    blocks: set[int]
+    catch_block: int
+    catch_entry: ins.CatchEntry
+    exc_class: str
+
+
+class IRFunction:
+    """The IR of a single method, constructor, or class initializer."""
+
+    def __init__(
+        self,
+        name: str,
+        class_name: str,
+        method_name: str,
+        params: list[str],
+        param_types: list[Type],
+        return_type: Type,
+        is_static: bool,
+    ) -> None:
+        self.name = name  # qualified, e.g. 'Vector.add'
+        self.class_name = class_name
+        self.method_name = method_name
+        self.params = params  # includes 'this' for instance methods
+        self.param_types = param_types
+        self.return_type = return_type
+        self.is_static = is_static
+        self.blocks: dict[int, BasicBlock] = {}
+        self.entry_block = 0
+        self.try_regions: list[TryRegion] = []
+        self._next_block = 0
+        self._next_temp = 0
+        self.new_block()  # entry
+
+    # ------------------------------------------------------------------
+    # Construction helpers (used by the builder)
+    # ------------------------------------------------------------------
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(self._next_block)
+        self.blocks[self._next_block] = block
+        self._next_block += 1
+        return block
+
+    def new_temp(self) -> str:
+        name = f"%t{self._next_temp}"
+        self._next_temp += 1
+        return name
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def block_ids(self) -> list[int]:
+        return sorted(self.blocks)
+
+    def instructions(self):
+        """All instructions, in block order."""
+        for block_id in self.block_ids():
+            yield from self.blocks[block_id].instructions
+
+    def predecessors(self) -> dict[int, list[int]]:
+        preds: dict[int, list[int]] = {b: [] for b in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.successors():
+                preds[succ].append(block.block_id)
+        return preds
+
+    def successor_map(self) -> dict[int, list[int]]:
+        return {b: blk.successors() for b, blk in self.blocks.items()}
+
+    def returns(self) -> list[ins.Return]:
+        return [i for i in self.instructions() if isinstance(i, ins.Return)]
+
+    def throws(self) -> list[ins.Throw]:
+        return [i for i in self.instructions() if isinstance(i, ins.Throw)]
+
+    def calls(self) -> list[ins.Call]:
+        return [i for i in self.instructions() if isinstance(i, ins.Call)]
+
+    def def_sites(self) -> dict[str, ins.Instruction]:
+        """SSA-only: the unique defining instruction per variable."""
+        defs: dict[str, ins.Instruction] = {}
+        for instr in self.instructions():
+            var = instr.defined_var()
+            if var is not None:
+                defs[var] = instr
+        return defs
+
+    def prune_unreachable(self) -> None:
+        """Drop blocks not reachable from the entry (dead code after
+        return/break/throw); must run before SSA construction."""
+        reachable: set[int] = set()
+        stack = [self.entry_block]
+        while stack:
+            block_id = stack.pop()
+            if block_id in reachable:
+                continue
+            reachable.add(block_id)
+            stack.extend(self.blocks[block_id].successors())
+        self.blocks = {b: blk for b, blk in self.blocks.items() if b in reachable}
+        for region in self.try_regions:
+            region.blocks &= reachable
+        self.try_regions = [
+            r for r in self.try_regions if r.catch_block in reachable or r.blocks
+        ]
+
+    def __str__(self) -> str:
+        lines = [f"function {self.name}({', '.join(self.params)})"]
+        for block_id in self.block_ids():
+            block = self.blocks[block_id]
+            exc = (
+                f"  [exc -> {sorted(block.exc_successors)}]"
+                if block.exc_successors
+                else ""
+            )
+            lines.append(f"  B{block_id}:{exc}")
+            for instr in block.instructions:
+                lines.append(f"    {instr}")
+        return "\n".join(lines)
+
+
+class IRProgram:
+    """All IR functions of a whole program plus its class table."""
+
+    def __init__(self, table: ClassTable) -> None:
+        self.table = table
+        self.functions: dict[str, IRFunction] = {}
+        self._owner_of: dict[int, str] = {}
+
+    def add_function(self, function: IRFunction) -> None:
+        self.functions[function.name] = function
+
+    def finalize(self) -> None:
+        """Index instruction ownership; call once after building."""
+        self._owner_of = {}
+        for function in self.functions.values():
+            for instr in function.instructions():
+                self._owner_of[instr.uid] = function.name
+
+    def function_of(self, instr: ins.Instruction) -> IRFunction:
+        return self.functions[self._owner_of[instr.uid]]
+
+    def all_instructions(self):
+        for function in self.functions.values():
+            yield from function.instructions()
+
+    def entry_points(self) -> list[str]:
+        """Analysis roots: every <clinit> plus the main method."""
+        roots = [n for n in self.functions if n.endswith(".<clinit>")]
+        roots.extend(n for n in self.functions if n.endswith(".main"))
+        return roots
+
+    def instructions_at_line(self, filename: str, line: int) -> list[ins.Instruction]:
+        """All instructions whose source position is on ``line``."""
+        return [
+            i
+            for i in self.all_instructions()
+            if i.position.line == line and i.position.filename == filename
+        ]

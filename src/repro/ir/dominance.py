@@ -1,0 +1,121 @@
+"""Dominator trees and dominance frontiers.
+
+Implemented with the Cooper–Harvey–Kennedy iterative algorithm over an
+abstract graph (entry + successor map), so the same code serves both
+dominance (for SSA phi placement) and post-dominance (for control
+dependence, by running it on the reverse CFG with a virtual exit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DominatorInfo:
+    """Immediate dominators, dominator-tree children, and frontiers."""
+
+    entry: int
+    idom: dict[int, int | None]
+    children: dict[int, list[int]] = field(default_factory=dict)
+    frontier: dict[int, set[int]] = field(default_factory=dict)
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True when ``a`` dominates ``b`` (reflexive)."""
+        cursor: int | None = b
+        while cursor is not None:
+            if cursor == a:
+                return True
+            cursor = self.idom.get(cursor)
+        return False
+
+    def strictly_dominates(self, a: int, b: int) -> bool:
+        return a != b and self.dominates(a, b)
+
+
+def _reverse_postorder(entry: int, succs: dict[int, list[int]]) -> list[int]:
+    order: list[int] = []
+    visited: set[int] = set()
+
+    def visit(node: int) -> None:
+        stack = [(node, iter(succs.get(node, [])))]
+        visited.add(node)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, iter(succs.get(nxt, []))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(entry)
+    order.reverse()
+    return order
+
+
+def compute_dominators(entry: int, succs: dict[int, list[int]]) -> DominatorInfo:
+    """Compute idoms + dominance frontiers for nodes reachable from entry."""
+    rpo = _reverse_postorder(entry, succs)
+    rpo_index = {node: i for i, node in enumerate(rpo)}
+    preds: dict[int, list[int]] = {n: [] for n in rpo}
+    for node in rpo:
+        for succ in succs.get(node, []):
+            if succ in rpo_index:
+                preds[succ].append(node)
+
+    idom: dict[int, int | None] = {n: None for n in rpo}
+    idom[entry] = entry
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == entry:
+                continue
+            candidates = [p for p in preds[node] if idom[p] is not None]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom[node] != new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    idom[entry] = None  # canonical: the entry has no idom
+    info = DominatorInfo(entry=entry, idom=idom)
+
+    info.children = {n: [] for n in rpo}
+    for node, parent in idom.items():
+        if parent is not None:
+            info.children[parent].append(node)
+
+    info.frontier = {n: set() for n in rpo}
+    for node in rpo:
+        if len(preds[node]) >= 2:
+            for pred in preds[node]:
+                runner: int | None = pred
+                while runner is not None and runner != idom[node]:
+                    info.frontier[runner].add(node)
+                    runner = idom[runner]
+    return info
+
+
+def compute_postdominators(
+    exit_node: int, preds: dict[int, list[int]]
+) -> DominatorInfo:
+    """Post-dominance = dominance on the reverse graph from the exit."""
+    return compute_dominators(exit_node, preds)

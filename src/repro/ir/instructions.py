@@ -1,0 +1,524 @@
+"""Three-address IR instructions for MJ.
+
+The IR is the substrate for every analysis in this project.  Two design
+points matter for thin slicing:
+
+* Every instruction classifies its variable uses as **direct uses** (the
+  value participates in the computation — producer flow) or **base uses**
+  (the variable is only dereferenced: field/array base pointers, array
+  indices, virtual-dispatch receivers).  This is exactly the distinction
+  of Section 3 of the paper: thin slices follow direct uses only.
+* Every instruction carries its source position, so slices map back to
+  source lines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.lang.source import Position
+from repro.lang.types import Type
+
+_instruction_ids = itertools.count()
+
+
+def _fresh_id() -> int:
+    return next(_instruction_ids)
+
+
+@dataclass
+class Instruction:
+    """Base class for IR instructions.
+
+    ``uid`` is globally unique, which lets dependence graphs use
+    instructions as hashable node keys across the whole program.
+    """
+
+    position: Position
+    uid: int = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.uid = _fresh_id()
+
+    # -- use/def protocol ------------------------------------------------
+
+    def defined_var(self) -> str | None:
+        return getattr(self, "dest", None)
+
+    def direct_uses(self) -> list[str]:
+        return []
+
+    def base_uses(self) -> list[str]:
+        return []
+
+    def all_uses(self) -> list[str]:
+        return self.direct_uses() + self.base_uses()
+
+    def operands_for_renaming(self) -> list[str]:
+        """Every variable operand, for SSA renaming.
+
+        Usually ``all_uses()``; :class:`Call` overrides it because call
+        arguments are *not* uses of the call node in the dependence sense
+        (they flow through interprocedural parameter edges) but must
+        still be renamed.
+        """
+        return self.all_uses()
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        """Rewrite used variable names in place (SSA renaming)."""
+
+    def rename_def(self, new_name: str) -> None:
+        if hasattr(self, "dest"):
+            self.dest = new_name  # type: ignore[attr-defined]
+
+    def is_terminator(self) -> bool:
+        return False
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+def _rename(mapping: dict[str, str], name: str) -> str:
+    return mapping.get(name, name)
+
+
+# ---------------------------------------------------------------------------
+# Straight-line instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Const(Instruction):
+    """``dest := literal`` (int, bool, str, or None for null)."""
+
+    dest: str
+    value: int | bool | str | None
+
+    def __str__(self) -> str:
+        return f"{self.dest} := const {self.value!r}"
+
+
+@dataclass(eq=False)
+class Move(Instruction):
+    """``dest := src`` — a pure copy (producer flow)."""
+
+    dest: str
+    src: str
+
+    def direct_uses(self) -> list[str]:
+        return [self.src]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.src = _rename(mapping, self.src)
+
+    def __str__(self) -> str:
+        return f"{self.dest} := {self.src}"
+
+
+@dataclass(eq=False)
+class BinOp(Instruction):
+    """``dest := left op right`` (includes String concatenation).
+
+    ``result_is_string`` marks '+' expressions whose static type is
+    String, so points-to knows the result is a string object.
+    """
+
+    dest: str
+    op: str
+    left: str
+    right: str
+    result_is_string: bool = False
+
+    def direct_uses(self) -> list[str]:
+        return [self.left, self.right]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.left = _rename(mapping, self.left)
+        self.right = _rename(mapping, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.dest} := {self.left} {self.op} {self.right}"
+
+
+@dataclass(eq=False)
+class UnOp(Instruction):
+    dest: str
+    op: str
+    src: str
+
+    def direct_uses(self) -> list[str]:
+        return [self.src]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.src = _rename(mapping, self.src)
+
+    def __str__(self) -> str:
+        return f"{self.dest} := {self.op}{self.src}"
+
+
+@dataclass(eq=False)
+class New(Instruction):
+    """``dest := new C()`` — an allocation site."""
+
+    dest: str
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"{self.dest} := new {self.class_name}"
+
+
+@dataclass(eq=False)
+class NewArray(Instruction):
+    """``dest := new T[size]`` — an array allocation site."""
+
+    dest: str
+    element_type: Type
+    size: str
+
+    def direct_uses(self) -> list[str]:
+        return [self.size]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.size = _rename(mapping, self.size)
+
+    def __str__(self) -> str:
+        return f"{self.dest} := new {self.element_type}[{self.size}]"
+
+
+# ---------------------------------------------------------------------------
+# Heap accesses — the heart of the thin/traditional distinction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class FieldLoad(Instruction):
+    """``dest := base.field`` — ``base`` is a base-pointer use only."""
+
+    dest: str
+    base: str
+    field_name: str
+    owner: str  # class that declares the field
+
+    def base_uses(self) -> list[str]:
+        return [self.base]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.base = _rename(mapping, self.base)
+
+    def __str__(self) -> str:
+        return f"{self.dest} := {self.base}.{self.owner}::{self.field_name}"
+
+
+@dataclass(eq=False)
+class FieldStore(Instruction):
+    """``base.field := value`` — ``value`` is the produced value."""
+
+    base: str
+    field_name: str
+    owner: str
+    value: str
+
+    def direct_uses(self) -> list[str]:
+        return [self.value]
+
+    def base_uses(self) -> list[str]:
+        return [self.base]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.base = _rename(mapping, self.base)
+        self.value = _rename(mapping, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.owner}::{self.field_name} := {self.value}"
+
+
+@dataclass(eq=False)
+class StaticLoad(Instruction):
+    dest: str
+    class_name: str
+    field_name: str
+
+    def __str__(self) -> str:
+        return f"{self.dest} := {self.class_name}.{self.field_name}"
+
+
+@dataclass(eq=False)
+class StaticStore(Instruction):
+    class_name: str
+    field_name: str
+    value: str
+
+    def direct_uses(self) -> list[str]:
+        return [self.value]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.value = _rename(mapping, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.class_name}.{self.field_name} := {self.value}"
+
+
+@dataclass(eq=False)
+class ArrayLoad(Instruction):
+    """``dest := base[index]`` — base *and* index are non-producer uses.
+
+    The paper treats array indices like base pointers: explaining why two
+    indices coincide is an expansion question, not producer flow (§4.1).
+    """
+
+    dest: str
+    base: str
+    index: str
+
+    def base_uses(self) -> list[str]:
+        return [self.base, self.index]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.base = _rename(mapping, self.base)
+        self.index = _rename(mapping, self.index)
+
+    def __str__(self) -> str:
+        return f"{self.dest} := {self.base}[{self.index}]"
+
+
+@dataclass(eq=False)
+class ArrayStore(Instruction):
+    base: str
+    index: str
+    value: str
+
+    def direct_uses(self) -> list[str]:
+        return [self.value]
+
+    def base_uses(self) -> list[str]:
+        return [self.base, self.index]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.base = _rename(mapping, self.base)
+        self.index = _rename(mapping, self.index)
+        self.value = _rename(mapping, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.index}] := {self.value}"
+
+
+@dataclass(eq=False)
+class ArrayLength(Instruction):
+    dest: str
+    base: str
+
+    def base_uses(self) -> list[str]:
+        return [self.base]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.base = _rename(mapping, self.base)
+
+    def __str__(self) -> str:
+        return f"{self.dest} := {self.base}.length"
+
+
+# ---------------------------------------------------------------------------
+# Calls
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Call(Instruction):
+    """A call of any flavour.
+
+    ``kind`` is one of ``virtual``, ``static``, ``special`` (constructor or
+    super-constructor), ``native`` (builtin String method), ``builtin``
+    (global function such as ``print``).
+
+    For analyzable callees (virtual/static/special) the arguments flow to
+    the callee formals via interprocedural SDG edges, so the Call itself
+    reports no direct uses; the receiver is a dispatch (base) use.  For
+    ``native``/``builtin`` callees there is no callee body: receiver and
+    arguments are direct uses because the result is computed from them.
+    """
+
+    dest: str | None
+    kind: str
+    owner: str  # static owner class, or 'String' for natives
+    method_name: str
+    receiver: str | None
+    args: list[str]
+
+    def defined_var(self) -> str | None:
+        return self.dest
+
+    def direct_uses(self) -> list[str]:
+        if self.kind in ("native", "builtin"):
+            uses = list(self.args)
+            if self.receiver is not None:
+                uses.insert(0, self.receiver)
+            return uses
+        return []
+
+    def base_uses(self) -> list[str]:
+        if self.kind in ("native", "builtin"):
+            return []
+        if self.receiver is not None:
+            return [self.receiver]
+        return []
+
+    def operands_for_renaming(self) -> list[str]:
+        operands = list(self.args)
+        if self.receiver is not None:
+            operands.append(self.receiver)
+        return operands
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        if self.receiver is not None:
+            self.receiver = _rename(mapping, self.receiver)
+        self.args = [_rename(mapping, a) for a in self.args]
+
+    def rename_def(self, new_name: str) -> None:
+        self.dest = new_name
+
+    def __str__(self) -> str:
+        prefix = f"{self.dest} := " if self.dest else ""
+        recv = f"{self.receiver}." if self.receiver else ""
+        return (
+            f"{prefix}{self.kind} {recv}{self.owner}::{self.method_name}"
+            f"({', '.join(self.args)})"
+        )
+
+
+@dataclass(eq=False)
+class Cast(Instruction):
+    """``dest := (T) src`` — the value flows through unchanged."""
+
+    dest: str
+    target_type: Type
+    src: str
+
+    def direct_uses(self) -> list[str]:
+        return [self.src]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.src = _rename(mapping, self.src)
+
+    def __str__(self) -> str:
+        return f"{self.dest} := ({self.target_type}) {self.src}"
+
+
+@dataclass(eq=False)
+class InstanceOf(Instruction):
+    dest: str
+    class_name: str
+    src: str
+
+    def direct_uses(self) -> list[str]:
+        return [self.src]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.src = _rename(mapping, self.src)
+
+    def __str__(self) -> str:
+        return f"{self.dest} := {self.src} instanceof {self.class_name}"
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Return(Instruction):
+    value: str | None
+
+    def direct_uses(self) -> list[str]:
+        return [self.value] if self.value is not None else []
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        if self.value is not None:
+            self.value = _rename(mapping, self.value)
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"return {self.value or ''}".rstrip()
+
+
+@dataclass(eq=False)
+class Throw(Instruction):
+    value: str
+
+    def direct_uses(self) -> list[str]:
+        return [self.value]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.value = _rename(mapping, self.value)
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"throw {self.value}"
+
+
+@dataclass(eq=False)
+class Branch(Instruction):
+    """Two-way conditional branch; successors live on the basic block."""
+
+    cond: str
+    true_target: int
+    false_target: int
+
+    def direct_uses(self) -> list[str]:
+        return [self.cond]
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.cond = _rename(mapping, self.cond)
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"if {self.cond} goto B{self.true_target} else B{self.false_target}"
+
+
+@dataclass(eq=False)
+class Goto(Instruction):
+    target: int
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"goto B{self.target}"
+
+
+@dataclass(eq=False)
+class Phi(Instruction):
+    """SSA phi: ``dest := phi(block -> var)``."""
+
+    dest: str
+    operands: dict[int, str]
+
+    def direct_uses(self) -> list[str]:
+        return list(self.operands.values())
+
+    def rename_uses(self, mapping: dict[str, str]) -> None:
+        self.operands = {b: _rename(mapping, v) for b, v in self.operands.items()}
+
+    def __str__(self) -> str:
+        ops = ", ".join(f"B{b}:{v}" for b, v in sorted(self.operands.items()))
+        return f"{self.dest} := phi({ops})"
+
+
+@dataclass(eq=False)
+class CatchEntry(Instruction):
+    """Defines the exception variable at the head of a catch block."""
+
+    dest: str
+    exc_class: str
+
+    def __str__(self) -> str:
+        return f"{self.dest} := catch {self.exc_class}"

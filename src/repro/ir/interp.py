@@ -1,0 +1,469 @@
+"""An interpreter for the SSA IR.
+
+The reference interpreter (:mod:`repro.interp`) executes the AST; this
+one executes the lowered SSA CFG, phi nodes and all.  Its purpose is
+validation: running both on the same program and comparing outputs
+exercises the lowering, CFG construction, and SSA renaming end-to-end —
+a bug in any of them shows up as divergent behaviour long before it
+would corrupt a slice.
+
+Exception semantics: a throw (or a faulting operation) unwinds to the
+innermost enclosing try region of the *current or any calling* frame
+whose catch class matches, entering the catch block with the region's
+:class:`~repro.ir.cfg.TryRegion.catch_entry` variable bound.  Phi nodes
+in the catch block are evaluated against the faulting block; operands
+whose SSA version was not yet assigned on this path are left undefined
+and only fault if actually read later.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.interp.natives import NativeFault, call_native
+from repro.interp.values import (
+    ArrayValue,
+    ExecutionResult,
+    FuelExhausted,
+    MJThrow,
+    MJValue,
+    ObjectValue,
+    stringify,
+    values_equal,
+)
+from repro.ir import instructions as ins
+from repro.ir.cfg import IRFunction, IRProgram
+from repro.lang.types import ArrayType, BOOLEAN, ClassType, INT, Type
+
+_MAX_FRAMES = 900
+_UNDEF = object()
+
+
+class _IRFrame:
+    """One activation: SSA environment + control position."""
+
+    __slots__ = ("function", "env", "block", "prev_block", "index")
+
+    def __init__(self, function: IRFunction) -> None:
+        self.function = function
+        self.env: dict[str, MJValue] = {}
+        self.block = function.entry_block
+        self.prev_block: int | None = None
+        self.index = 0
+
+    def get(self, var: str) -> MJValue:
+        value = self.env.get(var, _UNDEF)
+        if value is _UNDEF:
+            raise RuntimeError(
+                f"read of undefined SSA variable {var} in {self.function.name}"
+            )
+        return value
+
+    def set(self, var: str, value: MJValue) -> None:
+        self.env[var] = value
+
+
+class IRInterpreter:
+    """Executes an :class:`IRProgram` from its entry points."""
+
+    def __init__(self, program: IRProgram, max_steps: int = 5_000_000) -> None:
+        self.program = program
+        self.table = program.table
+        self.max_steps = max_steps
+        self.statics: dict[tuple[str, str], MJValue] = {}
+        self.output: list[str] = []
+        self.steps = 0
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+
+    def run_main(self, args: list[str] | None = None) -> ExecutionResult:
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(200_000)
+        try:
+            self._init_statics()
+            for name in sorted(self.program.functions):
+                if name.endswith(".<clinit>"):
+                    self._call_function(self.program.functions[name], [])
+            main = self._find_main()
+            self._call_function(main, [ArrayValue(list(args or []))])
+            return ExecutionResult(self.output, steps=self.steps)
+        except MJThrow as thrown:
+            message = thrown.value.fields.get("message")
+            rendered = thrown.value.class_name
+            if isinstance(message, str):
+                rendered = f"{rendered}: {message}"
+            return ExecutionResult(
+                self.output,
+                error=rendered,
+                error_class=thrown.value.class_name,
+                steps=self.steps,
+            )
+        except FuelExhausted:
+            return ExecutionResult(self.output, steps=self.steps, timed_out=True)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def _find_main(self) -> IRFunction:
+        for name, function in self.program.functions.items():
+            if function.method_name == "main" and function.is_static:
+                return function
+        raise RuntimeError("program has no static main method")
+
+    def _init_statics(self) -> None:
+        for class_name, info in self.table.classes.items():
+            for field_name, decl in info.fields.items():
+                if decl.is_static:
+                    self.statics[(class_name, field_name)] = self._default(
+                        decl.declared_type
+                    )
+
+    def _default(self, declared: Type) -> MJValue:
+        if declared == INT:
+            return 0
+        if declared == BOOLEAN:
+            return False
+        return None
+
+    # ------------------------------------------------------------------
+    # Execution core
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise FuelExhausted()
+
+    def _throw(self, exc_class: str, message: str) -> None:
+        raise MJThrow(ObjectValue(exc_class, {"message": message}))
+
+    def _call_function(self, function: IRFunction, args: list[MJValue]) -> MJValue:
+        self._depth += 1
+        if self._depth > _MAX_FRAMES:
+            self._depth -= 1
+            self._throw("StackOverflowError", f"in {function.name}")
+        frame = _IRFrame(function)
+        for param, arg in zip(function.params, args):
+            frame.set(param, arg)
+        try:
+            return self._run_frame(frame)
+        except MJThrow as thrown:
+            handled, result = self._dispatch_exception(frame, thrown)
+            if not handled:
+                raise
+            return result
+        finally:
+            self._depth -= 1
+
+    def _dispatch_exception(
+        self, frame: _IRFrame, thrown: MJThrow
+    ) -> tuple[bool, MJValue]:
+        """Try to continue this frame in a matching catch block.
+
+        Returns ``(True, return_value)`` when a catch handled the
+        exception and the frame ran to completion, ``(False, None)``
+        when no enclosing region matches (the caller must re-raise).
+        """
+        while True:
+            region = self._matching_region(frame, thrown.value)
+            if region is None:
+                return False, None
+            frame.prev_block = frame.block
+            frame.block = region.catch_block
+            frame.index = 0
+            frame.set(region.catch_entry.dest, thrown.value)
+            try:
+                return True, self._run_frame(
+                    frame, skip_catch_entry=region.catch_entry
+                )
+            except MJThrow as rethrown:
+                thrown = rethrown
+
+    def _matching_region(self, frame: _IRFrame, value: ObjectValue):
+        candidates = [
+            region
+            for region in frame.function.try_regions
+            if frame.block in region.blocks
+            and self._exception_matches(value, region.exc_class)
+        ]
+        if not candidates:
+            return None
+        # Innermost region: the one with the fewest blocks containing us.
+        return min(candidates, key=lambda r: len(r.blocks))
+
+    def _exception_matches(self, value: ObjectValue, exc_class: str) -> bool:
+        if exc_class == "Object":
+            return True
+        if self.table.has_class(value.class_name):
+            return self.table.is_subclass(value.class_name, exc_class)
+        return value.class_name == exc_class
+
+    def _run_frame(
+        self, frame: _IRFrame, skip_catch_entry: ins.CatchEntry | None = None
+    ) -> MJValue:
+        function = frame.function
+        while True:
+            block = function.blocks[frame.block]
+            instrs = block.instructions
+            while frame.index < len(instrs):
+                instr = instrs[frame.index]
+                frame.index += 1
+                self._tick()
+                if isinstance(instr, ins.Phi):
+                    self._exec_phi(frame, instr)
+                    continue
+                if instr is skip_catch_entry:
+                    continue  # already bound by the dispatcher
+                result = self._exec(frame, instr)
+                if isinstance(instr, ins.Return):
+                    return result
+                if isinstance(instr, (ins.Goto, ins.Branch)):
+                    break
+            else:
+                raise RuntimeError(
+                    f"block B{frame.block} of {function.name} fell through"
+                )
+
+    def _exec_phi(self, frame: _IRFrame, instr: ins.Phi) -> None:
+        pred = frame.prev_block
+        operand = instr.operands.get(pred) if pred is not None else None
+        if operand is None or operand.endswith(".undef"):
+            frame.env[instr.dest] = _UNDEF  # dead on this path
+            return
+        frame.env[instr.dest] = frame.env.get(operand, _UNDEF)
+
+    # ------------------------------------------------------------------
+    # Instruction dispatch
+    # ------------------------------------------------------------------
+
+    def _exec(self, frame: _IRFrame, instr: ins.Instruction) -> MJValue:
+        method = getattr(self, "_exec_" + type(instr).__name__)
+        return method(frame, instr)
+
+    def _exec_Const(self, frame, instr: ins.Const):
+        frame.set(instr.dest, instr.value)
+
+    def _exec_Move(self, frame, instr: ins.Move):
+        frame.set(instr.dest, frame.get(instr.src))
+
+    def _exec_BinOp(self, frame, instr: ins.BinOp):
+        left = frame.get(instr.left)
+        right = frame.get(instr.right)
+        frame.set(instr.dest, self._binop(instr.op, left, right))
+
+    def _binop(self, op: str, left, right):
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return stringify(left) + stringify(right)
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                self._throw("ArithmeticException", "/ by zero")
+            q = abs(left) // abs(right)
+            return q if (left < 0) == (right < 0) else -q
+        if op == "%":
+            if right == 0:
+                self._throw("ArithmeticException", "% by zero")
+            q = abs(left) // abs(right)
+            q = q if (left < 0) == (right < 0) else -q
+            return left - q * right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "==":
+            return values_equal(left, right)
+        if op == "!=":
+            return not values_equal(left, right)
+        raise RuntimeError(f"unknown operator {op}")
+
+    def _exec_UnOp(self, frame, instr: ins.UnOp):
+        value = frame.get(instr.src)
+        frame.set(instr.dest, (not value) if instr.op == "!" else -value)
+
+    def _exec_New(self, frame, instr: ins.New):
+        fields: dict[str, MJValue] = {}
+        for ancestor in self.table.ancestors(instr.class_name):
+            for name, decl in self.table.info(ancestor).fields.items():
+                if not decl.is_static and name not in fields:
+                    fields[name] = self._default(decl.declared_type)
+        frame.set(instr.dest, ObjectValue(instr.class_name, fields))
+
+    def _exec_NewArray(self, frame, instr: ins.NewArray):
+        size = frame.get(instr.size)
+        if size < 0:
+            self._throw("NegativeArraySizeException", str(size))
+        frame.set(
+            instr.dest, ArrayValue([self._default(instr.element_type)] * size)
+        )
+
+    def _exec_FieldLoad(self, frame, instr: ins.FieldLoad):
+        base = frame.get(instr.base)
+        if base is None:
+            self._throw("NullPointerException", f"read {instr.field_name} of null")
+        frame.set(instr.dest, base.fields.get(instr.field_name))
+
+    def _exec_FieldStore(self, frame, instr: ins.FieldStore):
+        base = frame.get(instr.base)
+        if base is None:
+            self._throw("NullPointerException", f"write {instr.field_name} of null")
+        base.fields[instr.field_name] = frame.get(instr.value)
+
+    def _exec_StaticLoad(self, frame, instr: ins.StaticLoad):
+        frame.set(instr.dest, self.statics.get((instr.class_name, instr.field_name)))
+
+    def _exec_StaticStore(self, frame, instr: ins.StaticStore):
+        self.statics[(instr.class_name, instr.field_name)] = frame.get(instr.value)
+
+    def _exec_ArrayLoad(self, frame, instr: ins.ArrayLoad):
+        base = frame.get(instr.base)
+        index = frame.get(instr.index)
+        if base is None:
+            self._throw("NullPointerException", "load from null array")
+        if not 0 <= index < len(base.elements):
+            self._throw(
+                "ArrayIndexOutOfBoundsException",
+                f"index {index}, length {len(base.elements)}",
+            )
+        frame.set(instr.dest, base.elements[index])
+
+    def _exec_ArrayStore(self, frame, instr: ins.ArrayStore):
+        base = frame.get(instr.base)
+        index = frame.get(instr.index)
+        if base is None:
+            self._throw("NullPointerException", "store into null array")
+        if not 0 <= index < len(base.elements):
+            self._throw(
+                "ArrayIndexOutOfBoundsException",
+                f"index {index}, length {len(base.elements)}",
+            )
+        base.elements[index] = frame.get(instr.value)
+
+    def _exec_ArrayLength(self, frame, instr: ins.ArrayLength):
+        base = frame.get(instr.base)
+        if base is None:
+            self._throw("NullPointerException", "length of null array")
+        frame.set(instr.dest, len(base.elements))
+
+    def _exec_Call(self, frame, instr: ins.Call):
+        kind = instr.kind
+        if kind == "builtin":
+            self.output.append(stringify(frame.get(instr.args[0])))
+            return None
+        if kind == "native":
+            receiver = frame.get(instr.receiver)
+            if receiver is None:
+                self._throw("NullPointerException", "call on null String")
+            args = [frame.get(a) for a in instr.args]
+            try:
+                result = call_native(instr.method_name, receiver, args)
+            except NativeFault as fault:
+                self._throw(fault.exc_class, fault.message)
+            frame.set(instr.dest, result)
+            return None
+        args = [frame.get(a) for a in instr.args]
+        if kind == "static":
+            target = self.program.functions[f"{instr.owner}.{instr.method_name}"]
+            result = self._call_function(target, args)
+        else:
+            receiver = frame.get(instr.receiver)
+            if receiver is None:
+                self._throw(
+                    "NullPointerException", f"call {instr.method_name}() on null"
+                )
+            if kind == "special":
+                target_name = f"{instr.owner}.{instr.method_name}"
+            else:
+                owner, _ = self.table.resolve_virtual(
+                    receiver.class_name, instr.method_name
+                )
+                target_name = f"{owner}.{instr.method_name}"
+            target = self.program.functions[target_name]
+            result = self._call_function(target, [receiver, *args])
+        if instr.dest is not None:
+            frame.set(instr.dest, result)
+        return None
+
+    def _exec_Cast(self, frame, instr: ins.Cast):
+        value = frame.get(instr.src)
+        target = instr.target_type
+        ok = True
+        if value is None:
+            ok = True
+        elif isinstance(target, ClassType):
+            if target.name == "Object":
+                ok = True
+            elif target.name == "String":
+                ok = isinstance(value, str)
+            elif isinstance(value, ObjectValue) and self.table.has_class(
+                value.class_name
+            ):
+                ok = self.table.is_subclass(value.class_name, target.name)
+            else:
+                ok = False
+        elif isinstance(target, ArrayType):
+            ok = isinstance(value, ArrayValue)
+        if not ok:
+            self._throw("ClassCastException", f"to {target}")
+        frame.set(instr.dest, value)
+
+    def _exec_InstanceOf(self, frame, instr: ins.InstanceOf):
+        value = frame.get(instr.src)
+        if value is None:
+            result = False
+        elif instr.class_name == "Object":
+            result = True
+        elif instr.class_name == "String":
+            result = isinstance(value, str)
+        elif isinstance(value, ObjectValue) and self.table.has_class(
+            value.class_name
+        ):
+            result = self.table.is_subclass(value.class_name, instr.class_name)
+        else:
+            result = False
+        frame.set(instr.dest, result)
+
+    def _exec_Return(self, frame, instr: ins.Return):
+        if instr.value is None:
+            return None
+        return frame.get(instr.value)
+
+    def _exec_Throw(self, frame, instr: ins.Throw):
+        value = frame.get(instr.value)
+        if value is None:
+            self._throw("NullPointerException", "throw null")
+        raise MJThrow(value)
+
+    def _exec_Goto(self, frame, instr: ins.Goto):
+        frame.prev_block = frame.block
+        frame.block = instr.target
+        frame.index = 0
+
+    def _exec_Branch(self, frame, instr: ins.Branch):
+        condition = frame.get(instr.cond)
+        frame.prev_block = frame.block
+        frame.block = instr.true_target if condition else instr.false_target
+        frame.index = 0
+
+    def _exec_CatchEntry(self, frame, instr: ins.CatchEntry):
+        # Reached only when control falls into a catch block without an
+        # in-flight exception (impossible via normal edges: catch blocks
+        # are only exceptional successors).  Bind null defensively.
+        frame.set(instr.dest, None)
+
+
+def run_ir_program(
+    program: IRProgram, args: list[str] | None = None, max_steps: int = 5_000_000
+) -> ExecutionResult:
+    """Run an IR program's main (after SSA construction)."""
+    return IRInterpreter(program, max_steps).run_main(args)

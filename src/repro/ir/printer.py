@@ -1,0 +1,28 @@
+"""Human-readable dumps of IR programs (debugging and golden tests)."""
+
+from __future__ import annotations
+
+from repro.ir.cfg import IRFunction, IRProgram
+
+
+def format_function(function: IRFunction, positions: bool = False) -> str:
+    """Render one function; optionally annotate source lines."""
+    lines = [f"function {function.name}({', '.join(function.params)})"]
+    for block_id in function.block_ids():
+        block = function.blocks[block_id]
+        suffix = ""
+        if block.exc_successors:
+            suffix = f"    ; exc -> {sorted(block.exc_successors)}"
+        lines.append(f"B{block_id}:{suffix}")
+        for instr in block.instructions:
+            where = f"    ; line {instr.position.line}" if positions else ""
+            lines.append(f"  {instr}{where}")
+    return "\n".join(lines)
+
+
+def format_program(program: IRProgram, positions: bool = False) -> str:
+    chunks = [
+        format_function(program.functions[name], positions)
+        for name in sorted(program.functions)
+    ]
+    return "\n\n".join(chunks)

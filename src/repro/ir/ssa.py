@@ -1,0 +1,168 @@
+"""SSA construction (Cytron et al.) for IR functions.
+
+After :func:`to_ssa`, every variable has exactly one defining instruction,
+so flow-sensitive local def-use chains — the intraprocedural producer
+edges of the paper's SDG variant (§5.1, "we operate on an SSA
+representation") — fall out of a single scan.
+
+Variable naming: ``base.version`` (user variables were made unique by the
+builder with ``name~k``, and ``.`` cannot appear in MJ identifiers, so SSA
+names never collide).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import IRFunction
+from repro.ir.dominance import DominatorInfo, compute_dominators
+
+
+def to_ssa(function: IRFunction) -> DominatorInfo:
+    """Convert ``function`` to SSA in place; returns its dominator info."""
+    dom = compute_dominators(function.entry_block, function.successor_map())
+    _place_phis(function, dom)
+    _rename(function, dom)
+    prune_dead_phis(function)
+    return dom
+
+
+def prune_dead_phis(function: IRFunction) -> None:
+    """Remove phis whose value is never read (minimal→pruned-ish SSA).
+
+    Phi placement at dominance frontiers inserts merges for every
+    variable live anywhere, producing many ``x := phi(...)`` whose dest is
+    dead.  Removing them keeps dependence graphs small and readable.
+    """
+    # A phi is live iff its destination is (transitively) read by some
+    # non-phi instruction; a plain used-by-anyone test would keep cycles
+    # of phis that only feed each other.
+    phi_defs: dict[str, ins.Phi] = {}
+    live: set[str] = set()
+    for instr in function.instructions():
+        if isinstance(instr, ins.Phi):
+            phi_defs[instr.dest] = instr
+        else:
+            live.update(instr.operands_for_renaming())
+    worklist = [v for v in live if v in phi_defs]
+    while worklist:
+        var = worklist.pop()
+        for operand in phi_defs[var].operands.values():
+            if operand not in live:
+                live.add(operand)
+                if operand in phi_defs:
+                    worklist.append(operand)
+    for block in function.blocks.values():
+        block.instructions = [
+            instr
+            for instr in block.instructions
+            if not (isinstance(instr, ins.Phi) and instr.dest not in live)
+        ]
+
+
+def _assigned_vars(function: IRFunction) -> dict[str, set[int]]:
+    """Map each variable to the set of blocks that assign it."""
+    sites: dict[str, set[int]] = defaultdict(set)
+    for block_id, block in function.blocks.items():
+        for instr in block.instructions:
+            var = instr.defined_var()
+            if var is not None:
+                sites[var].add(block_id)
+    return sites
+
+
+def _place_phis(function: IRFunction, dom: DominatorInfo) -> None:
+    preds = function.predecessors()
+    for var, def_blocks in _assigned_vars(function).items():
+        placed: set[int] = set()
+        worklist = list(def_blocks)
+        while worklist:
+            block_id = worklist.pop()
+            for frontier_block in dom.frontier.get(block_id, ()):
+                if frontier_block in placed:
+                    continue
+                placed.add(frontier_block)
+                block = function.blocks[frontier_block]
+                operands = {p: var for p in preds[frontier_block]}
+                anchor = (
+                    block.instructions[0].position
+                    if block.instructions
+                    else function.blocks[function.entry_block]
+                    .instructions[0]
+                    .position
+                )
+                phi = ins.Phi(anchor, var, operands)
+                block.instructions.insert(0, phi)
+                if frontier_block not in def_blocks:
+                    worklist.append(frontier_block)
+
+
+def _rename(function: IRFunction, dom: DominatorInfo) -> None:
+    """Dominator-tree renaming walk, iterative to avoid recursion limits."""
+    counters: dict[str, int] = defaultdict(int)
+    stacks: dict[str, list[str]] = defaultdict(list)
+    for param in function.params:
+        stacks[param].append(param)
+
+    def fresh(base: str) -> str:
+        counters[base] += 1
+        name = f"{base}.{counters[base]}"
+        stacks[base].append(name)
+        return name
+
+    def current(base: str) -> str:
+        if stacks[base]:
+            return stacks[base][-1]
+        # Use of a never-defined variable (possible only in code the
+        # checker proved unreachable); bind to a distinguished undef name.
+        return f"{base}.undef"
+
+    # Each work item is ('enter', block) or ('exit', block, pushed_names).
+    work: list[tuple] = [("enter", function.entry_block)]
+    while work:
+        item = work.pop()
+        if item[0] == "exit":
+            for base in item[2]:
+                stacks[base].pop()
+            continue
+        block_id = item[1]
+        block = function.blocks[block_id]
+        pushed: list[str] = []
+        for instr in block.instructions:
+            if not isinstance(instr, ins.Phi):
+                instr.rename_uses(
+                    {v: current(v) for v in set(instr.operands_for_renaming())}
+                )
+            var = instr.defined_var()
+            if var is not None:
+                instr.rename_def(fresh(var))
+                pushed.append(var)
+        for succ in block.successors():
+            for phi in function.blocks[succ].phis():
+                base = phi.operands.get(block_id)
+                if base is not None and "." not in base:
+                    phi.operands[block_id] = current(base)
+        work.append(("exit", block_id, pushed))
+        for child in reversed(dom.children.get(block_id, [])):
+            work.append(("enter", child))
+
+
+def verify_ssa(function: IRFunction) -> list[str]:
+    """Return a list of SSA invariant violations (empty when valid)."""
+    problems: list[str] = []
+    seen_defs: set[str] = set()
+    for instr in function.instructions():
+        var = instr.defined_var()
+        if var is not None:
+            if var in seen_defs:
+                problems.append(f"{function.name}: multiple defs of {var}")
+            seen_defs.add(var)
+    defined = seen_defs | set(function.params)
+    for instr in function.instructions():
+        for used in instr.all_uses():
+            if used not in defined and not used.endswith(".undef"):
+                problems.append(
+                    f"{function.name}: use of undefined {used} in '{instr}'"
+                )
+    return problems

@@ -1,0 +1,34 @@
+"""MJ language frontend: lexer, parser, AST, types, and type checker."""
+
+from repro.lang.errors import (
+    AnalysisError,
+    IRBuildError,
+    LexError,
+    MJError,
+    ParseError,
+    TypeError_,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.source import Position, SourceFile, find_markers, marker_line
+from repro.lang.symbols import ClassTable
+from repro.lang.typechecker import TypeChecker, check_program
+
+__all__ = [
+    "AnalysisError",
+    "ClassTable",
+    "IRBuildError",
+    "LexError",
+    "MJError",
+    "ParseError",
+    "Position",
+    "SourceFile",
+    "TypeChecker",
+    "TypeError_",
+    "check_program",
+    "find_markers",
+    "marker_line",
+    "parse_expression",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,303 @@
+"""Abstract syntax tree for MJ.
+
+Every node records its source :class:`~repro.lang.source.Position`.  The
+type checker decorates expression nodes in place (``node.type``) and
+resolves name references (``VarRef.resolution``), so later stages never
+re-derive name binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.source import Position
+from repro.lang.types import Type
+
+# ---------------------------------------------------------------------------
+# Base nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Node:
+    position: Position
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions; ``type`` is filled in by the checker."""
+
+    type: Type | None = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str
+    declared_type: Type
+
+
+@dataclass
+class FieldDecl(Node):
+    name: str
+    declared_type: Type
+    is_static: bool
+    is_final: bool
+    init: Expr | None
+
+
+@dataclass
+class MethodDecl(Node):
+    name: str
+    return_type: Type
+    params: list[Param]
+    body: "Block"
+    is_static: bool
+    is_constructor: bool = False
+
+
+@dataclass
+class ClassDecl(Node):
+    name: str
+    superclass: str | None
+    fields: list[FieldDecl]
+    methods: list[MethodDecl]
+
+
+@dataclass
+class Program(Node):
+    classes: list[ClassDecl]
+
+    def class_named(self, name: str) -> ClassDecl | None:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt]
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    declared_type: Type
+    init: Expr | None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` or compound ``target op= value`` (op in +,-)."""
+
+    target: Expr  # VarRef, FieldAccess, or ArrayAccess
+    value: Expr
+    op: str | None = None  # None for plain '=', '+' or '-' for compound
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr
+    then_branch: Stmt
+    else_branch: Stmt | None
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr
+    body: Stmt
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None
+    condition: Expr | None
+    update: Stmt | None
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Throw(Stmt):
+    value: Expr
+
+
+@dataclass
+class TryCatch(Stmt):
+    try_block: Block
+    exc_type: Type
+    exc_name: str
+    catch_block: Block
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class This(Expr):
+    pass
+
+
+@dataclass
+class VarRef(Expr):
+    """A bare identifier.
+
+    The checker sets ``resolution`` to one of:
+
+    * ``("local", name)`` — a local variable or parameter,
+    * ``("field", class_name)`` — an implicit ``this.name`` instance field,
+    * ``("static_field", class_name)`` — a static field of the enclosing
+      class (or an inherited one),
+    * ``("class", class_name)`` — a class name used as a static-access
+      qualifier (only legal as the target of a field access or call).
+    """
+
+    name: str
+    resolution: tuple[str, str] | None = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``target.name``.
+
+    The checker sets ``resolution`` to ``("field", owner_class)``,
+    ``("static_field", owner_class)``, or ``("array_length", "")``.
+    """
+
+    target: Expr
+    name: str
+    resolution: tuple[str, str] | None = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class ArrayAccess(Expr):
+    target: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    """``receiver.name(args)`` or an unqualified ``name(args)``.
+
+    The checker sets ``resolution`` to one of:
+
+    * ``("virtual", owner_class)`` — instance call, dynamic dispatch,
+    * ``("static", owner_class)`` — static call,
+    * ``("special", owner_class)`` — constructor chaining via ``super(...)``,
+    * ``("native", "String")`` — builtin String method,
+    * ``("builtin", name)`` — global builtin such as ``print``.
+    """
+
+    receiver: Expr | None
+    name: str
+    args: list[Expr]
+    resolution: tuple[str, str] | None = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class SuperCall(Expr):
+    """``super(args)`` — only legal as the first statement of a ctor."""
+
+    args: list[Expr]
+    resolution: tuple[str, str] | None = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class New(Expr):
+    class_name: str
+    args: list[Expr]
+
+
+@dataclass
+class NewArray(Expr):
+    element_type: Type
+    length: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # + - * / % < <= > >= == != && ||
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # ! -
+    operand: Expr
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Type
+    expr: Expr
+
+
+@dataclass
+class InstanceOf(Expr):
+    expr: Expr
+    class_name: str
+
+
+@dataclass
+class PostfixIncDec(Expr):
+    """``target++`` / ``target--``; evaluates to the *old* value."""
+
+    target: Expr  # VarRef, FieldAccess, or ArrayAccess
+    op: str  # '+' or '-'

@@ -1,0 +1,47 @@
+"""Diagnostic machinery shared by every stage of the MJ frontend.
+
+All frontend failures are reported as subclasses of :class:`MJError`, each
+carrying an optional source position so tools (and tests) can point at the
+offending line.
+"""
+
+from __future__ import annotations
+
+from repro.lang.source import Position
+
+
+class MJError(Exception):
+    """Base class for every error raised while processing an MJ program."""
+
+    def __init__(self, message: str, position: Position | None = None) -> None:
+        self.message = message
+        self.position = position
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if self.position is None:
+            return self.message
+        return f"{self.position}: {self.message}"
+
+
+class LexError(MJError):
+    """Raised when the lexer encounters a malformed token."""
+
+
+class ParseError(MJError):
+    """Raised when the parser cannot make sense of the token stream."""
+
+
+class TypeError_(MJError):
+    """Raised by the type checker.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class IRBuildError(MJError):
+    """Raised when AST-to-IR lowering hits an unsupported construct."""
+
+
+class AnalysisError(MJError):
+    """Raised by whole-program analyses (points-to, call graph, mod-ref)."""

@@ -1,0 +1,205 @@
+"""Hand-written lexer for MJ.
+
+The lexer is a single forward pass producing a list of tokens.  Comments
+(``//`` and ``/* */``) are skipped, but ``//@tag:name`` markers remain
+visible to the suite loader because it reads the raw text (see
+:mod:`repro.lang.source`).
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError
+from repro.lang.source import Position
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR_OPERATORS: dict[str, TokenKind] = {
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+    "++": TokenKind.PLUS_PLUS,
+    "--": TokenKind.MINUS_MINUS,
+    "+=": TokenKind.PLUS_ASSIGN,
+    "-=": TokenKind.MINUS_ASSIGN,
+}
+
+_ONE_CHAR_OPERATORS: dict[str, TokenKind] = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "!": TokenKind.NOT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+}
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"', "'": "'", "0": "\0"}
+
+
+class Lexer:
+    """Converts MJ source text into a token stream."""
+
+    def __init__(self, text: str, filename: str = "<input>") -> None:
+        self._text = text
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole input, ending with a single EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self._at_end():
+                tokens.append(self._make(TokenKind.EOF, ""))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._text)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._text):
+            return self._text[index]
+        return ""
+
+    def _position(self) -> Position:
+        return Position(self._line, self._col, self._filename)
+
+    def _make(self, kind: TokenKind, text: str) -> Token:
+        return Token(kind, text, self._position())
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._at_end():
+                return
+            if self._text[self._pos] == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments, in any interleaving."""
+        while not self._at_end():
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._position()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._at_end():
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            return self._lex_word()
+        if ch == '"':
+            return self._lex_string()
+        if ch == "'":
+            return self._lex_char()
+        two = self._peek() + self._peek(1)
+        if two in _TWO_CHAR_OPERATORS:
+            token = self._make(_TWO_CHAR_OPERATORS[two], two)
+            self._advance(2)
+            return token
+        if ch in _ONE_CHAR_OPERATORS:
+            token = self._make(_ONE_CHAR_OPERATORS[ch], ch)
+            self._advance()
+            return token
+        raise LexError(f"unexpected character {ch!r}", self._position())
+
+    def _lex_number(self) -> Token:
+        start = self._position()
+        begin = self._pos
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek().isalpha():
+            raise LexError("identifier cannot start with a digit", start)
+        return Token(TokenKind.INT_LITERAL, self._text[begin : self._pos], start)
+
+    def _lex_word(self) -> Token:
+        start = self._position()
+        begin = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._text[begin : self._pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, start)
+
+    def _lex_string(self) -> Token:
+        start = self._position()
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self._at_end() or self._peek() == "\n":
+                raise LexError("unterminated string literal", start)
+            ch = self._peek()
+            if ch == '"':
+                self._advance()
+                return Token(TokenKind.STRING_LITERAL, "".join(chars), start)
+            if ch == "\\":
+                self._advance()
+                escape = self._peek()
+                if escape not in _ESCAPES:
+                    raise LexError(f"bad escape \\{escape}", self._position())
+                chars.append(_ESCAPES[escape])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+
+    def _lex_char(self) -> Token:
+        """Char literals are sugar for one-character strings in MJ."""
+        start = self._position()
+        self._advance()  # opening quote
+        if self._at_end():
+            raise LexError("unterminated char literal", start)
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            escape = self._peek()
+            if escape not in _ESCAPES:
+                raise LexError(f"bad escape \\{escape}", self._position())
+            ch = _ESCAPES[escape]
+        self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated char literal", start)
+        self._advance()
+        return Token(TokenKind.CHAR_LITERAL, ch, start)
+
+
+def tokenize(text: str, filename: str = "<input>") -> list[Token]:
+    """Convenience wrapper: lex ``text`` into a token list."""
+    return Lexer(text, filename).tokenize()

@@ -1,0 +1,547 @@
+"""Recursive-descent parser for MJ.
+
+The grammar is a compact Java subset; see DESIGN.md for the feature list.
+Two classic ambiguities are resolved with bounded lookahead:
+
+* *declaration vs. expression* at statement level — ``Foo x = ...`` and
+  ``Foo[] x`` start declarations, anything else is an expression;
+* *cast vs. parenthesized expression* — ``(Name) e`` is a cast when the
+  parenthesized word is a bare (possibly array-suffixed) identifier and
+  the next token can begin an expression other than unary minus.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast, types
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.source import Position
+from repro.lang.tokens import Token, TokenKind
+
+_EXPR_START = {
+    TokenKind.IDENT,
+    TokenKind.THIS,
+    TokenKind.NEW,
+    TokenKind.NULL,
+    TokenKind.TRUE,
+    TokenKind.FALSE,
+    TokenKind.INT_LITERAL,
+    TokenKind.STRING_LITERAL,
+    TokenKind.CHAR_LITERAL,
+    TokenKind.LPAREN,
+    TokenKind.NOT,
+}
+
+_TYPE_START = {TokenKind.INT, TokenKind.BOOLEAN, TokenKind.VOID, TokenKind.IDENT}
+
+
+class Parser:
+    """Parses a token stream into an :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _at(self, kind: TokenKind, offset: int = 0) -> bool:
+        return self._peek(offset).kind is kind
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r} but found {token.text!r}", token.position
+            )
+        return self._advance()
+
+    def _match(self, kind: TokenKind) -> Token | None:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    def _here(self) -> Position:
+        return self._peek().position
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        start = self._here()
+        classes: list[ast.ClassDecl] = []
+        while not self._at(TokenKind.EOF):
+            classes.append(self._parse_class())
+        return ast.Program(start, classes)
+
+    def _parse_class(self) -> ast.ClassDecl:
+        start = self._expect(TokenKind.CLASS).position
+        name = self._expect(TokenKind.IDENT).text
+        superclass: str | None = None
+        if self._match(TokenKind.EXTENDS):
+            superclass = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.LBRACE)
+        fields: list[ast.FieldDecl] = []
+        methods: list[ast.MethodDecl] = []
+        while not self._at(TokenKind.RBRACE):
+            self._parse_member(name, fields, methods)
+        self._expect(TokenKind.RBRACE)
+        return ast.ClassDecl(start, name, superclass, fields, methods)
+
+    def _parse_member(
+        self,
+        class_name: str,
+        fields: list[ast.FieldDecl],
+        methods: list[ast.MethodDecl],
+    ) -> None:
+        start = self._here()
+        is_static = self._match(TokenKind.STATIC) is not None
+        is_final = self._match(TokenKind.FINAL) is not None
+        # Constructor: the class name followed immediately by '('.
+        if (
+            not is_static
+            and self._at(TokenKind.IDENT)
+            and self._peek().text == class_name
+            and self._at(TokenKind.LPAREN, 1)
+        ):
+            self._advance()  # class name
+            params = self._parse_params()
+            body = self._parse_block()
+            methods.append(
+                ast.MethodDecl(
+                    start,
+                    "<init>",
+                    types.VOID,
+                    params,
+                    body,
+                    is_static=False,
+                    is_constructor=True,
+                )
+            )
+            return
+        declared = self._parse_type()
+        name = self._expect(TokenKind.IDENT).text
+        if self._at(TokenKind.LPAREN):
+            params = self._parse_params()
+            body = self._parse_block()
+            methods.append(
+                ast.MethodDecl(start, name, declared, params, body, is_static)
+            )
+            return
+        init: ast.Expr | None = None
+        if self._match(TokenKind.ASSIGN):
+            init = self._parse_expr()
+        self._expect(TokenKind.SEMI)
+        fields.append(ast.FieldDecl(start, name, declared, is_static, is_final, init))
+
+    def _parse_params(self) -> list[ast.Param]:
+        self._expect(TokenKind.LPAREN)
+        params: list[ast.Param] = []
+        if not self._at(TokenKind.RPAREN):
+            while True:
+                pos = self._here()
+                declared = self._parse_type()
+                name = self._expect(TokenKind.IDENT).text
+                params.append(ast.Param(pos, name, declared))
+                if not self._match(TokenKind.COMMA):
+                    break
+        self._expect(TokenKind.RPAREN)
+        return params
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+
+    def _parse_type(self) -> types.Type:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            base: types.Type = types.INT
+        elif token.kind is TokenKind.BOOLEAN:
+            self._advance()
+            base = types.BOOLEAN
+        elif token.kind is TokenKind.VOID:
+            self._advance()
+            base = types.VOID
+        elif token.kind is TokenKind.IDENT:
+            self._advance()
+            base = types.ClassType(token.text)
+        else:
+            raise ParseError(f"expected a type, found {token.text!r}", token.position)
+        while self._at(TokenKind.LBRACKET) and self._at(TokenKind.RBRACKET, 1):
+            self._advance()
+            self._advance()
+            base = types.ArrayType(base)
+        return base
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect(TokenKind.LBRACE).position
+        statements: list[ast.Stmt] = []
+        while not self._at(TokenKind.RBRACE):
+            statements.append(self._parse_stmt())
+        self._expect(TokenKind.RBRACE)
+        return ast.Block(start, statements)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._peek()
+        kind = token.kind
+        if kind is TokenKind.LBRACE:
+            return self._parse_block()
+        if kind is TokenKind.IF:
+            return self._parse_if()
+        if kind is TokenKind.WHILE:
+            return self._parse_while()
+        if kind is TokenKind.FOR:
+            return self._parse_for()
+        if kind is TokenKind.RETURN:
+            self._advance()
+            value = None if self._at(TokenKind.SEMI) else self._parse_expr()
+            self._expect(TokenKind.SEMI)
+            return ast.Return(token.position, value)
+        if kind is TokenKind.BREAK:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Break(token.position)
+        if kind is TokenKind.CONTINUE:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Continue(token.position)
+        if kind is TokenKind.THROW:
+            self._advance()
+            value = self._parse_expr()
+            self._expect(TokenKind.SEMI)
+            return ast.Throw(token.position, value)
+        if kind is TokenKind.TRY:
+            return self._parse_try()
+        stmt = self._parse_simple_stmt()
+        self._expect(TokenKind.SEMI)
+        return stmt
+
+    def _parse_if(self) -> ast.Stmt:
+        start = self._expect(TokenKind.IF).position
+        self._expect(TokenKind.LPAREN)
+        condition = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        then_branch = self._parse_stmt()
+        else_branch: ast.Stmt | None = None
+        if self._match(TokenKind.ELSE):
+            else_branch = self._parse_stmt()
+        return ast.If(start, condition, then_branch, else_branch)
+
+    def _parse_while(self) -> ast.Stmt:
+        start = self._expect(TokenKind.WHILE).position
+        self._expect(TokenKind.LPAREN)
+        condition = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_stmt()
+        return ast.While(start, condition, body)
+
+    def _parse_for(self) -> ast.Stmt:
+        start = self._expect(TokenKind.FOR).position
+        self._expect(TokenKind.LPAREN)
+        init = None if self._at(TokenKind.SEMI) else self._parse_simple_stmt()
+        self._expect(TokenKind.SEMI)
+        condition = None if self._at(TokenKind.SEMI) else self._parse_expr()
+        self._expect(TokenKind.SEMI)
+        update = None if self._at(TokenKind.RPAREN) else self._parse_simple_stmt()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_stmt()
+        return ast.For(start, init, condition, update, body)
+
+    def _parse_try(self) -> ast.Stmt:
+        start = self._expect(TokenKind.TRY).position
+        try_block = self._parse_block()
+        self._expect(TokenKind.CATCH)
+        self._expect(TokenKind.LPAREN)
+        exc_type = self._parse_type()
+        exc_name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.RPAREN)
+        catch_block = self._parse_block()
+        return ast.TryCatch(start, try_block, exc_type, exc_name, catch_block)
+
+    def _parse_simple_stmt(self) -> ast.Stmt:
+        """A declaration, assignment, or expression — no trailing ';'."""
+        if self._starts_declaration():
+            return self._parse_var_decl()
+        start = self._here()
+        expr = self._parse_expr()
+        if self._at(TokenKind.ASSIGN):
+            self._advance()
+            value = self._parse_expr()
+            self._check_lvalue(expr)
+            return ast.Assign(start, expr, value, op=None)
+        if self._at(TokenKind.PLUS_ASSIGN) or self._at(TokenKind.MINUS_ASSIGN):
+            op = "+" if self._advance().kind is TokenKind.PLUS_ASSIGN else "-"
+            value = self._parse_expr()
+            self._check_lvalue(expr)
+            return ast.Assign(start, expr, value, op=op)
+        return ast.ExprStmt(start, expr)
+
+    def _starts_declaration(self) -> bool:
+        kind = self._peek().kind
+        if kind in (TokenKind.INT, TokenKind.BOOLEAN):
+            return True
+        if kind is not TokenKind.IDENT:
+            return False
+        # 'Name ident' or 'Name[] ...' both start declarations.
+        if self._at(TokenKind.IDENT, 1):
+            return True
+        offset = 1
+        while self._at(TokenKind.LBRACKET, offset) and self._at(
+            TokenKind.RBRACKET, offset + 1
+        ):
+            offset += 2
+        return offset > 1 and self._at(TokenKind.IDENT, offset)
+
+    def _parse_var_decl(self) -> ast.Stmt:
+        start = self._here()
+        declared = self._parse_type()
+        name = self._expect(TokenKind.IDENT).text
+        init: ast.Expr | None = None
+        if self._match(TokenKind.ASSIGN):
+            init = self._parse_expr()
+        return ast.VarDecl(start, name, declared, init)
+
+    def _check_lvalue(self, expr: ast.Expr) -> None:
+        if not isinstance(expr, (ast.VarRef, ast.FieldAccess, ast.ArrayAccess)):
+            raise ParseError("invalid assignment target", expr.position)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        """Public entry point used by tests and tools."""
+        return self._parse_expr()
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._at(TokenKind.OR):
+            pos = self._advance().position
+            right = self._parse_and()
+            left = ast.Binary(pos, "||", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_equality()
+        while self._at(TokenKind.AND):
+            pos = self._advance().position
+            right = self._parse_equality()
+            left = ast.Binary(pos, "&&", left, right)
+        return left
+
+    def _parse_equality(self) -> ast.Expr:
+        left = self._parse_relational()
+        while self._at(TokenKind.EQ) or self._at(TokenKind.NE):
+            token = self._advance()
+            op = "==" if token.kind is TokenKind.EQ else "!="
+            right = self._parse_relational()
+            left = ast.Binary(token.position, op, left, right)
+        return left
+
+    def _parse_relational(self) -> ast.Expr:
+        left = self._parse_additive()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.INSTANCEOF:
+                self._advance()
+                class_name = self._expect(TokenKind.IDENT).text
+                left = ast.InstanceOf(token.position, left, class_name)
+                continue
+            ops = {
+                TokenKind.LT: "<",
+                TokenKind.LE: "<=",
+                TokenKind.GT: ">",
+                TokenKind.GE: ">=",
+            }
+            if token.kind not in ops:
+                return left
+            self._advance()
+            right = self._parse_additive()
+            left = ast.Binary(token.position, ops[token.kind], left, right)
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._at(TokenKind.PLUS) or self._at(TokenKind.MINUS):
+            token = self._advance()
+            op = "+" if token.kind is TokenKind.PLUS else "-"
+            right = self._parse_multiplicative()
+            left = ast.Binary(token.position, op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        ops = {TokenKind.STAR: "*", TokenKind.SLASH: "/", TokenKind.PERCENT: "%"}
+        while self._peek().kind in ops:
+            token = self._advance()
+            right = self._parse_unary()
+            left = ast.Binary(token.position, ops[token.kind], left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.NOT:
+            self._advance()
+            return ast.Unary(token.position, "!", self._parse_unary())
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            return ast.Unary(token.position, "-", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.DOT:
+                self._advance()
+                name = self._expect(TokenKind.IDENT).text
+                if self._at(TokenKind.LPAREN):
+                    args = self._parse_args()
+                    expr = ast.Call(token.position, expr, name, args)
+                else:
+                    expr = ast.FieldAccess(token.position, expr, name)
+            elif token.kind is TokenKind.LBRACKET:
+                self._advance()
+                index = self._parse_expr()
+                self._expect(TokenKind.RBRACKET)
+                expr = ast.ArrayAccess(token.position, expr, index)
+            elif token.kind is TokenKind.PLUS_PLUS:
+                self._advance()
+                self._check_lvalue(expr)
+                expr = ast.PostfixIncDec(token.position, expr, "+")
+            elif token.kind is TokenKind.MINUS_MINUS:
+                self._advance()
+                self._check_lvalue(expr)
+                expr = ast.PostfixIncDec(token.position, expr, "-")
+            else:
+                return expr
+
+    def _parse_args(self) -> list[ast.Expr]:
+        self._expect(TokenKind.LPAREN)
+        args: list[ast.Expr] = []
+        if not self._at(TokenKind.RPAREN):
+            while True:
+                args.append(self._parse_expr())
+                if not self._match(TokenKind.COMMA):
+                    break
+        self._expect(TokenKind.RPAREN)
+        return args
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        kind = token.kind
+        if kind is TokenKind.INT_LITERAL:
+            self._advance()
+            return ast.IntLit(token.position, int(token.text))
+        if kind is TokenKind.STRING_LITERAL or kind is TokenKind.CHAR_LITERAL:
+            self._advance()
+            return ast.StringLit(token.position, token.text)
+        if kind is TokenKind.TRUE:
+            self._advance()
+            return ast.BoolLit(token.position, True)
+        if kind is TokenKind.FALSE:
+            self._advance()
+            return ast.BoolLit(token.position, False)
+        if kind is TokenKind.NULL:
+            self._advance()
+            return ast.NullLit(token.position)
+        if kind is TokenKind.THIS:
+            self._advance()
+            return ast.This(token.position)
+        if kind is TokenKind.SUPER:
+            self._advance()
+            args = self._parse_args()
+            return ast.SuperCall(token.position, args)
+        if kind is TokenKind.NEW:
+            return self._parse_new()
+        if kind is TokenKind.IDENT:
+            self._advance()
+            if self._at(TokenKind.LPAREN):
+                args = self._parse_args()
+                return ast.Call(token.position, None, token.text, args)
+            return ast.VarRef(token.position, token.text)
+        if kind is TokenKind.LPAREN:
+            if self._looks_like_cast():
+                return self._parse_cast()
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.position)
+
+    def _parse_new(self) -> ast.Expr:
+        start = self._expect(TokenKind.NEW).position
+        token = self._peek()
+        if token.kind in (TokenKind.INT, TokenKind.BOOLEAN):
+            self._advance()
+            base: types.Type = types.INT if token.kind is TokenKind.INT else types.BOOLEAN
+            return self._parse_new_array(start, base)
+        name = self._expect(TokenKind.IDENT).text
+        if self._at(TokenKind.LBRACKET):
+            return self._parse_new_array(start, types.ClassType(name))
+        args = self._parse_args()
+        return ast.New(start, name, args)
+
+    def _parse_new_array(self, start: Position, base: types.Type) -> ast.Expr:
+        self._expect(TokenKind.LBRACKET)
+        length = self._parse_expr()
+        self._expect(TokenKind.RBRACKET)
+        element: types.Type = base
+        while self._at(TokenKind.LBRACKET) and self._at(TokenKind.RBRACKET, 1):
+            self._advance()
+            self._advance()
+            element = types.ArrayType(element)
+        return ast.NewArray(start, element, length)
+
+    def _looks_like_cast(self) -> bool:
+        """True when the upcoming '(' opens a cast like ``(Foo) x``."""
+        if not self._at(TokenKind.IDENT, 1):
+            return False
+        offset = 2
+        while self._at(TokenKind.LBRACKET, offset) and self._at(
+            TokenKind.RBRACKET, offset + 1
+        ):
+            offset += 2
+        if not self._at(TokenKind.RPAREN, offset):
+            return False
+        after = self._peek(offset + 1).kind
+        return after in _EXPR_START
+
+    def _parse_cast(self) -> ast.Expr:
+        start = self._expect(TokenKind.LPAREN).position
+        target = self._parse_type()
+        self._expect(TokenKind.RPAREN)
+        expr = self._parse_unary()
+        return ast.Cast(start, target, expr)
+
+
+def parse_program(text: str, filename: str = "<input>") -> ast.Program:
+    """Lex and parse ``text`` into a full program AST."""
+    return Parser(tokenize(text, filename)).parse_program()
+
+
+def parse_expression(text: str, filename: str = "<expr>") -> ast.Expr:
+    """Lex and parse ``text`` as a single expression (for tests/tools)."""
+    parser = Parser(tokenize(text, filename))
+    expr = parser.parse_expression()
+    parser._expect(TokenKind.EOF)
+    return expr

@@ -1,0 +1,245 @@
+"""Class table and member lookup for MJ programs.
+
+The :class:`ClassTable` is the single source of truth for inheritance,
+field/method lookup, and subtyping.  ``Object`` and ``String`` are builtin
+classes; ``String`` carries *native* methods whose behaviour is provided
+by the interpreter and modelled by the analyses (return value depends on
+receiver and arguments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.errors import TypeError_
+from repro.lang.types import (
+    ArrayType,
+    BOOLEAN,
+    ClassType,
+    INT,
+    NullType,
+    STRING,
+    Type,
+    VOID,
+)
+
+
+@dataclass(frozen=True)
+class NativeSig:
+    """Signature of a builtin (native) String method."""
+
+    name: str
+    param_types: tuple[Type, ...]
+    return_type: Type
+
+
+# Every native String method, keyed by (name, arity).  A handful of
+# methods are arity-overloaded (substring, indexOf) — the only overloading
+# MJ permits, because natives are resolved specially.
+STRING_NATIVES: dict[tuple[str, int], NativeSig] = {}
+
+
+def _native(name: str, params: tuple[Type, ...], returns: Type) -> None:
+    STRING_NATIVES[(name, len(params))] = NativeSig(name, params, returns)
+
+
+_native("length", (), INT)
+_native("charAt", (INT,), STRING)
+_native("substring", (INT,), STRING)
+_native("substring", (INT, INT), STRING)
+_native("indexOf", (STRING,), INT)
+_native("indexOf", (STRING, INT), INT)
+_native("lastIndexOf", (STRING,), INT)
+_native("equals", (STRING,), BOOLEAN)
+_native("startsWith", (STRING,), BOOLEAN)
+_native("endsWith", (STRING,), BOOLEAN)
+_native("contains", (STRING,), BOOLEAN)
+_native("trim", (), STRING)
+_native("toLowerCase", (), STRING)
+_native("toUpperCase", (), STRING)
+_native("concat", (STRING,), STRING)
+_native("replace", (STRING, STRING), STRING)
+_native("compareTo", (STRING,), INT)
+_native("hashCode", (), INT)
+_native("isEmpty", (), BOOLEAN)
+
+# Global builtin functions: name -> return type.  ``print`` accepts a
+# single value of any printable type (checked specially by the checker).
+BUILTIN_FUNCTIONS: dict[str, Type] = {
+    "print": VOID,
+}
+
+
+@dataclass
+class ClassInfo:
+    """Resolved information about one class."""
+
+    name: str
+    superclass: str | None
+    decl: ast.ClassDecl | None  # None for builtins (Object, String)
+    fields: dict[str, ast.FieldDecl] = field(default_factory=dict)
+    methods: dict[str, ast.MethodDecl] = field(default_factory=dict)
+    constructor: ast.MethodDecl | None = None
+
+    @property
+    def type(self) -> ClassType:
+        return ClassType(self.name)
+
+
+class ClassTable:
+    """All classes of a program plus the builtins, with lookup helpers."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.classes: dict[str, ClassInfo] = {}
+        self._install_builtins()
+        self._install_program(program)
+        self._check_hierarchy()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _install_builtins(self) -> None:
+        self.classes["Object"] = ClassInfo("Object", None, None)
+        self.classes["String"] = ClassInfo("String", "Object", None)
+
+    def _install_program(self, program: ast.Program) -> None:
+        for decl in program.classes:
+            if decl.name in self.classes:
+                raise TypeError_(f"duplicate class {decl.name}", decl.position)
+            info = ClassInfo(decl.name, decl.superclass or "Object", decl)
+            for field_decl in decl.fields:
+                if field_decl.name in info.fields:
+                    raise TypeError_(
+                        f"duplicate field {decl.name}.{field_decl.name}",
+                        field_decl.position,
+                    )
+                info.fields[field_decl.name] = field_decl
+            for method in decl.methods:
+                if method.is_constructor:
+                    if info.constructor is not None:
+                        raise TypeError_(
+                            f"class {decl.name} has multiple constructors "
+                            "(MJ allows one)",
+                            method.position,
+                        )
+                    info.constructor = method
+                    continue
+                if method.name in info.methods:
+                    raise TypeError_(
+                        f"duplicate method {decl.name}.{method.name}",
+                        method.position,
+                    )
+                info.methods[method.name] = method
+            self.classes[decl.name] = info
+
+    def _check_hierarchy(self) -> None:
+        for info in self.classes.values():
+            if info.superclass is not None and info.superclass not in self.classes:
+                position = info.decl.position if info.decl else None
+                raise TypeError_(
+                    f"class {info.name} extends unknown class {info.superclass}",
+                    position,
+                )
+        for info in self.classes.values():
+            seen = {info.name}
+            cursor = info.superclass
+            while cursor is not None:
+                if cursor in seen:
+                    raise TypeError_(f"inheritance cycle through {info.name}")
+                seen.add(cursor)
+                cursor = self.classes[cursor].superclass
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def has_class(self, name: str) -> bool:
+        return name in self.classes
+
+    def info(self, name: str) -> ClassInfo:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise TypeError_(f"unknown class {name}") from None
+
+    def ancestors(self, name: str) -> list[str]:
+        """``name`` followed by its superclasses up to ``Object``."""
+        chain = []
+        cursor: str | None = name
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = self.info(cursor).superclass
+        return chain
+
+    def subclasses(self, name: str) -> list[str]:
+        """All classes ``c`` with ``c <: name`` (including ``name``)."""
+        return [c for c in self.classes if self.is_subclass(c, name)]
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        return sup in self.ancestors(sub)
+
+    def lookup_field(self, class_name: str, field_name: str) -> tuple[str, ast.FieldDecl] | None:
+        """Find ``field_name`` in ``class_name`` or an ancestor.
+
+        Returns ``(owner_class, decl)`` or ``None``.
+        """
+        for owner in self.ancestors(class_name):
+            decl = self.info(owner).fields.get(field_name)
+            if decl is not None:
+                return owner, decl
+        return None
+
+    def lookup_method(
+        self, class_name: str, method_name: str
+    ) -> tuple[str, ast.MethodDecl] | None:
+        """Find ``method_name`` in ``class_name`` or an ancestor.
+
+        Returns ``(owner_class, decl)`` or ``None``.  The owner is where
+        the *declaration* that would be invoked lives (closest override).
+        """
+        for owner in self.ancestors(class_name):
+            decl = self.info(owner).methods.get(method_name)
+            if decl is not None:
+                return owner, decl
+        return None
+
+    def resolve_virtual(self, runtime_class: str, method_name: str) -> tuple[str, ast.MethodDecl]:
+        """Dynamic dispatch: the method actually run for a receiver class."""
+        found = self.lookup_method(runtime_class, method_name)
+        if found is None:
+            raise TypeError_(f"no method {method_name} on {runtime_class}")
+        return found
+
+    # ------------------------------------------------------------------
+    # Subtyping
+    # ------------------------------------------------------------------
+
+    def is_assignable(self, source: Type, target: Type) -> bool:
+        """Can a value of ``source`` be stored where ``target`` is expected?"""
+        if source == target:
+            return True
+        if isinstance(source, NullType):
+            return target.is_reference()
+        if isinstance(source, ClassType) and isinstance(target, ClassType):
+            return (
+                self.has_class(source.name)
+                and self.has_class(target.name)
+                and self.is_subclass(source.name, target.name)
+            )
+        if isinstance(source, ArrayType):
+            # Arrays are invariant, but every array is an Object.
+            return target == ClassType("Object")
+        return False
+
+    def is_castable(self, source: Type, target: Type) -> bool:
+        """Is ``(target) expr`` a legal cast from static type ``source``?"""
+        if not (source.is_reference() and target.is_reference()):
+            return source == target
+        if isinstance(source, NullType):
+            return True
+        if self.is_assignable(source, target) or self.is_assignable(target, source):
+            return True
+        return False

@@ -1,0 +1,709 @@
+"""Type checker and name resolver for MJ.
+
+The checker walks the AST once per method, decorating every expression
+with its static type and resolving every name and call (the decorations
+are consumed by the IR builder and the interpreter).  Errors are collected
+so a single run reports every problem; :func:`check_program` raises on the
+first error after the full walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast
+from repro.lang.errors import TypeError_
+from repro.lang.symbols import BUILTIN_FUNCTIONS, ClassTable, STRING_NATIVES
+from repro.lang.types import (
+    ArrayType,
+    BOOLEAN,
+    ClassType,
+    INT,
+    NULL,
+    STRING,
+    Type,
+    VOID,
+)
+
+_STRINGABLE = (INT, BOOLEAN, STRING, NULL)  # 'null' prints as "null"
+
+
+@dataclass
+class _Scope:
+    """A lexical scope of local variables (block-structured)."""
+
+    parent: "_Scope | None"
+    variables: dict[str, Type]
+
+    def lookup(self, name: str) -> Type | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.variables:
+                return scope.variables[name]
+            scope = scope.parent
+        return None
+
+    def declare(self, name: str, declared: Type) -> bool:
+        """Declare ``name``; returns False when it shadows a live local."""
+        if self.lookup(name) is not None:
+            return False
+        self.variables[name] = declared
+        return True
+
+
+class TypeChecker:
+    """Checks one program against its class table."""
+
+    def __init__(self, table: ClassTable) -> None:
+        self.table = table
+        self.errors: list[TypeError_] = []
+        self._class: ast.ClassDecl | None = None
+        self._method: ast.MethodDecl | None = None
+        self._loop_depth = 0
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def check(self) -> list[TypeError_]:
+        for decl in self.table.program.classes:
+            self._check_class(decl)
+        return self.errors
+
+    def _error(self, message: str, node: ast.Node) -> None:
+        self.errors.append(TypeError_(message, node.position))
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def _check_class(self, decl: ast.ClassDecl) -> None:
+        self._class = decl
+        for field_decl in decl.fields:
+            self._check_type_exists(field_decl.declared_type, field_decl)
+            if field_decl.init is not None:
+                # Field initializers run in constructor (instance) or
+                # program-start (static) context with no locals in scope.
+                self._method = None
+                init_type = self._expr(field_decl.init, _Scope(None, {}),
+                                       static_context=field_decl.is_static)
+                if init_type is not None and not self.table.is_assignable(
+                    init_type, field_decl.declared_type
+                ):
+                    self._error(
+                        f"cannot initialize {field_decl.declared_type} field "
+                        f"{field_decl.name} with {init_type}",
+                        field_decl,
+                    )
+        info = self.table.info(decl.name)
+        if info.constructor is not None:
+            self._check_method(decl, info.constructor)
+        for method in info.methods.values():
+            self._check_method(decl, method)
+            self._check_override(decl, method)
+
+    def _check_override(self, decl: ast.ClassDecl, method: ast.MethodDecl) -> None:
+        if decl.superclass is None:
+            return
+        found = self.table.lookup_method(decl.superclass, method.name)
+        if found is None:
+            return
+        _, overridden = found
+        same_params = [p.declared_type for p in overridden.params] == [
+            p.declared_type for p in method.params
+        ]
+        if (
+            not same_params
+            or overridden.return_type != method.return_type
+            or overridden.is_static != method.is_static
+        ):
+            self._error(
+                f"method {decl.name}.{method.name} does not match the "
+                "signature it overrides",
+                method,
+            )
+
+    def _check_method(self, decl: ast.ClassDecl, method: ast.MethodDecl) -> None:
+        self._class = decl
+        self._method = method
+        self._loop_depth = 0
+        self._check_type_exists(method.return_type, method)
+        scope = _Scope(None, {})
+        for param in method.params:
+            self._check_type_exists(param.declared_type, param)
+            if not scope.declare(param.name, param.declared_type):
+                self._error(f"duplicate parameter {param.name}", param)
+        self._stmt(method.body, scope)
+        if method.return_type != VOID and not self._always_returns(method.body):
+            self._error(
+                f"method {decl.name}.{method.name} may finish without "
+                "returning a value",
+                method,
+            )
+
+    def _check_type_exists(self, declared: Type, node: ast.Node) -> None:
+        base = declared
+        while isinstance(base, ArrayType):
+            base = base.element
+        if isinstance(base, ClassType) and not self.table.has_class(base.name):
+            self._error(f"unknown type {base.name}", node)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        method = getattr(self, "_stmt_" + type(stmt).__name__, None)
+        if method is None:
+            self._error(f"unsupported statement {type(stmt).__name__}", stmt)
+            return
+        method(stmt, scope)
+
+    def _stmt_Block(self, stmt: ast.Block, scope: _Scope) -> None:
+        inner = _Scope(scope, {})
+        for child in stmt.statements:
+            self._stmt(child, inner)
+
+    def _stmt_VarDecl(self, stmt: ast.VarDecl, scope: _Scope) -> None:
+        self._check_type_exists(stmt.declared_type, stmt)
+        if stmt.declared_type == VOID:
+            self._error("variables cannot have type void", stmt)
+        if stmt.init is not None:
+            init_type = self._expr_in_method(stmt.init, scope)
+            if init_type is not None and not self.table.is_assignable(
+                init_type, stmt.declared_type
+            ):
+                self._error(
+                    f"cannot assign {init_type} to {stmt.declared_type} "
+                    f"variable {stmt.name}",
+                    stmt,
+                )
+        if not scope.declare(stmt.name, stmt.declared_type):
+            self._error(f"variable {stmt.name} is already defined", stmt)
+
+    def _stmt_ExprStmt(self, stmt: ast.ExprStmt, scope: _Scope) -> None:
+        self._expr_in_method(stmt.expr, scope)
+
+    def _stmt_Assign(self, stmt: ast.Assign, scope: _Scope) -> None:
+        target_type = self._expr_in_method(stmt.target, scope)
+        value_type = self._expr_in_method(stmt.value, scope)
+        self._check_assignable_target(stmt.target)
+        if target_type is None or value_type is None:
+            return
+        if stmt.op is not None:
+            # Compound assignment: int += int, or String += stringable.
+            if target_type == INT and value_type == INT:
+                return
+            if stmt.op == "+" and target_type == STRING and value_type in _STRINGABLE:
+                return
+            self._error(
+                f"bad compound assignment {target_type} {stmt.op}= {value_type}",
+                stmt,
+            )
+            return
+        if not self.table.is_assignable(value_type, target_type):
+            self._error(f"cannot assign {value_type} to {target_type}", stmt)
+
+    def _check_assignable_target(self, target: ast.Expr) -> None:
+        if isinstance(target, ast.FieldAccess):
+            if target.resolution is not None and target.resolution[0] == "array_length":
+                self._error("array length is read-only", target)
+        elif not isinstance(target, (ast.VarRef, ast.ArrayAccess)):
+            self._error("invalid assignment target", target)
+
+    def _stmt_If(self, stmt: ast.If, scope: _Scope) -> None:
+        self._require(stmt.condition, BOOLEAN, scope, "if condition")
+        self._stmt(stmt.then_branch, scope)
+        if stmt.else_branch is not None:
+            self._stmt(stmt.else_branch, scope)
+
+    def _stmt_While(self, stmt: ast.While, scope: _Scope) -> None:
+        self._require(stmt.condition, BOOLEAN, scope, "while condition")
+        self._loop_depth += 1
+        self._stmt(stmt.body, scope)
+        self._loop_depth -= 1
+
+    def _stmt_For(self, stmt: ast.For, scope: _Scope) -> None:
+        inner = _Scope(scope, {})
+        if stmt.init is not None:
+            self._stmt(stmt.init, inner)
+        if stmt.condition is not None:
+            self._require(stmt.condition, BOOLEAN, inner, "for condition")
+        if stmt.update is not None:
+            self._stmt(stmt.update, inner)
+        self._loop_depth += 1
+        self._stmt(stmt.body, inner)
+        self._loop_depth -= 1
+
+    def _stmt_Return(self, stmt: ast.Return, scope: _Scope) -> None:
+        assert self._method is not None
+        expected = self._method.return_type
+        if self._method.is_constructor:
+            expected = VOID
+        if stmt.value is None:
+            if expected != VOID:
+                self._error("missing return value", stmt)
+            return
+        if expected == VOID:
+            self._error("void method cannot return a value", stmt)
+            return
+        actual = self._expr_in_method(stmt.value, scope)
+        if actual is not None and not self.table.is_assignable(actual, expected):
+            self._error(f"cannot return {actual} from {expected} method", stmt)
+
+    def _stmt_Break(self, stmt: ast.Break, scope: _Scope) -> None:
+        if self._loop_depth == 0:
+            self._error("break outside of a loop", stmt)
+
+    def _stmt_Continue(self, stmt: ast.Continue, scope: _Scope) -> None:
+        if self._loop_depth == 0:
+            self._error("continue outside of a loop", stmt)
+
+    def _stmt_Throw(self, stmt: ast.Throw, scope: _Scope) -> None:
+        value_type = self._expr_in_method(stmt.value, scope)
+        if value_type is not None and not value_type.is_reference():
+            self._error("thrown value must be an object", stmt)
+
+    def _stmt_TryCatch(self, stmt: ast.TryCatch, scope: _Scope) -> None:
+        self._stmt(stmt.try_block, scope)
+        self._check_type_exists(stmt.exc_type, stmt)
+        if not stmt.exc_type.is_reference():
+            self._error("catch parameter must have a class type", stmt)
+        catch_scope = _Scope(scope, {stmt.exc_name: stmt.exc_type})
+        for child in stmt.catch_block.statements:
+            self._stmt(child, catch_scope)
+
+    def _require(
+        self, expr: ast.Expr, expected: Type, scope: _Scope, what: str
+    ) -> None:
+        actual = self._expr_in_method(expr, scope)
+        if actual is not None and actual != expected:
+            self._error(f"{what} must be {expected}, found {actual}", expr)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _expr_in_method(self, expr: ast.Expr, scope: _Scope) -> Type | None:
+        static_context = self._method is None or (
+            self._method.is_static and not self._method.is_constructor
+        )
+        return self._expr(expr, scope, static_context)
+
+    def _expr(
+        self, expr: ast.Expr, scope: _Scope, static_context: bool
+    ) -> Type | None:
+        handler = getattr(self, "_expr_" + type(expr).__name__, None)
+        if handler is None:
+            self._error(f"unsupported expression {type(expr).__name__}", expr)
+            return None
+        result = handler(expr, scope, static_context)
+        expr.type = result
+        return result
+
+    def _expr_IntLit(self, expr, scope, static_context):
+        return INT
+
+    def _expr_BoolLit(self, expr, scope, static_context):
+        return BOOLEAN
+
+    def _expr_StringLit(self, expr, scope, static_context):
+        return STRING
+
+    def _expr_NullLit(self, expr, scope, static_context):
+        return NULL
+
+    def _expr_This(self, expr, scope, static_context):
+        if static_context or self._class is None:
+            self._error("this used in a static context", expr)
+            return None
+        return ClassType(self._class.name)
+
+    def _expr_VarRef(self, expr: ast.VarRef, scope: _Scope, static_context: bool):
+        local = scope.lookup(expr.name)
+        if local is not None:
+            expr.resolution = ("local", expr.name)
+            return local
+        if self._class is not None:
+            found = self.table.lookup_field(self._class.name, expr.name)
+            if found is not None:
+                owner, decl = found
+                if decl.is_static:
+                    expr.resolution = ("static_field", owner)
+                    return decl.declared_type
+                if static_context:
+                    self._error(
+                        f"instance field {expr.name} used in a static context",
+                        expr,
+                    )
+                    return None
+                expr.resolution = ("field", owner)
+                return decl.declared_type
+        if self.table.has_class(expr.name):
+            expr.resolution = ("class", expr.name)
+            return ClassType(expr.name)
+        self._error(f"unknown name {expr.name}", expr)
+        return None
+
+    def _is_class_qualifier(self, expr: ast.Expr) -> str | None:
+        if isinstance(expr, ast.VarRef) and expr.resolution is not None:
+            if expr.resolution[0] == "class":
+                return expr.resolution[1]
+        return None
+
+    def _expr_FieldAccess(
+        self, expr: ast.FieldAccess, scope: _Scope, static_context: bool
+    ):
+        target_type = self._expr(expr.target, scope, static_context)
+        if target_type is None:
+            return None
+        qualifier = self._is_class_qualifier(expr.target)
+        if qualifier is not None:
+            found = self.table.lookup_field(qualifier, expr.name)
+            if found is None or not found[1].is_static:
+                self._error(f"no static field {qualifier}.{expr.name}", expr)
+                return None
+            owner, decl = found
+            expr.resolution = ("static_field", owner)
+            return decl.declared_type
+        if isinstance(target_type, ArrayType):
+            if expr.name == "length":
+                expr.resolution = ("array_length", "")
+                return INT
+            self._error("arrays only have a length field", expr)
+            return None
+        if not isinstance(target_type, ClassType):
+            self._error(f"cannot access field of {target_type}", expr)
+            return None
+        found = self.table.lookup_field(target_type.name, expr.name)
+        if found is None:
+            self._error(f"no field {expr.name} on {target_type.name}", expr)
+            return None
+        owner, decl = found
+        expr.resolution = ("static_field", owner) if decl.is_static else ("field", owner)
+        return decl.declared_type
+
+    def _expr_ArrayAccess(
+        self, expr: ast.ArrayAccess, scope: _Scope, static_context: bool
+    ):
+        target_type = self._expr(expr.target, scope, static_context)
+        index_type = self._expr(expr.index, scope, static_context)
+        if index_type is not None and index_type != INT:
+            self._error("array index must be int", expr.index)
+        if target_type is None:
+            return None
+        if not isinstance(target_type, ArrayType):
+            self._error(f"cannot index into {target_type}", expr)
+            return None
+        return target_type.element
+
+    def _expr_Call(self, expr: ast.Call, scope: _Scope, static_context: bool):
+        arg_types = [self._expr(a, scope, static_context) for a in expr.args]
+        if expr.receiver is None:
+            return self._check_unqualified_call(expr, arg_types, static_context)
+        receiver_type = self._expr(expr.receiver, scope, static_context)
+        if receiver_type is None:
+            return None
+        qualifier = self._is_class_qualifier(expr.receiver)
+        if qualifier is not None:
+            found = self.table.lookup_method(qualifier, expr.name)
+            if found is None or not found[1].is_static:
+                self._error(f"no static method {qualifier}.{expr.name}", expr)
+                return None
+            owner, decl = found
+            expr.resolution = ("static", owner)
+            return self._check_call_args(expr, decl, arg_types)
+        if receiver_type == STRING:
+            return self._check_native_call(expr, arg_types)
+        if isinstance(receiver_type, ArrayType):
+            self._error("arrays have no methods", expr)
+            return None
+        if not isinstance(receiver_type, ClassType):
+            self._error(f"cannot call method on {receiver_type}", expr)
+            return None
+        found = self.table.lookup_method(receiver_type.name, expr.name)
+        if found is None:
+            self._error(f"no method {expr.name} on {receiver_type.name}", expr)
+            return None
+        owner, decl = found
+        if decl.is_static:
+            self._error(
+                f"static method {owner}.{expr.name} must be called via the "
+                "class name",
+                expr,
+            )
+            return None
+        expr.resolution = ("virtual", owner)
+        return self._check_call_args(expr, decl, arg_types)
+
+    def _check_unqualified_call(
+        self, expr: ast.Call, arg_types: list[Type | None], static_context: bool
+    ):
+        if expr.name in BUILTIN_FUNCTIONS:
+            expr.resolution = ("builtin", expr.name)
+            if expr.name == "print":
+                if len(arg_types) != 1:
+                    self._error("print takes exactly one argument", expr)
+                elif arg_types[0] is not None and arg_types[0] == VOID:
+                    self._error("cannot print a void value", expr)
+            return BUILTIN_FUNCTIONS[expr.name]
+        if self._class is None:
+            self._error(f"unknown function {expr.name}", expr)
+            return None
+        found = self.table.lookup_method(self._class.name, expr.name)
+        if found is None:
+            self._error(f"unknown method {expr.name}", expr)
+            return None
+        owner, decl = found
+        if decl.is_static:
+            expr.resolution = ("static", owner)
+        else:
+            if static_context:
+                self._error(
+                    f"instance method {expr.name} called from a static context",
+                    expr,
+                )
+                return None
+            expr.resolution = ("virtual", owner)
+        return self._check_call_args(expr, decl, arg_types)
+
+    def _check_native_call(self, expr: ast.Call, arg_types: list[Type | None]):
+        sig = STRING_NATIVES.get((expr.name, len(expr.args)))
+        if sig is None:
+            self._error(f"no String method {expr.name}/{len(expr.args)}", expr)
+            return None
+        expr.resolution = ("native", "String")
+        for i, (actual, expected) in enumerate(zip(arg_types, sig.param_types)):
+            if actual is not None and not self.table.is_assignable(actual, expected):
+                self._error(
+                    f"argument {i + 1} of String.{expr.name}: expected "
+                    f"{expected}, found {actual}",
+                    expr.args[i],
+                )
+        return sig.return_type
+
+    def _check_call_args(
+        self, expr: ast.Call | ast.SuperCall | ast.New,
+        decl: ast.MethodDecl,
+        arg_types: list[Type | None],
+    ):
+        args = expr.args
+        if len(args) != len(decl.params):
+            name = decl.name if decl.name != "<init>" else "constructor"
+            self._error(
+                f"{name} expects {len(decl.params)} arguments, got {len(args)}",
+                expr,
+            )
+            return decl.return_type
+        for i, (actual, param) in enumerate(zip(arg_types, decl.params)):
+            if actual is not None and not self.table.is_assignable(
+                actual, param.declared_type
+            ):
+                self._error(
+                    f"argument {i + 1}: expected {param.declared_type}, "
+                    f"found {actual}",
+                    args[i],
+                )
+        return decl.return_type
+
+    def _expr_SuperCall(self, expr: ast.SuperCall, scope: _Scope, static_context):
+        arg_types = [self._expr(a, scope, static_context) for a in expr.args]
+        if (
+            self._method is None
+            or not self._method.is_constructor
+            or self._class is None
+        ):
+            self._error("super(...) is only legal inside a constructor", expr)
+            return None
+        superclass = self._class.superclass or "Object"
+        if superclass == "Object":
+            if expr.args:
+                self._error("Object has no constructor arguments", expr)
+            expr.resolution = ("special", "Object")
+            return VOID
+        ctor = self.table.info(superclass).constructor
+        expr.resolution = ("special", superclass)
+        if ctor is None:
+            if expr.args:
+                self._error(
+                    f"class {superclass} has no constructor but super(...) "
+                    "passes arguments",
+                    expr,
+                )
+            return VOID
+        self._check_call_args(expr, ctor, arg_types)
+        return VOID
+
+    def _expr_New(self, expr: ast.New, scope: _Scope, static_context):
+        arg_types = [self._expr(a, scope, static_context) for a in expr.args]
+        if not self.table.has_class(expr.class_name):
+            self._error(f"unknown class {expr.class_name}", expr)
+            return None
+        if expr.class_name in ("Object", "String"):
+            self._error(f"cannot instantiate builtin {expr.class_name}", expr)
+            return None
+        ctor = self.table.info(expr.class_name).constructor
+        if ctor is None:
+            if expr.args:
+                self._error(
+                    f"class {expr.class_name} has no constructor but "
+                    "arguments were passed",
+                    expr,
+                )
+        else:
+            self._check_call_args(expr, ctor, arg_types)
+        return ClassType(expr.class_name)
+
+    def _expr_NewArray(self, expr: ast.NewArray, scope: _Scope, static_context):
+        self._check_type_exists(expr.element_type, expr)
+        length_type = self._expr(expr.length, scope, static_context)
+        if length_type is not None and length_type != INT:
+            self._error("array length must be int", expr.length)
+        return ArrayType(expr.element_type)
+
+    def _expr_Binary(self, expr: ast.Binary, scope: _Scope, static_context):
+        left = self._expr(expr.left, scope, static_context)
+        right = self._expr(expr.right, scope, static_context)
+        if left is None or right is None:
+            return None
+        op = expr.op
+        if op == "+":
+            if left == INT and right == INT:
+                return INT
+            if left == STRING and right in _STRINGABLE:
+                return STRING
+            if right == STRING and left in _STRINGABLE:
+                return STRING
+            self._error(f"cannot add {left} and {right}", expr)
+            return None
+        if op in ("-", "*", "/", "%"):
+            if left == INT and right == INT:
+                return INT
+            self._error(f"operator {op} requires ints", expr)
+            return None
+        if op in ("<", "<=", ">", ">="):
+            if left == INT and right == INT:
+                return BOOLEAN
+            self._error(f"operator {op} requires ints", expr)
+            return None
+        if op in ("==", "!="):
+            comparable = (
+                (left == INT and right == INT)
+                or (left == BOOLEAN and right == BOOLEAN)
+                or (left.is_reference() and right.is_reference())
+            )
+            if not comparable:
+                self._error(f"cannot compare {left} and {right}", expr)
+                return None
+            return BOOLEAN
+        if op in ("&&", "||"):
+            if left == BOOLEAN and right == BOOLEAN:
+                return BOOLEAN
+            self._error(f"operator {op} requires booleans", expr)
+            return None
+        self._error(f"unknown operator {op}", expr)
+        return None
+
+    def _expr_Unary(self, expr: ast.Unary, scope: _Scope, static_context):
+        operand = self._expr(expr.operand, scope, static_context)
+        if operand is None:
+            return None
+        if expr.op == "!":
+            if operand != BOOLEAN:
+                self._error("! requires a boolean", expr)
+                return None
+            return BOOLEAN
+        if expr.op == "-":
+            if operand != INT:
+                self._error("unary - requires an int", expr)
+                return None
+            return INT
+        self._error(f"unknown unary operator {expr.op}", expr)
+        return None
+
+    def _expr_Cast(self, expr: ast.Cast, scope: _Scope, static_context):
+        self._check_type_exists(expr.target_type, expr)
+        source = self._expr(expr.expr, scope, static_context)
+        if source is None:
+            return expr.target_type
+        if not self.table.is_castable(source, expr.target_type):
+            self._error(f"cannot cast {source} to {expr.target_type}", expr)
+        return expr.target_type
+
+    def _expr_InstanceOf(self, expr: ast.InstanceOf, scope: _Scope, static_context):
+        source = self._expr(expr.expr, scope, static_context)
+        if not self.table.has_class(expr.class_name):
+            self._error(f"unknown class {expr.class_name}", expr)
+        if source is not None and not source.is_reference():
+            self._error("instanceof requires a reference value", expr)
+        return BOOLEAN
+
+    def _expr_PostfixIncDec(
+        self, expr: ast.PostfixIncDec, scope: _Scope, static_context
+    ):
+        target = self._expr(expr.target, scope, static_context)
+        self._check_assignable_target(expr.target)
+        if target is not None and target != INT:
+            self._error("++/-- requires an int target", expr)
+            return None
+        return INT
+
+    # ------------------------------------------------------------------
+    # Definite-return analysis (conservative)
+    # ------------------------------------------------------------------
+
+    def _always_returns(self, stmt: ast.Stmt) -> bool:
+        if isinstance(stmt, (ast.Return, ast.Throw)):
+            return True
+        if isinstance(stmt, ast.Block):
+            return any(self._always_returns(s) for s in stmt.statements)
+        if isinstance(stmt, ast.If):
+            return (
+                stmt.else_branch is not None
+                and self._always_returns(stmt.then_branch)
+                and self._always_returns(stmt.else_branch)
+            )
+        if isinstance(stmt, ast.While):
+            # 'while (true)' with no break is treated as non-terminating.
+            return (
+                isinstance(stmt.condition, ast.BoolLit)
+                and stmt.condition.value
+                and not self._contains_break(stmt.body)
+            )
+        if isinstance(stmt, ast.TryCatch):
+            return self._always_returns(stmt.try_block) and self._always_returns(
+                stmt.catch_block
+            )
+        return False
+
+    def _contains_break(self, stmt: ast.Stmt) -> bool:
+        if isinstance(stmt, ast.Break):
+            return True
+        if isinstance(stmt, ast.Block):
+            return any(self._contains_break(s) for s in stmt.statements)
+        if isinstance(stmt, ast.If):
+            if self._contains_break(stmt.then_branch):
+                return True
+            return stmt.else_branch is not None and self._contains_break(
+                stmt.else_branch
+            )
+        if isinstance(stmt, ast.TryCatch):
+            return self._contains_break(stmt.try_block) or self._contains_break(
+                stmt.catch_block
+            )
+        # break inside a nested loop binds to that loop.
+        return False
+
+
+def check_program(program: ast.Program) -> ClassTable:
+    """Build the class table, check ``program``, and raise on any error."""
+    table = ClassTable(program)
+    checker = TypeChecker(table)
+    errors = checker.check()
+    if errors:
+        summary = "\n".join(str(e) for e in errors)
+        first = errors[0]
+        raise TypeError_(
+            f"{len(errors)} type error(s):\n{summary}", first.position
+        )
+    return table

@@ -1,0 +1,85 @@
+"""The MJ type system.
+
+MJ has primitives ``int``, ``boolean``, ``void``; reference types (classes,
+``String``, arrays); and the ``null`` type, which is a subtype of every
+reference type.  Subtyping between classes is resolved against a class
+table (see :mod:`repro.lang.symbols`) because it needs the inheritance
+hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class for all MJ types.  Types are immutable values."""
+
+    def is_reference(self) -> bool:
+        return False
+
+    def is_primitive(self) -> bool:
+        return not self.is_reference() and self is not VOID
+
+
+@dataclass(frozen=True)
+class PrimitiveType(Type):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = PrimitiveType("int")
+BOOLEAN = PrimitiveType("boolean")
+VOID = PrimitiveType("void")
+
+
+@dataclass(frozen=True)
+class ClassType(Type):
+    """A user-defined class or the builtin ``Object``/``String`` classes."""
+
+    name: str
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return self.name
+
+
+OBJECT = ClassType("Object")
+STRING = ClassType("String")
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.element}[]"
+
+
+@dataclass(frozen=True)
+class NullType(Type):
+    """The type of the ``null`` literal."""
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "null"
+
+
+NULL = NullType()
+
+
+def array_of(element: Type, dimensions: int = 1) -> Type:
+    """Wrap ``element`` in ``dimensions`` levels of array type."""
+    result = element
+    for _ in range(dimensions):
+        result = ArrayType(result)
+    return result

@@ -1,0 +1,35 @@
+"""System dependence graphs: nodes, control deps, and two build modes."""
+
+from repro.sdg.controldeps import block_control_deps, instruction_control_deps
+from repro.sdg.nodes import (
+    EdgeKind,
+    ParamNode,
+    StmtNode,
+    SDGNode,
+    THIN_KINDS,
+    TRADITIONAL_KINDS,
+    is_statement,
+    node_line,
+    node_position,
+)
+from repro.sdg.export import sdg_to_dot, slice_to_dot
+from repro.sdg.sdg import SDG, SDGBudgetExceeded, build_sdg
+
+__all__ = [
+    "EdgeKind",
+    "ParamNode",
+    "SDG",
+    "SDGBudgetExceeded",
+    "SDGNode",
+    "StmtNode",
+    "THIN_KINDS",
+    "TRADITIONAL_KINDS",
+    "block_control_deps",
+    "build_sdg",
+    "instruction_control_deps",
+    "is_statement",
+    "node_line",
+    "node_position",
+    "sdg_to_dot",
+    "slice_to_dot",
+]

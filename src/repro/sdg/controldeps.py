@@ -1,0 +1,86 @@
+"""Control dependence via post-dominance frontiers (Ferrante et al.).
+
+A block ``w`` is control dependent on the branch ending block ``u`` when
+``u`` has a successor edge into a region that ``w`` post-dominates while
+``w`` does not post-dominate ``u`` itself.  We compute this per function
+on the CFG including exceptional successors (so catch blocks come out
+control dependent on their try region), using a virtual exit node that
+all returning/throwing blocks reach.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import IRFunction
+from repro.ir.dominance import compute_dominators
+
+VIRTUAL_EXIT = -1
+
+
+def block_control_deps(function: IRFunction) -> dict[int, set[int]]:
+    """Map each block to the set of blocks whose terminator controls it."""
+    succs: dict[int, list[int]] = {}
+    exit_preds: list[int] = []
+    for block_id, block in function.blocks.items():
+        out = block.successors()
+        succs[block_id] = list(out)
+        term = block.terminator
+        if isinstance(term, (ins.Return, ins.Throw)) or not out:
+            succs[block_id] = list(out) + [VIRTUAL_EXIT]
+            exit_preds.append(block_id)
+    succs[VIRTUAL_EXIT] = []
+
+    # Post-dominance: dominance on the reversed CFG rooted at the exit.
+    reverse: dict[int, list[int]] = defaultdict(list)
+    for block_id, out in succs.items():
+        for succ in out:
+            reverse[succ].append(block_id)
+    for block_id in succs:
+        reverse.setdefault(block_id, [])
+    pdom = compute_dominators(VIRTUAL_EXIT, dict(reverse))
+
+    deps: dict[int, set[int]] = {b: set() for b in function.blocks}
+    for u, out in succs.items():
+        if u == VIRTUAL_EXIT or len(out) < 2:
+            continue
+        for v in out:
+            if v == VIRTUAL_EXIT:
+                continue
+            # Walk the post-dominator tree from v up to ipdom(u).
+            stop = pdom.idom.get(u)
+            runner: int | None = v
+            seen: set[int] = set()
+            while (
+                runner is not None
+                and runner != stop
+                and runner != VIRTUAL_EXIT
+                and runner not in seen
+            ):
+                seen.add(runner)
+                if runner in deps:
+                    deps[runner].add(u)
+                runner = pdom.idom.get(runner)
+    return deps
+
+
+def instruction_control_deps(
+    function: IRFunction,
+) -> dict[ins.Instruction, set[ins.Instruction]]:
+    """Map each instruction to the branch instructions controlling it."""
+    block_deps = block_control_deps(function)
+    result: dict[ins.Instruction, set[ins.Instruction]] = {}
+    for block_id, controlling in block_deps.items():
+        if not controlling:
+            continue
+        controllers = set()
+        for controller_block in controlling:
+            term = function.blocks[controller_block].terminator
+            if term is not None:
+                controllers.add(term)
+        if not controllers:
+            continue
+        for instr in function.blocks[block_id].instructions:
+            result[instr] = set(controllers)
+    return result

@@ -1,0 +1,65 @@
+"""Slicing: thin and traditional, context-insensitive and -sensitive."""
+
+from repro.slicing.engine import SliceResult, Slicer, Traversal, backward_bfs
+from repro.slicing.forward import (
+    ForwardSlicer,
+    forward_thin_slicer,
+    forward_traditional_slicer,
+)
+from repro.slicing.expansion import (
+    AliasExplanation,
+    ControlExplanation,
+    ExpansionState,
+    control_explainers,
+    expand_once,
+    expand_to_fixpoint,
+    explain_aliasing,
+    thin_closure,
+    traditional_closure,
+)
+from repro.slicing.inspection import (
+    Comparison,
+    InspectionResult,
+    compare,
+    count_inspected,
+)
+from repro.slicing.tabulation import (
+    TabulationBudgetExceeded,
+    TabulationSlicer,
+    THIN_SAME_LEVEL,
+    TRADITIONAL_SAME_LEVEL,
+)
+from repro.slicing.thin import ExpandedThinSlicer, ThinSlicer, make_thin_slicer
+from repro.slicing.traditional import TraditionalSlicer, make_traditional_slicer
+
+__all__ = [
+    "AliasExplanation",
+    "ForwardSlicer",
+    "forward_thin_slicer",
+    "forward_traditional_slicer",
+    "Comparison",
+    "ControlExplanation",
+    "ExpandedThinSlicer",
+    "ExpansionState",
+    "InspectionResult",
+    "SliceResult",
+    "Slicer",
+    "TabulationBudgetExceeded",
+    "TabulationSlicer",
+    "THIN_SAME_LEVEL",
+    "TRADITIONAL_SAME_LEVEL",
+    "ThinSlicer",
+    "TraditionalSlicer",
+    "Traversal",
+    "backward_bfs",
+    "compare",
+    "control_explainers",
+    "count_inspected",
+    "expand_once",
+    "expand_to_fixpoint",
+    "explain_aliasing",
+    "make_thin_slicer",
+    "make_traditional_slicer",
+    "thin_closure",
+    "traditional_closure",
+]

@@ -1,0 +1,107 @@
+"""The simulated-user inspection metric of §6.1.
+
+A task is (seed statement, desired statements).  The simulated user
+explores the slice in breadth-first order over the technique's own
+dependence graph — statements closer to the seed first, as a CodeSurfer
+user would browse — and the cost of the task is the number of distinct
+source lines inspected when the *last* desired line is discovered.
+
+Relevant control dependences are pre-determined per task (the paper does
+this manually) and the same allowance is added to both techniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.slicing.engine import Slicer
+
+
+@dataclass
+class InspectionResult:
+    """Outcome of simulating a user exploring one slice."""
+
+    inspected: int  # lines read until every desired line was found
+    found_all: bool
+    order: list[int]  # full inspection order (lines)
+    desired: frozenset[int]
+    control_allowance: int = 0
+
+    @property
+    def total_slice_lines(self) -> int:
+        return len(self.order)
+
+
+def count_inspected(
+    slicer: Slicer,
+    seed_line: int | list[int],
+    desired_lines: set[int],
+    control_allowance: int = 0,
+) -> InspectionResult:
+    """BFS from the seed(s); count lines until all desired lines are seen.
+
+    ``seed_line`` may be a list: per §4.2/§6.1, when a task's relevant
+    control dependences were pre-determined, the user also thin-slices
+    from those conditionals, so their lines join the seed set (for both
+    techniques, keeping the comparison apples-to-apples).
+    """
+    if isinstance(seed_line, int):
+        result = slicer.slice_from_line(seed_line)
+    else:
+        result = slicer.slice_from_lines(seed_line)
+    order = result.traversal.lines()
+    desired = frozenset(desired_lines)
+    remaining = set(desired)
+    inspected = 0
+    for rank, line in enumerate(order, start=1):
+        remaining.discard(line)
+        if not remaining:
+            inspected = rank
+            break
+    found_all = not remaining
+    if not found_all:
+        inspected = len(order)
+    return InspectionResult(
+        inspected=inspected + control_allowance,
+        found_all=found_all,
+        order=order,
+        desired=desired,
+        control_allowance=control_allowance,
+    )
+
+
+@dataclass
+class Comparison:
+    """Thin-vs-traditional inspection costs for one task (a table row)."""
+
+    task: str
+    thin: InspectionResult
+    traditional: InspectionResult
+    control: int
+
+    @property
+    def ratio(self) -> float:
+        if self.thin.inspected == 0:
+            return float("inf") if self.traditional.inspected else 1.0
+        return self.traditional.inspected / self.thin.inspected
+
+
+def compare(
+    task: str,
+    thin_slicer: Slicer,
+    traditional_slicer: Slicer,
+    seed_line: int | list[int],
+    desired_lines: set[int],
+    control_allowance: int = 0,
+) -> Comparison:
+    """Run both techniques on the same task (same seed, same targets)."""
+    return Comparison(
+        task=task,
+        thin=count_inspected(
+            thin_slicer, seed_line, desired_lines, control_allowance
+        ),
+        traditional=count_inspected(
+            traditional_slicer, seed_line, desired_lines, control_allowance
+        ),
+        control=control_allowance,
+    )

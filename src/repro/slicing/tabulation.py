@@ -1,0 +1,182 @@
+"""Context-sensitive slicing via tabulation (§5.3).
+
+Implements the Horwitz–Reps–Binkley two-phase backward slice over an SDG
+with heap parameters, using summary edges computed by the
+Reps–Horwitz–Sagiv–Rosay worklist algorithm.  Interprocedural edges are
+the parentheses of the partially balanced reachability problem:
+``PARAM_IN`` ascends to callers, ``PARAM_OUT`` descends into callees,
+and a summary edge short-circuits a callee with a same-level realizable
+path from one of its formal-ins to a formal-out.
+
+The *thin* context-sensitive variant uses the same machinery with
+producer-only same-level kinds (no BASE, no CONTROL), per §5.3.
+
+Summary computation is budgeted: exceeding ``max_path_edges`` raises
+:class:`TabulationBudgetExceeded`, reproducing the paper's observation
+that the context-sensitive traditional slicer does not scale to the
+larger benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.frontend import CompiledProgram
+from repro.ir import instructions as ins
+from repro.sdg.nodes import EdgeKind, ParamNode, SDGNode, StmtNode
+from repro.sdg.sdg import SDG
+from repro.slicing.engine import SliceResult, Traversal
+
+#: Same-level kinds for thin context-sensitive slicing.
+THIN_SAME_LEVEL = frozenset({EdgeKind.FLOW, EdgeKind.HEAP, EdgeKind.CATCH})
+
+#: Same-level kinds for traditional context-sensitive slicing.
+TRADITIONAL_SAME_LEVEL = THIN_SAME_LEVEL | {EdgeKind.BASE, EdgeKind.CONTROL}
+
+
+class TabulationBudgetExceeded(Exception):
+    """Summary computation outgrew its budget (the scalability wall)."""
+
+    def __init__(self, path_edges: int) -> None:
+        self.path_edges = path_edges
+        super().__init__(f"tabulation exceeded budget at {path_edges} path edges")
+
+
+def _site_of(node: SDGNode) -> int | None:
+    """The call-site uid a node belongs to, for actual-in/out matching."""
+    if isinstance(node, ParamNode) and node.role in ("actual_in", "actual_out"):
+        return node.site
+    if isinstance(node, StmtNode) and isinstance(node.instr, ins.Call):
+        return node.instr.uid
+    return None
+
+
+class TabulationSlicer:
+    """Two-phase context-sensitive backward slicer."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        sdg: SDG,
+        same_level: frozenset[EdgeKind] = TRADITIONAL_SAME_LEVEL,
+        max_path_edges: int | None = None,
+    ) -> None:
+        self.compiled = compiled
+        self.sdg = sdg
+        self.same_level = same_level
+        self.max_path_edges = max_path_edges
+        self.summaries: dict[SDGNode, set[SDGNode]] = defaultdict(set)
+        self.path_edge_count = 0
+        self._summaries_ready = False
+        # (formal_out, call site) -> actual-out style nodes at that site
+        self._aouts: dict[tuple[SDGNode, int], list[SDGNode]] = defaultdict(list)
+        for node in sdg.nodes:
+            site = _site_of(node)
+            if site is None:
+                continue
+            for dep, kind in sdg.dependencies(node):
+                if kind is EdgeKind.PARAM_OUT:
+                    self._aouts[(dep, site)].append(node)
+
+    # ------------------------------------------------------------------
+    # Summary edges
+    # ------------------------------------------------------------------
+
+    def compute_summaries(self) -> None:
+        if self._summaries_ready:
+            return
+        path_edges: set[tuple[SDGNode, SDGNode]] = set()
+        by_node: dict[SDGNode, set[SDGNode]] = defaultdict(set)
+        worklist: deque[tuple[SDGNode, SDGNode]] = deque()
+
+        def propagate(node: SDGNode, formal_out: SDGNode) -> None:
+            key = (node, formal_out)
+            if key in path_edges:
+                return
+            path_edges.add(key)
+            if (
+                self.max_path_edges is not None
+                and len(path_edges) > self.max_path_edges
+            ):
+                raise TabulationBudgetExceeded(len(path_edges))
+            by_node[node].add(formal_out)
+            worklist.append(key)
+
+        def add_summary(actual_out: SDGNode, actual_in: SDGNode) -> None:
+            if actual_in in self.summaries[actual_out]:
+                return
+            self.summaries[actual_out].add(actual_in)
+            for formal_out in list(by_node.get(actual_out, ())):
+                propagate(actual_in, formal_out)
+
+        for formal_out in self.sdg.formal_out.values():
+            propagate(formal_out, formal_out)
+
+        while worklist:
+            node, formal_out = worklist.popleft()
+            if isinstance(node, ParamNode) and node.role == "formal_in":
+                for actual_in, kind in self.sdg.dependencies(node):
+                    if kind is not EdgeKind.PARAM_IN:
+                        continue
+                    site = _site_of(actual_in)
+                    if site is None:
+                        continue
+                    for actual_out in self._aouts.get((formal_out, site), ()):
+                        add_summary(actual_out, actual_in)
+                continue
+            for dep, kind in self.sdg.dependencies(node):
+                if kind in self.same_level:
+                    propagate(dep, formal_out)
+            for actual_in in list(self.summaries.get(node, ())):
+                propagate(actual_in, formal_out)
+
+        self.path_edge_count = len(path_edges)
+        self._summaries_ready = True
+
+    # ------------------------------------------------------------------
+    # Two-phase slicing
+    # ------------------------------------------------------------------
+
+    def _neighbors(self, node: SDGNode, extra: EdgeKind):
+        for dep, kind in self.sdg.dependencies(node):
+            if kind in self.same_level or kind is extra:
+                yield dep
+        yield from self.summaries.get(node, ())
+
+    def _bfs(
+        self, seeds: list[SDGNode], extra: EdgeKind, traversal: Traversal
+    ) -> None:
+        queue: deque[SDGNode] = deque()
+        for seed in seeds:
+            if seed not in traversal.distance:
+                traversal.distance[seed] = 0
+                traversal.order.append(seed)
+            queue.append(seed)
+        while queue:
+            node = queue.popleft()
+            depth = traversal.distance[node]
+            for dep in self._neighbors(node, extra):
+                if dep in traversal.distance:
+                    continue
+                traversal.distance[dep] = depth + 1
+                traversal.order.append(dep)
+                queue.append(dep)
+
+    def slice_from_nodes(self, seeds: list[SDGNode]) -> SliceResult:
+        self.compute_summaries()
+        traversal = Traversal()
+        # Phase 1: ascend to callers (and same-level + summaries).
+        self._bfs(seeds, EdgeKind.PARAM_IN, traversal)
+        # Phase 2: descend into callees from everything phase 1 marked.
+        phase1_nodes = list(traversal.order)
+        self._bfs(phase1_nodes, EdgeKind.PARAM_OUT, traversal)
+        return SliceResult(seeds, traversal, self.compiled)
+
+    def seeds_at_line(self, line: int) -> list[SDGNode]:
+        seeds: list[SDGNode] = []
+        for instr in self.compiled.instructions_at_line(line):
+            seeds.extend(self.sdg.nodes_of_instruction(instr))
+        return seeds
+
+    def slice_from_line(self, line: int) -> SliceResult:
+        return self.slice_from_nodes(self.seeds_at_line(line))

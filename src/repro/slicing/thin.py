@@ -1,0 +1,93 @@
+"""The thin slicer (context-insensitive, §5.2).
+
+A thin slice follows only *producer* flow: SSA def-use of directly used
+variables, parameter/return value bindings, direct heap store→load
+edges, and throw→catch flow.  Base-pointer flow dependences and control
+dependences are excluded — they are *explainer* statements, recoverable
+on demand via :mod:`repro.slicing.expansion`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.pointsto import PointsToResult, solve_points_to
+from repro.frontend import CompiledProgram
+from repro.sdg.nodes import THIN_KINDS
+from repro.sdg.sdg import SDG, build_sdg
+from repro.slicing.engine import Slicer
+
+
+class ThinSlicer(Slicer):
+    """Computes thin slices over a direct-heap SDG."""
+
+    kinds = THIN_KINDS
+
+
+class ExpandedThinSlicer(Slicer):
+    """A thin slicer that exposes ``levels`` levels of aliasing
+    explainers: each path may cross at most ``levels`` base-pointer
+    edges, continuing with producer flow after each.
+
+    This is the configuration §6.2 uses for nanoxml-5 ("we ran the thin
+    slicer in a configuration that included statements explaining one
+    level of indirect aliasing").
+    """
+
+    kinds = THIN_KINDS
+
+    def __init__(self, compiled, sdg, levels: int = 1) -> None:
+        super().__init__(compiled, sdg)
+        self.levels = levels
+
+    def slice_from_nodes(self, seeds):
+        from collections import deque
+
+        from repro.sdg.nodes import EdgeKind
+        from repro.slicing.engine import SliceResult, Traversal
+
+        traversal = Traversal()
+        best: dict = {}  # node -> fewest base edges used to reach it
+        queue: deque = deque()
+        for seed in seeds:
+            if seed not in best:
+                best[seed] = 0
+                traversal.distance[seed] = 0
+                traversal.order.append(seed)
+                queue.append((seed, 0))
+        while queue:
+            node, used = queue.popleft()
+            depth = traversal.distance[node]
+            for dep, kind in self.sdg.dependencies(node):
+                if kind is EdgeKind.BASE:
+                    next_used = used + 1
+                    if next_used > self.levels:
+                        continue
+                elif kind in THIN_KINDS:
+                    next_used = used
+                else:
+                    continue
+                if dep in best and best[dep] <= next_used:
+                    continue
+                best[dep] = next_used
+                if dep not in traversal.distance:
+                    traversal.distance[dep] = depth + 1
+                    traversal.order.append(dep)
+                queue.append((dep, next_used))
+        return SliceResult(seeds, traversal, self.compiled)
+
+
+def make_thin_slicer(
+    compiled: CompiledProgram,
+    pts: PointsToResult | None = None,
+    sdg: SDG | None = None,
+) -> ThinSlicer:
+    """Build a thin slicer, running points-to/SDG construction if needed.
+
+    The SDG is built *with* control and base edges present (they are
+    simply not traversed), so the same graph can be shared with a
+    traditional slicer for apples-to-apples comparisons, as in §6.1.
+    """
+    if sdg is None:
+        if pts is None:
+            pts = solve_points_to(compiled.ir)
+        sdg = build_sdg(compiled, pts, heap_mode="direct", include_control=True)
+    return ThinSlicer(compiled, sdg)

@@ -1,0 +1,32 @@
+"""The traditional (full) slicer, context-insensitive variant.
+
+Follows every dependence: producer flow plus base-pointer flow and
+control dependences.  This is the baseline the paper compares thin
+slicing against (identical SDG, identical traversal — the only
+difference is the set of edge kinds followed)."""
+
+from __future__ import annotations
+
+from repro.analysis.pointsto import PointsToResult, solve_points_to
+from repro.frontend import CompiledProgram
+from repro.sdg.nodes import TRADITIONAL_KINDS
+from repro.sdg.sdg import SDG, build_sdg
+from repro.slicing.engine import Slicer
+
+
+class TraditionalSlicer(Slicer):
+    """Computes traditional backward slices over a direct-heap SDG."""
+
+    kinds = TRADITIONAL_KINDS
+
+
+def make_traditional_slicer(
+    compiled: CompiledProgram,
+    pts: PointsToResult | None = None,
+    sdg: SDG | None = None,
+) -> TraditionalSlicer:
+    if sdg is None:
+        if pts is None:
+            pts = solve_points_to(compiled.ir)
+        sdg = build_sdg(compiled, pts, heap_mode="direct", include_control=True)
+    return TraditionalSlicer(compiled, sdg)

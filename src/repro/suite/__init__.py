@@ -1,0 +1,5 @@
+"""Benchmark suite: MJ programs, injected bugs, and tough-cast registry."""
+
+from repro.suite.loader import load_source, load_stdlib, program_names
+
+__all__ = ["load_source", "load_stdlib", "program_names"]

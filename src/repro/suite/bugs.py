@@ -1,0 +1,360 @@
+"""Injected-bug registry — the suite's analog of the SIR bugs of §6.2.
+
+Each bug is a single-line rewrite of a tagged line of a suite program.
+The registry records, per bug, the SIR-style experimental protocol:
+
+* ``args`` — the test input that exposes the failure (running the fixed
+  program and the buggy program must differ: a crash or wrong output);
+* ``seed_marker`` — the failure point the user slices from;
+* ``desired_markers`` — the statements whose discovery completes the
+  debugging task (usually the injected line itself);
+* ``control_markers`` — pre-determined relevant conditionals the user
+  additionally thin-slices from (§4.2/§6.1 methodology); their count is
+  part of ``n_control``, which is added to both techniques' totals;
+* ``slicing_helpful`` — False for the xml-security-style bugs buried in
+  hash internals, which the paper excludes from Table 2;
+* ``needs_alias_expansion`` — the nanoxml-5 analog, measured with one
+  level of aliasing expansion enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.source import find_markers
+from repro.suite.loader import load_source
+
+
+@dataclass(frozen=True)
+class InjectedBug:
+    bug_id: str
+    program: str
+    marker: str  # tag of the line to rewrite
+    buggy_code: str  # replacement statement text (tag is re-appended)
+    seed_marker: str
+    desired_markers: tuple[str, ...]
+    args: tuple[str, ...]
+    n_control: int = 0
+    control_markers: tuple[str, ...] = ()
+    slicing_helpful: bool = True
+    needs_alias_expansion: bool = False
+    alias_levels: int = 1  # expansion depth when needs_alias_expansion
+    description: str = ""
+
+    def apply(self, source: str | None = None) -> str:
+        """Return the program text with this bug injected."""
+        if source is None:
+            source = load_source(self.program)
+        return _rewrite_marked_line(source, self.marker, self.buggy_code)
+
+
+def _rewrite_marked_line(source: str, marker: str, new_code: str) -> str:
+    tag = f"//@tag:{marker}"
+    lines = source.splitlines()
+    for index, line in enumerate(lines):
+        if tag in line and line.strip().startswith("//") is False:
+            indent = line[: len(line) - len(line.lstrip())]
+            lines[index] = f"{indent}{new_code}   {tag}"
+            return "\n".join(lines) + "\n"
+    raise KeyError(f"no code line tagged {marker}")
+
+
+_XML_INPUT = "<a id='42'><b>hi</b><c x='1'></c></a>"
+_XML_TEXT_INPUT = "<a id='7'><b>hi<c x='1'></c>yo</b></a>"
+_BUILD_SCRIPT = (
+    "prop name world; target lib = javac lib.java; "
+    "target app : lib = echo hello ${name}; target all : app lib = jar app.jar"
+)
+_SEC_DOC = "Hello XML  Security"
+_SEC_HASH = "7301"
+
+BUGS: dict[str, InjectedBug] = {}
+
+
+def _bug(**kwargs) -> None:
+    bug = InjectedBug(**kwargs)
+    BUGS[bug.bug_id] = bug
+
+
+# ---------------------------------------------------------------------------
+# minixml (nanoxml analog)
+# ---------------------------------------------------------------------------
+
+_bug(
+    bug_id="minixml-1",
+    program="minixml",
+    marker="childget",
+    buggy_code="return (XElement) children.get(i + 1);",
+    seed_marker="childget",
+    desired_markers=("childget",),
+    args=(_XML_INPUT,),
+    description="crash at the buggy statement itself (jtopas-1 style)",
+)
+
+_bug(
+    bug_id="minixml-2",
+    program="minixml",
+    marker="valuesub",
+    buggy_code="String value = input.substring(start, pos - 1);",
+    seed_marker="printid",
+    desired_markers=("valuesub",),
+    args=(_XML_INPUT,),
+    description="attribute value truncated; flows through HashMap",
+)
+
+_bug(
+    bug_id="minixml-3",
+    program="minixml",
+    marker="namesub",
+    buggy_code="String name = input.substring(start + 1, pos);",
+    seed_marker="closecheck",
+    desired_markers=("namesub",),
+    n_control=1,
+    args=(_XML_INPUT,),
+    description="element names mangled; mismatched-close-tag crash",
+)
+
+_bug(
+    bug_id="minixml-4",
+    program="minixml",
+    marker="appendtext",
+    buggy_code="text = s;",
+    seed_marker="printtext",
+    desired_markers=("appendtext",),
+    args=(_XML_TEXT_INPUT,),
+    description="text accumulation drops earlier chunks",
+)
+
+_bug(
+    bug_id="minixml-5",
+    program="minixml",
+    marker="aliastouch",
+    buggy_code="alias.reset();",
+    seed_marker="printid",
+    desired_markers=("reset", "aliastouch"),
+    n_control=1,
+    control_markers=("mapgetkey",),
+    args=(_XML_INPUT, "reset"),
+    needs_alias_expansion=True,
+    alias_levels=2,  # the HashMap's bucket-array->entry chain is 2 deep
+    description="attributes cleared through a registry alias (nanoxml-5)",
+)
+
+_bug(
+    bug_id="minixml-6",
+    program="minixml",
+    marker="attrstore",
+    buggy_code="element.setAttr(key, key);",
+    seed_marker="printid",
+    desired_markers=("attrstore",),
+    args=(_XML_INPUT,),
+    description="wrong variable stored as attribute value",
+)
+
+# ---------------------------------------------------------------------------
+# jtopas (tokenizer)
+# ---------------------------------------------------------------------------
+
+_bug(
+    bug_id="jtopas-1",
+    program="jtopas",
+    marker="firsttok",
+    buggy_code="Token first = tok.tokenAt(tok.count());",
+    seed_marker="firsttok",
+    desired_markers=("firsttok",),
+    args=('foo 12 + "bar baz" x9',),
+    description="out-of-range access fails at the buggy statement",
+)
+
+_bug(
+    bug_id="jtopas-2",
+    program="jtopas",
+    marker="numtok",
+    buggy_code="return new Token(WORD, text, start);",
+    seed_marker="printnums",
+    desired_markers=("numtok",),
+    n_control=1,
+    control_markers=("kindtest",),
+    args=('foo 12 + "bar baz" x9',),
+    description="numbers mis-tagged as words; counts wrong",
+)
+
+# ---------------------------------------------------------------------------
+# minibuild (ant analog)
+# ---------------------------------------------------------------------------
+
+_bug(
+    bug_id="minibuild-1",
+    program="minibuild",
+    marker="propval",
+    buggy_code="String value = rest.substring(0, sp).trim();",
+    seed_marker="printlog",
+    desired_markers=("propval",),
+    args=(_BUILD_SCRIPT,),
+    description="property value replaced by its key",
+)
+
+_bug(
+    bug_id="minibuild-2",
+    program="minibuild",
+    marker="expandkey",
+    buggy_code="String key = text.substring(i + 2, close + 1);",
+    seed_marker="printlog",
+    desired_markers=("expandkey",),
+    args=(_BUILD_SCRIPT,),
+    description="property reference parsed with the closing brace",
+)
+
+_bug(
+    bug_id="minibuild-3",
+    program="minibuild",
+    marker="clsjar",
+    buggy_code='if (text.startsWith("jar")) { return 7; }',
+    seed_marker="printlog",
+    desired_markers=("clsjar",),
+    n_control=12,
+    args=(_BUILD_SCRIPT,),
+    description="wrong category code in a 12-return classifier (ant-3)",
+)
+
+_bug(
+    bug_id="minibuild-4",
+    program="minibuild",
+    marker="tgtname",
+    buggy_code="name = head.substring(0, colon - 2).trim();",
+    seed_marker="lookup",
+    desired_markers=("tgtname",),
+    n_control=2,
+    control_markers=("mapgetkey",),
+    args=(_BUILD_SCRIPT,),
+    description="target name truncated; dependency lookup fails",
+)
+
+# ---------------------------------------------------------------------------
+# xmlsec (xml-security analog)
+# ---------------------------------------------------------------------------
+
+_bug(
+    bug_id="xmlsec-1",
+    program="xmlsec",
+    marker="check",
+    buggy_code="if (got.equals(expectedText)) {",
+    seed_marker="seedmismatch",
+    desired_markers=("check",),
+    n_control=1,
+    control_markers=("check",),
+    args=(_SEC_DOC, _SEC_HASH),
+    description="inverted verification check, adjacent to the failure",
+)
+
+_bug(
+    bug_id="xmlsec-2",
+    program="xmlsec",
+    marker="mixstep",
+    buggy_code="state = state * 29 + value;",
+    seed_marker="seedmismatch",
+    desired_markers=("mixstep",),
+    args=(_SEC_DOC, _SEC_HASH),
+    slicing_helpful=False,
+    description="mixing constant wrong, buried in hash internals",
+)
+
+_bug(
+    bug_id="xmlsec-3",
+    program="xmlsec",
+    marker="blockstep",
+    buggy_code="h = h * 130 + text.charAt(i).hashCode();",
+    seed_marker="seedmismatch",
+    desired_markers=("blockstep",),
+    args=(_SEC_DOC, _SEC_HASH),
+    slicing_helpful=False,
+    description="block hash constant wrong",
+)
+
+_bug(
+    bug_id="xmlsec-4",
+    program="xmlsec",
+    marker="padcalc",
+    buggy_code="return BLOCK - rem + 1;",
+    seed_marker="seedmismatch",
+    desired_markers=("padcalc",),
+    args=(_SEC_DOC, _SEC_HASH),
+    slicing_helpful=False,
+    description="padding computation off by one",
+)
+
+_bug(
+    bug_id="xmlsec-5",
+    program="xmlsec",
+    marker="mixseed",
+    buggy_code="state = seed + 1;",
+    seed_marker="seedmismatch",
+    desired_markers=("mixseed",),
+    args=(_SEC_DOC, _SEC_HASH),
+    slicing_helpful=False,
+    description="mixer seeded wrongly",
+)
+
+_bug(
+    bug_id="xmlsec-6",
+    program="xmlsec",
+    marker="canonspace",
+    buggy_code='if (!lastSpace) { out.append("  "); }',
+    seed_marker="seedmismatch",
+    desired_markers=("canonspace",),
+    args=(_SEC_DOC, _SEC_HASH),
+    slicing_helpful=False,
+    description="canonicalizer emits double spaces",
+)
+
+
+# ---------------------------------------------------------------------------
+# Derived helpers
+# ---------------------------------------------------------------------------
+
+
+def all_bugs() -> list[InjectedBug]:
+    return [BUGS[k] for k in sorted(BUGS)]
+
+
+def bugs_for_table2() -> list[InjectedBug]:
+    """The rows that appear in Table 2 (slicing-helpful bugs)."""
+    return [b for b in all_bugs() if b.slicing_helpful]
+
+
+def excluded_bugs() -> list[InjectedBug]:
+    """The xml-security-style bugs the paper excludes from Table 2."""
+    return [b for b in all_bugs() if not b.slicing_helpful]
+
+
+@dataclass
+class TaskLines:
+    """Marker names resolved against a concrete (buggy) source text."""
+
+    seed: int
+    desired: frozenset[int]
+    control_seeds: frozenset[int] = field(default_factory=frozenset)
+
+    def seed_lines(self) -> list[int]:
+        return [self.seed, *sorted(self.control_seeds)]
+
+
+def resolve_task(bug: InjectedBug, source: str) -> TaskLines:
+    """Resolve the bug's markers to line numbers in ``source``.
+
+    ``source`` must already contain the stdlib when control markers
+    reference it (compile with ``include_stdlib=True`` and use
+    ``compiled.source.text``).
+    """
+    markers = find_markers(source).get("tag", {})
+
+    def line_of(name: str) -> int:
+        if name not in markers:
+            raise KeyError(f"{bug.bug_id}: marker {name!r} not found")
+        return markers[name]
+
+    return TaskLines(
+        seed=line_of(bug.seed_marker),
+        desired=frozenset(line_of(m) for m in bug.desired_markers),
+        control_seeds=frozenset(line_of(m) for m in bug.control_markers),
+    )

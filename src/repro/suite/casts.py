@@ -1,0 +1,275 @@
+"""Tough-cast registry — the suite's analog of the SPECjvm98 casts (§6.3).
+
+A *tough cast* is a downcast that a precise, scalable pointer analysis
+cannot verify — typically safe only because of a global invariant such
+as "constructors of AddNode always write op code 1".  Each task records:
+
+* ``cast_marker`` — the downcast line (the seed);
+* ``control_markers`` — the guarding conditionals the user follows
+  first (§6.3 walks Figure 5 this way: follow a control dependence from
+  the cast, then thin-slice the tag read);
+* ``desired_markers`` — the statements that show the cast cannot fail
+  (tag-field writes in constructors, or the single store site feeding a
+  homogeneous container);
+* ``n_control`` — control dependences charged to both techniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.source import find_markers
+
+
+@dataclass(frozen=True)
+class ToughCast:
+    cast_id: str
+    program: str
+    cast_marker: str
+    desired_markers: tuple[str, ...]
+    control_markers: tuple[str, ...] = ()
+    n_control: int = 0
+    description: str = ""
+
+
+CASTS: dict[str, ToughCast] = {}
+
+
+def _cast(**kwargs) -> None:
+    cast = ToughCast(**kwargs)
+    CASTS[cast.cast_id] = cast
+
+
+# --- raytrace (mtrt analog): dispatch casts guarded by kind tags -----------
+
+_cast(
+    cast_id="raytrace-1",
+    program="raytrace",
+    cast_marker="spherecast",
+    desired_markers=("shapekind", "spherector"),
+    control_markers=("kindtest",),
+    n_control=1,
+    description="Sphere downcast guarded by kind == 1",
+)
+
+_cast(
+    cast_id="raytrace-2",
+    program="raytrace",
+    cast_marker="wallcast",
+    desired_markers=("shapekind", "wallctor"),
+    control_markers=("kindtest",),
+    n_control=1,
+    description="Wall downcast on the else branch of the kind test",
+)
+
+# --- rules (jess analog) ----------------------------------------------------
+
+_cast(
+    cast_id="rules-1",
+    program="rules",
+    cast_marker="eqcast",
+    desired_markers=("condkind", "eqctor"),
+    control_markers=("condread",),
+    n_control=2,
+    description="EqCondition downcast guarded by kind == 1",
+)
+
+_cast(
+    cast_id="rules-2",
+    program="rules",
+    cast_marker="gtcast",
+    desired_markers=("condkind", "gtctor"),
+    control_markers=("condread",),
+    n_control=2,
+    description="GtCondition downcast guarded by kind == 2",
+)
+
+_cast(
+    cast_id="rules-3",
+    program="rules",
+    cast_marker="hascast",
+    desired_markers=("condkind", "hasctor"),
+    control_markers=("condread",),
+    n_control=2,
+    description="HasFactCondition downcast on the default branch",
+)
+
+_cast(
+    cast_id="rules-4",
+    program="rules",
+    cast_marker="assertcast",
+    desired_markers=("actkind", "assertctor"),
+    control_markers=("actread",),
+    n_control=2,
+    description="AssertAction downcast guarded by kind == 1",
+)
+
+_cast(
+    cast_id="rules-5",
+    program="rules",
+    cast_marker="printcast",
+    desired_markers=("actkind", "printctor"),
+    control_markers=("actread",),
+    n_control=2,
+    description="PrintAction downcast on the default branch",
+)
+
+_cast(
+    cast_id="rules-6",
+    program="rules",
+    cast_marker="factcast",
+    desired_markers=("newfact",),
+    description="facts Vector holds only Fact objects (single add site)",
+)
+
+# --- minijavac (javac analog): op-tagged AST nodes --------------------------
+
+_cast(
+    cast_id="minijavac-1",
+    program="minijavac",
+    cast_marker="evalconstcast",
+    desired_markers=("opwrite", "constctor"),
+    control_markers=("evalopread",),
+    n_control=1,
+    description="evaluator ConstNode cast, Figure 5 shape",
+)
+
+_cast(
+    cast_id="minijavac-2",
+    program="minijavac",
+    cast_marker="evaladdcast",
+    desired_markers=("opwrite", "addctor"),
+    control_markers=("evalopread",),
+    n_control=1,
+    description="evaluator AddNode cast",
+)
+
+_cast(
+    cast_id="minijavac-3",
+    program="minijavac",
+    cast_marker="genconstcast",
+    desired_markers=("opwrite", "constctor"),
+    control_markers=("genopread",),
+    n_control=1,
+    description="code generator ConstNode cast",
+)
+
+_cast(
+    cast_id="minijavac-4",
+    program="minijavac",
+    cast_marker="foldaddcast",
+    desired_markers=("opwrite", "addctor"),
+    control_markers=("foldopread",),
+    n_control=1,
+    description="constant folder AddNode cast",
+)
+
+# --- parsegen (jack analog): container-mediated casts -----------------------
+
+_cast(
+    cast_id="parsegen-1",
+    program="parsegen",
+    cast_marker="bodycast",
+    desired_markers=("addsym",),
+    description="production bodies hold only Symbols",
+)
+
+_cast(
+    cast_id="parsegen-2",
+    program="parsegen",
+    cast_marker="termcast",
+    desired_markers=("newterm", "putterm"),
+    description="terminal cache stores only Terminals under these keys",
+)
+
+_cast(
+    cast_id="parsegen-3",
+    program="parsegen",
+    cast_marker="nontermcast",
+    desired_markers=("newnonterm", "putnonterm"),
+    description="nonterminal cache stores only NonTerminals",
+)
+
+_cast(
+    cast_id="parsegen-4",
+    program="parsegen",
+    cast_marker="lookupcast",
+    desired_markers=("putterm", "putnonterm"),
+    description="symbol table stores only Symbols",
+)
+
+_cast(
+    cast_id="parsegen-5",
+    program="parsegen",
+    cast_marker="rulecast",
+    desired_markers=("splitsub",),
+    description="split() vectors hold only Strings",
+)
+
+_cast(
+    cast_id="parsegen-6",
+    program="parsegen",
+    cast_marker="wordcast",
+    desired_markers=("splitsub",),
+    description="split() vectors hold only Strings (word loop)",
+)
+
+_cast(
+    cast_id="parsegen-7",
+    program="parsegen",
+    cast_marker="ownersetcast",
+    desired_markers=("putfirst",),
+    description="FIRST map stores only Vectors",
+)
+
+_cast(
+    cast_id="parsegen-8",
+    program="parsegen",
+    cast_marker="symsetcast",
+    desired_markers=("putfirst",),
+    description="FIRST map stores only Vectors (body walk)",
+)
+
+_cast(
+    cast_id="parsegen-9",
+    program="parsegen",
+    cast_marker="nullcast",
+    desired_markers=("symkind", "nontermctor"),
+    control_markers=("nullkindtest",),
+    n_control=1,
+    description="NonTerminal cast after the kind == 1 break",
+)
+
+_cast(
+    cast_id="parsegen-10",
+    program="parsegen",
+    cast_marker="termnamecast",
+    desired_markers=("termfirst", "firstadd"),
+    description="FIRST sets hold only terminal-name Strings",
+)
+
+
+def all_casts() -> list[ToughCast]:
+    return [CASTS[k] for k in sorted(CASTS)]
+
+
+def casts_for_program(program: str) -> list[ToughCast]:
+    return [c for c in all_casts() if c.program == program]
+
+
+def resolve_cast_lines(
+    cast: ToughCast, source: str
+) -> tuple[int, frozenset[int], frozenset[int]]:
+    """(cast line, desired lines, control seed lines) in ``source``."""
+    markers = find_markers(source).get("tag", {})
+
+    def line_of(name: str) -> int:
+        if name not in markers:
+            raise KeyError(f"{cast.cast_id}: marker {name!r} not found")
+        return markers[name]
+
+    return (
+        line_of(cast.cast_marker),
+        frozenset(line_of(m) for m in cast.desired_markers),
+        frozenset(line_of(m) for m in cast.control_markers),
+    )

@@ -1,0 +1,247 @@
+"""Experiment harness: everything needed to regenerate Tables 1-3.
+
+This module contains the measurement logic; ``benchmarks/`` contains the
+pytest-benchmark entry points that print the tables.  Results are plain
+dataclasses so tests can assert the paper's qualitative claims (thin ≤
+traditional, object-sensitivity matters, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.analysis.pointsto import (
+    DEFAULT_CONTAINER_CLASSES,
+    PointsToResult,
+    solve_points_to,
+)
+from repro.frontend import CompiledProgram, compile_source
+from repro.interp.interpreter import run_program
+from repro.interp.values import ExecutionResult
+from repro.sdg.sdg import SDG, build_sdg
+from repro.slicing.inspection import InspectionResult, count_inspected
+from repro.slicing.thin import ExpandedThinSlicer, ThinSlicer
+from repro.slicing.traditional import TraditionalSlicer
+from repro.suite.bugs import InjectedBug, resolve_task
+from repro.suite.casts import ToughCast, resolve_cast_lines
+from repro.suite.loader import load_source
+
+SUITE_PROGRAMS = (
+    "minixml",
+    "jtopas",
+    "minibuild",
+    "xmlsec",
+    "rules",
+    "minijavac",
+    "parsegen",
+    "raytrace",
+)
+
+
+@dataclass
+class AnalysisBundle:
+    """Compiled program + points-to + shared SDG for one configuration."""
+
+    compiled: CompiledProgram
+    pts: PointsToResult
+    sdg: SDG
+    object_sensitive: bool
+
+    def thin_slicer(self, alias_levels: int = 0) -> ThinSlicer:
+        if alias_levels > 0:
+            return ExpandedThinSlicer(self.compiled, self.sdg, alias_levels)
+        return ThinSlicer(self.compiled, self.sdg)
+
+    def traditional_slicer(self) -> TraditionalSlicer:
+        return TraditionalSlicer(self.compiled, self.sdg)
+
+
+@lru_cache(maxsize=64)
+def _analyze_cached(source: str, filename: str, object_sensitive: bool) -> AnalysisBundle:
+    compiled = compile_source(source, filename, include_stdlib=True)
+    containers = DEFAULT_CONTAINER_CLASSES if object_sensitive else frozenset()
+    pts = solve_points_to(compiled.ir, containers=containers)
+    sdg = build_sdg(compiled, pts, heap_mode="direct", include_control=True)
+    return AnalysisBundle(compiled, pts, sdg, object_sensitive)
+
+
+def analyze_source(
+    source: str, filename: str, object_sensitive: bool = True
+) -> AnalysisBundle:
+    return _analyze_cached(source, filename, object_sensitive)
+
+
+def analyze_program(name: str, object_sensitive: bool = True) -> AnalysisBundle:
+    return analyze_source(load_source(name), f"{name}.mj", object_sensitive)
+
+
+# ---------------------------------------------------------------------------
+# Running programs (the SIR failure-exposure step)
+# ---------------------------------------------------------------------------
+
+
+def run_source(source: str, filename: str, args) -> ExecutionResult:
+    compiled = compile_source(source, filename, include_stdlib=True)
+    return run_program(compiled.ast, compiled.table, list(args))
+
+
+def bug_manifests(bug: InjectedBug) -> bool:
+    """True when the buggy variant visibly fails its test input."""
+    fixed = run_source(load_source(bug.program), bug.program, bug.args)
+    buggy = run_source(bug.apply(), bug.program, bug.args)
+    if fixed.failed:
+        raise AssertionError(f"{bug.bug_id}: fixed program fails its test")
+    return buggy.failed or buggy.output != fixed.output
+
+
+# ---------------------------------------------------------------------------
+# Table 2: debugging tasks
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BugMeasurement:
+    bug_id: str
+    thin: InspectionResult
+    traditional: InspectionResult
+    thin_noobj: InspectionResult
+    trad_noobj: InspectionResult
+    n_control: int
+
+    @property
+    def ratio(self) -> float:
+        if self.thin.inspected == 0:
+            return 1.0
+        return self.traditional.inspected / self.thin.inspected
+
+
+def measure_bug(bug: InjectedBug) -> BugMeasurement:
+    """Measure one Table 2 row (both sensitivities)."""
+    buggy_source = bug.apply()
+    results: dict[bool, tuple[InspectionResult, InspectionResult]] = {}
+    for object_sensitive in (True, False):
+        bundle = analyze_source(
+            buggy_source, f"{bug.bug_id}.mj", object_sensitive
+        )
+        task = resolve_task(bug, bundle.compiled.source.text)
+        seeds = task.seed_lines()
+        alias_levels = bug.alias_levels if bug.needs_alias_expansion else 0
+        thin = count_inspected(
+            bundle.thin_slicer(alias_levels), seeds, set(task.desired),
+            bug.n_control,
+        )
+        trad = count_inspected(
+            bundle.traditional_slicer(), seeds, set(task.desired),
+            bug.n_control,
+        )
+        results[object_sensitive] = (thin, trad)
+    thin, trad = results[True]
+    thin_no, trad_no = results[False]
+    return BugMeasurement(bug.bug_id, thin, trad, thin_no, trad_no, bug.n_control)
+
+
+# ---------------------------------------------------------------------------
+# Table 3: tough casts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CastMeasurement:
+    cast_id: str
+    thin: InspectionResult
+    traditional: InspectionResult
+    thin_noobj: InspectionResult
+    trad_noobj: InspectionResult
+    n_control: int
+    verified_by_pointer_analysis: bool
+
+    @property
+    def ratio(self) -> float:
+        if self.thin.inspected == 0:
+            return 1.0
+        return self.traditional.inspected / self.thin.inspected
+
+
+def cast_is_verified(bundle: AnalysisBundle, cast_line: int) -> bool:
+    """Would the points-to analysis alone prove this cast safe?
+
+    Mirrors the paper's definition of tough cast: verified iff every
+    abstract object reaching the cast source is a subtype of the target.
+    """
+    from repro.ir import instructions as ins
+    from repro.lang.types import ClassType
+
+    table = bundle.compiled.table
+    for instr in bundle.compiled.instructions_at_line(cast_line):
+        if not isinstance(instr, ins.Cast):
+            continue
+        target = instr.target_type
+        if not isinstance(target, ClassType):
+            continue
+        function = bundle.compiled.ir.function_of(instr).name
+        objs = bundle.pts.points_to(function, instr.src)
+        if not objs:
+            continue
+        for obj in objs:
+            if obj.kind != "object" or not table.is_subclass(
+                obj.class_name, target.name
+            ):
+                return False
+        return True
+    return False
+
+
+def measure_cast(cast: ToughCast) -> CastMeasurement:
+    results: dict[bool, tuple[InspectionResult, InspectionResult]] = {}
+    verified = False
+    for object_sensitive in (True, False):
+        bundle = analyze_program(cast.program, object_sensitive)
+        cast_line, desired, control_seeds = resolve_cast_lines(
+            cast, bundle.compiled.source.text
+        )
+        if object_sensitive:
+            verified = cast_is_verified(bundle, cast_line)
+        seeds = [cast_line, *sorted(control_seeds)]
+        thin = count_inspected(
+            bundle.thin_slicer(), seeds, set(desired), cast.n_control
+        )
+        trad = count_inspected(
+            bundle.traditional_slicer(), seeds, set(desired), cast.n_control
+        )
+        results[object_sensitive] = (thin, trad)
+    thin, trad = results[True]
+    thin_no, trad_no = results[False]
+    return CastMeasurement(
+        cast.cast_id, thin, trad, thin_no, trad_no, cast.n_control, verified
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1: benchmark characteristics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProgramStats:
+    program: str
+    classes: int
+    methods_reachable: int
+    call_graph_nodes: int
+    call_graph_edges: int
+    sdg_statements: int
+    sdg_edges: int
+
+
+def program_stats(name: str, object_sensitive: bool = True) -> ProgramStats:
+    bundle = analyze_program(name, object_sensitive)
+    graph = bundle.pts.call_graph
+    return ProgramStats(
+        program=name,
+        classes=len(bundle.compiled.table.classes),
+        methods_reachable=graph.function_count(),
+        call_graph_nodes=graph.node_count(),
+        call_graph_edges=graph.edge_count(),
+        sdg_statements=bundle.sdg.statement_count(),
+        sdg_edges=bundle.sdg.edge_count(),
+    )

@@ -1,0 +1,91 @@
+"""Synthetic MJ program generation for scalability experiments.
+
+The paper's §6.1 scalability story is about *growth*: how analysis and
+slicing costs behave as programs get bigger.  The suite programs are
+fixed-size, so this module manufactures well-typed MJ programs of
+parameterizable size with the structural features that matter — layered
+call chains, per-layer classes with fields, container traffic through
+Vectors, and a value that flows through every layer (so slices have
+real depth).
+
+``generate_layered_program(layers, width)`` produces roughly
+``layers * width`` classes and methods; the value printed at the end has
+flowed through every layer, making the final print a deep seed.
+"""
+
+from __future__ import annotations
+
+
+def generate_layered_program(layers: int, width: int = 3) -> str:
+    """A program with ``layers`` tiers of ``width`` worker classes.
+
+    Tier k's workers transform values produced by tier k-1, stash
+    intermediate results in a shared Vector, and pass the value up.  The
+    main method drives the chain and prints the result (tagged
+    ``//@tag:sink``) plus a value read back out of the container
+    (tagged ``//@tag:containersink``).
+    """
+    if layers < 1 or width < 1:
+        raise ValueError("layers and width must be positive")
+    parts: list[str] = []
+    for layer in range(layers):
+        for worker in range(width):
+            parts.append(_worker_class(layer, worker, width))
+    parts.append(_main_class(layers, width))
+    return "\n".join(parts)
+
+
+def _worker_class(layer: int, worker: int, width: int) -> str:
+    name = f"W{layer}_{worker}"
+    if layer == 0:
+        body = "return seed + %d;" % worker
+        call = ""
+    else:
+        # Each worker calls every worker of the previous layer and
+        # combines their results, creating a dense call structure.
+        calls = []
+        for prev in range(width):
+            calls.append(
+                f"total = total + new W{layer - 1}_{prev}().step(seed, log);"
+            )
+        call = " ".join(calls)
+        body = f"int total = 0; {call} return total + bias;"
+    return f"""
+class {name} {{
+  int bias;
+
+  {name}() {{
+    bias = {layer * width + worker};
+  }}
+
+  int step(int seed, Vector log) {{
+    log.add("{name}");
+    {body}
+  }}
+}}
+"""
+
+
+def _main_class(layers: int, width: int) -> str:
+    top_calls = " ".join(
+        f"result = result + new W{layers - 1}_{w}().step(start, log);"
+        for w in range(width)
+    )
+    return f"""
+class Main {{
+  static void main(String[] args) {{
+    int start = args.length + 1;
+    Vector log = new Vector();
+    int result = 0;
+    {top_calls}
+    print(result);                         //@tag:sink
+    print((String) log.get(0));            //@tag:containersink
+    print("steps: " + log.size());
+  }}
+}}
+"""
+
+
+def expected_sizes(layers: int, width: int) -> tuple[int, int]:
+    """(classes, methods) the generated program contains (plus Main)."""
+    return layers * width + 1, layers * width * 2 + 1

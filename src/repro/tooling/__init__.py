@@ -1,0 +1,5 @@
+"""Tooling on top of the slicers: dependence navigation and export."""
+
+from repro.tooling.navigator import LineStep, Navigator
+
+__all__ = ["LineStep", "Navigator"]

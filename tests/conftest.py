@@ -1,0 +1,50 @@
+"""Shared fixtures: compiled figure programs and analysis bundles.
+
+Everything heavy is session-scoped; the figure programs are tiny, so
+the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pointsto import solve_points_to
+from repro.frontend import compile_source
+from repro.sdg.sdg import build_sdg
+from repro.suite.loader import load_source
+
+
+def compile_and_analyze(source: str, filename: str = "<test>", stdlib: bool = False):
+    """Compile + points-to + direct SDG, for test bodies."""
+    compiled = compile_source(source, filename, include_stdlib=stdlib)
+    pts = solve_points_to(compiled.ir)
+    sdg = build_sdg(compiled, pts, heap_mode="direct", include_control=True)
+    return compiled, pts, sdg
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    source = load_source("figure1")
+    compiled, pts, sdg = compile_and_analyze(source, "figure1.mj", stdlib=True)
+    return source, compiled, pts, sdg
+
+
+@pytest.fixture(scope="session")
+def figure2():
+    source = load_source("figure2")
+    compiled, pts, sdg = compile_and_analyze(source, "figure2.mj", stdlib=False)
+    return source, compiled, pts, sdg
+
+
+@pytest.fixture(scope="session")
+def figure4():
+    source = load_source("figure4")
+    compiled, pts, sdg = compile_and_analyze(source, "figure4.mj", stdlib=True)
+    return source, compiled, pts, sdg
+
+
+@pytest.fixture(scope="session")
+def figure5():
+    source = load_source("figure5")
+    compiled, pts, sdg = compile_and_analyze(source, "figure5.mj", stdlib=False)
+    return source, compiled, pts, sdg

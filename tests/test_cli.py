@@ -1,0 +1,154 @@
+"""CLI tests (python -m repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestRun:
+    def test_run_suite_program(self, capsys):
+        code, out, err = run_cli(capsys, "run", "figure5")
+        assert code == 0
+        assert out.splitlines() == ["5", "20", "7"]
+
+    def test_run_with_args(self, capsys):
+        code, out, err = run_cli(capsys, "run", "figure1", "John Doe")
+        assert code == 0
+        assert "FIRST NAME: Joh" in out
+
+    def test_run_reports_uncaught_exception(self, capsys):
+        code, out, err = run_cli(capsys, "run", "figure4")
+        assert code == 1
+        assert "ClosedException" in err
+
+    def test_run_file_from_disk(self, capsys, tmp_path):
+        path = tmp_path / "hello.mj"
+        path.write_text(
+            'class Main { static void main(String[] args) { print("hey"); } }'
+        )
+        code, out, err = run_cli(capsys, "run", str(path))
+        assert code == 0
+        assert out.strip() == "hey"
+
+    def test_unknown_program_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "nope-nope"])
+
+
+class TestSlice:
+    def seed_line(self, name: str, tag: str) -> int:
+        from repro.lang.source import marker_line
+        from repro.suite.loader import load_source
+
+        return marker_line(load_source(name), "tag", tag)
+
+    def test_thin_slice_output(self, capsys):
+        line = self.seed_line("figure2", "seed")
+        code, out, err = run_cli(capsys, "slice", "figure2", "--line", str(line))
+        assert code == 0
+        assert "thin slice" in out
+        assert "new B()" in out
+        assert "new A()" not in out  # explainer excluded
+
+    def test_traditional_slice_output(self, capsys):
+        line = self.seed_line("figure2", "seed")
+        code, out, err = run_cli(
+            capsys, "slice", "figure2", "--line", str(line), "--traditional"
+        )
+        assert code == 0
+        assert "traditional slice" in out
+        assert "new A()" in out
+
+    def test_slice_on_empty_line_fails(self, capsys):
+        code, out, err = run_cli(capsys, "slice", "figure2", "--line", "1")
+        assert code == 1
+        assert "no statements" in err
+
+
+class TestWhyChopDot:
+    def lines(self, name, *tag_names):
+        from repro.lang.source import marker_line
+        from repro.suite.loader import load_source
+
+        source = load_source(name)
+        return [marker_line(source, "tag", t) for t in tag_names]
+
+    def test_why_shows_value_path(self, capsys):
+        buggy, seed = self.lines("figure1", "buggy", "seed")
+        code, out, err = run_cli(
+            capsys, "why", "figure1", "--source", str(buggy), "--sink", str(seed)
+        )
+        assert code == 0
+        assert "value flow" in out
+        assert "substring" in out
+        assert "elems" in out  # the path goes through the Vector
+
+    def test_why_reports_unreachable(self, capsys):
+        seed, buggy = self.lines("figure1", "seed", "buggy")
+        code, out, err = run_cli(
+            capsys, "why", "figure1", "--source", str(seed), "--sink", str(buggy)
+        )
+        assert code == 1
+        assert "no producer-flow path" in err
+
+    def test_chop_lists_corridor(self, capsys):
+        buggy, seed = self.lines("figure1", "buggy", "seed")
+        code, out, err = run_cli(
+            capsys, "chop", "figure1", "--source", str(buggy), "--sink", str(seed)
+        )
+        assert code == 0
+        assert "thin chop" in out
+        assert "substring" in out
+
+    def test_chop_empty(self, capsys):
+        seed, buggy = self.lines("figure1", "seed", "buggy")
+        code, out, err = run_cli(
+            capsys, "chop", "figure1", "--source", str(seed), "--sink", str(buggy)
+        )
+        assert code == 1
+        assert "empty chop" in err
+
+    def test_dot_full_graph(self, capsys):
+        code, out, err = run_cli(capsys, "dot", "figure2", "--no-stdlib")
+        assert code == 0
+        assert out.startswith("digraph sdg {")
+
+    def test_dot_slice_to_file(self, capsys, tmp_path):
+        from repro.lang.source import marker_line
+        from repro.suite.loader import load_source
+
+        seed = marker_line(load_source("figure2"), "tag", "seed")
+        target = tmp_path / "slice.dot"
+        code, out, err = run_cli(
+            capsys, "dot", "figure2", "--no-stdlib", "--line", str(seed),
+            "-o", str(target),
+        )
+        assert code == 0
+        assert target.exists()
+        assert "digraph" in target.read_text()
+
+
+class TestExplainAndStats:
+    def test_explain_shows_conditional(self, capsys):
+        from repro.lang.source import marker_line
+        from repro.suite.loader import load_source
+
+        source = load_source("figure4")
+        line = marker_line(source, "tag", "throw")
+        code, out, err = run_cli(capsys, "explain", "figure4", "--line", str(line))
+        assert code == 0
+        assert "!open" in out
+
+    def test_stats_reports_counts(self, capsys):
+        code, out, err = run_cli(capsys, "stats", "figure2", "--no-stdlib")
+        assert code == 0
+        assert "call graph nodes" in out
+        assert "SDG statements" in out

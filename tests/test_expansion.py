@@ -1,0 +1,130 @@
+"""Hierarchical expansion tests (§4): aliasing, control, convergence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import instructions as ins
+from repro.lang.source import find_markers
+from repro.slicing.expansion import (
+    control_explainers,
+    expand_once,
+    expand_to_fixpoint,
+    explain_aliasing,
+    thin_closure,
+    traditional_closure,
+    ExpansionState,
+)
+from repro.slicing.thin import ThinSlicer
+
+
+def tags(source: str) -> dict[str, int]:
+    return find_markers(source)["tag"]
+
+
+def instr_at(compiled, line: int, kind):
+    for instr in compiled.instructions_at_line(line):
+        if isinstance(instr, kind):
+            return instr
+    raise AssertionError(f"no {kind.__name__} at line {line}")
+
+
+class TestAliasExplanation:
+    """§4.1 on Figure 4: explaining why close() and isOpen() touch the
+    same File."""
+
+    def explanation(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        store = instr_at(compiled, t["close"], ins.FieldStore)
+        load = instr_at(compiled, t["isopen"], ins.FieldLoad)
+        return source, t, explain_aliasing(compiled, sdg, pts, load, store)
+
+    def test_common_objects_is_the_file(self, figure4):
+        source, t, explanation = self.explanation(figure4)
+        assert len(explanation.common_objects) == 1
+        (obj,) = explanation.common_objects
+        assert obj.class_name == "File"
+
+    def test_explanation_shows_file_flow(self, figure4):
+        source, t, explanation = self.explanation(figure4)
+        lines = explanation.lines()
+        for name in ("allocfile", "addfile", "getg", "geth", "closecall"):
+            assert t[name] in lines, name
+
+    def test_explanation_filters_unrelated_allocations(self, figure4):
+        # The Vector allocation itself does not carry the File object
+        # (the paper: "note line 16 is still omitted, as it does not
+        # touch the File object").
+        source, t, explanation = self.explanation(figure4)
+        assert t["allocvec"] not in explanation.lines()
+
+    def test_both_base_slices_nonempty(self, figure4):
+        source, t, explanation = self.explanation(figure4)
+        assert explanation.load_base_slice.order
+        assert explanation.store_base_slice.order
+
+
+class TestControlExplanation:
+    def test_throw_is_controlled_by_open_test(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        throw = instr_at(compiled, t["throw"], ins.Throw)
+        explanation = control_explainers(sdg, throw)
+        assert explanation.conditionals
+        # The governing conditional is the '!open' branch on the seed line.
+        assert t["seed"] in explanation.lines()
+
+    def test_unconditional_statement_has_no_explainers(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        alloc = instr_at(compiled, t["allocfile"], ins.New)
+        explanation = control_explainers(sdg, alloc)
+        assert explanation.conditionals == []
+
+    def test_figure5_cast_controlled_by_op_test(self, figure5):
+        source, compiled, pts, sdg = figure5
+        t = tags(source)
+        cast = instr_at(compiled, t["cast"], ins.Cast)
+        explanation = control_explainers(sdg, cast)
+        # The guard is the 'op == 1' branch, which lives on its if line.
+        assert explanation.conditionals
+
+
+class TestConvergence:
+    """Expanding a thin slice repeatedly yields the traditional slice."""
+
+    @pytest.mark.parametrize("fixture", ["figure1", "figure2", "figure4", "figure5"])
+    def test_fixpoint_equals_traditional(self, fixture, request):
+        source, compiled, pts, sdg = request.getfixturevalue(fixture)
+        t = tags(source)
+        seed_line = t.get("seed", t.get("cast"))
+        seeds = ThinSlicer(compiled, sdg).seeds_at_line(seed_line)
+        final = expand_to_fixpoint(sdg, seeds)
+        expected = traditional_closure(sdg, seeds)
+        assert final.nodes == expected
+
+    def test_expansion_is_monotone(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        seeds = ThinSlicer(compiled, sdg).seeds_at_line(t["seed"])
+        state = ExpansionState(nodes=thin_closure(sdg, seeds))
+        for _ in range(5):
+            nxt = expand_once(sdg, state)
+            assert state.nodes <= nxt.nodes
+            state = nxt
+
+    def test_first_round_adds_explainers(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        seeds = ThinSlicer(compiled, sdg).seeds_at_line(t["seed"])
+        initial = ExpansionState(nodes=thin_closure(sdg, seeds))
+        once = expand_once(sdg, initial)
+        assert once.frontier
+        assert once.rounds == 1
+
+    def test_thin_closure_smaller_than_traditional(self, figure1):
+        source, compiled, pts, sdg = figure1
+        t = tags(source)
+        seeds = ThinSlicer(compiled, sdg).seeds_at_line(t["seed"])
+        assert len(thin_closure(sdg, seeds)) < len(traditional_closure(sdg, seeds))

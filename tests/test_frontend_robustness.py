@@ -1,0 +1,97 @@
+"""Robustness: malformed input must fail with diagnostics, never crash.
+
+The frontend's contract is that *any* input string produces either a
+checked program or an :class:`MJError` subclass with a position — no
+``IndexError``/``AttributeError``/hangs.  Hypothesis throws random and
+adversarial text at each stage.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.lang.errors import MJError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program
+
+
+def _attempt(source: str) -> None:
+    try:
+        compile_source(source)
+    except MJError as err:
+        assert str(err)  # has a rendered message
+
+
+class TestAdversarialInputs:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "class",
+            "class A",
+            "class A {",
+            "class A {}}",
+            "class A { int }",
+            "class A { void m( }",
+            "class A { void m() { if } }",
+            "class A { void m() { x = ; } }",
+            "class A { void m() { return 1 + ; } }",
+            "class A { void m() { ((((( } }",
+            "class A extends A {}",
+            "class A { A() { super(); super(); } }",
+            'class A { void m() { "unterminated } }',
+            "class A { void m() { int int = 3; } }",
+            "class A { void m() { for (;;;;) {} } }",
+            "class 9A {}",
+            "int x = 5;",  # top-level statement
+            "class A { void m() { new int(); } }",
+            "class A { void m() { this.this = 1; } }",
+        ],
+    )
+    def test_bad_programs_raise_mj_errors(self, source):
+        with pytest.raises(MJError):
+            compile_source(source)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=80))
+def test_lexer_total_on_arbitrary_text(text):
+    try:
+        tokens = tokenize(text)
+        assert tokens[-1].kind.name == "EOF"
+    except MJError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet=st.sampled_from("class{}();= intvoidA b10+*"), max_size=60))
+def test_parser_total_on_token_soup(text):
+    try:
+        parse_program(text)
+    except MJError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet=st.sampled_from("classext{}();=intvoidABmxy 10+-*/"), max_size=100))
+def test_full_pipeline_total(text):
+    _attempt(text)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 30))
+def test_deeply_nested_expressions(depth):
+    expr = "1" + (" + (1" * depth) + ")" * depth
+    source = f"class A {{ static int m() {{ return {expr}; }} }}"
+    compiled = compile_source(source)
+    assert "A.m" in compiled.ir.functions
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 40))
+def test_deeply_nested_blocks(depth):
+    body = "{" * depth + " int x = 1; " + "}" * depth
+    source = f"class A {{ static void m() {{ {body} }} }}"
+    compiled = compile_source(source)
+    assert "A.m" in compiled.ir.functions

@@ -1,0 +1,245 @@
+"""Experiment-harness tests: the paper's qualitative claims must hold.
+
+These are the repo's guardrails for Tables 2 and 3: thin never inspects
+more than traditional, desired statements are found, the aggregate
+ratios are multi-fold, and the NoObjSens ablation degrades container-
+heavy tasks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.slicing.inspection import compare, count_inspected
+from repro.suite.bugs import BUGS, bugs_for_table2, excluded_bugs, resolve_task
+from repro.suite.casts import all_casts
+from repro.suite.harness import (
+    SUITE_PROGRAMS,
+    analyze_source,
+    measure_bug,
+    measure_cast,
+    program_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return {bug.bug_id: measure_bug(bug) for bug in bugs_for_table2()}
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return {cast.cast_id: measure_cast(cast) for cast in all_casts()}
+
+
+class TestTable2Claims:
+    def test_every_bug_found_by_both_techniques(self, table2):
+        for bug_id, m in table2.items():
+            assert m.thin.found_all, bug_id
+            assert m.traditional.found_all, bug_id
+
+    def test_thin_never_worse_than_traditional(self, table2):
+        for bug_id, m in table2.items():
+            if BUGS[bug_id].needs_alias_expansion:
+                # Aliasing rows run with blanket one/two-level expansion
+                # (the §6.2 nanoxml-5 configuration); over our deeper
+                # HashMap chains that lands near break-even rather than
+                # strictly below traditional.
+                assert m.thin.inspected <= m.traditional.inspected * 1.25, bug_id
+            else:
+                assert m.thin.inspected <= m.traditional.inspected, bug_id
+
+    def test_aggregate_ratio_is_multifold(self, table2):
+        total_thin = sum(m.thin.inspected for m in table2.values())
+        total_trad = sum(m.traditional.inspected for m in table2.values())
+        # The paper reports 3.3x on its debugging tasks; on our smaller
+        # programs the aggregate must still be well above 1.
+        assert total_trad / total_thin > 1.3
+
+    def test_trivial_bugs_cost_one(self, table2):
+        # jtopas-1 / minixml-1 crash at the buggy statement itself.
+        assert table2["jtopas-1"].thin.inspected == 1
+        assert table2["jtopas-1"].traditional.inspected == 1
+        assert table2["minixml-1"].thin.inspected == 1
+
+    def test_container_bug_has_large_ratio(self, table2):
+        # minixml-2 is the nanoxml-style bug flowing through containers.
+        assert table2["minixml-2"].ratio > 2.0
+
+    def test_thin_counts_are_manageable(self, table2):
+        # The paper: 11.5 statements on average (1..35) for thin.
+        for bug_id, m in table2.items():
+            assert m.thin.inspected <= 120, bug_id
+
+    def test_noobjsens_never_better(self, table2):
+        for bug_id, m in table2.items():
+            assert m.thin_noobj.inspected >= m.thin.inspected or not (
+                m.thin_noobj.found_all
+            ), bug_id
+
+    def test_noobjsens_degrades_some_container_task(self, table2):
+        degraded = [
+            bug_id
+            for bug_id, m in table2.items()
+            if m.thin_noobj.inspected > m.thin.inspected
+            or m.trad_noobj.inspected > m.traditional.inspected
+        ]
+        assert degraded, "object sensitivity made no difference anywhere"
+
+    def test_alias_expansion_bug_found_with_expansion(self, table2):
+        """nanoxml-5 pattern: a pure thin slice cannot reach the bug; the
+        aliasing-expansion configuration finds it at a cost comparable
+        to the traditional slicer (the paper's Vector-based scenario
+        beat traditional outright; our HashMap interposes one more
+        dereference level, landing near break-even)."""
+        m = table2["minixml-5"]
+        assert m.thin.found_all
+        assert m.thin.inspected <= m.traditional.inspected * 1.25
+        # Without expansion the bug is unreachable through producers.
+        bug = BUGS["minixml-5"]
+        bundle = analyze_source(bug.apply(), "m5-plain.mj", True)
+        task = resolve_task(bug, bundle.compiled.source.text)
+        plain = count_inspected(
+            bundle.thin_slicer(0), task.seed_lines(), set(task.desired)
+        )
+        assert not plain.found_all
+
+    def test_control_counts_match_registry(self, table2):
+        for bug_id, m in table2.items():
+            assert m.n_control == BUGS[bug_id].n_control
+
+    def test_ant3_pattern_has_many_control_deps(self, table2):
+        assert table2["minibuild-3"].n_control == 12
+
+
+class TestExcludedBugs:
+    def test_slicing_unhelpful_for_buried_hash_bugs(self):
+        """For the xmlsec-internals bugs thin slicing buys nothing: the
+        slice is (nearly) the whole hash pipeline either way — the
+        paper's reason for excluding these rows from Table 2."""
+        for bug in excluded_bugs():
+            bundle = analyze_source(bug.apply(), f"{bug.bug_id}.mj", True)
+            task = resolve_task(bug, bundle.compiled.source.text)
+            thin = count_inspected(
+                bundle.thin_slicer(), task.seed_lines(), set(task.desired)
+            )
+            trad = count_inspected(
+                bundle.traditional_slicer(), task.seed_lines(), set(task.desired)
+            )
+            # Thin offers no meaningful advantage on these tasks...
+            assert trad.inspected <= thin.inspected * 2, bug.bug_id
+            # ...because the thin slice already contains almost the whole
+            # pipeline that the traditional slice contains.
+            thin_lines = bundle.thin_slicer().slice_from_lines(
+                task.seed_lines()
+            ).lines
+            trad_lines = bundle.traditional_slicer().slice_from_lines(
+                task.seed_lines()
+            ).lines
+            assert len(thin_lines) >= 0.8 * len(trad_lines), bug.bug_id
+
+
+class TestTable3Claims:
+    def test_every_cast_explained_by_both(self, table3):
+        for cast_id, m in table3.items():
+            assert m.thin.found_all, cast_id
+            assert m.traditional.found_all, cast_id
+
+    def test_thin_never_worse(self, table3):
+        for cast_id, m in table3.items():
+            assert m.thin.inspected <= m.traditional.inspected, cast_id
+
+    def test_aggregate_ratio_exceeds_table2(self, table3):
+        total_thin = sum(m.thin.inspected for m in table3.values())
+        total_trad = sum(m.traditional.inspected for m in table3.values())
+        assert total_trad / total_thin > 1.5
+
+    def test_most_casts_are_tough(self, table3):
+        tough = [m for m in table3.values() if not m.verified_by_pointer_analysis]
+        assert len(tough) >= len(table3) // 2
+
+    def test_container_casts_degrade_without_objsens(self, table3):
+        parsegen = [m for cid, m in table3.items() if cid.startswith("parsegen")]
+        degraded = [
+            m
+            for m in parsegen
+            if m.thin_noobj.inspected > m.thin.inspected
+            or m.trad_noobj.inspected > m.traditional.inspected
+        ]
+        # The jack-style pattern: container-mediated casts suffer most.
+        assert len(degraded) >= 3
+
+    def test_thin_counts_manageable(self, table3):
+        # Paper: thin average 29.3, range 6-65.
+        for cast_id, m in table3.items():
+            assert m.thin.inspected <= 70, cast_id
+
+
+class TestTable1Stats:
+    @pytest.mark.parametrize("name", SUITE_PROGRAMS)
+    def test_stats_are_positive(self, name):
+        stats = program_stats(name)
+        assert stats.classes > 0
+        assert stats.methods_reachable > 0
+        assert stats.call_graph_nodes >= stats.methods_reachable
+        assert stats.sdg_statements > 0
+        assert stats.sdg_edges > 0
+
+    def test_cloning_inflates_call_graph_nodes(self):
+        sens = program_stats("parsegen", object_sensitive=True)
+        insens = program_stats("parsegen", object_sensitive=False)
+        assert sens.call_graph_nodes > insens.call_graph_nodes
+        assert sens.methods_reachable == insens.methods_reachable
+
+
+class TestInspectionMetric:
+    def test_count_starts_at_seed(self, figure2):
+        source, compiled, pts, sdg = figure2
+        from repro.lang.source import find_markers
+        from repro.slicing.thin import ThinSlicer
+
+        t = find_markers(source)["tag"]
+        slicer = ThinSlicer(compiled, sdg)
+        result = count_inspected(slicer, t["seed"], {t["seed"]})
+        assert result.inspected == 1
+        assert result.found_all
+
+    def test_missing_desired_reports_not_found(self, figure2):
+        source, compiled, pts, sdg = figure2
+        from repro.lang.source import find_markers
+        from repro.slicing.thin import ThinSlicer
+
+        t = find_markers(source)["tag"]
+        slicer = ThinSlicer(compiled, sdg)
+        # copyz is an explainer: never reached by a thin slice.
+        result = count_inspected(slicer, t["seed"], {t["copyz"]})
+        assert not result.found_all
+        assert result.inspected == result.total_slice_lines
+
+    def test_control_allowance_added(self, figure2):
+        source, compiled, pts, sdg = figure2
+        from repro.lang.source import find_markers
+        from repro.slicing.thin import ThinSlicer
+
+        t = find_markers(source)["tag"]
+        slicer = ThinSlicer(compiled, sdg)
+        base = count_inspected(slicer, t["seed"], {t["seed"]})
+        plus = count_inspected(slicer, t["seed"], {t["seed"]}, control_allowance=3)
+        assert plus.inspected == base.inspected + 3
+
+    def test_compare_produces_ratio(self, figure2):
+        source, compiled, pts, sdg = figure2
+        from repro.lang.source import find_markers
+        from repro.slicing.thin import ThinSlicer
+        from repro.slicing.traditional import TraditionalSlicer
+
+        t = find_markers(source)["tag"]
+        comparison = compare(
+            "fig2",
+            ThinSlicer(compiled, sdg),
+            TraditionalSlicer(compiled, sdg),
+            t["seed"],
+            {t["allocB"]},
+        )
+        assert comparison.ratio >= 1.0
+        assert comparison.thin.found_all

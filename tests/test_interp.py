@@ -1,0 +1,359 @@
+"""Interpreter semantics tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp.interpreter import Interpreter, run_program
+from repro.interp.values import ExecutionResult
+
+
+def run(source: str, args: list[str] | None = None, stdlib: bool = False,
+        max_steps: int = 500_000) -> ExecutionResult:
+    compiled = compile_source(source, include_stdlib=stdlib)
+    return Interpreter(compiled.ast, compiled.table, max_steps).run_main(args)
+
+
+def run_main_body(
+    body: str,
+    args: list[str] | None = None,
+    stdlib: bool = False,
+    max_steps: int = 500_000,
+):
+    return run(
+        "class Main { static void main(String[] args) { " + body + " } }",
+        args,
+        stdlib,
+        max_steps,
+    )
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        result = run_main_body("print(2 + 3 * 4 - 1);")
+        assert result.output == ["13"]
+
+    def test_division_truncates_toward_zero(self):
+        result = run_main_body("print(7 / 2); print(-7 / 2); print(7 / -2);")
+        assert result.output == ["3", "-3", "-3"]
+
+    def test_modulo_follows_dividend_sign(self):
+        result = run_main_body("print(7 % 3); print(-7 % 3); print(7 % -3);")
+        assert result.output == ["1", "-1", "1"]
+
+    def test_division_by_zero(self):
+        result = run_main_body("print(1 / 0);", stdlib=True)
+        assert result.error_class == "ArithmeticException"
+
+    def test_modulo_by_zero(self):
+        result = run_main_body("print(1 % 0);", stdlib=True)
+        assert result.error_class == "ArithmeticException"
+
+    def test_unary_minus(self):
+        assert run_main_body("int x = 5; print(-x);").output == ["-5"]
+
+    def test_comparisons(self):
+        result = run_main_body("print(1 < 2); print(2 <= 1); print(3 >= 3);")
+        assert result.output == ["true", "false", "true"]
+
+
+class TestBooleansAndControl:
+    def test_short_circuit_and_skips_rhs(self):
+        source = """
+        class Main {
+          static boolean boom() { print("boom"); return true; }
+          static void main(String[] args) {
+            boolean b = false && boom();
+            print(b);
+          }
+        }
+        """
+        result = run(source)
+        assert result.output == ["false"]
+
+    def test_short_circuit_or_skips_rhs(self):
+        source = """
+        class Main {
+          static boolean boom() { print("boom"); return false; }
+          static void main(String[] args) { print(true || boom()); }
+        }
+        """
+        assert run(source).output == ["true"]
+
+    def test_if_else(self):
+        body = "if (args.length > 0) { print(\"some\"); } else { print(\"none\"); }"
+        assert run_main_body(body, ["x"]).output == ["some"]
+        assert run_main_body(body, []).output == ["none"]
+
+    def test_while_loop(self):
+        body = "int i = 0; int s = 0; while (i < 5) { s += i; i++; } print(s);"
+        assert run_main_body(body).output == ["10"]
+
+    def test_for_with_break_continue(self):
+        body = (
+            "int s = 0; for (int i = 0; i < 10; i++) {"
+            " if (i == 3) { continue; } if (i == 6) { break; } s += i; }"
+            " print(s);"
+        )
+        assert run_main_body(body).output == [str(0 + 1 + 2 + 4 + 5)]
+
+    def test_nested_loop_break_binds_inner(self):
+        body = (
+            "int n = 0; for (int i = 0; i < 3; i++) {"
+            " for (int j = 0; j < 10; j++) { if (j == 1) { break; } n++; } }"
+            " print(n);"
+        )
+        assert run_main_body(body).output == ["3"]
+
+    def test_postfix_returns_old_value(self):
+        body = "int i = 5; print(i++); print(i); print(i--); print(i);"
+        assert run_main_body(body).output == ["5", "6", "6", "5"]
+
+
+class TestStrings:
+    def test_concat_with_coercion(self):
+        body = 'print("n=" + 3 + " b=" + true + " s=" + null);'
+        assert run_main_body(body).output == ["n=3 b=true s=null"]
+
+    def test_native_methods(self):
+        body = (
+            'String s = "Hello World";'
+            "print(s.length()); print(s.substring(6)); print(s.indexOf(\"o\"));"
+            "print(s.toUpperCase()); print(s.charAt(4));"
+        )
+        assert run_main_body(body).output == ["11", "World", "4", "HELLO WORLD", "o"]
+
+    def test_equals_vs_identity(self):
+        body = 'String a = "x" + 1; print(a.equals("x1")); print(a == "x1");'
+        result = run_main_body(body)
+        # MJ compares String == by content (documented deviation)
+        assert result.output == ["true", "true"]
+
+    def test_substring_out_of_range(self):
+        result = run_main_body('String s = "ab"; print(s.substring(0, 5));', stdlib=True)
+        assert result.error_class == "StringIndexOutOfBoundsException"
+
+    def test_native_on_null_receiver(self):
+        result = run_main_body("String s = null; print(s.length());", stdlib=True)
+        assert result.error_class == "NullPointerException"
+
+    def test_hash_code_is_java_compatible(self):
+        assert run_main_body('print("Ab".hashCode());').output == [str(31 * 65 + 98)]
+
+
+class TestObjects:
+    def test_field_defaults(self):
+        source = """
+        class P { int x; boolean b; String s; }
+        class Main { static void main(String[] args) {
+          P p = new P(); print(p.x); print(p.b); print(p.s);
+        } }
+        """
+        assert run(source).output == ["0", "false", "null"]
+
+    def test_constructor_chain_runs_super_first(self):
+        source = """
+        class A { A() { print("A"); } }
+        class B extends A { B() { print("B"); } }
+        class Main { static void main(String[] args) { B b = new B(); } }
+        """
+        assert run(source).output == ["A", "B"]
+
+    def test_field_initializers_run_after_super(self):
+        source = """
+        class A { int base; A() { base = 1; } }
+        class B extends A { int twice = 10; B() { print(base + twice); } }
+        class Main { static void main(String[] args) { B b = new B(); } }
+        """
+        assert run(source).output == ["11"]
+
+    def test_virtual_dispatch(self):
+        source = """
+        class A { String who() { return "A"; } }
+        class B extends A { String who() { return "B"; } }
+        class Main { static void main(String[] args) {
+          A x = new B(); print(x.who());
+        } }
+        """
+        assert run(source).output == ["B"]
+
+    def test_inherited_method(self):
+        source = """
+        class A { int one() { return 1; } }
+        class B extends A {}
+        class Main { static void main(String[] args) { print(new B().one()); } }
+        """
+        assert run(source).output == ["1"]
+
+    def test_null_field_access_throws(self):
+        source = """
+        class P { int x; }
+        class Main { static void main(String[] args) {
+          P p = null; print(p.x);
+        } }
+        """
+        result = run(source, stdlib=True)
+        assert result.error_class == "NullPointerException"
+
+    def test_static_fields_shared(self):
+        source = """
+        class C { static int n; static void bump() { n++; } }
+        class Main { static void main(String[] args) {
+          C.bump(); C.bump(); print(C.n);
+        } }
+        """
+        assert run(source).output == ["2"]
+
+    def test_static_initializers_run_in_order(self):
+        source = """
+        class C { static int A = 2; static int B = A * 3; }
+        class Main { static void main(String[] args) { print(C.B); } }
+        """
+        assert run(source).output == ["6"]
+
+    def test_object_identity_equality(self):
+        source = """
+        class P {}
+        class Main { static void main(String[] args) {
+          P a = new P(); P b = new P(); P c = a;
+          print(a == b); print(a == c); print(a != b);
+        } }
+        """
+        assert run(source).output == ["false", "true", "true"]
+
+
+class TestArrays:
+    def test_array_read_write(self):
+        body = "int[] a = new int[3]; a[1] = 7; print(a[1]); print(a[0]); print(a.length);"
+        assert run_main_body(body).output == ["7", "0", "3"]
+
+    def test_out_of_bounds(self):
+        result = run_main_body("int[] a = new int[2]; print(a[2]);", stdlib=True)
+        assert result.error_class == "ArrayIndexOutOfBoundsException"
+
+    def test_negative_index(self):
+        result = run_main_body("int[] a = new int[2]; a[-1] = 0;", stdlib=True)
+        assert result.error_class == "ArrayIndexOutOfBoundsException"
+
+    def test_negative_size(self):
+        result = run_main_body("int[] a = new int[0 - 3];", stdlib=True)
+        assert result.error_class == "NegativeArraySizeException"
+
+    def test_main_args_array(self):
+        assert run_main_body("print(args[1]);", ["a", "b"]).output == ["b"]
+
+
+class TestCastsAndInstanceof:
+    SOURCE = """
+    class A {}
+    class B extends A {}
+    class Main {
+      static void main(String[] args) {
+        A a = new B();
+        B b = (B) a;
+        print(a instanceof B);
+        print(a instanceof A);
+        A plain = new A();
+        print(plain instanceof B);
+        B bad = (B) plain;
+      }
+    }
+    """
+
+    def test_cast_and_instanceof(self):
+        result = run(self.SOURCE, stdlib=True)
+        assert result.output == ["true", "true", "false"]
+        assert result.error_class == "ClassCastException"
+
+    def test_null_cast_ok(self):
+        body = "Object o = null; String s = (String) o; print(s);"
+        assert run_main_body(body).output == ["null"]
+
+    def test_null_instanceof_false(self):
+        body = "Object o = null; print(o instanceof String);"
+        assert run_main_body(body).output == ["false"]
+
+
+class TestExceptions:
+    def test_throw_and_catch(self):
+        source = """
+        class E { String m; E(String m) { this.m = m; } }
+        class Main { static void main(String[] args) {
+          try { throw new E("boom"); } catch (E e) { print("caught " + e.m); }
+          print("after");
+        } }
+        """
+        assert run(source).output == ["caught boom", "after"]
+
+    def test_catch_matches_subtypes(self):
+        result = run_main_body(
+            "try { int x = 1 / 0; } catch (RuntimeException e) {"
+            ' print("caught " + e.getMessage()); }',
+            stdlib=True,
+        )
+        assert result.output == ["caught / by zero"]
+
+    def test_catch_type_mismatch_propagates(self):
+        source = """
+        class E1 { E1() {} }
+        class E2 { E2() {} }
+        class Main { static void main(String[] args) {
+          try { throw new E1(); } catch (E2 e) { print("wrong"); }
+        } }
+        """
+        result = run(source)
+        assert result.error_class == "E1"
+        assert result.output == []
+
+    def test_exception_unwinds_calls(self):
+        source = """
+        class E { E() {} }
+        class Main {
+          static void deep(int n) { if (n == 0) { throw new E(); } deep(n - 1); }
+          static void main(String[] args) {
+            try { deep(5); } catch (E e) { print("unwound"); }
+          }
+        }
+        """
+        assert run(source).output == ["unwound"]
+
+    def test_uncaught_reported(self):
+        result = run_main_body("int[] a = new int[1]; print(a[5]);", stdlib=True)
+        assert result.failed
+        assert "ArrayIndexOutOfBoundsException" in result.error
+
+
+class TestLimits:
+    def test_fuel_exhaustion(self):
+        result = run_main_body("while (true) { int x = 1; }", max_steps=10_000)
+        assert result.timed_out
+
+    def test_stack_overflow_becomes_mj_exception(self):
+        source = """
+        class Main {
+          static int inf(int n) { return inf(n + 1); }
+          static void main(String[] args) { print(inf(0)); }
+        }
+        """
+        result = run(source, stdlib=True)
+        assert result.error_class == "StackOverflowError"
+
+    def test_step_count_reported(self):
+        result = run_main_body("print(1);")
+        assert result.steps > 0
+
+
+class TestRunProgram:
+    def test_convenience_wrapper(self):
+        compiled = compile_source(
+            'class Main { static void main(String[] args) { print("hi"); } }'
+        )
+        result = run_program(compiled.ast, compiled.table)
+        assert result.output == ["hi"]
+        assert not result.failed
+
+    def test_program_without_main_raises(self):
+        compiled = compile_source("class A {}")
+        with pytest.raises(RuntimeError, match="no static main"):
+            run_program(compiled.ast, compiled.table)

@@ -1,0 +1,182 @@
+"""Property tests: MJ expression evaluation against a Python oracle.
+
+Random integer/boolean expression trees are rendered both as MJ source
+(evaluated by the full pipeline: lexer → parser → checker → interpreter)
+and as Python values, and must agree.  Division is generated with its
+Java semantics (truncation toward zero) mirrored on the oracle side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.interp.interpreter import run_program
+
+
+@dataclass(frozen=True)
+class Expr:
+    text: str
+    value: object  # int | bool
+
+
+def _trunc_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a < 0) == (b < 0) else -q
+
+
+def _trunc_mod(a: int, b: int) -> int:
+    return a - _trunc_div(a, b) * b
+
+
+_INT_LEAF = st.integers(min_value=0, max_value=99).map(
+    lambda n: Expr(str(n), n)
+)
+_BOOL_LEAF = st.booleans().map(lambda b: Expr("true" if b else "false", b))
+
+
+def _int_ops(children):
+    def combine(pair):
+        op, (a, b) = pair
+        if op == "+":
+            return Expr(f"({a.text} + {b.text})", a.value + b.value)
+        if op == "-":
+            return Expr(f"({a.text} - {b.text})", a.value - b.value)
+        if op == "*":
+            return Expr(f"({a.text} * {b.text})", a.value * b.value)
+        if op == "/":
+            if b.value == 0:
+                return Expr(f"({a.text} + {b.text})", a.value + b.value)
+            return Expr(f"({a.text} / {b.text})", _trunc_div(a.value, b.value))
+        if b.value == 0:
+            return Expr(f"({a.text} - {b.text})", a.value - b.value)
+        return Expr(f"({a.text} % {b.text})", _trunc_mod(a.value, b.value))
+
+    return st.tuples(
+        st.sampled_from("+-*/%"), st.tuples(children, children)
+    ).map(combine)
+
+
+def _neg(children):
+    return children.map(lambda e: Expr(f"(-{e.text})", -e.value))
+
+
+int_exprs = st.recursive(
+    _INT_LEAF, lambda c: st.one_of(_int_ops(c), _neg(c)), max_leaves=12
+)
+
+
+def _comparisons(ints):
+    def combine(pair):
+        op, (a, b) = pair
+        table = {
+            "<": a.value < b.value,
+            "<=": a.value <= b.value,
+            ">": a.value > b.value,
+            ">=": a.value >= b.value,
+            "==": a.value == b.value,
+            "!=": a.value != b.value,
+        }
+        return Expr(f"({a.text} {op} {b.text})", table[op])
+
+    return st.tuples(
+        st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+        st.tuples(ints, ints),
+    ).map(combine)
+
+
+def _bool_ops(children):
+    def combine(pair):
+        op, (a, b) = pair
+        if op == "&&":
+            return Expr(f"({a.text} && {b.text})", a.value and b.value)
+        return Expr(f"({a.text} || {b.text})", a.value or b.value)
+
+    return st.tuples(st.sampled_from(["&&", "||"]), st.tuples(children, children)).map(
+        combine
+    )
+
+
+def _nots(children):
+    return children.map(lambda e: Expr(f"(!{e.text})", not e.value))
+
+
+bool_exprs = st.recursive(
+    st.one_of(_BOOL_LEAF, _comparisons(int_exprs)),
+    lambda c: st.one_of(_bool_ops(c), _nots(c)),
+    max_leaves=10,
+)
+
+
+def _evaluate_in_mj(expr_text: str) -> str:
+    source = (
+        "class Main { static void main(String[] args) { "
+        f"print({expr_text}); "
+        "} }"
+    )
+    compiled = compile_source(source)
+    result = run_program(compiled.ast, compiled.table)
+    assert not result.failed, result.error
+    return result.output[0]
+
+
+def _python_render(value: object) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    return str(value)
+
+
+@settings(max_examples=150, deadline=None)
+@given(int_exprs)
+def test_integer_expressions_match_oracle(expr):
+    assert _evaluate_in_mj(expr.text) == _python_render(expr.value)
+
+
+@settings(max_examples=150, deadline=None)
+@given(bool_exprs)
+def test_boolean_expressions_match_oracle(expr):
+    assert _evaluate_in_mj(expr.text) == _python_render(expr.value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-50, 50), min_size=1, max_size=8))
+def test_accumulation_loop_matches_sum(values):
+    stores = " ".join(
+        f"a[{i}] = {v};" if v >= 0 else f"a[{i}] = 0 - {-v};"
+        for i, v in enumerate(values)
+    )
+    source = (
+        "class Main { static void main(String[] args) { "
+        f"int[] a = new int[{len(values)}]; {stores} "
+        "int s = 0; for (int i = 0; i < a.length; i++) { s += a[i]; } "
+        "print(s); } }"
+    )
+    compiled = compile_source(source)
+    result = run_program(compiled.ast, compiled.table)
+    assert result.output == [str(sum(values))]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet=st.sampled_from("abc "), max_size=12))
+def test_string_natives_match_python(text):
+    source = (
+        "class Main { static void main(String[] args) { "
+        "String s = args[0]; "
+        "print(s.length()); print(s.toUpperCase()); print(s.trim()); "
+        'print(s.indexOf("b")); print(s.contains("ab")); '
+        "} }"
+    )
+    compiled = compile_source(source)
+    result = run_program(compiled.ast, compiled.table, [text])
+    expected = [
+        str(len(text)),
+        text.upper(),
+        text.strip(),
+        str(text.find("b")),
+        "true" if "ab" in text else "false",
+    ]
+    assert result.output == expected

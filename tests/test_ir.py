@@ -1,0 +1,332 @@
+"""IR lowering, CFG structure, dominance, and SSA tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend import compile_source
+from repro.ir import instructions as ins
+from repro.ir.cfg import IRFunction
+from repro.ir.dominance import compute_dominators
+from repro.ir.printer import format_function
+from repro.ir.ssa import verify_ssa
+
+
+def compile_fn(source: str, name: str) -> IRFunction:
+    return compile_source(source).ir.functions[name]
+
+
+def instr_types(function: IRFunction) -> list[type]:
+    return [type(i) for i in function.instructions()]
+
+
+class TestLowering:
+    def test_simple_arithmetic(self):
+        fn = compile_fn(
+            "class A { static int m(int x) { return x * 2 + 1; } }", "A.m"
+        )
+        kinds = instr_types(fn)
+        assert kinds.count(ins.BinOp) == 2
+        assert kinds[-1] is ins.Return
+
+    def test_field_store_and_load(self):
+        fn = compile_fn(
+            "class A { int f; void m() { this.f = f + 1; } }", "A.m"
+        )
+        kinds = instr_types(fn)
+        assert ins.FieldLoad in kinds
+        assert ins.FieldStore in kinds
+
+    def test_static_field_access(self):
+        fn = compile_fn(
+            "class A { static int F; static void m() { F = F + 1; } }", "A.m"
+        )
+        kinds = instr_types(fn)
+        assert ins.StaticLoad in kinds and ins.StaticStore in kinds
+
+    def test_array_operations(self):
+        fn = compile_fn(
+            "class A { static int m(int[] a) { a[0] = 1; return a[0] + a.length; } }",
+            "A.m",
+        )
+        kinds = instr_types(fn)
+        assert ins.ArrayStore in kinds
+        assert ins.ArrayLoad in kinds
+        assert ins.ArrayLength in kinds
+
+    def test_postfix_increment_yields_old_value(self):
+        fn = compile_fn(
+            "class A { static int m(int x) { int y = x++; return y; } }", "A.m"
+        )
+        # old value moved out before the increment writes back
+        text = format_function(fn)
+        assert " + " in text
+
+    def test_new_object_emits_ctor_call(self):
+        fn = compile_fn("class A { static A m() { return new A(); } }", "A.m")
+        calls = [i for i in fn.instructions() if isinstance(i, ins.Call)]
+        assert len(calls) == 1
+        assert calls[0].kind == "special"
+        assert calls[0].method_name == "<init>"
+
+    def test_default_constructor_synthesized(self):
+        program = compile_source("class A { int f = 3; }").ir
+        ctor = program.functions["A.<init>"]
+        assert any(isinstance(i, ins.FieldStore) for i in ctor.instructions())
+
+    def test_implicit_super_call(self):
+        program = compile_source(
+            "class A { int x; } class B extends A { B() { x = 1; } }"
+        ).ir
+        ctor = program.functions["B.<init>"]
+        calls = [i for i in ctor.instructions() if isinstance(i, ins.Call)]
+        assert calls and calls[0].owner == "A" and calls[0].method_name == "<init>"
+
+    def test_explicit_super_call_args(self):
+        program = compile_source(
+            "class A { int x; A(int v) { x = v; } }"
+            "class B extends A { B() { super(42); } }"
+        ).ir
+        ctor = program.functions["B.<init>"]
+        calls = [i for i in ctor.instructions() if isinstance(i, ins.Call)]
+        assert len(calls[0].args) == 1
+
+    def test_clinit_generated_for_static_inits(self):
+        program = compile_source("class A { static int F = 7; }").ir
+        assert "A.<clinit>" in program.functions
+
+    def test_no_clinit_without_static_inits(self):
+        program = compile_source("class A { static int F; }").ir
+        assert "A.<clinit>" not in program.functions
+
+    def test_string_concat_marked(self):
+        fn = compile_fn(
+            'class A { static String m(int x) { return "v" + x; } }', "A.m"
+        )
+        binops = [i for i in fn.instructions() if isinstance(i, ins.BinOp)]
+        assert any(b.result_is_string for b in binops)
+
+    def test_int_add_not_marked_as_string(self):
+        fn = compile_fn("class A { static int m(int x) { return x + 1; } }", "A.m")
+        binops = [i for i in fn.instructions() if isinstance(i, ins.BinOp)]
+        assert all(not b.result_is_string for b in binops)
+
+    def test_var_decl_without_init_gets_default(self):
+        fn = compile_fn("class A { static int m() { int x; return x; } }", "A.m")
+        consts = [i for i in fn.instructions() if isinstance(i, ins.Const)]
+        assert any(c.value == 0 for c in consts)
+
+    def test_cast_and_instanceof(self):
+        fn = compile_fn(
+            "class B {} class A { static boolean m(Object o) {"
+            " B b = (B) o; return o instanceof B; } }",
+            "A.m",
+        )
+        kinds = instr_types(fn)
+        assert ins.Cast in kinds and ins.InstanceOf in kinds
+
+
+class TestControlFlow:
+    def test_if_produces_branch(self):
+        fn = compile_fn(
+            "class A { static int m(boolean b) { if (b) { return 1; } return 0; } }",
+            "A.m",
+        )
+        assert any(isinstance(i, ins.Branch) for i in fn.instructions())
+
+    def test_unreachable_code_pruned(self):
+        fn = compile_fn(
+            "class A { static int m() { return 1; } }",
+            "A.m",
+        )
+        # exactly one block: const + return
+        assert len(fn.blocks) == 1
+
+    def test_while_loop_structure(self):
+        fn = compile_fn(
+            "class A { static int m(int n) {"
+            " int s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; } }",
+            "A.m",
+        )
+        preds = fn.predecessors()
+        # the loop header has two predecessors (entry and back edge)
+        headers = [b for b, ps in preds.items() if len(ps) == 2]
+        assert headers
+
+    def test_break_jumps_to_exit(self):
+        fn = compile_fn(
+            "class A { static int m() {"
+            " int i = 0; while (true) { i++; if (i > 3) { break; } } return i; } }",
+            "A.m",
+        )
+        assert any(isinstance(i, ins.Branch) for i in fn.instructions())
+
+    def test_short_circuit_creates_blocks(self):
+        fn = compile_fn(
+            "class A { static boolean m(boolean a, boolean b) { return a && b; } }",
+            "A.m",
+        )
+        assert len(fn.blocks) >= 3
+
+    def test_try_region_records_blocks_and_exc_edges(self):
+        fn = compile_fn(
+            "class E { E() {} }"
+            "class A { static int m(boolean b) {"
+            " try { if (b) { throw new E(); } } catch (E e) { return 1; }"
+            " return 0; } }",
+            "A.m",
+        )
+        assert fn.try_regions
+        region = fn.try_regions[0]
+        assert region.blocks
+        for block_id in region.blocks:
+            if block_id in fn.blocks:
+                assert region.catch_block in fn.blocks[block_id].exc_successors
+
+    def test_every_block_is_terminated(self):
+        fn = compile_fn(
+            "class A { static void m(boolean b) { if (b) { print(1); } } }", "A.m"
+        )
+        for block in fn.blocks.values():
+            assert block.terminator is not None
+
+
+class TestDominance:
+    def test_entry_dominates_all(self):
+        succs = {0: [1, 2], 1: [3], 2: [3], 3: []}
+        dom = compute_dominators(0, succs)
+        for node in (1, 2, 3):
+            assert dom.dominates(0, node)
+
+    def test_diamond_idoms(self):
+        succs = {0: [1, 2], 1: [3], 2: [3], 3: []}
+        dom = compute_dominators(0, succs)
+        assert dom.idom[1] == 0
+        assert dom.idom[2] == 0
+        assert dom.idom[3] == 0
+
+    def test_diamond_frontier(self):
+        succs = {0: [1, 2], 1: [3], 2: [3], 3: []}
+        dom = compute_dominators(0, succs)
+        assert dom.frontier[1] == {3}
+        assert dom.frontier[2] == {3}
+
+    def test_loop_frontier_contains_header(self):
+        succs = {0: [1], 1: [2, 3], 2: [1], 3: []}
+        dom = compute_dominators(0, succs)
+        assert 1 in dom.frontier[2]
+
+    def test_strict_domination(self):
+        succs = {0: [1], 1: []}
+        dom = compute_dominators(0, succs)
+        assert dom.strictly_dominates(0, 1)
+        assert not dom.strictly_dominates(1, 1)
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 7),
+            st.lists(st.integers(0, 7), max_size=3),
+            max_size=8,
+        )
+    )
+    def test_idom_is_proper_ancestor_property(self, raw):
+        succs = {n: list(set(t)) for n, t in raw.items()}
+        succs.setdefault(0, [])
+        for targets in list(succs.values()):
+            for t in targets:
+                succs.setdefault(t, [])
+        dom = compute_dominators(0, succs)
+        for node, parent in dom.idom.items():
+            if parent is not None:
+                assert parent != node
+                assert dom.dominates(parent, node)
+
+
+_PROGRAMS = [
+    "class A { static int m(int x) { return x + 1; } }",
+    "class A { static int m(int n) { int s = 0;"
+    " for (int i = 0; i < n; i++) { s += i; } return s; } }",
+    "class A { int f; void m(int x) { if (x > 0) { f = x; } else { f = -x; } } }",
+    "class A { static int m(int n) { int i = 0;"
+    " while (i < n) { if (i % 2 == 0) { i += 2; } else { i++; } } return i; } }",
+    "class E { E() {} } class A { static int m(boolean b) {"
+    " int x = 0; try { if (b) { throw new E(); } x = 1; }"
+    " catch (E e) { x = 2; } return x; } }",
+]
+
+
+class TestSSA:
+    @pytest.mark.parametrize("source", _PROGRAMS)
+    def test_ssa_invariants_hold(self, source):
+        compiled = compile_source(source)
+        for function in compiled.ir.functions.values():
+            assert verify_ssa(function) == []
+
+    def test_phi_placed_at_join(self):
+        fn = compile_fn(
+            "class A { static int m(boolean b) {"
+            " int x = 1; if (b) { x = 2; } return x; } }",
+            "A.m",
+        )
+        phis = [i for i in fn.instructions() if isinstance(i, ins.Phi)]
+        assert len(phis) == 1
+        assert len(phis[0].operands) == 2
+
+    def test_loop_variable_gets_phi(self):
+        fn = compile_fn(
+            "class A { static int m(int n) { int i = 0;"
+            " while (i < n) { i = i + 1; } return i; } }",
+            "A.m",
+        )
+        phis = [i for i in fn.instructions() if isinstance(i, ins.Phi)]
+        assert any(p.dest.startswith("i~") for p in phis)
+
+    def test_dead_phis_pruned(self):
+        fn = compile_fn(
+            "class A { static int m(boolean b) {"
+            " int unused = 1; if (b) { unused = 2; } return 7; } }",
+            "A.m",
+        )
+        phis = [i for i in fn.instructions() if isinstance(i, ins.Phi)]
+        assert phis == []
+
+    def test_params_not_renamed_at_entry(self):
+        fn = compile_fn("class A { static int m(int x) { return x; } }", "A.m")
+        ret = fn.returns()[0]
+        assert ret.value == "x"
+
+    def test_each_var_defined_once(self):
+        fn = compile_fn(
+            "class A { static int m(int n) { int x = 0;"
+            " for (int i = 0; i < n; i++) { x = x + i; } return x; } }",
+            "A.m",
+        )
+        defs = [i.defined_var() for i in fn.instructions() if i.defined_var()]
+        assert len(defs) == len(set(defs))
+
+    def test_ssa_on_whole_stdlib(self):
+        compiled = compile_source("class Z {}", include_stdlib=True)
+        for function in compiled.ir.functions.values():
+            assert verify_ssa(function) == []
+
+
+class TestProgramIndex:
+    def test_function_of(self):
+        compiled = compile_source("class A { static int m() { return 1; } }")
+        instr = next(compiled.ir.functions["A.m"].instructions())
+        assert compiled.ir.function_of(instr).name == "A.m"
+
+    def test_instructions_at_line(self):
+        source = "class A {\n  static int m() {\n    return 1 + 2;\n  }\n}"
+        compiled = compile_source(source, "x.mj")
+        instrs = compiled.instructions_at_line(3)
+        assert instrs
+        assert all(i.position.line == 3 for i in instrs)
+
+    def test_entry_points(self):
+        compiled = compile_source(
+            "class A { static int F = 1; static void main(String[] a) {} }"
+        )
+        roots = compiled.ir.entry_points()
+        assert "A.<clinit>" in roots and "A.main" in roots

@@ -1,0 +1,194 @@
+"""Lexer unit and property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import KEYWORDS, TokenKind
+
+
+def kinds(text: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text: str) -> list[str]:
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_is_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        assert kinds("foo") == [TokenKind.IDENT]
+
+    def test_identifier_with_digits_and_underscores(self):
+        assert texts("foo_bar9") == ["foo_bar9"]
+
+    def test_int_literal(self):
+        tokens = tokenize("12345")
+        assert tokens[0].kind is TokenKind.INT_LITERAL
+        assert tokens[0].text == "12345"
+
+    def test_identifier_cannot_start_with_digit(self):
+        with pytest.raises(LexError):
+            tokenize("9abc")
+
+    @pytest.mark.parametrize("word,kind", sorted(KEYWORDS.items()))
+    def test_keywords(self, word, kind):
+        assert kinds(word) == [kind]
+
+    def test_keyword_prefix_is_identifier(self):
+        # 'classy' must not lex as 'class' + 'y'.
+        assert kinds("classy") == [TokenKind.IDENT]
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind is TokenKind.STRING_LITERAL
+        assert tokens[0].text == "hello world"
+
+    def test_string_escapes(self):
+        assert texts(r'"a\nb\tc\"d\\e"') == ["a\nb\tc\"d\\e"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_string_may_not_span_lines(self):
+        with pytest.raises(LexError):
+            tokenize('"abc\ndef"')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_char_literal_is_one_char_string(self):
+        tokens = tokenize("'x'")
+        assert tokens[0].kind is TokenKind.CHAR_LITERAL
+        assert tokens[0].text == "x"
+
+    def test_char_escape(self):
+        assert tokenize(r"'\n'")[0].text == "\n"
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("<=", TokenKind.LE),
+            (">=", TokenKind.GE),
+            ("==", TokenKind.EQ),
+            ("!=", TokenKind.NE),
+            ("&&", TokenKind.AND),
+            ("||", TokenKind.OR),
+            ("++", TokenKind.PLUS_PLUS),
+            ("--", TokenKind.MINUS_MINUS),
+            ("+=", TokenKind.PLUS_ASSIGN),
+            ("-=", TokenKind.MINUS_ASSIGN),
+        ],
+    )
+    def test_two_char_operators(self, text, kind):
+        assert kinds(text) == [kind]
+
+    def test_maximal_munch(self):
+        # '<=' lexes as one token, not '<' '='.
+        assert kinds("a<=b") == [TokenKind.IDENT, TokenKind.LE, TokenKind.IDENT]
+
+    def test_plus_plus_vs_plus(self):
+        assert kinds("a++ + b") == [
+            TokenKind.IDENT,
+            TokenKind.PLUS_PLUS,
+            TokenKind.PLUS,
+            TokenKind.IDENT,
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\n b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_line_comment_at_eof(self):
+        assert kinds("a // no newline") == [TokenKind.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_marker_comments_are_skipped(self):
+        assert kinds("x = 1; //@tag:seed") == [
+            TokenKind.IDENT,
+            TokenKind.ASSIGN,
+            TokenKind.INT_LITERAL,
+            TokenKind.SEMI,
+        ]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  bb\n ccc")
+        positions = [(t.position.line, t.position.column) for t in tokens[:-1]]
+        assert positions == [(1, 1), (2, 3), (3, 2)]
+
+    def test_filename_recorded(self):
+        token = tokenize("x", filename="foo.mj")[0]
+        assert token.position.filename == "foo.mj"
+
+    def test_position_after_block_comment(self):
+        tokens = tokenize("/* a\nb */ x")
+        assert tokens[0].position.line == 2
+
+
+_IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s not in KEYWORDS
+)
+
+
+class TestLexerProperties:
+    @given(st.lists(_IDENT, min_size=1, max_size=20))
+    def test_space_joined_idents_round_trip(self, names):
+        tokens = tokenize(" ".join(names))
+        assert [t.text for t in tokens[:-1]] == names
+        assert all(t.kind is TokenKind.IDENT for t in tokens[:-1])
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_int_literals_round_trip(self, value):
+        token = tokenize(str(value))[0]
+        assert token.kind is TokenKind.INT_LITERAL
+        assert int(token.text) == value
+
+    @given(
+        st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Lu", "Ll", "Nd", "Zs"),
+                max_codepoint=0x7E,
+            ),
+            max_size=30,
+        )
+    )
+    def test_string_literal_round_trip(self, content):
+        token = tokenize('"' + content + '"')[0]
+        assert token.kind is TokenKind.STRING_LITERAL
+        assert token.text == content
+
+    @given(st.lists(_IDENT, min_size=1, max_size=10))
+    def test_lexing_is_deterministic(self, names):
+        text = "(".join(names)
+        first = [(t.kind, t.text) for t in tokenize(text)]
+        second = [(t.kind, t.text) for t in tokenize(text)]
+        assert first == second

@@ -1,0 +1,229 @@
+"""Unit tests for the smaller supporting modules: source markers, the
+IR printer, runtime values, the heap model, native signatures, errors,
+and the frontend pipeline object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.heapmodel import (
+    ARGS_ARRAY_OBJECT,
+    AbstractObject,
+    FieldKey,
+    RetKey,
+    STRING_OBJECT,
+    VarKey,
+    make_object,
+)
+from repro.frontend import compile_source
+from repro.interp.values import (
+    ArrayValue,
+    ExecutionResult,
+    ObjectValue,
+    stringify,
+    values_equal,
+)
+from repro.ir.printer import format_function, format_program
+from repro.lang.errors import LexError, MJError, ParseError, TypeError_
+from repro.lang.source import Position, SourceFile, find_markers, marker_line
+from repro.lang.symbols import STRING_NATIVES
+from repro.lang.types import ArrayType, BOOLEAN, ClassType, INT, STRING, array_of
+
+
+class TestSource:
+    def test_position_ordering_and_str(self):
+        a = Position(1, 2, "f.mj")
+        b = Position(2, 1, "f.mj")
+        assert a < b
+        assert str(a) == "f.mj:1:2"
+
+    def test_source_file_line_text(self):
+        src = SourceFile("x.mj", "one\ntwo\nthree")
+        assert src.line_text(2) == "two"
+        assert src.line_text(99) == ""
+        assert src.line_text(0) == ""
+
+    def test_find_markers_by_kind(self):
+        text = "a //@tag:x\nb //@seed:y //@tag:z\n"
+        markers = find_markers(text)
+        assert markers["tag"] == {"x": 1, "z": 2}
+        assert markers["seed"] == {"y": 2}
+
+    def test_first_occurrence_wins(self):
+        text = "a //@tag:x\nb //@tag:x\n"
+        assert find_markers(text)["tag"]["x"] == 1
+
+    def test_marker_line_missing_raises(self):
+        with pytest.raises(KeyError, match="no //@tag:zzz"):
+            marker_line("a\n", "tag", "zzz")
+
+
+class TestErrors:
+    def test_message_includes_position(self):
+        err = MJError("boom", Position(3, 4, "f.mj"))
+        assert "f.mj:3:4" in str(err)
+
+    def test_message_without_position(self):
+        assert str(MJError("boom")) == "boom"
+
+    def test_hierarchy(self):
+        for cls in (LexError, ParseError, TypeError_):
+            assert issubclass(cls, MJError)
+
+
+class TestTypes:
+    def test_array_of_dimensions(self):
+        assert array_of(INT, 2) == ArrayType(ArrayType(INT))
+
+    def test_reference_predicates(self):
+        assert ClassType("A").is_reference()
+        assert ArrayType(INT).is_reference()
+        assert not INT.is_reference()
+        assert INT.is_primitive()
+        assert str(ArrayType(STRING)) == "String[]"
+
+
+class TestValues:
+    def test_stringify(self):
+        assert stringify(None) == "null"
+        assert stringify(True) == "true"
+        assert stringify(False) == "false"
+        assert stringify(3) == "3"
+        assert stringify("s") == "s"
+        obj = ObjectValue("Foo", {})
+        assert stringify(obj).startswith("Foo@")
+
+    def test_values_equal_reference_identity(self):
+        a = ObjectValue("A", {})
+        b = ObjectValue("A", {})
+        assert values_equal(a, a)
+        assert not values_equal(a, b)
+
+    def test_values_equal_int_vs_bool(self):
+        assert not values_equal(1, True)
+        assert not values_equal(0, False)
+
+    def test_array_value_len(self):
+        arr = ArrayValue([1, 2, 3])
+        assert len(arr) == 3
+
+    def test_execution_result_failed(self):
+        assert not ExecutionResult([], None).failed
+        assert ExecutionResult([], "E").failed
+        assert ExecutionResult([], None, timed_out=True).failed
+
+    def test_output_text(self):
+        assert ExecutionResult(["a", "b"]).output_text() == "a\nb"
+
+
+class TestHeapModel:
+    def test_keys_hashable_and_distinct(self):
+        obj = AbstractObject(1, "A", "object")
+        assert VarKey("f", "x") != VarKey("f", "y")
+        assert FieldKey(obj, "f") == FieldKey(obj, "f")
+        assert RetKey("f") != RetKey("g")
+
+    def test_str_renderings(self):
+        obj = AbstractObject(1, "A", "object", label="Main:5")
+        assert "A" in str(obj) and "Main:5" in str(obj)
+        assert "::x" in str(VarKey("F.m", "x"))
+        assert "ret(" in str(RetKey("F.m"))
+
+    def test_special_objects(self):
+        assert STRING_OBJECT.kind == "string"
+        assert ARGS_ARRAY_OBJECT.kind == "array"
+
+    def test_make_object_depth_cap(self):
+        ctx = AbstractObject(1, "A", "object")
+        for _ in range(5):
+            ctx = make_object(2, "B", "object", ctx, max_depth=2)
+        assert ctx.depth() <= 1  # context chains capped below max_depth
+
+
+class TestNativeTable:
+    def test_overloaded_arities_present(self):
+        assert ("substring", 1) in STRING_NATIVES
+        assert ("substring", 2) in STRING_NATIVES
+        assert ("indexOf", 1) in STRING_NATIVES
+        assert ("indexOf", 2) in STRING_NATIVES
+
+    def test_signature_types(self):
+        sig = STRING_NATIVES[("length", 0)]
+        assert sig.return_type == INT
+        sig = STRING_NATIVES[("concat", 1)]
+        assert sig.param_types == (STRING,)
+        assert sig.return_type == STRING
+
+    def test_predicate_natives_return_boolean(self):
+        for name in ("equals", "startsWith", "endsWith", "contains", "isEmpty"):
+            arity = 0 if name == "isEmpty" else 1
+            assert STRING_NATIVES[(name, arity)].return_type == BOOLEAN
+
+
+class TestPrinter:
+    SOURCE = (
+        "class A { int f;\n"
+        "  int m(int x) { if (x > 0) { f = x; } return f; } }"
+    )
+
+    def test_format_function_structure(self):
+        compiled = compile_source(self.SOURCE)
+        text = format_function(compiled.ir.functions["A.m"])
+        assert text.startswith("function A.m(this, x)")
+        assert "B0:" in text
+        assert "return" in text
+
+    def test_positions_flag(self):
+        compiled = compile_source(self.SOURCE)
+        text = format_function(compiled.ir.functions["A.m"], positions=True)
+        assert "; line 2" in text
+
+    def test_format_program_covers_all_functions(self):
+        compiled = compile_source(self.SOURCE)
+        text = format_program(compiled.ir)
+        assert "function A.m" in text
+        assert "function A.<init>" in text
+
+
+class TestFrontendPipeline:
+    def test_compiled_program_fields(self):
+        compiled = compile_source("class A { static void main(String[] a) {} }")
+        assert compiled.source.name == "<input>"
+        assert compiled.table.has_class("A")
+        assert "A.main" in compiled.dominators
+
+    def test_include_stdlib_appends_classes(self):
+        with_lib = compile_source("class Z {}", include_stdlib=True)
+        without = compile_source("class Z {}", include_stdlib=False)
+        assert with_lib.table.has_class("Vector")
+        assert not without.table.has_class("Vector")
+        # user line numbers are unchanged by the appended stdlib
+        assert with_lib.ast.classes[0].position.line == 1
+
+    def test_analyze_wrapper(self):
+        from repro import analyze
+
+        analyzed = analyze(
+            "class Main { static void main(String[] a) { print(1); } }",
+            include_stdlib=False,
+        )
+        result = analyzed.run()
+        assert result.output == ["1"]
+        assert analyzed.thin_slicer is not None
+        assert analyzed.traditional_slicer is not None
+
+
+class TestSliceResultViews:
+    def test_source_view_context_lines(self, figure2):
+        source, compiled, pts, sdg = figure2
+        from repro.lang.source import marker_line
+        from repro.slicing.thin import ThinSlicer
+
+        seed = marker_line(source, "tag", "seed")
+        result = ThinSlicer(compiled, sdg).slice_from_line(seed)
+        plain = result.source_view()
+        extended = result.source_view(context=1)
+        assert len(extended.splitlines()) > len(plain.splitlines())
+        # Slice lines are starred; context lines are not.
+        assert any(line.startswith("*") for line in extended.splitlines())
+        assert any(line.startswith(" ") for line in extended.splitlines())

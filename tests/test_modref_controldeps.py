@@ -1,0 +1,185 @@
+"""Mod-ref analysis and control dependence tests."""
+
+from __future__ import annotations
+
+from repro.analysis.modref import compute_modref, static_loc
+from repro.analysis.pointsto import solve_points_to
+from repro.frontend import compile_source
+from repro.ir import instructions as ins
+from repro.sdg.controldeps import block_control_deps, instruction_control_deps
+
+
+def analyze(source: str, stdlib: bool = False):
+    compiled = compile_source(source, include_stdlib=stdlib)
+    pts = solve_points_to(compiled.ir)
+    return compiled, pts, compute_modref(compiled.ir, pts)
+
+
+class TestModRef:
+    SOURCE = """
+    class Box { int v; }
+    class Main {
+      static void write(Box b) { b.v = 1; }
+      static int read(Box b) { return b.v; }
+      static void outer(Box b) { write(b); }
+      static void main(String[] args) {
+        Box b = new Box();
+        outer(b);
+        print(read(b));
+      }
+    }
+    """
+
+    def test_direct_mod(self):
+        compiled, pts, mr = analyze(self.SOURCE)
+        assert any(loc.field == "v" for loc in mr.local_mod["Main.write"])
+
+    def test_direct_ref(self):
+        compiled, pts, mr = analyze(self.SOURCE)
+        assert any(loc.field == "v" for loc in mr.local_ref["Main.read"])
+
+    def test_read_does_not_mod(self):
+        compiled, pts, mr = analyze(self.SOURCE)
+        assert not any(loc.field == "v" for loc in mr.mod.get("Main.read", ()))
+
+    def test_transitive_mod_through_call(self):
+        compiled, pts, mr = analyze(self.SOURCE)
+        assert any(loc.field == "v" for loc in mr.mod["Main.outer"])
+        assert not any(loc.field == "v" for loc in mr.local_mod.get("Main.outer", ()))
+
+    def test_main_sees_everything(self):
+        compiled, pts, mr = analyze(self.SOURCE)
+        assert any(loc.field == "v" for loc in mr.mod["Main.main"])
+        assert any(loc.field == "v" for loc in mr.ref["Main.main"])
+
+    def test_static_fields_tracked(self):
+        source = """
+        class G { static int N; }
+        class Main {
+          static void bump() { G.N = G.N + 1; }
+          static void main(String[] args) { bump(); print(G.N); }
+        }
+        """
+        compiled, pts, mr = analyze(source)
+        loc = static_loc("G", "N")
+        assert loc in mr.mod["Main.bump"]
+        assert loc in mr.ref["Main.bump"]
+        assert loc in mr.mod["Main.main"]
+
+    def test_array_writes_tracked(self):
+        source = """
+        class Main {
+          static void fill(int[] a) { a[0] = 1; }
+          static void main(String[] args) { fill(new int[2]); }
+        }
+        """
+        compiled, pts, mr = analyze(source)
+        assert any(loc.field == "[]" for loc in mr.mod["Main.fill"])
+
+    def test_heap_param_count(self):
+        compiled, pts, mr = analyze(self.SOURCE)
+        assert mr.heap_param_count("Main.main") >= 2
+
+    def test_recursive_functions_terminate(self):
+        source = """
+        class Box { int v; }
+        class Main {
+          static void ping(Box b, int n) { b.v = n; if (n > 0) { pong(b, n - 1); } }
+          static void pong(Box b, int n) { if (n > 0) { ping(b, n - 1); } }
+          static void main(String[] args) { ping(new Box(), 3); }
+        }
+        """
+        compiled, pts, mr = analyze(source)
+        assert any(loc.field == "v" for loc in mr.mod["Main.pong"])
+
+
+class TestControlDeps:
+    def function(self, source: str, name: str):
+        compiled = compile_source(source)
+        return compiled.ir.functions[name]
+
+    def test_if_branch_controls_then_block(self):
+        fn = self.function(
+            "class A { static int m(boolean b) {"
+            " int x = 0; if (b) { x = 1; } return x; } }",
+            "A.m",
+        )
+        deps = instruction_control_deps(fn)
+        stores = [
+            i
+            for i in fn.instructions()
+            if isinstance(i, ins.Const) and i.value == 1
+        ]
+        assert stores
+        controllers = deps.get(stores[0], set())
+        assert any(isinstance(c, ins.Branch) for c in controllers)
+
+    def test_straightline_code_has_no_control_deps(self):
+        fn = self.function(
+            "class A { static int m(int x) { int y = x + 1; return y; } }", "A.m"
+        )
+        assert instruction_control_deps(fn) == {}
+
+    def test_loop_body_controlled_by_loop_condition(self):
+        fn = self.function(
+            "class A { static int m(int n) { int s = 0;"
+            " while (n > 0) { s = s + n; n = n - 1; } return s; } }",
+            "A.m",
+        )
+        deps = instruction_control_deps(fn)
+        body_binops = [
+            i for i in fn.instructions() if isinstance(i, ins.BinOp) and i.op == "+"
+        ]
+        assert body_binops
+        assert deps.get(body_binops[0])
+
+    def test_return_after_if_not_controlled(self):
+        fn = self.function(
+            "class A { static int m(boolean b) {"
+            " int x = 0; if (b) { x = 1; } return x; } }",
+            "A.m",
+        )
+        deps = instruction_control_deps(fn)
+        final_return = fn.returns()[0]
+        assert final_return not in deps
+
+    def test_early_return_makes_suffix_control_dependent(self):
+        fn = self.function(
+            "class A { static int m(boolean b) {"
+            " if (b) { return 1; } print(2); return 0; } }",
+            "A.m",
+        )
+        deps = instruction_control_deps(fn)
+        prints = [
+            i for i in fn.instructions() if isinstance(i, ins.Call)
+        ]
+        assert prints and deps.get(prints[0])
+
+    def test_catch_block_control_dependent_on_region(self):
+        fn = self.function(
+            "class E { E() {} }"
+            "class A { static int m(boolean b) {"
+            " try { if (b) { throw new E(); } } catch (E e) { return 1; }"
+            " return 0; } }",
+            "A.m",
+        )
+        deps = block_control_deps(fn)
+        region = fn.try_regions[0]
+        assert deps.get(region.catch_block)
+
+    def test_nested_ifs_transitive(self):
+        fn = self.function(
+            "class A { static int m(boolean a, boolean b) {"
+            " int x = 0; if (a) { if (b) { x = 1; } } return x; } }",
+            "A.m",
+        )
+        deps = instruction_control_deps(fn)
+        const_one = [
+            i for i in fn.instructions() if isinstance(i, ins.Const) and i.value == 1
+        ][0]
+        # Directly controlled by the inner branch only; the outer branch
+        # controls the inner branch (transitivity lives in the SDG walk).
+        direct = deps[const_one]
+        assert len(direct) == 1
+        inner_branch = next(iter(direct))
+        assert deps.get(inner_branch)

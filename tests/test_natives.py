@@ -1,0 +1,120 @@
+"""Direct unit tests for the native String method implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp.natives import NativeFault, call_native
+
+
+def call(name, receiver, *args):
+    return call_native(name, receiver, list(args))
+
+
+class TestAccessors:
+    def test_length(self):
+        assert call("length", "") == 0
+        assert call("length", "abc") == 3
+
+    def test_char_at(self):
+        assert call("charAt", "abc", 1) == "b"
+
+    def test_char_at_out_of_range(self):
+        with pytest.raises(NativeFault) as info:
+            call("charAt", "abc", 3)
+        assert info.value.exc_class == "StringIndexOutOfBoundsException"
+
+    def test_char_at_negative(self):
+        with pytest.raises(NativeFault):
+            call("charAt", "abc", -1)
+
+    def test_is_empty(self):
+        assert call("isEmpty", "") is True
+        assert call("isEmpty", "x") is False
+
+
+class TestSubstring:
+    def test_two_arg(self):
+        assert call("substring", "hello", 1, 3) == "el"
+
+    def test_one_arg(self):
+        assert call("substring", "hello", 2) == "llo"
+
+    def test_empty_range(self):
+        assert call("substring", "hello", 2, 2) == ""
+
+    def test_begin_after_end(self):
+        with pytest.raises(NativeFault):
+            call("substring", "hello", 3, 2)
+
+    def test_end_past_length(self):
+        with pytest.raises(NativeFault):
+            call("substring", "hi", 0, 3)
+
+    def test_negative_begin(self):
+        with pytest.raises(NativeFault):
+            call("substring", "hi", -1, 1)
+
+
+class TestSearch:
+    def test_index_of(self):
+        assert call("indexOf", "banana", "an") == 1
+        assert call("indexOf", "banana", "z") == -1
+
+    def test_index_of_from(self):
+        assert call("indexOf", "banana", "an", 2) == 3
+
+    def test_index_of_negative_start_clamped(self):
+        assert call("indexOf", "banana", "b", -5) == 0
+
+    def test_last_index_of(self):
+        assert call("lastIndexOf", "banana", "an") == 3
+
+    def test_contains(self):
+        assert call("contains", "banana", "nan") is True
+        assert call("contains", "banana", "xyz") is False
+
+    def test_starts_ends_with(self):
+        assert call("startsWith", "hello", "he") is True
+        assert call("endsWith", "hello", "lo") is True
+        assert call("startsWith", "hello", "lo") is False
+
+
+class TestTransforms:
+    def test_trim(self):
+        assert call("trim", "  x  ") == "x"
+
+    def test_case(self):
+        assert call("toUpperCase", "aBc") == "ABC"
+        assert call("toLowerCase", "aBc") == "abc"
+
+    def test_concat(self):
+        assert call("concat", "ab", "cd") == "abcd"
+
+    def test_replace(self):
+        assert call("replace", "a-b-c", "-", "+") == "a+b+c"
+
+
+class TestComparison:
+    def test_equals(self):
+        assert call("equals", "x", "x") is True
+        assert call("equals", "x", "y") is False
+        assert call("equals", "x", None) is False
+
+    def test_compare_to(self):
+        assert call("compareTo", "a", "b") == -1
+        assert call("compareTo", "b", "a") == 1
+        assert call("compareTo", "a", "a") == 0
+
+    def test_hash_code_matches_java(self):
+        # Java: "hello".hashCode() == 99162322
+        assert call("hashCode", "hello") == 99162322
+
+    def test_hash_code_is_signed_32bit(self):
+        # A string whose Java hash is negative.
+        value = call("hashCode", "polygenelubricants")
+        assert value == -2147483648
+
+    def test_unknown_native(self):
+        with pytest.raises(NativeFault):
+            call("frobnicate", "x")

@@ -1,0 +1,278 @@
+"""Parser unit tests: program structure, statements, expressions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.types import ArrayType, ClassType, INT, VOID
+
+
+def parse_single_class(body: str) -> ast.ClassDecl:
+    return parse_program(f"class C {{ {body} }}").classes[0]
+
+
+def parse_stmts(body: str) -> list[ast.Stmt]:
+    cls = parse_single_class(f"void m() {{ {body} }}")
+    return cls.methods[0].body.statements
+
+
+class TestPrograms:
+    def test_empty_program(self):
+        assert parse_program("").classes == []
+
+    def test_class_with_extends(self):
+        cls = parse_program("class A extends B {}").classes[0]
+        assert cls.name == "A"
+        assert cls.superclass == "B"
+
+    def test_class_without_extends(self):
+        assert parse_program("class A {}").classes[0].superclass is None
+
+    def test_multiple_classes(self):
+        program = parse_program("class A {} class B {} class C {}")
+        assert [c.name for c in program.classes] == ["A", "B", "C"]
+
+    def test_field_declarations(self):
+        cls = parse_single_class("int x; static boolean flag; String s = \"hi\";")
+        assert [f.name for f in cls.fields] == ["x", "flag", "s"]
+        assert cls.fields[1].is_static
+        assert isinstance(cls.fields[2].init, ast.StringLit)
+
+    def test_final_field(self):
+        cls = parse_single_class("final int op;")
+        assert cls.fields[0].is_final
+
+    def test_method_signature(self):
+        cls = parse_single_class("static int f(int a, String b) { return a; }")
+        method = cls.methods[0]
+        assert method.is_static
+        assert method.return_type == INT
+        assert [p.name for p in method.params] == ["a", "b"]
+
+    def test_constructor_recognized(self):
+        cls = parse_program("class C { C(int x) {} }").classes[0]
+        assert cls.methods[0].is_constructor
+        assert cls.methods[0].name == "<init>"
+
+    def test_method_named_like_other_class_is_not_ctor(self):
+        cls = parse_program("class C { int D() { return 1; } }").classes[0]
+        assert not cls.methods[0].is_constructor
+
+    def test_array_types(self):
+        cls = parse_single_class("int[] a; String[][] b;")
+        assert cls.fields[0].declared_type == ArrayType(INT)
+        assert cls.fields[1].declared_type == ArrayType(ArrayType(ClassType("String")))
+
+    def test_void_return_type(self):
+        cls = parse_single_class("void m() {}")
+        assert cls.methods[0].return_type == VOID
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        (stmt,) = parse_stmts("int x = 5;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.name == "x"
+
+    def test_var_decl_array(self):
+        (stmt,) = parse_stmts("int[] xs = new int[3];")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.declared_type == ArrayType(INT)
+
+    def test_assignment(self):
+        (stmt,) = parse_stmts("x = 1;")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.op is None
+
+    def test_compound_assignment(self):
+        plus, minus = parse_stmts("x += 1; y -= 2;")
+        assert plus.op == "+"
+        assert minus.op == "-"
+
+    def test_field_assignment(self):
+        (stmt,) = parse_stmts("this.f = 1;")
+        assert isinstance(stmt.target, ast.FieldAccess)
+
+    def test_array_assignment(self):
+        (stmt,) = parse_stmts("a[i] = 1;")
+        assert isinstance(stmt.target, ast.ArrayAccess)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_stmts("1 + 2 = 3;")
+
+    def test_if_else(self):
+        (stmt,) = parse_stmts("if (x) { a = 1; } else { a = 2; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_branch is not None
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        (stmt,) = parse_stmts("if (a) if (b) x = 1; else x = 2;")
+        assert stmt.else_branch is None
+        inner = stmt.then_branch
+        assert isinstance(inner, ast.If)
+        assert inner.else_branch is not None
+
+    def test_while(self):
+        (stmt,) = parse_stmts("while (x) { y = 1; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_full(self):
+        (stmt,) = parse_stmts("for (int i = 0; i < n; i++) { s = s + i; }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert stmt.condition is not None
+        assert isinstance(stmt.update, ast.ExprStmt)
+
+    def test_for_empty_clauses(self):
+        (stmt,) = parse_stmts("for (;;) { break; }")
+        assert stmt.init is None and stmt.condition is None and stmt.update is None
+
+    def test_return_value_and_void(self):
+        ret_value, ret_void = parse_stmts("return 1; return;")
+        assert ret_value.value is not None
+        assert ret_void.value is None
+
+    def test_break_continue(self):
+        brk, cont = parse_stmts("break; continue;")
+        assert isinstance(brk, ast.Break)
+        assert isinstance(cont, ast.Continue)
+
+    def test_throw(self):
+        (stmt,) = parse_stmts("throw new E(\"m\");")
+        assert isinstance(stmt, ast.Throw)
+
+    def test_try_catch(self):
+        (stmt,) = parse_stmts("try { x = 1; } catch (E e) { y = 2; }")
+        assert isinstance(stmt, ast.TryCatch)
+        assert stmt.exc_name == "e"
+
+    def test_nested_blocks(self):
+        (stmt,) = parse_stmts("{ { x = 1; } }")
+        assert isinstance(stmt, ast.Block)
+
+    def test_missing_semicolon_is_error(self):
+        with pytest.raises(ParseError):
+            parse_stmts("x = 1")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_precedence_comparison_over_and(self):
+        expr = parse_expression("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_or_lower_than_and(self):
+        expr = parse_expression("a || b && c")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_left_associativity(self):
+        expr = parse_expression("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.Binary)
+        assert expr.left.op == "-"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_not_and_minus(self):
+        expr = parse_expression("!-x")
+        assert isinstance(expr, ast.Unary) and expr.op == "!"
+        assert isinstance(expr.operand, ast.Unary) and expr.operand.op == "-"
+
+    def test_cast(self):
+        expr = parse_expression("(String) x")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target_type == ClassType("String")
+
+    def test_cast_to_array(self):
+        expr = parse_expression("(Foo[]) x")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target_type == ArrayType(ClassType("Foo"))
+
+    def test_parenthesized_var_minus_is_not_cast(self):
+        expr = parse_expression("(a) - b")
+        assert isinstance(expr, ast.Binary) and expr.op == "-"
+
+    def test_cast_of_call(self):
+        expr = parse_expression("(Foo) list.get(0)")
+        assert isinstance(expr, ast.Cast)
+        assert isinstance(expr.expr, ast.Call)
+
+    def test_instanceof(self):
+        expr = parse_expression("x instanceof Foo")
+        assert isinstance(expr, ast.InstanceOf)
+        assert expr.class_name == "Foo"
+
+    def test_method_call_chain(self):
+        expr = parse_expression("a.b().c(1, 2)")
+        assert isinstance(expr, ast.Call) and expr.name == "c"
+        assert isinstance(expr.receiver, ast.Call)
+
+    def test_field_chain(self):
+        expr = parse_expression("a.b.c")
+        assert isinstance(expr, ast.FieldAccess) and expr.name == "c"
+        assert isinstance(expr.target, ast.FieldAccess)
+
+    def test_array_index_expression(self):
+        expr = parse_expression("a[i + 1]")
+        assert isinstance(expr, ast.ArrayAccess)
+        assert isinstance(expr.index, ast.Binary)
+
+    def test_new_object(self):
+        expr = parse_expression("new Foo(1, x)")
+        assert isinstance(expr, ast.New)
+        assert len(expr.args) == 2
+
+    def test_new_array(self):
+        expr = parse_expression("new int[10]")
+        assert isinstance(expr, ast.NewArray)
+        assert expr.element_type == INT
+
+    def test_new_array_of_objects(self):
+        expr = parse_expression("new Foo[n]")
+        assert isinstance(expr, ast.NewArray)
+        assert expr.element_type == ClassType("Foo")
+
+    def test_postfix_increment(self):
+        expr = parse_expression("x++")
+        assert isinstance(expr, ast.PostfixIncDec) and expr.op == "+"
+
+    def test_postfix_on_array_element(self):
+        expr = parse_expression("a[i]++")
+        assert isinstance(expr, ast.PostfixIncDec)
+        assert isinstance(expr.target, ast.ArrayAccess)
+
+    def test_postfix_requires_lvalue(self):
+        with pytest.raises(ParseError):
+            parse_expression("(a + b)++")
+
+    def test_this_and_null_and_booleans(self):
+        assert isinstance(parse_expression("this"), ast.This)
+        assert isinstance(parse_expression("null"), ast.NullLit)
+        assert parse_expression("true").value is True
+        assert parse_expression("false").value is False
+
+    def test_char_literal_is_string(self):
+        expr = parse_expression("'x'")
+        assert isinstance(expr, ast.StringLit)
+        assert expr.value == "x"
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            parse_expression("+")
+
+    def test_positions_recorded(self):
+        program = parse_program("class C {\n  int f;\n}")
+        assert program.classes[0].fields[0].position.line == 2

@@ -1,0 +1,63 @@
+"""Performance regression guards.
+
+Loose wall-clock bounds that catch accidental quadratic blow-ups in the
+analysis pipeline (e.g. an edge-dedup regression or a worklist that
+stops deduplicating).  Bounds are ~10x typical measured times, so they
+only fire on genuine regressions, not machine noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.pointsto import solve_points_to
+from repro.frontend import compile_source
+from repro.sdg.sdg import build_sdg
+from repro.slicing.thin import ThinSlicer
+from repro.suite.harness import SUITE_PROGRAMS
+from repro.suite.loader import load_source
+from repro.suite.synthetic import generate_layered_program
+
+
+def test_whole_suite_analysis_under_budget():
+    start = time.perf_counter()
+    for name in SUITE_PROGRAMS:
+        compiled = compile_source(load_source(name), name, include_stdlib=True)
+        pts = solve_points_to(compiled.ir)
+        build_sdg(compiled, pts)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 30, f"suite analysis took {elapsed:.1f}s (typical ~2s)"
+
+
+def test_synthetic_program_analysis_under_budget():
+    source = generate_layered_program(12, 6)  # ~2.8k SDG statements
+    start = time.perf_counter()
+    compiled = compile_source(source, "syn.mj", include_stdlib=True)
+    pts = solve_points_to(compiled.ir)
+    sdg = build_sdg(compiled, pts)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 15, f"synthetic analysis took {elapsed:.1f}s (typical ~0.5s)"
+
+
+def test_thousand_slices_under_budget():
+    compiled = compile_source(
+        load_source("minijavac"), "minijavac", include_stdlib=True
+    )
+    pts = solve_points_to(compiled.ir)
+    sdg = build_sdg(compiled, pts)
+    slicer = ThinSlicer(compiled, sdg)
+    lines = sorted(
+        {i.position.line for i in compiled.ir.all_instructions() if i.position.line}
+    )
+    start = time.perf_counter()
+    count = 0
+    while count < 1000:
+        for line in lines:
+            slicer.slice_from_line(line)
+            count += 1
+            if count >= 1000:
+                break
+    elapsed = time.perf_counter() - start
+    assert elapsed < 30, f"1000 slices took {elapsed:.1f}s (typical ~2s)"

@@ -1,0 +1,346 @@
+"""SDG construction tests: edge kinds, parameter nodes, heap modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.modref import compute_modref
+from repro.analysis.pointsto import solve_points_to
+from repro.frontend import compile_source
+from repro.ir import instructions as ins
+from repro.sdg.nodes import EdgeKind, ParamNode, StmtNode
+from repro.sdg.sdg import SDG, SDGBudgetExceeded, build_sdg
+
+
+def analyze(source: str, stdlib: bool = False, heap_mode: str = "direct"):
+    compiled = compile_source(source, include_stdlib=stdlib)
+    pts = solve_points_to(compiled.ir)
+    modref = compute_modref(compiled.ir, pts) if heap_mode == "params" else None
+    sdg = build_sdg(compiled, pts, heap_mode=heap_mode, modref=modref)
+    return compiled, pts, sdg
+
+
+def edges_of_kind(sdg: SDG, kind: EdgeKind):
+    for node, deps in sdg.deps.items():
+        for dep, k in deps:
+            if k is kind:
+                yield node, dep
+
+
+def node_for(sdg: SDG, instr):
+    nodes = sdg.nodes_of_instruction(instr)
+    assert nodes, f"no SDG node for {instr}"
+    return nodes[0]
+
+
+class TestLocalFlow:
+    SOURCE = """
+    class Box { Object f; }
+    class Main {
+      static void main(String[] args) {
+        Box b = new Box();
+        Object v = args;
+        b.f = v;
+        Object r = b.f;
+        print(r);
+      }
+    }
+    """
+
+    def test_flow_edges_follow_ssa_defuse(self):
+        compiled, pts, sdg = analyze(self.SOURCE)
+        assert any(True for _ in edges_of_kind(sdg, EdgeKind.FLOW))
+
+    def test_field_load_base_is_base_edge(self):
+        compiled, pts, sdg = analyze(self.SOURCE)
+        loads = [
+            i
+            for i in compiled.ir.functions["Main.main"].instructions()
+            if isinstance(i, ins.FieldLoad)
+        ]
+        node = node_for(sdg, loads[0])
+        kinds = {k for _, k in sdg.dependencies(node)}
+        assert EdgeKind.BASE in kinds
+        assert EdgeKind.HEAP in kinds
+
+    def test_heap_edge_links_load_to_store(self):
+        compiled, pts, sdg = analyze(self.SOURCE)
+        fn = compiled.ir.functions["Main.main"]
+        load = next(i for i in fn.instructions() if isinstance(i, ins.FieldLoad))
+        store = next(i for i in fn.instructions() if isinstance(i, ins.FieldStore))
+        deps = sdg.dependencies(node_for(sdg, load))
+        assert (node_for(sdg, store), EdgeKind.HEAP) in deps
+
+    def test_store_value_is_flow_edge(self):
+        compiled, pts, sdg = analyze(self.SOURCE)
+        fn = compiled.ir.functions["Main.main"]
+        store = next(i for i in fn.instructions() if isinstance(i, ins.FieldStore))
+        kinds = {k for _, k in sdg.dependencies(node_for(sdg, store))}
+        assert EdgeKind.FLOW in kinds and EdgeKind.BASE in kinds
+
+    def test_control_edges_present(self):
+        compiled, pts, sdg = analyze(
+            "class Main { static void main(String[] args) {"
+            " if (args.length > 0) { print(1); } } }"
+        )
+        assert any(True for _ in edges_of_kind(sdg, EdgeKind.CONTROL))
+
+    def test_control_excluded_when_disabled(self):
+        compiled = compile_source(
+            "class Main { static void main(String[] args) {"
+            " if (args.length > 0) { print(1); } } }"
+        )
+        pts = solve_points_to(compiled.ir)
+        sdg = build_sdg(compiled, pts, include_control=False)
+        assert not any(True for _ in edges_of_kind(sdg, EdgeKind.CONTROL))
+
+
+class TestInterprocedural:
+    SOURCE = """
+    class Main {
+      static int twice(int x) { return x + x; }
+      static void main(String[] args) {
+        int n = args.length;
+        print(twice(n));
+      }
+    }
+    """
+
+    def test_actual_in_nodes_created(self):
+        compiled, pts, sdg = analyze(self.SOURCE)
+        actual_ins = [
+            n for n in sdg.nodes if isinstance(n, ParamNode) and n.role == "actual_in"
+        ]
+        assert actual_ins
+
+    def test_param_in_edge_from_formal_to_actual(self):
+        compiled, pts, sdg = analyze(self.SOURCE)
+        pairs = [
+            (formal, actual)
+            for formal, actual in edges_of_kind(sdg, EdgeKind.PARAM_IN)
+            if isinstance(formal, ParamNode) and formal.role == "formal_in"
+        ]
+        assert pairs
+        formal, actual = pairs[0]
+        assert isinstance(actual, ParamNode) and actual.role == "actual_in"
+
+    def test_entry_node_links_to_call_sites(self):
+        compiled, pts, sdg = analyze(self.SOURCE)
+        entries = [
+            (formal, dep)
+            for formal, dep in edges_of_kind(sdg, EdgeKind.PARAM_IN)
+            if isinstance(formal, ParamNode) and formal.role == "entry"
+        ]
+        assert entries  # callee entry depends on the call statement
+        entry, call_stmt = next(
+            (e, c) for e, c in entries if e.function == "Main.twice"
+        )
+        assert isinstance(call_stmt, StmtNode)
+        assert isinstance(call_stmt.instr, ins.Call)
+
+    def test_interprocedural_control_reaches_caller(self):
+        """Traditional slicing from inside a callee includes the call
+        site and its governing conditional (HRB semantics)."""
+        source = """
+        class Main {
+          static void log() { print(1); }
+          static void main(String[] args) {
+            if (args.length > 0) {
+              log();
+            }
+          }
+        }
+        """
+        compiled, pts, sdg = analyze(source)
+        from repro.slicing.traditional import TraditionalSlicer
+        from repro.slicing.thin import ThinSlicer
+
+        print_line = next(
+            i.position.line
+            for i in compiled.ir.functions["Main.log"].instructions()
+            if isinstance(i, ins.Call)
+        )
+        trad = TraditionalSlicer(compiled, sdg).slice_from_line(print_line)
+        source_lines = compiled.source.lines()
+        sliced_text = "\n".join(source_lines[l - 1] for l in trad.lines)
+        assert "log();" in sliced_text
+        assert "args.length > 0" in sliced_text
+        # ...while the thin slice never ascends through control.
+        thin = ThinSlicer(compiled, sdg).slice_from_line(print_line)
+        thin_text = "\n".join(source_lines[l - 1] for l in thin.lines)
+        assert "args.length" not in thin_text
+
+    def test_return_flows_through_formal_out(self):
+        compiled, pts, sdg = analyze(self.SOURCE)
+        call = next(
+            i
+            for i in compiled.ir.functions["Main.main"].instructions()
+            if isinstance(i, ins.Call) and i.kind == "static"
+        )
+        deps = sdg.dependencies(node_for(sdg, call))
+        formal_outs = [d for d, k in deps if k is EdgeKind.PARAM_OUT]
+        assert len(formal_outs) == 1
+        ret_deps = sdg.dependencies(formal_outs[0])
+        assert any(
+            isinstance(d, StmtNode) and isinstance(d.instr, ins.Return)
+            for d, _ in ret_deps
+        )
+
+    def test_virtual_call_binds_all_targets(self):
+        source = """
+        class A { int m() { return 1; } }
+        class B extends A { int m() { return 2; } }
+        class Main {
+          static void main(String[] args) {
+            A x = new A(); if (args.length > 0) { x = new B(); }
+            print(x.m());
+          }
+        }
+        """
+        compiled, pts, sdg = analyze(source)
+        call = next(
+            i
+            for i in compiled.ir.functions["Main.main"].instructions()
+            if isinstance(i, ins.Call) and i.kind == "virtual"
+        )
+        deps = sdg.dependencies(node_for(sdg, call))
+        formal_outs = {d.function for d, k in deps if k is EdgeKind.PARAM_OUT}
+        assert formal_outs == {"A.m", "B.m"}
+
+    def test_catch_edge(self):
+        source = """
+        class E { E() {} }
+        class Main { static void main(String[] args) {
+          try { throw new E(); } catch (E e) { print(e); }
+        } }
+        """
+        compiled, pts, sdg = analyze(source)
+        assert any(True for _ in edges_of_kind(sdg, EdgeKind.CATCH))
+
+    def test_array_length_links_to_allocation(self):
+        source = """
+        class Main { static void main(String[] args) {
+          int n = args.length + 2;
+          int[] a = new int[n];
+          print(a.length);
+        } }
+        """
+        compiled, pts, sdg = analyze(source)
+        length = next(
+            i
+            for i in compiled.ir.functions["Main.main"].instructions()
+            if isinstance(i, ins.ArrayLength)
+            and i.base.startswith("a~")
+        )
+        deps = sdg.dependencies(node_for(sdg, length))
+        assert any(
+            isinstance(d, StmtNode) and isinstance(d.instr, ins.NewArray)
+            for d, k in deps
+            if k is EdgeKind.HEAP
+        )
+
+
+class TestInstanceCloning:
+    SOURCE = """
+    class A {} class B {}
+    class Main {
+      static void main(String[] args) {
+        Vector v1 = new Vector();
+        Vector v2 = new Vector();
+        v1.add(new A());
+        v2.add(new B());
+        print(v1.get(0));
+        print(v2.get(0));
+      }
+    }
+    """
+
+    def test_container_methods_cloned(self):
+        compiled, pts, sdg = analyze(self.SOURCE, stdlib=True)
+        get_fn = compiled.ir.functions["Vector.get"]
+        some_instr = next(get_fn.instructions())
+        assert len(sdg.nodes_of_instruction(some_instr)) == 2
+
+    def test_clones_have_separate_heap_edges(self):
+        compiled, pts, sdg = analyze(self.SOURCE, stdlib=True)
+        get_fn = compiled.ir.functions["Vector.get"]
+        load = next(
+            i for i in get_fn.instructions() if isinstance(i, ins.ArrayLoad)
+        )
+        nodes = sdg.nodes_of_instruction(load)
+        heap_targets = {
+            frozenset(
+                d for d, k in sdg.dependencies(n) if k is EdgeKind.HEAP
+            )
+            for n in nodes
+        }
+        # The two clones must read from different store sets.
+        assert len(heap_targets) == 2
+
+
+class TestHeapParamsMode:
+    SOURCE = """
+    class Box { int v; }
+    class Main {
+      static void write(Box b) { b.v = 7; }
+      static int read(Box b) { return b.v; }
+      static void main(String[] args) {
+        Box b = new Box();
+        write(b);
+        print(read(b));
+      }
+    }
+    """
+
+    def test_requires_modref(self):
+        compiled = compile_source(self.SOURCE)
+        pts = solve_points_to(compiled.ir)
+        with pytest.raises(ValueError, match="mod-ref"):
+            build_sdg(compiled, pts, heap_mode="params")
+
+    def test_heap_formals_created(self):
+        compiled, pts, sdg = analyze(self.SOURCE, heap_mode="params")
+        heap_formals = [
+            n
+            for n in sdg.nodes
+            if isinstance(n, ParamNode) and n.slot.startswith("heap:")
+        ]
+        assert heap_formals
+
+    def test_params_mode_has_more_nodes_than_direct(self):
+        compiled, pts, sdg_params = analyze(self.SOURCE, heap_mode="params")
+        _, _, sdg_direct = analyze(self.SOURCE, heap_mode="direct")
+        assert sdg_params.node_count() > sdg_direct.node_count()
+
+    def test_node_budget_enforced(self):
+        compiled = compile_source(self.SOURCE, include_stdlib=True)
+        pts = solve_points_to(compiled.ir)
+        modref = compute_modref(compiled.ir, pts)
+        with pytest.raises(SDGBudgetExceeded):
+            build_sdg(
+                compiled, pts, heap_mode="params", modref=modref, node_budget=10
+            )
+
+    def test_unknown_heap_mode_rejected(self):
+        compiled = compile_source(self.SOURCE)
+        pts = solve_points_to(compiled.ir)
+        with pytest.raises(ValueError, match="heap_mode"):
+            build_sdg(compiled, pts, heap_mode="bogus")
+
+
+class TestCounts:
+    def test_statement_vs_param_counts(self):
+        compiled, pts, sdg = analyze(
+            "class Main { static int f(int x) { return x; }"
+            " static void main(String[] args) { print(f(1)); } }"
+        )
+        assert sdg.statement_count() > 0
+        assert sdg.param_node_count() > 0
+        assert sdg.node_count() == sdg.statement_count() + sdg.param_node_count()
+
+    def test_edge_count_matches_dedup(self):
+        compiled, pts, sdg = analyze(
+            "class Main { static void main(String[] args) { print(args.length); } }"
+        )
+        total = sum(len(deps) for deps in sdg.deps.values())
+        assert total == sdg.edge_count()

@@ -1,0 +1,234 @@
+"""Thin and traditional slicing tests on the paper's figure programs."""
+
+from __future__ import annotations
+
+from repro.lang.source import find_markers
+from repro.slicing.engine import backward_bfs
+from repro.slicing.thin import ExpandedThinSlicer, ThinSlicer
+from repro.slicing.traditional import TraditionalSlicer
+from repro.sdg.nodes import THIN_KINDS, TRADITIONAL_KINDS
+
+
+def tags(source: str) -> dict[str, int]:
+    return find_markers(source)["tag"]
+
+
+class TestFigure2:
+    """The paper's minimal example: thin = {allocB, store, seed}."""
+
+    def test_thin_slice_is_exactly_the_producers(self, figure2):
+        source, compiled, pts, sdg = figure2
+        t = tags(source)
+        result = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        assert result.lines == {t["allocB"], t["store"], t["seed"]}
+
+    def test_traditional_slice_is_whole_program(self, figure2):
+        source, compiled, pts, sdg = figure2
+        t = tags(source)
+        result = TraditionalSlicer(compiled, sdg).slice_from_line(t["seed"])
+        for name in ("allocA", "copyz", "allocB", "copyw", "store", "cond", "seed"):
+            assert t[name] in result.lines
+
+    def test_thin_subset_of_traditional(self, figure2):
+        source, compiled, pts, sdg = figure2
+        t = tags(source)
+        thin = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        trad = TraditionalSlicer(compiled, sdg).slice_from_line(t["seed"])
+        assert thin.lines <= trad.lines
+        assert set(thin.traversal.order) <= set(trad.traversal.order)
+
+    def test_seed_always_in_slice(self, figure2):
+        source, compiled, pts, sdg = figure2
+        t = tags(source)
+        thin = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        assert t["seed"] in thin.lines
+
+    def test_empty_seed_line_gives_empty_slice(self, figure2):
+        source, compiled, pts, sdg = figure2
+        result = ThinSlicer(compiled, sdg).slice_from_line(1)  # comment line
+        assert result.lines == set()
+
+    def test_bfs_distances_monotone_in_order(self, figure2):
+        source, compiled, pts, sdg = figure2
+        t = tags(source)
+        traversal = ThinSlicer(compiled, sdg).slice_from_line(t["seed"]).traversal
+        distances = [traversal.distance[n] for n in traversal.order]
+        assert distances == sorted(distances)
+
+
+class TestFigure1:
+    """The first-names example: the thin slice traces the value through
+    the Vector; the SessionState plumbing is excluded."""
+
+    def seed(self, source):
+        return tags(source)["seed"]
+
+    def test_thin_slice_contains_producer_chain(self, figure1):
+        source, compiled, pts, sdg = figure1
+        t = tags(source)
+        result = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        for name in ("read", "indexOf", "buggy", "add", "get", "seed"):
+            assert t[name] in result.lines, name
+
+    def test_thin_slice_excludes_session_state(self, figure1):
+        source, compiled, pts, sdg = figure1
+        t = tags(source)
+        result = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        assert t["setNames"] not in result.lines
+        assert t["getNames"] not in result.lines
+
+    def test_traditional_slice_includes_session_state(self, figure1):
+        source, compiled, pts, sdg = figure1
+        t = tags(source)
+        result = TraditionalSlicer(compiled, sdg).slice_from_line(t["seed"])
+        assert t["setNames"] in result.lines
+        assert t["getNames"] in result.lines
+
+    def test_thin_traverses_vector_internals(self, figure1):
+        source, compiled, pts, sdg = figure1
+        t = tags(source)
+        result = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        text = compiled.source.text.splitlines()
+        slice_texts = [text[line - 1] for line in result.lines]
+        assert any("elems[count++] = p" in s for s in slice_texts)
+        assert any("return elems[ind]" in s for s in slice_texts)
+
+    def test_thin_much_smaller_than_traditional(self, figure1):
+        source, compiled, pts, sdg = figure1
+        t = tags(source)
+        thin = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        trad = TraditionalSlicer(compiled, sdg).slice_from_line(t["seed"])
+        assert len(thin.lines) * 2 <= len(trad.lines)
+
+    def test_source_view_marks_slice_lines(self, figure1):
+        source, compiled, pts, sdg = figure1
+        t = tags(source)
+        view = ThinSlicer(compiled, sdg).slice_from_line(t["seed"]).source_view()
+        assert "substring" in view
+        assert all(line.startswith(("*", " ")) for line in view.splitlines())
+
+
+class TestFigure4:
+    """The file/close example: thin = {setopen, close, isopen, readopen,
+    seed}, the paper's {3, 4, 5, 9, 10}."""
+
+    def test_thin_slice_matches_paper(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        result = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        assert result.lines == {
+            t["setopen"],
+            t["close"],
+            t["isopen"],
+            t["readopen"],
+            t["seed"],
+        }
+
+    def test_thin_slice_omits_vector_plumbing(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        result = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        for name in ("allocvec", "addfile", "getg", "geth", "closecall"):
+            assert t[name] not in result.lines, name
+
+    def test_traditional_includes_plumbing(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        result = TraditionalSlicer(compiled, sdg).slice_from_line(t["seed"])
+        assert t["closecall"] in result.lines
+        assert t["addfile"] in result.lines
+
+
+class TestFigure5:
+    """The tough cast: thin slice from the op read reaches the op writes
+    in every constructor."""
+
+    def test_thin_from_op_read_reaches_ctor_writes(self, figure5):
+        source, compiled, pts, sdg = figure5
+        t = tags(source)
+        result = ThinSlicer(compiled, sdg).slice_from_line(t["opread"])
+        assert t["opwrite"] in result.lines
+        assert t["addctor"] in result.lines
+        assert t["mulctor"] in result.lines
+        assert t["constctor"] in result.lines
+
+    def test_thin_from_cast_alone_is_small(self, figure5):
+        source, compiled, pts, sdg = figure5
+        t = tags(source)
+        thin = ThinSlicer(compiled, sdg).slice_from_line(t["cast"])
+        trad = TraditionalSlicer(compiled, sdg).slice_from_line(t["cast"])
+        # The cast's value comes from n (the parameter), so the thin
+        # slice stays within the Node allocations; the traditional slice
+        # additionally pulls in the tag reads and dispatch conditions.
+        assert len(thin.lines) < len(trad.lines)
+        assert len(thin.lines) <= 10
+
+
+class TestExpandedThinSlicer:
+    def test_zero_extra_levels_equals_thin(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        thin = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        expanded = ExpandedThinSlicer(compiled, sdg, levels=0).slice_from_line(
+            t["seed"]
+        )
+        assert expanded.lines == thin.lines
+
+    def test_one_level_adds_base_explainers(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        thin = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        expanded = ExpandedThinSlicer(compiled, sdg, levels=1).slice_from_line(
+            t["seed"]
+        )
+        assert thin.lines < expanded.lines
+        assert t["closecall"] in expanded.lines
+
+    def test_levels_are_monotone(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        previous: set[int] = set()
+        for levels in range(4):
+            lines = ExpandedThinSlicer(
+                compiled, sdg, levels=levels
+            ).slice_from_line(t["seed"]).lines
+            assert previous <= lines
+            previous = lines
+
+    def test_expanded_still_subset_of_traditional(self, figure4):
+        source, compiled, pts, sdg = figure4
+        t = tags(source)
+        trad = TraditionalSlicer(compiled, sdg).slice_from_line(t["seed"])
+        expanded = ExpandedThinSlicer(compiled, sdg, levels=3).slice_from_line(
+            t["seed"]
+        )
+        assert expanded.lines <= trad.lines
+
+
+class TestEngine:
+    def test_backward_bfs_respects_kind_filter(self, figure2):
+        source, compiled, pts, sdg = figure2
+        t = tags(source)
+        seeds = []
+        for instr in compiled.instructions_at_line(t["seed"]):
+            seeds.extend(sdg.nodes_of_instruction(instr))
+        thin = backward_bfs(sdg, seeds, THIN_KINDS)
+        trad = backward_bfs(sdg, seeds, TRADITIONAL_KINDS)
+        assert set(thin.order) <= set(trad.order)
+
+    def test_slice_from_lines_unions_seeds(self, figure2):
+        source, compiled, pts, sdg = figure2
+        t = tags(source)
+        slicer = ThinSlicer(compiled, sdg)
+        combined = slicer.slice_from_lines([t["seed"], t["cond"]])
+        single = slicer.slice_from_line(t["seed"])
+        assert single.lines <= combined.lines
+        assert t["cond"] in combined.lines
+
+    def test_statements_are_statement_nodes(self, figure2):
+        source, compiled, pts, sdg = figure2
+        t = tags(source)
+        result = ThinSlicer(compiled, sdg).slice_from_line(t["seed"])
+        from repro.sdg.nodes import StmtNode
+
+        assert all(isinstance(s, StmtNode) for s in result.statements)

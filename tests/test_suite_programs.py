@@ -1,0 +1,245 @@
+"""Suite program tests: every program runs, every bug manifests, every
+marker resolves — the repo's reproduction of the SIR protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.lang.source import find_markers
+from repro.suite.bugs import BUGS, bugs_for_table2, excluded_bugs, resolve_task
+from repro.suite.casts import all_casts, resolve_cast_lines
+from repro.suite.harness import SUITE_PROGRAMS, bug_manifests, run_source
+from repro.suite.loader import load_source, program_names
+
+
+def run_suite_program(name: str, args: list[str]):
+    return run_source(load_source(name), name, args)
+
+
+class TestLoader:
+    def test_all_programs_listed(self):
+        names = program_names()
+        for expected in SUITE_PROGRAMS:
+            assert expected in names
+        for figure in ("figure1", "figure2", "figure4", "figure5"):
+            assert figure in names
+        assert "stdlib" not in names
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(FileNotFoundError):
+            load_source("does-not-exist")
+
+
+class TestProgramsCompileAndRun:
+    @pytest.mark.parametrize("name", SUITE_PROGRAMS)
+    def test_compiles_with_stdlib(self, name):
+        compiled = compile_source(load_source(name), name, include_stdlib=True)
+        assert compiled.ir.functions
+
+    def test_minixml_output(self):
+        result = run_suite_program("minixml", ["<a id='42'><b>hi</b></a>"])
+        assert not result.failed
+        assert "render: <a id=42><b>hi</b></a>" in result.output
+        assert "id: 42" in result.output
+
+    def test_minixml_rejects_mismatched_tags(self):
+        result = run_suite_program("minixml", ["<a></b>"])
+        assert result.error_class == "IllegalStateException"
+
+    def test_jtopas_output(self):
+        result = run_suite_program("jtopas", ['ab 12 "q" +'])
+        assert not result.failed
+        assert "words: 1" in result.output
+        assert "numbers: 1" in result.output
+
+    def test_minibuild_runs_targets_in_dependency_order(self):
+        script = "target b = echo B; target a : b = echo A; target all : a = echo ALL"
+        result = run_suite_program("minibuild", [script])
+        assert not result.failed
+        bodies = [line for line in result.output if line.startswith("[")]
+        assert bodies == ["[b:1] echo B", "[a:1] echo A", "[all:1] echo ALL"]
+
+    def test_minibuild_expands_properties(self):
+        script = "prop greeting hi; target all = echo ${greeting} there"
+        result = run_suite_program("minibuild", [script])
+        assert any("echo hi there" in line for line in result.output)
+
+    def test_xmlsec_verifies_canonical_equivalence(self):
+        result = run_suite_program("xmlsec", ["Hello XML  Security", "7301"])
+        assert result.output.count("VERIFIED 7301") == 2
+
+    def test_xmlsec_rejects_wrong_hash(self):
+        result = run_suite_program("xmlsec", ["Hello XML  Security", "1234"])
+        assert any("MISMATCH" in line for line in result.output)
+
+    def test_rules_fires_chained_rules(self):
+        result = run_suite_program("rules", [])
+        assert "assert fan=1" in result.output
+        assert "print comfortable" in result.output
+        assert "fan: 1" in result.output
+
+    def test_minijavac_constant_folds(self):
+        result = run_suite_program("minijavac", ["x = 1 + 2 * 3"])
+        assert result.output[0] == "result: 7"
+        assert "push 7" in result.output  # folded, not add/mul sequence
+
+    def test_minijavac_evaluates_variables(self):
+        result = run_suite_program("minijavac", ["x = 5; y = x * x - 5"])
+        assert result.output[0] == "result: 20"
+
+    def test_parsegen_first_sets(self):
+        result = run_suite_program("parsegen", ["S -> a B | c ; B -> b | _"])
+        assert any(line.startswith("B?: b") for line in result.output)
+        assert any(line.startswith("S: a c") for line in result.output)
+
+    def test_parsegen_follow_sets(self):
+        result = run_suite_program("parsegen", ["S -> a B ; B -> b"])
+        # FOLLOW(S) = {$}; FOLLOW(B) = FOLLOW(S) = {$}.
+        assert any(line.startswith("S:") and line.endswith("/ $")
+                   for line in result.output)
+        assert any(line.startswith("B:") and line.endswith("/ $")
+                   for line in result.output)
+
+    def test_parsegen_reports_ll1_conflicts(self):
+        result = run_suite_program("parsegen", ["S -> a B | a C ; B -> b ; C -> c"])
+        assert "conflict: S" in result.output
+
+    def test_minixml_query_engine(self):
+        result = run_suite_program(
+            "minixml", ["<a id='42'><b>hi</b><c x='1'></c></a>"]
+        )
+        assert "query: hi" in result.output
+        assert "qattr: 1" in result.output
+
+    def test_raytrace_renders_deterministic_image(self):
+        result = run_suite_program("raytrace", [])
+        assert len(result.output) == 8
+        assert all(len(row) == 16 for row in result.output)
+        assert any("o" in row for row in result.output)
+        assert any("*" in row for row in result.output)
+
+    def test_figure1_shows_the_bug(self):
+        result = run_suite_program("figure1", ["John Doe"])
+        assert result.output == ["FIRST NAME: Joh"]
+
+    def test_figure4_throws_closed_exception(self):
+        result = run_suite_program("figure4", [])
+        assert result.error_class == "ClosedException"
+
+    def test_figure5_simplifies(self):
+        result = run_suite_program("figure5", [])
+        assert result.output == ["5", "20", "7"]
+
+
+class TestBugRegistry:
+    def test_thirteen_table2_rows(self):
+        # Matches the paper's Table 2, which has 13 usable bugs.
+        assert len(bugs_for_table2()) == 13
+
+    def test_excluded_bugs_are_xmlsec_internals(self):
+        excluded = excluded_bugs()
+        assert len(excluded) == 5
+        assert all(b.program == "xmlsec" for b in excluded)
+
+    @pytest.mark.parametrize("bug_id", sorted(BUGS))
+    def test_bug_manifests(self, bug_id):
+        assert bug_manifests(BUGS[bug_id])
+
+    @pytest.mark.parametrize("bug_id", sorted(BUGS))
+    def test_buggy_source_differs_and_compiles(self, bug_id):
+        bug = BUGS[bug_id]
+        fixed = load_source(bug.program)
+        buggy = bug.apply()
+        assert buggy != fixed
+        compiled = compile_source(buggy, bug.bug_id, include_stdlib=True)
+        assert compiled.ir.functions
+
+    @pytest.mark.parametrize("bug_id", sorted(BUGS))
+    def test_markers_resolve(self, bug_id):
+        bug = BUGS[bug_id]
+        compiled = compile_source(bug.apply(), bug.bug_id, include_stdlib=True)
+        task = resolve_task(bug, compiled.source.text)
+        assert task.seed > 0
+        assert task.desired
+        assert len(task.control_seeds) <= bug.n_control or bug.n_control >= len(
+            bug.control_markers
+        )
+
+    def test_apply_preserves_marker(self):
+        bug = BUGS["minixml-2"]
+        buggy = bug.apply()
+        assert f"//@tag:{bug.marker}" in buggy
+        assert "pos - 1" in buggy
+
+    def test_apply_unknown_marker_raises(self):
+        from repro.suite.bugs import InjectedBug
+
+        bogus = InjectedBug(
+            bug_id="x",
+            program="minixml",
+            marker="no-such-marker",
+            buggy_code="x = 1;",
+            seed_marker="printid",
+            desired_markers=("printid",),
+            args=(),
+        )
+        with pytest.raises(KeyError):
+            bogus.apply()
+
+
+class TestCastRegistry:
+    def test_twentytwo_table3_rows(self):
+        # The paper's Table 3 also has 22 rows (2 mtrt + 6 jess + 4 javac
+        # + 10 jack).
+        assert len(all_casts()) == 22
+
+    def test_program_distribution(self):
+        per_program = {}
+        for cast in all_casts():
+            per_program[cast.program] = per_program.get(cast.program, 0) + 1
+        assert per_program == {
+            "raytrace": 2,
+            "rules": 6,
+            "minijavac": 4,
+            "parsegen": 10,
+        }
+
+    @pytest.mark.parametrize("cast", all_casts(), ids=lambda c: c.cast_id)
+    def test_cast_markers_resolve(self, cast):
+        compiled = compile_source(
+            load_source(cast.program), cast.program, include_stdlib=True
+        )
+        cast_line, desired, control = resolve_cast_lines(
+            cast, compiled.compiled_text if hasattr(compiled, "compiled_text")
+            else compiled.source.text
+        )
+        assert cast_line > 0
+        assert desired
+
+    @pytest.mark.parametrize("cast", all_casts(), ids=lambda c: c.cast_id)
+    def test_cast_line_contains_a_cast(self, cast):
+        from repro.ir import instructions as ins
+
+        compiled = compile_source(
+            load_source(cast.program), cast.program, include_stdlib=True
+        )
+        cast_line, _, _ = resolve_cast_lines(cast, compiled.source.text)
+        instrs = compiled.instructions_at_line(cast_line)
+        assert any(isinstance(i, ins.Cast) for i in instrs)
+
+
+class TestMarkers:
+    @pytest.mark.parametrize("name", SUITE_PROGRAMS)
+    def test_tags_unique_per_program(self, name):
+        source = load_source(name)
+        markers = find_markers(source).get("tag", {})
+        assert markers  # every program carries tags
+        # find_markers keeps first occurrence; verify no duplicate tag
+        # lines by re-scanning.
+        seen = {}
+        for lineno, line in enumerate(source.splitlines(), 1):
+            for part in line.split("//@tag:")[1:]:
+                tag = part.split()[0]
+                assert tag not in seen, f"duplicate tag {tag}"
+                seen[tag] = lineno

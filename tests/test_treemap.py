@@ -1,0 +1,137 @@
+"""TreeMap (nested-structure) tests: stdlib behaviour plus the paper's
+introduction scenario (hash table → trees → lists)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp.interpreter import run_program
+from repro.lang.source import marker_line
+from tests.conftest import compile_and_analyze
+from repro.slicing.thin import ThinSlicer
+from repro.slicing.traditional import TraditionalSlicer
+
+
+def run_main(body: str, args=None):
+    source = (
+        "class Main { static void main(String[] args) { " + body + " } }"
+    )
+    compiled = compile_source(source, include_stdlib=True)
+    return run_program(compiled.ast, compiled.table, args or [])
+
+
+class TestTreeMapSemantics:
+    def test_add_and_get_first(self):
+        out = run_main(
+            'TreeMap t = new TreeMap(); t.add("b", "two"); t.add("a", "one");'
+            ' t.add("c", "three");'
+            ' print(t.getFirst("a")); print(t.getFirst("b"));'
+            ' print(t.getFirst("c"));'
+        )
+        assert out.output == ["one", "two", "three"]
+
+    def test_multimap_keeps_insertion_order_per_key(self):
+        out = run_main(
+            'TreeMap t = new TreeMap(); t.add("k", "first"); t.add("k", "second");'
+            ' LinkedList values = t.get("k");'
+            " print(values.size()); print(values.getFirst());"
+        )
+        assert out.output == ["2", "first"]
+
+    def test_missing_key(self):
+        out = run_main(
+            'TreeMap t = new TreeMap(); t.add("a", "x");'
+            ' print(t.get("zzz")); print(t.getFirst("zzz"));'
+            ' print(t.containsKey("a")); print(t.containsKey("b"));'
+        )
+        assert out.output == ["null", "null", "true", "false"]
+
+    def test_size_counts_all_values(self):
+        out = run_main(
+            "TreeMap t = new TreeMap(); print(t.isEmpty());"
+            ' t.add("a", "1"); t.add("a", "2"); t.add("b", "3");'
+            " print(t.size()); print(t.isEmpty());"
+        )
+        assert out.output == ["true", "3", "false"]
+
+    def test_deep_unbalanced_insertions(self):
+        body = (
+            "TreeMap t = new TreeMap();"
+            + " ".join(f't.add("k{i:02d}", "{i}");' for i in range(20))
+            + ' print(t.getFirst("k00")); print(t.getFirst("k19"));'
+        )
+        out = run_main(body)
+        assert out.output == ["0", "19"]
+
+
+NESTED = """\
+class Order {
+  String item;
+
+  Order(String i) {
+    item = i;                                        //@tag:orderitem
+  }
+}
+
+class Main {
+  static void main(String[] args) {
+    HashMap regions = new HashMap();
+    TreeMap west = new TreeMap();
+    regions.put("west", west);
+    west.add("alice", new Order("anvil"));           //@tag:insert
+    west.add("bob", new Order("tnt"));               //@tag:other
+    TreeMap region = (TreeMap) regions.get("west");  //@tag:hashget
+    Order first = (Order) region.getFirst("alice");  //@tag:treeget
+    print(first.item);                               //@tag:seed
+  }
+}
+"""
+
+
+class TestNestedStructureSlicing:
+    """The introduction's motivating example, asserted."""
+
+    @pytest.fixture(scope="class")
+    def analyzed(self):
+        return compile_and_analyze(NESTED, "nested.mj", stdlib=True)
+
+    def test_thin_slice_is_tiny(self, analyzed):
+        compiled, pts, sdg = analyzed
+        seed = marker_line(NESTED, "tag", "seed")
+        thin = ThinSlicer(compiled, sdg).slice_from_line(seed)
+        trad = TraditionalSlicer(compiled, sdg).slice_from_line(seed)
+        assert len(thin.lines) * 5 <= len(trad.lines)
+
+    def test_thin_slice_has_value_producers(self, analyzed):
+        compiled, pts, sdg = analyzed
+        seed = marker_line(NESTED, "tag", "seed")
+        thin = ThinSlicer(compiled, sdg).slice_from_line(seed)
+        assert marker_line(NESTED, "tag", "orderitem") in thin.lines
+        assert marker_line(NESTED, "tag", "insert") in thin.lines
+
+    def test_thin_slice_excludes_container_plumbing(self, analyzed):
+        compiled, pts, sdg = analyzed
+        seed = marker_line(NESTED, "tag", "seed")
+        thin = ThinSlicer(compiled, sdg).slice_from_line(seed)
+        trad = TraditionalSlicer(compiled, sdg).slice_from_line(seed)
+        # The retrieval lines only manipulate pointers to containers:
+        # excluded from the thin slice, present in the traditional one.
+        for tag in ("hashget", "treeget"):
+            line = marker_line(NESTED, "tag", tag)
+            assert line not in thin.lines, tag
+            assert line in trad.lines, tag
+
+    def test_traditional_reaches_tree_internals(self, analyzed):
+        compiled, pts, sdg = analyzed
+        seed = marker_line(NESTED, "tag", "seed")
+        trad = TraditionalSlicer(compiled, sdg).slice_from_line(seed)
+        text = compiled.source.text.splitlines()
+        sliced = "\n".join(text[line - 1] for line in trad.lines)
+        assert "cur.left" in sliced or "cur.right" in sliced
+        assert "buckets" in sliced
+
+    def test_program_behaviour(self):
+        compiled = compile_source(NESTED, include_stdlib=True)
+        result = run_program(compiled.ast, compiled.table, [])
+        assert result.output == ["anvil"]

@@ -1,0 +1,356 @@
+"""Type checker tests: typing rules, name resolution, error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.errors import TypeError_
+from repro.lang.parser import parse_program
+from repro.lang.symbols import ClassTable
+from repro.lang.typechecker import TypeChecker, check_program
+from repro.lang.types import ClassType, INT, STRING
+
+
+def check_ok(source: str) -> ClassTable:
+    return check_program(parse_program(source))
+
+
+def check_errors(source: str) -> list[str]:
+    program = parse_program(source)
+    table = ClassTable(program)
+    checker = TypeChecker(table)
+    return [e.message for e in checker.check()]
+
+
+def assert_error(source: str, fragment: str) -> None:
+    errors = check_errors(source)
+    assert any(fragment in e for e in errors), f"{fragment!r} not in {errors}"
+
+
+class TestClassTable:
+    def test_builtins_present(self):
+        table = check_ok("class A {}")
+        assert table.has_class("Object")
+        assert table.has_class("String")
+
+    def test_duplicate_class(self):
+        with pytest.raises(TypeError_, match="duplicate class"):
+            check_ok("class A {} class A {}")
+
+    def test_unknown_superclass(self):
+        with pytest.raises(TypeError_, match="unknown class"):
+            check_ok("class A extends Nope {}")
+
+    def test_inheritance_cycle(self):
+        with pytest.raises(TypeError_, match="cycle"):
+            check_ok("class A extends B {} class B extends A {}")
+
+    def test_duplicate_field(self):
+        with pytest.raises(TypeError_, match="duplicate field"):
+            check_ok("class A { int x; int x; }")
+
+    def test_duplicate_method(self):
+        with pytest.raises(TypeError_, match="duplicate method"):
+            check_ok("class A { void m() {} void m() {} }")
+
+    def test_multiple_constructors_rejected(self):
+        with pytest.raises(TypeError_, match="multiple constructors"):
+            check_ok("class A { A() {} A(int x) {} }")
+
+    def test_inherited_field_lookup(self):
+        table = check_ok("class A { int x; } class B extends A {}")
+        found = table.lookup_field("B", "x")
+        assert found is not None and found[0] == "A"
+
+    def test_virtual_dispatch_resolution(self):
+        table = check_ok(
+            "class A { int m() { return 1; } }"
+            "class B extends A { int m() { return 2; } }"
+        )
+        assert table.resolve_virtual("B", "m")[0] == "B"
+        assert table.resolve_virtual("A", "m")[0] == "A"
+
+    def test_subclass_assignability(self):
+        table = check_ok("class A {} class B extends A {}")
+        assert table.is_assignable(ClassType("B"), ClassType("A"))
+        assert not table.is_assignable(ClassType("A"), ClassType("B"))
+
+    def test_null_assignable_to_references_only(self):
+        from repro.lang.types import NULL
+
+        table = check_ok("class A {}")
+        assert table.is_assignable(NULL, ClassType("A"))
+        assert table.is_assignable(NULL, STRING)
+        assert not table.is_assignable(NULL, INT)
+
+
+class TestExpressionTyping:
+    def test_arithmetic_types(self):
+        check_ok("class A { int m() { return 1 + 2 * 3 % 4; } }")
+
+    def test_string_concat(self):
+        check_ok('class A { String m(int x) { return "v=" + x; } }')
+
+    def test_cannot_add_booleans(self):
+        assert_error("class A { void m() { int x = true + false; } }", "cannot add")
+
+    def test_comparison_yields_boolean(self):
+        check_ok("class A { boolean m() { return 1 < 2; } }")
+
+    def test_comparison_requires_ints(self):
+        assert_error('class A { void m() { boolean b = "a" < "b"; } }', "requires ints")
+
+    def test_equality_on_references(self):
+        check_ok("class A { boolean m(A x, A y) { return x == y; } }")
+
+    def test_equality_int_vs_boolean_rejected(self):
+        assert_error("class A { void m() { boolean b = 1 == true; } }", "compare")
+
+    def test_logical_ops_require_booleans(self):
+        assert_error("class A { void m() { boolean b = 1 && 2; } }", "requires booleans")
+
+    def test_not_requires_boolean(self):
+        assert_error("class A { void m() { boolean b = !3; } }", "requires a boolean")
+
+    def test_condition_must_be_boolean(self):
+        assert_error("class A { void m() { if (1) { } } }", "must be boolean")
+
+    def test_array_index_must_be_int(self):
+        assert_error(
+            "class A { void m(int[] a) { int x = a[true]; } }", "index must be int"
+        )
+
+    def test_array_length(self):
+        check_ok("class A { int m(String[] a) { return a.length; } }")
+
+    def test_array_length_not_assignable(self):
+        assert_error(
+            "class A { void m(int[] a) { a.length = 3; } }", "read-only"
+        )
+
+    def test_cast_between_related_classes(self):
+        check_ok(
+            "class A {} class B extends A {}"
+            "class C { B m(A a) { return (B) a; } }"
+        )
+
+    def test_cast_between_unrelated_classes_rejected(self):
+        assert_error(
+            "class A {} class B {} class C { void m(A a) { B b = (B) a; } }",
+            "cannot cast",
+        )
+
+    def test_instanceof(self):
+        check_ok("class A { boolean m(Object o) { return o instanceof A; } }")
+
+    def test_instanceof_on_int_rejected(self):
+        assert_error(
+            "class A { void m() { boolean b = 3 instanceof A; } }",
+            "reference",
+        )
+
+    def test_postfix_requires_int(self):
+        assert_error("class A { void m(boolean b) { b++; } }", "int target")
+
+
+class TestNameResolution:
+    def test_local_shadows_nothing_twice(self):
+        assert_error("class A { void m() { int x; int x; } }", "already defined")
+
+    def test_block_scoping_allows_redeclare_after_block(self):
+        check_ok("class A { void m() { { int x; } int x; } }")
+
+    def test_param_resolution(self):
+        program = parse_program("class A { int m(int p) { return p; } }")
+        check_program(program)
+        ret = program.classes[0].methods[0].body.statements[0]
+        assert ret.value.resolution == ("local", "p")
+
+    def test_implicit_field_resolution(self):
+        program = parse_program("class A { int f; int m() { return f; } }")
+        check_program(program)
+        ret = program.classes[0].methods[0].body.statements[0]
+        assert ret.value.resolution == ("field", "A")
+
+    def test_static_field_via_class_name(self):
+        program = parse_program(
+            "class A { static int F; } class B { int m() { return A.F; } }"
+        )
+        check_program(program)
+
+    def test_instance_field_in_static_context_rejected(self):
+        assert_error(
+            "class A { int f; static int m() { return f; } }",
+            "static context",
+        )
+
+    def test_this_in_static_method_rejected(self):
+        assert_error("class A { static Object m() { return this; } }", "static")
+
+    def test_unknown_name(self):
+        assert_error("class A { void m() { int x = nope; } }", "unknown name")
+
+    def test_unknown_method(self):
+        assert_error("class A { void m() { nope(); } }", "unknown")
+
+    def test_unknown_field(self):
+        assert_error("class A { void m(A a) { int x = a.nope; } }", "no field")
+
+
+class TestCalls:
+    def test_virtual_call_resolution(self):
+        program = parse_program(
+            "class A { int f() { return 1; } int m(A a) { return a.f(); } }"
+        )
+        check_program(program)
+        ret = program.classes[0].methods[1].body.statements[0]
+        assert ret.value.resolution == ("virtual", "A")
+
+    def test_static_call_via_class(self):
+        check_ok(
+            "class A { static int f() { return 1; } }"
+            "class B { int m() { return A.f(); } }"
+        )
+
+    def test_static_call_via_instance_rejected(self):
+        assert_error(
+            "class A { static int f() { return 1; } void m(A a) { int x = a.f(); } }",
+            "must be called via the class name",
+        )
+
+    def test_arity_mismatch(self):
+        assert_error(
+            "class A { int f(int x) { return x; } int m() { return f(); } }",
+            "expects 1 arguments",
+        )
+
+    def test_argument_type_mismatch(self):
+        assert_error(
+            "class A { int f(int x) { return x; } int m() { return f(true); } }",
+            "expected int",
+        )
+
+    def test_string_native_call(self):
+        program = parse_program('class A { int m(String s) { return s.length(); } }')
+        check_program(program)
+        ret = program.classes[0].methods[0].body.statements[0]
+        assert ret.value.resolution == ("native", "String")
+
+    def test_native_overloaded_arity(self):
+        check_ok(
+            'class A { String m(String s) { return s.substring(1, 2) + s.substring(1); } }'
+        )
+
+    def test_unknown_native(self):
+        assert_error(
+            'class A { void m(String s) { s.frobnicate(); } }', "no String method"
+        )
+
+    def test_print_builtin(self):
+        check_ok('class A { void m() { print("x"); print(1); print(true); } }')
+
+    def test_print_arity(self):
+        assert_error("class A { void m() { print(1, 2); } }", "exactly one")
+
+    def test_instance_call_from_static_rejected(self):
+        assert_error(
+            "class A { int f() { return 1; } static int m() { return f(); } }",
+            "static context",
+        )
+
+
+class TestConstructors:
+    def test_new_with_ctor_args(self):
+        check_ok("class A { A(int x) {} } class B { A m() { return new A(1); } }")
+
+    def test_new_arity_mismatch(self):
+        assert_error(
+            "class A { A(int x) {} } class B { void m() { A a = new A(); } }",
+            "constructor expects",
+        )
+
+    def test_new_without_ctor(self):
+        check_ok("class A {} class B { A m() { return new A(); } }")
+
+    def test_cannot_instantiate_builtins(self):
+        assert_error("class B { void m() { Object o = new Object(); } }", "builtin")
+
+    def test_super_call_checked(self):
+        check_ok(
+            "class A { A(int x) {} } class B extends A { B() { super(1); } }"
+        )
+
+    def test_super_call_arity(self):
+        assert_error(
+            "class A { A(int x) {} } class B extends A { B() { super(); } }",
+            "expects 1",
+        )
+
+    def test_super_outside_ctor_rejected(self):
+        assert_error(
+            "class A {} class B extends A { void m() { super(); } }",
+            "only legal inside a constructor",
+        )
+
+
+class TestOverridesAndReturns:
+    def test_override_same_signature_ok(self):
+        check_ok(
+            "class A { int m(int x) { return x; } }"
+            "class B extends A { int m(int y) { return y + 1; } }"
+        )
+
+    def test_override_wrong_return_type(self):
+        assert_error(
+            "class A { int m() { return 1; } }"
+            "class B extends A { boolean m() { return true; } }",
+            "does not match",
+        )
+
+    def test_override_wrong_params(self):
+        assert_error(
+            "class A { int m() { return 1; } }"
+            "class B extends A { int m(int x) { return x; } }",
+            "does not match",
+        )
+
+    def test_missing_return_detected(self):
+        assert_error(
+            "class A { int m(boolean b) { if (b) { return 1; } } }",
+            "without returning",
+        )
+
+    def test_return_via_both_branches_ok(self):
+        check_ok(
+            "class A { int m(boolean b) { if (b) { return 1; } else { return 2; } } }"
+        )
+
+    def test_return_via_throw_ok(self):
+        check_ok(
+            "class E { E() {} }"
+            "class A { int m(boolean b) { if (b) { return 1; } throw new E(); } }"
+        )
+
+    def test_infinite_loop_counts_as_returning(self):
+        check_ok("class A { int m() { while (true) { int x = 1; } } }")
+
+    def test_loop_with_break_does_not_count(self):
+        assert_error(
+            "class A { int m() { while (true) { break; } } }",
+            "without returning",
+        )
+
+    def test_void_return_with_value_rejected(self):
+        assert_error("class A { void m() { return 1; } }", "void method")
+
+    def test_missing_return_value_rejected(self):
+        assert_error("class A { int m() { return; } }", "missing return value")
+
+    def test_break_outside_loop(self):
+        assert_error("class A { void m() { break; } }", "outside")
+
+    def test_all_errors_collected(self):
+        errors = check_errors(
+            "class A { void m() { int x = nope1; int y = nope2; } }"
+        )
+        assert len(errors) == 2
