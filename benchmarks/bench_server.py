@@ -1,0 +1,112 @@
+"""Slice-server trajectory: cold vs warm query latency per cache tier.
+
+For each mid-size suite program the daemon answers the same ``stats``
+query three ways:
+
+* **cold** — empty cache, the request pays the full pipeline;
+* **warm (memory)** — repeat against the same daemon, LRU hit;
+* **warm (disk)** — a *restarted* daemon over the same artifact store,
+  so the request unpickles instead of re-analyzing.
+
+Emits a human table (``results/server_latency.txt``) and a
+machine-readable trajectory point (``results/BENCH_server.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from _util import emit, format_table
+from repro.server.cache import AnalysisCache
+from repro.server.daemon import SliceServer
+from repro.server.store import DiskStore
+
+PROGRAMS = ["jtopas", "minixml", "minijavac", "parsegen"]
+
+
+def _request_line(program: str) -> str:
+    return json.dumps(
+        {"id": 1, "method": "stats", "params": {"program": program}}
+    )
+
+
+def _timed_request(server: SliceServer, line: str) -> tuple[float, str]:
+    start = time.perf_counter()
+    response = json.loads(server.handle_line(line))
+    elapsed_ms = (time.perf_counter() - start) * 1000
+    assert response["ok"], response
+    return elapsed_ms, response["result"]["origin"]
+
+
+def test_server_latency_trajectory(results_dir):
+    rows = []
+    points = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        store_root = Path(tmp)
+        for program in PROGRAMS:
+            line = _request_line(program)
+
+            cold_server = SliceServer(
+                AnalysisCache(store=DiskStore(store_root / program))
+            )
+            cold_ms, origin = _timed_request(cold_server, line)
+            assert origin == "analyzed"
+            memory_ms = min(
+                _timed_request(cold_server, line)[0] for _ in range(3)
+            )
+            cold_server.close()
+
+            disk_server = SliceServer(
+                AnalysisCache(store=DiskStore(store_root / program))
+            )
+            disk_ms, origin = _timed_request(disk_server, line)
+            assert origin == "disk", f"expected disk hit, got {origin}"
+            disk_server.close()
+
+            points[program] = {
+                "cold_ms": round(cold_ms, 3),
+                "warm_memory_ms": round(memory_ms, 3),
+                "warm_disk_ms": round(disk_ms, 3),
+                "memory_speedup": round(cold_ms / memory_ms, 1),
+                "disk_speedup": round(cold_ms / disk_ms, 1),
+            }
+            rows.append(
+                [
+                    program,
+                    f"{cold_ms:.1f}",
+                    f"{memory_ms:.2f}",
+                    f"{disk_ms:.1f}",
+                    f"{cold_ms / memory_ms:.0f}x",
+                    f"{cold_ms / disk_ms:.1f}x",
+                ]
+            )
+
+    memory_speedups = [p["memory_speedup"] for p in points.values()]
+    aggregate = {
+        "programs": len(points),
+        "median_memory_speedup": round(statistics.median(memory_speedups), 1),
+        "min_memory_speedup": min(memory_speedups),
+        "median_disk_speedup": round(
+            statistics.median(p["disk_speedup"] for p in points.values()), 1
+        ),
+    }
+    # The perf-guard contract: a cached query beats first analysis 10x.
+    assert aggregate["min_memory_speedup"] >= 10
+
+    table = format_table(
+        ["program", "cold ms", "mem ms", "disk ms", "mem speedup", "disk speedup"],
+        rows,
+    )
+    emit(results_dir, "server_latency.txt", table)
+    (results_dir / "BENCH_server.json").write_text(
+        json.dumps(
+            {"benchmark": "server", "programs": points, "aggregate": aggregate},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )

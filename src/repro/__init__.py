@@ -45,6 +45,30 @@ from repro.slicing.traditional import TraditionalSlicer
 __version__ = "1.0.0"
 
 
+@dataclass(frozen=True)
+class AnalyzeOptions:
+    """Every knob that changes what :func:`analyze` computes.
+
+    Frozen and hashable so an ``(source digest, options)`` pair can key
+    a cache (see :mod:`repro.server.cache`).  :meth:`cache_token`
+    renders the options as a stable string for content addressing.
+    """
+
+    include_stdlib: bool = True
+    containers: frozenset[str] | None = DEFAULT_CONTAINER_CLASSES
+    heap_mode: str = "direct"
+    include_control: bool = True
+
+    def cache_token(self) -> str:
+        containers = (
+            "none" if self.containers is None else ",".join(sorted(self.containers))
+        )
+        return (
+            f"stdlib={int(self.include_stdlib)};containers={containers};"
+            f"heap={self.heap_mode};control={int(self.include_control)}"
+        )
+
+
 @dataclass
 class AnalyzedProgram:
     """A compiled program with its analyses and shared SDG."""
@@ -52,6 +76,7 @@ class AnalyzedProgram:
     compiled: CompiledProgram
     pts: PointsToResult
     sdg: SDG
+    options: AnalyzeOptions = AnalyzeOptions()
 
     @property
     def thin_slicer(self) -> ThinSlicer:
@@ -70,12 +95,28 @@ def analyze(
     filename: str = "<input>",
     include_stdlib: bool = True,
     containers: frozenset[str] | None = DEFAULT_CONTAINER_CLASSES,
+    options: AnalyzeOptions | None = None,
 ) -> AnalyzedProgram:
-    """Compile + points-to + SDG in one call (the common tool pipeline)."""
-    compiled = compile_source(source, filename, include_stdlib=include_stdlib)
-    pts = solve_points_to(compiled.ir, containers=containers)
-    sdg = build_sdg(compiled, pts, heap_mode="direct", include_control=True)
-    return AnalyzedProgram(compiled, pts, sdg)
+    """Compile + points-to + SDG in one call (the common tool pipeline).
+
+    ``options`` bundles every knob into one hashable value; when given
+    it overrides the individual keyword arguments.
+    """
+    if options is None:
+        options = AnalyzeOptions(
+            include_stdlib=include_stdlib, containers=containers
+        )
+    compiled = compile_source(
+        source, filename, include_stdlib=options.include_stdlib
+    )
+    pts = solve_points_to(compiled.ir, containers=options.containers)
+    sdg = build_sdg(
+        compiled,
+        pts,
+        heap_mode=options.heap_mode,
+        include_control=options.include_control,
+    )
+    return AnalyzedProgram(compiled, pts, sdg, options)
 
 
 def thin_slice(analyzed: AnalyzedProgram, line: int) -> SliceResult:
@@ -89,6 +130,7 @@ def traditional_slice(analyzed: AnalyzedProgram, line: int) -> SliceResult:
 
 
 __all__ = [
+    "AnalyzeOptions",
     "AnalyzedProgram",
     "CompiledProgram",
     "DEFAULT_CONTAINER_CLASSES",

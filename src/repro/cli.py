@@ -9,26 +9,43 @@ Subcommands::
     chop FILE --source N --sink M    # thin chop between two lines
     dot FILE [--line N] [-o OUT]     # Graphviz export (slice or full)
     stats FILE                       # analysis statistics
+    serve [--tcp HOST:PORT]          # long-lived analysis daemon
 
 ``FILE`` may also be the name of a shipped suite program (e.g.
 ``figure1``).
+
+``slice`` and ``stats`` accept ``--format json`` for machine-readable
+output (the same payloads the server protocol emits).  The query
+subcommands accept ``--server HOST:PORT`` to route the request through
+a running ``repro serve --tcp`` daemon instead of analyzing in-process
+— warm queries skip the whole pipeline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
+from typing import Any
 
 from repro import analyze
-from repro.slicing.expansion import control_explainers
 from repro.suite.loader import load_source, program_names
+
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-server"
 
 
 def _read_program(spec: str) -> tuple[str, str]:
     path = Path(spec)
     if path.exists():
-        return path.read_text(), path.name
+        try:
+            return path.read_text(), path.name
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            raise SystemExit(
+                f"error: cannot read {spec!r}: {reason}"
+            ) from None
     if spec in program_names():
         return load_source(spec), f"{spec}.mj"
     raise SystemExit(
@@ -37,20 +54,88 @@ def _read_program(spec: str) -> tuple[str, str]:
     )
 
 
+# ----------------------------------------------------------------------
+# Server routing
+# ----------------------------------------------------------------------
+
+
+def _parse_hostport(spec: str) -> tuple[str, int]:
+    host, _, port_text = spec.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(
+            f"error: bad address {spec!r} (expected HOST:PORT)"
+        ) from None
+    return host, port
+
+
+def _server_request(address: str, method: str, **params: Any) -> dict[str, Any]:
+    from repro.server.client import ServerError, SliceClient
+
+    host, port = _parse_hostport(address)
+    try:
+        with SliceClient.connect(host, port) as client:
+            return client.request(method, **params)
+    except ServerError as exc:
+        raise SystemExit(f"error: server: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(
+            f"error: cannot reach server at {address}: {exc}"
+        ) from None
+
+
+def _print_json(payload: dict[str, Any]) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+# ----------------------------------------------------------------------
+# Query subcommands
+# ----------------------------------------------------------------------
+
+
 def _cmd_slice(args: argparse.Namespace) -> int:
+    from repro.server.protocol import slice_payload
+
     source, name = _read_program(args.file)
-    analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
-    slicer = (
-        analyzed.traditional_slicer if args.traditional else analyzed.thin_slicer
-    )
-    result = slicer.slice_from_line(args.line)
-    if not result.seeds:
+    flavor = "traditional" if args.traditional else "thin"
+    if args.server:
+        payload = _server_request(
+            args.server,
+            "slice",
+            source=source,
+            filename=name,
+            line=args.line,
+            flavor=flavor,
+            context=args.context,
+            include_stdlib=not args.no_stdlib,
+        )
+    else:
+        analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+        slicer = (
+            analyzed.traditional_slicer
+            if args.traditional
+            else analyzed.thin_slicer
+        )
+        result = slicer.slice_from_line(args.line)
+        payload = slice_payload(
+            result,
+            program=name,
+            line=args.line,
+            flavor=flavor,
+            context=args.context,
+        )
+    if args.format == "json":
+        _print_json(payload)
+        return 0 if payload["seed_count"] else 1
+    if not payload["seed_count"]:
         print(f"no statements found at {name}:{args.line}", file=sys.stderr)
         return 1
-    flavor = "traditional" if args.traditional else "thin"
-    print(f"{flavor} slice from {name}:{args.line} "
-          f"({len(result.lines)} lines):\n")
-    print(result.source_view(context=args.context))
+    print(f"{payload['flavor']} slice from {name}:{args.line} "
+          f"({payload['line_count']} lines):\n")
+    print(payload["source_view"])
     return 0
 
 
@@ -70,39 +155,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.server.protocol import explain_payload
+
     source, name = _read_program(args.file)
-    analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
-    instrs = [
-        i
-        for i in analyzed.compiled.instructions_at_line(args.line)
-        if analyzed.sdg.nodes_of_instruction(i)
-    ]
-    if not instrs:
-        print(f"no statements found at {name}:{args.line}", file=sys.stderr)
-        return 1
-    lines = analyzed.compiled.source.lines()
-    shown: set[int] = set()
-    for instr in instrs:
-        explanation = control_explainers(analyzed.sdg, instr)
-        for conditional in explanation.conditionals:
-            line = conditional.position.line
-            if line in shown or not (1 <= line <= len(lines)):
-                continue
-            shown.add(line)
-            print(f"{line:5d}  {lines[line - 1]}")
-    if not shown:
+    if args.server:
+        payload = _server_request(
+            args.server,
+            "explain",
+            source=source,
+            filename=name,
+            line=args.line,
+            include_stdlib=not args.no_stdlib,
+        )
+    else:
+        analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+        if not any(
+            analyzed.sdg.nodes_of_instruction(i)
+            for i in analyzed.compiled.instructions_at_line(args.line)
+        ):
+            print(f"no statements found at {name}:{args.line}", file=sys.stderr)
+            return 1
+        payload = explain_payload(analyzed, program=name, line=args.line)
+    for conditional in payload["conditionals"]:
+        print(f"{conditional['line']:5d}  {conditional['text']}")
+    if not payload["conditionals"]:
         print("(no governing conditionals)")
     return 0
 
 
 def _cmd_why(args: argparse.Namespace) -> int:
-    from repro.tooling.navigator import Navigator
+    from repro.server.protocol import why_payload
 
     source, name = _read_program(args.file)
-    analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
-    navigator = Navigator(analyzed.compiled, analyzed.sdg)
-    path = navigator.why(args.source, args.sink)
-    if path is None:
+    if args.server:
+        payload = _server_request(
+            args.server,
+            "why",
+            source=source,
+            filename=name,
+            source_line=args.source,
+            sink_line=args.sink,
+            include_stdlib=not args.no_stdlib,
+        )
+    else:
+        analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+        payload = why_payload(
+            analyzed,
+            program=name,
+            source_line=args.source,
+            sink_line=args.sink,
+        )
+    if not payload["found"]:
         print(
             f"no producer-flow path from {name}:{args.source} to "
             f"{name}:{args.sink}",
@@ -112,30 +215,52 @@ def _cmd_why(args: argparse.Namespace) -> int:
     print(
         f"value flow from {name}:{args.source} to {name}:{args.sink}:\n"
     )
-    print(navigator.render_path(path))
+    print(payload["rendered"])
     return 0
 
 
 def _cmd_chop(args: argparse.Namespace) -> int:
-    from repro.slicing.chopping import thin_chop, traditional_chop
+    from repro.server.protocol import chop_payload
 
     source, name = _read_program(args.file)
-    analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
-    chopper = traditional_chop if args.traditional else thin_chop
-    result = chopper(analyzed.compiled, analyzed.sdg, args.source, args.sink)
-    if result.empty:
+    flavor = "traditional" if args.traditional else "thin"
+    if args.server:
+        payload = _server_request(
+            args.server,
+            "chop",
+            source=source,
+            filename=name,
+            source_line=args.source,
+            sink_line=args.sink,
+            flavor=flavor,
+            include_stdlib=not args.no_stdlib,
+        )
+    else:
+        from repro.slicing.chopping import thin_chop, traditional_chop
+
+        analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+        chopper = traditional_chop if args.traditional else thin_chop
+        result = chopper(
+            analyzed.compiled, analyzed.sdg, args.source, args.sink
+        )
+        payload = chop_payload(
+            result,
+            analyzed,
+            program=name,
+            source_line=args.source,
+            sink_line=args.sink,
+            flavor=flavor,
+        )
+    if payload["empty"]:
         print(
             f"empty chop: {name}:{args.source} does not reach "
             f"{name}:{args.sink}",
             file=sys.stderr,
         )
         return 1
-    lines = analyzed.compiled.source.lines()
-    flavor = "traditional" if args.traditional else "thin"
-    print(f"{flavor} chop ({len(result.lines)} lines):")
-    for line in sorted(result.lines):
-        if 1 <= line <= len(lines):
-            print(f"  {line:5d}  {lines[line - 1].strip()}")
+    print(f"{payload['flavor']} chop ({payload['line_count']} lines):")
+    for row in payload["lines"]:
+        print(f"  {row['line']:5d}  {row['text']}")
     return 0
 
 
@@ -160,18 +285,80 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+_STATS_LABELS = [
+    ("program", "program:           "),
+    ("classes", "classes:           "),
+    ("functions_ir", "functions (IR):    "),
+    ("reachable_functions", "reachable functions:"),
+    ("call_graph_nodes", "call graph nodes:  "),
+    ("call_graph_edges", "call graph edges:  "),
+    ("sdg_statements", "SDG statements:    "),
+    ("sdg_edges", "SDG edges:         "),
+]
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.server.protocol import stats_payload
+
     source, name = _read_program(args.file)
-    analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
-    graph = analyzed.pts.call_graph
-    print(f"program:            {name}")
-    print(f"classes:            {len(analyzed.compiled.table.classes)}")
-    print(f"functions (IR):     {len(analyzed.compiled.ir.functions)}")
-    print(f"reachable functions:{graph.function_count():6d}")
-    print(f"call graph nodes:   {graph.node_count():6d}")
-    print(f"call graph edges:   {graph.edge_count():6d}")
-    print(f"SDG statements:     {analyzed.sdg.statement_count():6d}")
-    print(f"SDG edges:          {analyzed.sdg.edge_count():6d}")
+    if args.server:
+        payload = _server_request(
+            args.server,
+            "stats",
+            source=source,
+            filename=name,
+            include_stdlib=not args.no_stdlib,
+        )
+    else:
+        analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+        payload = stats_payload(analyzed, name)
+    if args.format == "json":
+        _print_json(payload)
+        return 0
+    for key, label in _STATS_LABELS:
+        value = payload[key]
+        if isinstance(value, int):
+            print(f"{label}{value:6d}")
+        else:
+            print(f"{label} {value}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# The daemon
+# ----------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.server.cache import AnalysisCache
+    from repro.server.daemon import SliceServer, serve_stdio, serve_tcp
+    from repro.server.store import DiskStore
+
+    server_logger = logging.getLogger("repro.server")
+    if not args.quiet:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        server_logger.addHandler(handler)
+        server_logger.setLevel(logging.INFO)
+
+    store = None
+    if not args.no_disk_cache:
+        cache_dir = (
+            args.cache_dir
+            or os.environ.get("REPRO_CACHE_DIR")
+            or str(DEFAULT_CACHE_DIR)
+        )
+        store = DiskStore(Path(cache_dir))
+    cache = AnalysisCache(capacity=args.memory_capacity, store=store)
+    timeout = args.timeout if args.timeout and args.timeout > 0 else None
+    server = SliceServer(cache, timeout=timeout)
+    if args.tcp:
+        host, port = _parse_hostport(args.tcp)
+        serve_tcp(server, host, port)
+    else:
+        serve_stdio(server, sys.stdin, sys.stdout)
     return 0
 
 
@@ -187,6 +374,8 @@ def main(argv: list[str] | None = None) -> int:
     p_slice.add_argument("--traditional", action="store_true")
     p_slice.add_argument("--no-stdlib", action="store_true")
     p_slice.add_argument("--context", type=int, default=0)
+    p_slice.add_argument("--format", choices=("text", "json"), default="text")
+    p_slice.add_argument("--server", metavar="HOST:PORT")
     p_slice.set_defaults(fn=_cmd_slice)
 
     p_run = sub.add_parser("run", help="run a program's main")
@@ -200,6 +389,7 @@ def main(argv: list[str] | None = None) -> int:
     p_explain.add_argument("file")
     p_explain.add_argument("--line", type=int, required=True)
     p_explain.add_argument("--no-stdlib", action="store_true")
+    p_explain.add_argument("--server", metavar="HOST:PORT")
     p_explain.set_defaults(fn=_cmd_explain)
 
     p_why = sub.add_parser(
@@ -209,6 +399,7 @@ def main(argv: list[str] | None = None) -> int:
     p_why.add_argument("--source", type=int, required=True)
     p_why.add_argument("--sink", type=int, required=True)
     p_why.add_argument("--no-stdlib", action="store_true")
+    p_why.add_argument("--server", metavar="HOST:PORT")
     p_why.set_defaults(fn=_cmd_why)
 
     p_chop = sub.add_parser("chop", help="statements between source and sink")
@@ -217,6 +408,7 @@ def main(argv: list[str] | None = None) -> int:
     p_chop.add_argument("--sink", type=int, required=True)
     p_chop.add_argument("--traditional", action="store_true")
     p_chop.add_argument("--no-stdlib", action="store_true")
+    p_chop.add_argument("--server", metavar="HOST:PORT")
     p_chop.set_defaults(fn=_cmd_chop)
 
     p_dot = sub.add_parser("dot", help="export the SDG (or a slice) as DOT")
@@ -229,7 +421,37 @@ def main(argv: list[str] | None = None) -> int:
     p_stats = sub.add_parser("stats", help="print analysis statistics")
     p_stats.add_argument("file")
     p_stats.add_argument("--no-stdlib", action="store_true")
+    p_stats.add_argument("--format", choices=("text", "json"), default="text")
+    p_stats.add_argument("--server", metavar="HOST:PORT")
     p_stats.set_defaults(fn=_cmd_stats)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the analysis daemon (line-delimited JSON)"
+    )
+    p_serve.add_argument(
+        "--tcp", metavar="HOST:PORT", help="listen on TCP instead of stdio"
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        help="on-disk artifact store (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-server)",
+    )
+    p_serve.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="keep analyses in memory only",
+    )
+    p_serve.add_argument("--memory-capacity", type=int, default=8)
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request budget in seconds (0 disables)",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true", help="suppress structured logs"
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

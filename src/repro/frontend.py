@@ -9,6 +9,7 @@ standard library (containers and exception classes), so programs can use
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.lang import ast
@@ -41,6 +42,21 @@ def stdlib_source() -> str:
     from repro.suite.loader import load_stdlib
 
     return load_stdlib()
+
+
+def source_fingerprint(text: str, include_stdlib: bool = False) -> str:
+    """SHA-256 over exactly the text :func:`compile_source` would consume.
+
+    With ``include_stdlib=True`` the stdlib source participates in the
+    digest, so a stdlib change invalidates cached analyses even though
+    the user-visible source text is unchanged.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(text.encode("utf-8"))
+    if include_stdlib:
+        hasher.update(b"\x00stdlib\x00")
+        hasher.update(stdlib_source().encode("utf-8"))
+    return hasher.hexdigest()
 
 
 def compile_source(

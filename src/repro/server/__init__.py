@@ -1,0 +1,52 @@
+"""Persistent slice server: a long-lived analysis daemon.
+
+The CLI reruns the whole pipeline (parse → type-check → SSA →
+points-to → SDG) on every invocation, but the SDG is exactly the
+artifact worth amortizing across queries — the paper's WALA tool
+builds it once and answers many slice requests against it.  This
+package turns the library into a service:
+
+* :mod:`repro.server.protocol` — line-delimited JSON requests and
+  responses, plus the result serializers shared with ``--format json``
+  in the CLI;
+* :mod:`repro.server.store` — an on-disk content-addressed store of
+  pickled :class:`repro.AnalyzedProgram` artifacts, so a restarted
+  daemon answers warm queries without re-analysis;
+* :mod:`repro.server.cache` — the two-tier cache (in-memory LRU over
+  the disk store) keyed by ``(sha256(source), options)``;
+* :mod:`repro.server.daemon` — the request dispatcher with per-request
+  timeouts, error isolation, and latency/hit-rate observability, and
+  the stdio/TCP serving loops;
+* :mod:`repro.server.client` — a thin Python client that spawns a
+  stdio daemon or connects over TCP.
+
+Quickstart::
+
+    from repro.server import SliceClient
+
+    with SliceClient.spawn() as client:
+        result = client.slice(source_text, line=26)
+        print(result["source_view"])
+"""
+
+from __future__ import annotations
+
+from repro.server.cache import AnalysisCache, cache_key
+from repro.server.client import ServerError, SliceClient
+from repro.server.daemon import SliceServer, serve_stdio, serve_tcp, start_tcp_server
+from repro.server.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.server.store import DiskStore
+
+__all__ = [
+    "AnalysisCache",
+    "DiskStore",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerError",
+    "SliceClient",
+    "SliceServer",
+    "cache_key",
+    "serve_stdio",
+    "serve_tcp",
+    "start_tcp_server",
+]

@@ -1,0 +1,120 @@
+"""Two-tier analysis cache: in-memory LRU over the on-disk store.
+
+The key is content-addressed — :func:`cache_key` hashes the exact
+source text (plus the stdlib when it participates), the
+:class:`repro.AnalyzeOptions` token, and the package version.  Two
+submissions of byte-identical source with the same options therefore
+hit, regardless of filename; changing any option (or any byte of the
+source) misses.
+
+Lookup order: memory → disk → :func:`repro.analyze`.  Every analysis
+result is promoted into both tiers, so a restarted process finds the
+artifact on disk and a long-lived process answers from memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro import AnalyzedProgram, AnalyzeOptions, __version__, analyze
+from repro.frontend import source_fingerprint
+from repro.server.store import DiskStore
+
+DEFAULT_MEMORY_CAPACITY = 8
+
+
+def cache_key(source: str, options: AnalyzeOptions) -> str:
+    """Content address of one ``(source, options)`` analysis request."""
+    hasher = hashlib.sha256()
+    hasher.update(f"repro/{__version__}\n".encode("utf-8"))
+    hasher.update(options.cache_token().encode("utf-8"))
+    hasher.update(b"\n")
+    hasher.update(
+        source_fingerprint(source, options.include_stdlib).encode("utf-8")
+    )
+    return hasher.hexdigest()
+
+
+class AnalysisCache:
+    """LRU of :class:`AnalyzedProgram` objects with an optional disk tier.
+
+    Thread-safe: the TCP daemon serves connections from multiple
+    threads.  The lock guards the LRU bookkeeping and the counters; the
+    analysis itself runs outside the lock (two racing misses on the
+    same key both compute, last write wins — wasteful but correct).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_MEMORY_CAPACITY,
+        store: DiskStore | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.store = store
+        self._entries: OrderedDict[str, AnalyzedProgram] = OrderedDict()
+        self._lock = threading.Lock()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_analyze(
+        self,
+        source: str,
+        filename: str = "<input>",
+        options: AnalyzeOptions | None = None,
+    ) -> tuple[AnalyzedProgram, str]:
+        """Return ``(analyzed, origin)``, origin ∈ memory | disk | analyzed."""
+        options = options or AnalyzeOptions()
+        key = cache_key(source, options)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.memory_hits += 1
+                return cached, "memory"
+        if self.store is not None:
+            loaded = self.store.load(key)
+            if loaded is not None:
+                with self._lock:
+                    self.disk_hits += 1
+                    self._put(key, loaded)
+                return loaded, "disk"
+        analyzed = analyze(source, filename, options=options)
+        with self._lock:
+            self.misses += 1
+            self._put(key, analyzed)
+        if self.store is not None:
+            self.store.save(key, analyzed)
+        return analyzed, "analyzed"
+
+    def _put(self, key: str, analyzed: AnalyzedProgram) -> None:
+        self._entries[key] = analyzed
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            payload: dict[str, Any] = {
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+            }
+        payload["disk"] = (
+            self.store.stats.as_dict() if self.store is not None else None
+        )
+        return payload

@@ -1,0 +1,184 @@
+"""Thin Python client for the slice server.
+
+Two transports behind one API:
+
+* :meth:`SliceClient.connect` — TCP to a running ``repro serve --tcp``;
+* :meth:`SliceClient.spawn` — fork a private stdio daemon as a child
+  process (the editor-integration shape: one daemon per tool session).
+
+Requests are synchronous: send one line, read one line.  An error
+response raises :class:`ServerError` carrying the structured type.
+"""
+
+from __future__ import annotations
+
+import socket
+import subprocess
+import sys
+from typing import Any, Callable, Sequence
+
+from repro.server.protocol import decode_message, encode_message
+
+
+class ServerError(RuntimeError):
+    """An error response from the daemon."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message
+
+
+class SliceClient:
+    def __init__(
+        self,
+        send_line: Callable[[str], None],
+        recv_line: Callable[[], str],
+        close: Callable[[], None],
+    ) -> None:
+        self._send_line = send_line
+        self._recv_line = recv_line
+        self._close = close
+        self._next_id = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: float = 30.0) -> "SliceClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        writer = sock.makefile("w", encoding="utf-8", newline="\n")
+
+        def send(line: str) -> None:
+            writer.write(line + "\n")
+            writer.flush()
+
+        def close() -> None:
+            reader.close()
+            writer.close()
+            sock.close()
+
+        return cls(send, lambda: reader.readline(), close)
+
+    @classmethod
+    def spawn(
+        cls,
+        extra_args: Sequence[str] = (),
+        python: str = sys.executable,
+    ) -> "SliceClient":
+        """Start ``python -m repro.cli serve`` on pipes and attach to it."""
+        process = subprocess.Popen(
+            [python, "-m", "repro.cli", "serve", *extra_args],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        assert process.stdin is not None and process.stdout is not None
+
+        def send(line: str) -> None:
+            process.stdin.write(line + "\n")
+            process.stdin.flush()
+
+        def close() -> None:
+            try:
+                process.stdin.close()
+            except OSError:
+                pass
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+        client = cls(send, lambda: process.stdout.readline(), close)
+        client.process = process
+        return client
+
+    # ------------------------------------------------------------------
+    # Core request/response
+    # ------------------------------------------------------------------
+
+    def request(self, method: str, **params: Any) -> dict[str, Any]:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        self._send_line(
+            encode_message(
+                {"id": request_id, "method": method, "params": params}
+            )
+        )
+        line = self._recv_line()
+        if not line:
+            raise ServerError("Disconnected", "server closed the connection")
+        response = decode_message(line)
+        if response.get("id") != request_id:
+            raise ServerError(
+                "Protocol",
+                f"response id {response.get('id')!r} != request id {request_id}",
+            )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(
+                error.get("type", "Unknown"), error.get("message", "")
+            )
+        return response["result"]
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def slice(self, source: str, line: int, **params: Any) -> dict[str, Any]:
+        return self.request("slice", source=source, line=line, **params)
+
+    def slice_program(self, program: str, line: int, **params: Any) -> dict[str, Any]:
+        return self.request("slice", program=program, line=line, **params)
+
+    def explain(self, source: str, line: int, **params: Any) -> dict[str, Any]:
+        return self.request("explain", source=source, line=line, **params)
+
+    def why(
+        self, source: str, source_line: int, sink_line: int, **params: Any
+    ) -> dict[str, Any]:
+        return self.request(
+            "why",
+            source=source,
+            source_line=source_line,
+            sink_line=sink_line,
+            **params,
+        )
+
+    def chop(
+        self, source: str, source_line: int, sink_line: int, **params: Any
+    ) -> dict[str, Any]:
+        return self.request(
+            "chop",
+            source=source,
+            source_line=source_line,
+            sink_line=sink_line,
+            **params,
+        )
+
+    def stats(self, **params: Any) -> dict[str, Any]:
+        return self.request("stats", **params)
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("shutdown")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._close()
+
+    def __enter__(self) -> "SliceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

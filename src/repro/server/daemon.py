@@ -1,0 +1,416 @@
+"""The analysis daemon: dispatcher, serving loops, observability.
+
+Design rules:
+
+* **Error isolation** — ``handle_line`` never raises.  A query that
+  throws (bad params, MJ compile error, an analysis bug) produces a
+  structured error response; the daemon keeps serving.
+* **Per-request timeout** — handlers run on a small worker pool and
+  are abandoned after ``timeout`` seconds (the worker finishes in the
+  background; the client gets a ``Timeout`` error immediately).
+* **Observability** — every request is timed and counted per method,
+  and emitted as a structured (JSON) log line; the ``stats`` RPC with
+  no program argument returns the counters plus the cache hit/miss
+  numbers.
+
+Two serving loops: :func:`serve_stdio` (one client on stdin/stdout)
+and :func:`serve_tcp` (a threading TCP server, many clients, one
+request pipeline per connection).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socketserver
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import Any, Callable, TextIO
+
+from repro import AnalyzedProgram, AnalyzeOptions, __version__
+from repro.server.cache import AnalysisCache
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    chop_payload,
+    decode_message,
+    encode_message,
+    error_response,
+    explain_payload,
+    ok_response,
+    slice_payload,
+    stats_payload,
+    why_payload,
+)
+
+logger = logging.getLogger("repro.server")
+
+
+class QueryError(Exception):
+    """A structured, client-visible failure (bad params, empty result)."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+
+
+@dataclass
+class MethodStats:
+    count: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+
+    def record(self, latency_ms: float, ok: bool, timed_out: bool) -> None:
+        self.count += 1
+        if not ok:
+            self.errors += 1
+        if timed_out:
+            self.timeouts += 1
+        self.total_ms += latency_ms
+        self.max_ms = max(self.max_ms, latency_ms)
+
+    def as_dict(self) -> dict[str, Any]:
+        mean = self.total_ms / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "total_ms": round(self.total_ms, 3),
+            "mean_ms": round(mean, 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+class SliceServer:
+    """Dispatches protocol requests against a shared analysis cache."""
+
+    def __init__(
+        self,
+        cache: AnalysisCache | None = None,
+        timeout: float | None = None,
+        workers: int = 4,
+    ) -> None:
+        self.cache = cache if cache is not None else AnalysisCache()
+        self.timeout = timeout
+        self.started = time.time()
+        self.shutting_down = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-query"
+        )
+        self._stats_lock = threading.Lock()
+        self._method_stats: dict[str, MethodStats] = {}
+        self._methods: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
+            "ping": self._method_ping,
+            "slice": self._method_slice,
+            "explain": self._method_explain,
+            "why": self._method_why,
+            "chop": self._method_chop,
+            "stats": self._method_stats_rpc,
+            "shutdown": self._method_shutdown,
+        }
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        """One request line in, one response line out.  Never raises."""
+        try:
+            request = decode_message(line)
+        except ProtocolError as exc:
+            return encode_message(error_response(None, "Protocol", str(exc)))
+        return encode_message(self.handle_request(request))
+
+    def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
+        request_id = request.get("id")
+        method = request.get("method")
+        params = request.get("params") or {}
+        if not isinstance(method, str) or method not in self._methods:
+            return error_response(
+                request_id, "UnknownMethod", f"unknown method: {method!r}"
+            )
+        if not isinstance(params, dict):
+            return error_response(
+                request_id, "Protocol", "params must be an object"
+            )
+        start = time.perf_counter()
+        timed_out = False
+        try:
+            introspection = method in ("ping", "shutdown") or (
+                method == "stats"
+                and "source" not in params
+                and "program" not in params
+            )
+            if introspection:
+                # Must stay responsive even when the worker pool is
+                # saturated by slow analyses.
+                result = self._methods[method](params)
+            else:
+                future = self._pool.submit(self._methods[method], params)
+                result = future.result(timeout=self.timeout)
+            response = ok_response(request_id, result)
+        except FutureTimeout:
+            timed_out = True
+            response = error_response(
+                request_id,
+                "Timeout",
+                f"request exceeded {self.timeout:g}s budget",
+            )
+        except QueryError as exc:
+            response = error_response(request_id, exc.error_type, str(exc))
+        except Exception as exc:
+            response = error_response(request_id, type(exc).__name__, str(exc))
+        latency_ms = (time.perf_counter() - start) * 1000
+        self._record(method, latency_ms, response["ok"], timed_out)
+        return response
+
+    # ------------------------------------------------------------------
+    # Methods
+    # ------------------------------------------------------------------
+
+    def _method_ping(self, params: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "pong": True,
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+        }
+
+    def _method_shutdown(self, params: dict[str, Any]) -> dict[str, Any]:
+        self.shutting_down = True
+        return {"stopping": True}
+
+    def _method_slice(self, params: dict[str, Any]) -> dict[str, Any]:
+        analyzed, name, origin = self._analyzed_program(params)
+        line = self._int_param(params, "line")
+        flavor = params.get("flavor", "thin")
+        if flavor not in ("thin", "traditional"):
+            raise QueryError("BadParams", f"unknown flavor: {flavor!r}")
+        slicer = (
+            analyzed.traditional_slicer
+            if flavor == "traditional"
+            else analyzed.thin_slicer
+        )
+        result = slicer.slice_from_line(line)
+        payload = slice_payload(
+            result,
+            program=name,
+            line=line,
+            flavor=flavor,
+            context=int(params.get("context", 0)),
+        )
+        payload["origin"] = origin
+        return payload
+
+    def _method_explain(self, params: dict[str, Any]) -> dict[str, Any]:
+        analyzed, name, origin = self._analyzed_program(params)
+        payload = explain_payload(
+            analyzed, program=name, line=self._int_param(params, "line")
+        )
+        payload["origin"] = origin
+        return payload
+
+    def _method_why(self, params: dict[str, Any]) -> dict[str, Any]:
+        analyzed, name, origin = self._analyzed_program(params)
+        payload = why_payload(
+            analyzed,
+            program=name,
+            source_line=self._int_param(params, "source_line"),
+            sink_line=self._int_param(params, "sink_line"),
+        )
+        payload["origin"] = origin
+        return payload
+
+    def _method_chop(self, params: dict[str, Any]) -> dict[str, Any]:
+        from repro.slicing.chopping import thin_chop, traditional_chop
+
+        analyzed, name, origin = self._analyzed_program(params)
+        flavor = params.get("flavor", "thin")
+        if flavor not in ("thin", "traditional"):
+            raise QueryError("BadParams", f"unknown flavor: {flavor!r}")
+        chopper = traditional_chop if flavor == "traditional" else thin_chop
+        source_line = self._int_param(params, "source_line")
+        sink_line = self._int_param(params, "sink_line")
+        result = chopper(analyzed.compiled, analyzed.sdg, source_line, sink_line)
+        payload = chop_payload(
+            result,
+            analyzed,
+            program=name,
+            source_line=source_line,
+            sink_line=sink_line,
+            flavor=flavor,
+        )
+        payload["origin"] = origin
+        return payload
+
+    def _method_stats_rpc(self, params: dict[str, Any]) -> dict[str, Any]:
+        if "source" in params or "program" in params:
+            analyzed, name, origin = self._analyzed_program(params)
+            payload = stats_payload(analyzed, name)
+            payload["origin"] = origin
+            return payload
+        return self.server_stats()
+
+    def server_stats(self) -> dict[str, Any]:
+        with self._stats_lock:
+            methods = {
+                name: stats.as_dict()
+                for name, stats in sorted(self._method_stats.items())
+            }
+            requests_total = sum(s.count for s in self._method_stats.values())
+        return {
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(time.time() - self.started, 3),
+            "requests_total": requests_total,
+            "methods": methods,
+            "cache": self.cache.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _analyzed_program(
+        self, params: dict[str, Any]
+    ) -> tuple[AnalyzedProgram, str, str]:
+        source = params.get("source")
+        name = params.get("filename", "<input>")
+        if source is None:
+            program = params.get("program")
+            if not isinstance(program, str):
+                raise QueryError(
+                    "BadParams", "need 'source' text or a 'program' name"
+                )
+            from repro.suite.loader import load_source, program_names
+
+            if program not in program_names():
+                raise QueryError(
+                    "UnknownProgram",
+                    f"{program!r} is not a suite program "
+                    f"(known: {', '.join(program_names())})",
+                )
+            source = load_source(program)
+            name = f"{program}.mj"
+        if not isinstance(source, str):
+            raise QueryError("BadParams", "'source' must be a string")
+        options = AnalyzeOptions(
+            include_stdlib=bool(params.get("include_stdlib", True))
+        )
+        analyzed, origin = self.cache.get_or_analyze(source, name, options)
+        return analyzed, name, origin
+
+    @staticmethod
+    def _int_param(params: dict[str, Any], key: str) -> int:
+        value = params.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise QueryError("BadParams", f"{key!r} must be an integer")
+        return value
+
+    def _record(
+        self, method: str, latency_ms: float, ok: bool, timed_out: bool
+    ) -> None:
+        with self._stats_lock:
+            stats = self._method_stats.setdefault(method, MethodStats())
+            stats.record(latency_ms, ok, timed_out)
+        logger.info(
+            "%s",
+            json.dumps(
+                {
+                    "event": "request",
+                    "method": method,
+                    "ok": ok,
+                    "timed_out": timed_out,
+                    "latency_ms": round(latency_ms, 3),
+                },
+                sort_keys=True,
+            ),
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# Serving loops
+# ----------------------------------------------------------------------
+
+
+def serve_stdio(
+    server: SliceServer, in_stream: TextIO, out_stream: TextIO
+) -> None:
+    """Answer newline-delimited requests until EOF or shutdown."""
+    for line in in_stream:
+        if not line.strip():
+            continue
+        out_stream.write(server.handle_line(line) + "\n")
+        out_stream.flush()
+        if server.shutting_down:
+            break
+    server.close()
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        slice_server: SliceServer = self.server.slice_server  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            self.wfile.write((slice_server.handle_line(line) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if slice_server.shutting_down:
+                # shutdown() must not run on this handler thread.
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                break
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, slice_server: SliceServer) -> None:
+        super().__init__(address, _LineHandler)
+        self.slice_server = slice_server
+
+
+def start_tcp_server(
+    server: SliceServer, host: str = "127.0.0.1", port: int = 0
+) -> tuple[_TCPServer, threading.Thread]:
+    """Bind and serve on a background thread; returns (tcp_server, thread).
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``tcp_server.server_address``.
+    """
+    tcp_server = _TCPServer((host, port), server)
+    thread = threading.Thread(
+        target=tcp_server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return tcp_server, thread
+
+
+def serve_tcp(server: SliceServer, host: str = "127.0.0.1", port: int = 7341) -> None:
+    """Serve until a ``shutdown`` request (or KeyboardInterrupt)."""
+    tcp_server, thread = start_tcp_server(server, host, port)
+    bound_host, bound_port = tcp_server.server_address[:2]
+    logger.info(
+        "%s",
+        json.dumps(
+            {"event": "listening", "host": bound_host, "port": bound_port},
+            sort_keys=True,
+        ),
+    )
+    try:
+        thread.join()
+    except KeyboardInterrupt:
+        tcp_server.shutdown()
+    finally:
+        tcp_server.server_close()
+        server.close()

@@ -1,0 +1,185 @@
+"""Wire format: one JSON object per line, in both directions.
+
+Requests::
+
+    {"id": 1, "method": "slice", "params": {"program": "figure2", "line": 26}}
+
+Responses::
+
+    {"id": 1, "ok": true, "result": {...}}
+    {"id": 1, "ok": false, "error": {"type": "NoStatements", "message": "..."}}
+
+``id`` is echoed verbatim so clients can pipeline requests; a response
+to an unparseable line carries ``"id": null``.  The payload builders at
+the bottom are shared by the daemon and by ``--format json`` in the
+CLI, so batch and server output stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro import AnalyzedProgram
+from repro.slicing.chopping import ChopResult
+from repro.slicing.engine import SliceResult
+
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(Exception):
+    """A line that is not a well-formed request object."""
+
+
+def encode_message(message: dict[str, Any]) -> str:
+    """Render one message as a single line (no embedded newlines)."""
+    return json.dumps(message, separators=(",", ":"), sort_keys=True)
+
+
+def decode_message(line: str) -> dict[str, Any]:
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def ok_response(request_id: Any, result: dict[str, Any]) -> dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Any, error_type: str, message: str
+) -> dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": error_type, "message": message},
+    }
+
+
+# ----------------------------------------------------------------------
+# Result payloads (shared with the CLI's --format json)
+# ----------------------------------------------------------------------
+
+
+def slice_payload(
+    result: SliceResult,
+    *,
+    program: str,
+    line: int,
+    flavor: str,
+    context: int = 0,
+) -> dict[str, Any]:
+    return {
+        "program": program,
+        "flavor": flavor,
+        "seed_line": line,
+        "seed_count": len(result.seeds),
+        "lines": sorted(result.lines),
+        "line_count": len(result.lines),
+        "statement_count": len(result.statements),
+        "source_view": result.source_view(context=context),
+    }
+
+
+def stats_payload(analyzed: AnalyzedProgram, program: str) -> dict[str, Any]:
+    graph = analyzed.pts.call_graph
+    return {
+        "program": program,
+        "classes": len(analyzed.compiled.table.classes),
+        "functions_ir": len(analyzed.compiled.ir.functions),
+        "reachable_functions": graph.function_count(),
+        "call_graph_nodes": graph.node_count(),
+        "call_graph_edges": graph.edge_count(),
+        "sdg_statements": analyzed.sdg.statement_count(),
+        "sdg_edges": analyzed.sdg.edge_count(),
+    }
+
+
+def explain_payload(
+    analyzed: AnalyzedProgram, *, program: str, line: int
+) -> dict[str, Any]:
+    from repro.slicing.expansion import control_explainers
+
+    lines = analyzed.compiled.source.lines()
+    conditionals: list[dict[str, Any]] = []
+    seen: set[int] = set()
+    for instr in analyzed.compiled.instructions_at_line(line):
+        if not analyzed.sdg.nodes_of_instruction(instr):
+            continue
+        for conditional in control_explainers(analyzed.sdg, instr).conditionals:
+            conditional_line = conditional.position.line
+            if conditional_line in seen or not (
+                1 <= conditional_line <= len(lines)
+            ):
+                continue
+            seen.add(conditional_line)
+            conditionals.append(
+                {
+                    "line": conditional_line,
+                    "text": lines[conditional_line - 1].strip(),
+                }
+            )
+    conditionals.sort(key=lambda entry: entry["line"])
+    return {"program": program, "line": line, "conditionals": conditionals}
+
+
+def why_payload(
+    analyzed: AnalyzedProgram,
+    *,
+    program: str,
+    source_line: int,
+    sink_line: int,
+) -> dict[str, Any]:
+    from repro.tooling.navigator import Navigator
+
+    navigator = Navigator(analyzed.compiled, analyzed.sdg)
+    path = navigator.why(source_line, sink_line)
+    payload: dict[str, Any] = {
+        "program": program,
+        "source_line": source_line,
+        "sink_line": sink_line,
+        "found": path is not None,
+        "path": [],
+        "rendered": "",
+    }
+    if path is not None:
+        payload["path"] = [
+            {
+                "line": step.line,
+                "kinds": sorted(kind.value for kind in step.kinds),
+                "text": step.text,
+            }
+            for step in path
+        ]
+        payload["rendered"] = navigator.render_path(path)
+    return payload
+
+
+def chop_payload(
+    result: ChopResult,
+    analyzed: AnalyzedProgram,
+    *,
+    program: str,
+    source_line: int,
+    sink_line: int,
+    flavor: str,
+) -> dict[str, Any]:
+    lines = analyzed.compiled.source.lines()
+    rows = [
+        {"line": line, "text": lines[line - 1].strip()}
+        for line in sorted(result.lines)
+        if 1 <= line <= len(lines)
+    ]
+    return {
+        "program": program,
+        "flavor": flavor,
+        "source_line": source_line,
+        "sink_line": sink_line,
+        "empty": result.empty,
+        "lines": rows,
+        "line_count": len(rows),
+    }

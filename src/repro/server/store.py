@@ -1,0 +1,117 @@
+"""On-disk content-addressed store of pickled analysis artifacts.
+
+Each artifact lives at ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is
+the cache key from :func:`repro.server.cache.cache_key`.  The pickle
+wraps the :class:`repro.AnalyzedProgram` in an envelope carrying a
+format version and the key itself, so a stale or corrupted file — a
+truncated write, a pickle from an incompatible code version, a hash
+collision in a hand-edited store — is *discarded and recomputed*,
+never propagated and never fatal.
+
+Writes go through a temp file + :func:`os.replace` so a crash mid-save
+leaves either the old artifact or none, but never a torn file at the
+final path.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro import AnalyzedProgram, __version__
+
+FORMAT_VERSION = 1
+
+logger = logging.getLogger("repro.server")
+
+
+@dataclass
+class StoreStats:
+    """Counters for the disk tier (all monotonically increasing)."""
+
+    hits: int = 0
+    misses: int = 0
+    discarded: int = 0
+    saves: int = 0
+    save_errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "discarded": self.discarded,
+            "saves": self.saves,
+            "save_errors": self.save_errors,
+        }
+
+
+@dataclass
+class DiskStore:
+    """Content-addressed pickle store under one root directory."""
+
+    root: Path
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> AnalyzedProgram | None:
+        """Return the stored artifact, or None (missing / stale / corrupt)."""
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError as exc:
+            self.stats.misses += 1
+            logger.warning("store read failed for %s: %s", path, exc)
+            return None
+        try:
+            envelope: Any = pickle.loads(blob)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("format") != FORMAT_VERSION
+                or envelope.get("version") != __version__
+                or envelope.get("key") != key
+            ):
+                raise ValueError("stale or mismatched envelope")
+            payload = envelope["payload"]
+            if not isinstance(payload, AnalyzedProgram):
+                raise ValueError("unexpected payload type")
+        except Exception as exc:
+            self.stats.discarded += 1
+            logger.warning("discarding bad artifact %s: %s", path, exc)
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def save(self, key: str, analyzed: AnalyzedProgram) -> None:
+        """Atomically persist one artifact; failures are logged, not raised."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        envelope = {
+            "format": FORMAT_VERSION,
+            "version": __version__,
+            "key": key,
+            "payload": analyzed,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            self.stats.saves += 1
+        except Exception as exc:
+            self.stats.save_errors += 1
+            logger.warning("store save failed for %s: %s", path, exc)
+            tmp.unlink(missing_ok=True)

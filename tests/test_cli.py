@@ -42,6 +42,23 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "nope-nope"])
 
+    def test_directory_path_friendly_error(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(["stats", str(tmp_path)])
+        assert "cannot read" in str(err.value)
+
+    def test_unreadable_file_friendly_error(self, tmp_path):
+        import os
+
+        if os.geteuid() == 0:
+            pytest.skip("root ignores file permissions")
+        path = tmp_path / "secret.mj"
+        path.write_text("class Main {}")
+        path.chmod(0)
+        with pytest.raises(SystemExit) as err:
+            main(["stats", str(path)])
+        assert "cannot read" in str(err.value)
+
 
 class TestSlice:
     def seed_line(self, name: str, tag: str) -> int:
@@ -71,6 +88,29 @@ class TestSlice:
         code, out, err = run_cli(capsys, "slice", "figure2", "--line", "1")
         assert code == 1
         assert "no statements" in err
+
+    def test_slice_json_output(self, capsys):
+        import json
+
+        line = self.seed_line("figure2", "seed")
+        code, out, err = run_cli(
+            capsys, "slice", "figure2", "--line", str(line), "--format", "json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["flavor"] == "thin"
+        assert payload["seed_line"] == line
+        assert payload["line_count"] == len(payload["lines"]) > 0
+        assert "new B()" in payload["source_view"]
+
+    def test_slice_json_empty_line_exits_nonzero(self, capsys):
+        import json
+
+        code, out, err = run_cli(
+            capsys, "slice", "figure2", "--line", "1", "--format", "json"
+        )
+        assert code == 1
+        assert json.loads(out)["seed_count"] == 0
 
 
 class TestWhyChopDot:
@@ -152,3 +192,63 @@ class TestExplainAndStats:
         assert code == 0
         assert "call graph nodes" in out
         assert "SDG statements" in out
+
+    def test_stats_json_output(self, capsys):
+        import json
+
+        code, out, err = run_cli(
+            capsys, "stats", "figure2", "--no-stdlib", "--format", "json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["program"] == "figure2.mj"
+        assert payload["sdg_statements"] > 0
+        assert payload["call_graph_edges"] >= payload["reachable_functions"] - 1
+
+
+class TestServerRouting:
+    @pytest.fixture()
+    def address(self):
+        from repro.server.cache import AnalysisCache
+        from repro.server.daemon import SliceServer, start_tcp_server
+
+        instance = SliceServer(AnalysisCache())
+        tcp_server, _thread = start_tcp_server(instance)
+        host, port = tcp_server.server_address[:2]
+        yield f"{host}:{port}"
+        tcp_server.shutdown()
+        tcp_server.server_close()
+        instance.close()
+
+    def test_slice_via_server_matches_local(self, capsys, address):
+        from repro.lang.source import marker_line
+        from repro.suite.loader import load_source
+
+        line = marker_line(load_source("figure2"), "tag", "seed")
+        code, local_out, _ = run_cli(
+            capsys, "slice", "figure2", "--line", str(line)
+        )
+        assert code == 0
+        code, remote_out, _ = run_cli(
+            capsys, "slice", "figure2", "--line", str(line),
+            "--server", address,
+        )
+        assert code == 0
+        assert remote_out == local_out
+
+    def test_stats_via_server_json(self, capsys, address):
+        import json
+
+        code, out, err = run_cli(
+            capsys, "stats", "figure2", "--server", address,
+            "--format", "json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["sdg_statements"] > 0
+        assert payload["origin"] == "analyzed"
+
+    def test_unreachable_server_friendly_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["stats", "figure2", "--server", "127.0.0.1:1"])
+        assert "cannot reach server" in str(err.value)

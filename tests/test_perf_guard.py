@@ -41,6 +41,47 @@ def test_synthetic_program_analysis_under_budget():
     assert elapsed < 15, f"synthetic analysis took {elapsed:.1f}s (typical ~0.5s)"
 
 
+def test_warm_cached_query_10x_faster_than_cold(tmp_path):
+    """A cache hit must skip the pipeline: ≥10x faster than first analysis.
+
+    Drives the real server dispatch path (JSON in, JSON out) on a
+    mid-size suite program.  The cold request pays parse → type-check →
+    SSA → points-to → SDG; the warm request is a memory hit.
+    """
+    import json
+
+    from repro.server.cache import AnalysisCache
+    from repro.server.daemon import SliceServer
+    from repro.server.store import DiskStore
+
+    server = SliceServer(AnalysisCache(store=DiskStore(tmp_path)))
+    request = json.dumps(
+        {"id": 1, "method": "stats", "params": {"program": "minijavac"}}
+    )
+    try:
+        start = time.perf_counter()
+        cold_response = json.loads(server.handle_line(request))
+        cold = time.perf_counter() - start
+        assert cold_response["result"]["origin"] == "analyzed"
+
+        warm = min(
+            _timed(lambda: server.handle_line(request)) for _ in range(3)
+        )
+        assert json.loads(server.handle_line(request))["result"]["origin"] == "memory"
+    finally:
+        server.close()
+    assert warm * 10 <= cold, (
+        f"warm query {warm * 1000:.1f}ms not 10x faster than cold "
+        f"{cold * 1000:.1f}ms"
+    )
+
+
+def _timed(thunk) -> float:
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start
+
+
 def test_thousand_slices_under_budget():
     compiled = compile_source(
         load_source("minijavac"), "minijavac", include_stdlib=True

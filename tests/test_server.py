@@ -1,0 +1,258 @@
+"""Slice server tests: protocol, dispatcher, error isolation, transports."""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.lang.source import marker_line
+from repro.server.cache import AnalysisCache
+from repro.server.client import ServerError, SliceClient
+from repro.server.daemon import SliceServer, serve_stdio, start_tcp_server
+from repro.server.protocol import ProtocolError, decode_message, encode_message
+from repro.suite.loader import load_source
+
+
+def seed_line(name: str, tag: str) -> int:
+    return marker_line(load_source(name), "tag", tag)
+
+
+def rpc(server: SliceServer, method: str, request_id=1, **params):
+    line = json.dumps({"id": request_id, "method": method, "params": params})
+    return json.loads(server.handle_line(line))
+
+
+@pytest.fixture(scope="module")
+def server():
+    instance = SliceServer(AnalysisCache())
+    yield instance
+    instance.close()
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        message = {"id": 7, "method": "ping", "params": {}}
+        assert decode_message(encode_message(message)) == message
+
+    def test_encoded_is_single_line(self):
+        line = encode_message({"text": "a\nb", "n": 1})
+        assert "\n" not in line
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_message("{nope")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_message("[1, 2]")
+
+    def test_garbage_line_answered_not_raised(self, server):
+        response = json.loads(server.handle_line("{nope"))
+        assert response["ok"] is False
+        assert response["id"] is None
+        assert response["error"]["type"] == "Protocol"
+
+
+class TestDispatch:
+    def test_ping(self, server):
+        response = rpc(server, "ping")
+        assert response["ok"] and response["result"]["pong"] is True
+        assert response["result"]["protocol"] == 1
+
+    def test_request_id_echoed(self, server):
+        response = rpc(server, "ping", request_id="req-42")
+        assert response["id"] == "req-42"
+
+    def test_thin_slice(self, server):
+        line = seed_line("figure2", "seed")
+        response = rpc(server, "slice", program="figure2", line=line)
+        result = response["result"]
+        assert response["ok"]
+        assert result["seed_count"] > 0
+        assert result["line_count"] == len(result["lines"])
+        assert "new B()" in result["source_view"]
+        assert "new A()" not in result["source_view"]
+
+    def test_traditional_slice_is_larger(self, server):
+        line = seed_line("figure2", "seed")
+        thin = rpc(server, "slice", program="figure2", line=line)
+        trad = rpc(
+            server, "slice", program="figure2", line=line, flavor="traditional"
+        )
+        assert trad["result"]["line_count"] > thin["result"]["line_count"]
+        assert "new A()" in trad["result"]["source_view"]
+
+    def test_explain(self, server):
+        line = seed_line("figure4", "throw")
+        response = rpc(server, "explain", program="figure4", line=line)
+        texts = [c["text"] for c in response["result"]["conditionals"]]
+        assert any("!open" in text for text in texts)
+
+    def test_why(self, server):
+        buggy = seed_line("figure1", "buggy")
+        seed = seed_line("figure1", "seed")
+        response = rpc(
+            server, "why", program="figure1", source_line=buggy, sink_line=seed
+        )
+        result = response["result"]
+        assert result["found"]
+        assert result["path"][-1]["line"] == buggy or result["path"][0]["line"] == buggy
+        assert "substring" in result["rendered"]
+
+    def test_chop(self, server):
+        buggy = seed_line("figure1", "buggy")
+        seed = seed_line("figure1", "seed")
+        response = rpc(
+            server, "chop", program="figure1", source_line=buggy, sink_line=seed
+        )
+        result = response["result"]
+        assert not result["empty"]
+        assert any("substring" in row["text"] for row in result["lines"])
+
+    def test_program_stats(self, server):
+        response = rpc(server, "stats", program="figure2")
+        result = response["result"]
+        assert result["sdg_statements"] > 0
+        assert result["origin"] in ("memory", "disk", "analyzed")
+
+    def test_server_stats_counters(self, server):
+        before = rpc(server, "stats")["result"]
+        rpc(server, "ping")
+        after = rpc(server, "stats")["result"]
+        assert after["requests_total"] >= before["requests_total"] + 1
+        assert "slice" in after["methods"]
+        assert after["methods"]["slice"]["count"] >= 1
+        assert after["methods"]["slice"]["mean_ms"] >= 0
+        assert after["cache"]["memory_hits"] + after["cache"]["misses"] > 0
+
+    def test_unknown_method(self, server):
+        response = rpc(server, "frobnicate")
+        assert response["error"]["type"] == "UnknownMethod"
+
+    def test_unknown_program(self, server):
+        response = rpc(server, "slice", program="nope-nope", line=1)
+        assert response["error"]["type"] == "UnknownProgram"
+
+    def test_bad_params(self, server):
+        response = rpc(server, "slice", program="figure2", line="three")
+        assert response["error"]["type"] == "BadParams"
+        response = rpc(server, "slice", line=3)
+        assert response["error"]["type"] == "BadParams"
+        response = rpc(
+            server, "slice", program="figure2", line=3, flavor="mystery"
+        )
+        assert response["error"]["type"] == "BadParams"
+
+    def test_compile_error_is_isolated(self, server):
+        response = rpc(server, "slice", source="class {", line=1)
+        assert response["ok"] is False
+        assert response["error"]["message"]
+        # The daemon survives and keeps answering.
+        assert rpc(server, "ping")["ok"]
+
+    def test_timeout_returns_structured_error(self):
+        class SlowCache(AnalysisCache):
+            def get_or_analyze(self, source, filename="<input>", options=None):
+                time.sleep(0.5)
+                return super().get_or_analyze(source, filename, options)
+
+        slow = SliceServer(SlowCache(), timeout=0.05)
+        try:
+            response = rpc(slow, "slice", program="figure2", line=1)
+            assert response["error"]["type"] == "Timeout"
+            assert rpc(slow, "ping")["ok"]
+        finally:
+            slow.close()
+
+    def test_shutdown_sets_flag(self):
+        instance = SliceServer(AnalysisCache())
+        try:
+            response = rpc(instance, "shutdown")
+            assert response["result"]["stopping"] is True
+            assert instance.shutting_down
+        finally:
+            instance.close()
+
+
+class TestStdio:
+    def test_serve_stdio_loop(self):
+        line = seed_line("figure2", "seed")
+        requests = "\n".join(
+            json.dumps(r)
+            for r in [
+                {"id": 1, "method": "ping", "params": {}},
+                {
+                    "id": 2,
+                    "method": "slice",
+                    "params": {"program": "figure2", "line": line},
+                },
+                {"id": 3, "method": "shutdown", "params": {}},
+                {"id": 4, "method": "ping", "params": {}},  # after shutdown
+            ]
+        )
+        out = io.StringIO()
+        serve_stdio(SliceServer(AnalysisCache()), io.StringIO(requests), out)
+        responses = [json.loads(l) for l in out.getvalue().splitlines()]
+        # The loop stops after shutdown: request 4 is never answered.
+        assert [r["id"] for r in responses] == [1, 2, 3]
+        assert responses[1]["result"]["line_count"] > 0
+
+
+class TestTCP:
+    def test_tcp_roundtrip_and_shutdown(self):
+        instance = SliceServer(AnalysisCache())
+        tcp_server, thread = start_tcp_server(instance)
+        host, port = tcp_server.server_address[:2]
+        try:
+            with SliceClient.connect(host, port) as client:
+                assert client.ping()["pong"]
+                line = seed_line("figure2", "seed")
+                first = client.slice_program("figure2", line)
+                assert first["origin"] == "analyzed"
+                again = client.slice_program("figure2", line)
+                assert again["origin"] == "memory"
+                stats = client.stats()
+                assert stats["cache"]["memory_hits"] >= 1
+                with pytest.raises(ServerError) as err:
+                    client.request("slice", program="figure2", line="x")
+                assert err.value.error_type == "BadParams"
+                client.shutdown()
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        finally:
+            tcp_server.server_close()
+            instance.close()
+
+    def test_two_connections_share_cache(self):
+        instance = SliceServer(AnalysisCache())
+        tcp_server, thread = start_tcp_server(instance)
+        host, port = tcp_server.server_address[:2]
+        try:
+            line = seed_line("figure2", "seed")
+            with SliceClient.connect(host, port) as first:
+                assert first.slice_program("figure2", line)["origin"] == "analyzed"
+            with SliceClient.connect(host, port) as second:
+                assert second.slice_program("figure2", line)["origin"] == "memory"
+        finally:
+            tcp_server.shutdown()
+            tcp_server.server_close()
+            instance.close()
+
+
+class TestSpawn:
+    def test_spawned_daemon_answers_queries(self, tmp_path):
+        source = load_source("figure2")
+        line = seed_line("figure2", "seed")
+        with SliceClient.spawn(
+            extra_args=["--cache-dir", str(tmp_path / "cache"), "--quiet"]
+        ) as client:
+            assert client.ping()["pong"]
+            result = client.slice(source, line, filename="figure2.mj")
+            assert result["line_count"] > 0
+            stats = client.stats(source=source, filename="figure2.mj")
+            assert stats["sdg_statements"] > 0
+            assert stats["origin"] == "memory"
+            client.shutdown()

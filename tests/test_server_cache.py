@@ -1,0 +1,166 @@
+"""Cache correctness: keying, the two tiers, and corruption tolerance."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import AnalyzeOptions
+from repro.server.cache import AnalysisCache, cache_key
+from repro.server.store import FORMAT_VERSION, DiskStore
+
+SMALL = 'class Main { static void main(String[] args) { print("a"); } }'
+OTHER = 'class Main { static void main(String[] args) { print("b"); } }'
+
+# Tiny analyses: skip the stdlib so each test runs in milliseconds.
+OPTIONS = AnalyzeOptions(include_stdlib=False)
+
+
+class TestCacheKey:
+    def test_same_source_same_options_same_key(self):
+        assert cache_key(SMALL, OPTIONS) == cache_key(SMALL, OPTIONS)
+
+    def test_key_ignores_filename(self):
+        cache = AnalysisCache()
+        cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        _, origin = cache.get_or_analyze(SMALL, "b.mj", OPTIONS)
+        assert origin == "memory"
+
+    def test_different_source_different_key(self):
+        assert cache_key(SMALL, OPTIONS) != cache_key(OTHER, OPTIONS)
+
+    def test_whitespace_change_is_different_content(self):
+        assert cache_key(SMALL, OPTIONS) != cache_key(SMALL + "\n", OPTIONS)
+
+    def test_options_distinguish_keys(self):
+        variants = [
+            AnalyzeOptions(include_stdlib=True),
+            AnalyzeOptions(include_stdlib=False),
+            AnalyzeOptions(include_stdlib=False, containers=None),
+            AnalyzeOptions(include_stdlib=False, heap_mode="params"),
+            AnalyzeOptions(include_stdlib=False, include_control=False),
+        ]
+        keys = {cache_key(SMALL, options) for options in variants}
+        assert len(keys) == len(variants)
+
+
+class TestMemoryTier:
+    def test_identical_resubmission_hits(self):
+        cache = AnalysisCache()
+        first, origin1 = cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        second, origin2 = cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        assert (origin1, origin2) == ("analyzed", "memory")
+        assert first is second
+        assert cache.memory_hits == 1 and cache.misses == 1
+
+    def test_same_source_different_options_misses(self):
+        cache = AnalysisCache()
+        cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        _, origin = cache.get_or_analyze(
+            SMALL, "a.mj", AnalyzeOptions(include_stdlib=False, containers=None)
+        )
+        assert origin == "analyzed"
+        assert cache.misses == 2 and cache.memory_hits == 0
+
+    def test_lru_eviction(self):
+        cache = AnalysisCache(capacity=1)
+        cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        cache.get_or_analyze(OTHER, "b.mj", OPTIONS)
+        assert cache.evictions == 1
+        assert len(cache) == 1
+        # The evicted entry is re-analyzed on the next request.
+        _, origin = cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        assert origin == "analyzed"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AnalysisCache(capacity=0)
+
+
+class TestDiskTier:
+    def test_restart_loads_from_disk_without_reanalysis(self, tmp_path, monkeypatch):
+        cache = AnalysisCache(store=DiskStore(tmp_path))
+        cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        # A fresh cache over the same store simulates a daemon restart.
+        restarted = AnalysisCache(store=DiskStore(tmp_path))
+        # Prove no re-analysis happens: analyze() must not be reachable.
+        monkeypatch.setattr(
+            "repro.server.cache.analyze",
+            lambda *a, **k: pytest.fail("re-analyzed a stored artifact"),
+        )
+        analyzed, origin = restarted.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        assert origin == "disk"
+        assert restarted.disk_hits == 1 and restarted.misses == 0
+        assert analyzed.sdg.statement_count() > 0
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        AnalysisCache(store=DiskStore(tmp_path)).get_or_analyze(
+            SMALL, "a.mj", OPTIONS
+        )
+        restarted = AnalysisCache(store=DiskStore(tmp_path))
+        _, first = restarted.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        _, second = restarted.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        assert (first, second) == ("disk", "memory")
+
+    def test_corrupted_pickle_discarded_and_recomputed(self, tmp_path):
+        store = DiskStore(tmp_path)
+        AnalysisCache(store=store).get_or_analyze(SMALL, "a.mj", OPTIONS)
+        path = store.path_for(cache_key(SMALL, OPTIONS))
+        path.write_bytes(b"\x80\x04 this is not a pickle")
+        fresh_store = DiskStore(tmp_path)
+        cache = AnalysisCache(store=fresh_store)
+        analyzed, origin = cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        assert origin == "analyzed"
+        assert fresh_store.stats.discarded == 1
+        assert analyzed.sdg.statement_count() > 0
+        # The bad file was replaced by a good artifact.
+        again = AnalysisCache(store=DiskStore(tmp_path))
+        _, origin = again.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        assert origin == "disk"
+
+    def test_truncated_pickle_discarded(self, tmp_path):
+        store = DiskStore(tmp_path)
+        AnalysisCache(store=store).get_or_analyze(SMALL, "a.mj", OPTIONS)
+        path = store.path_for(cache_key(SMALL, OPTIONS))
+        path.write_bytes(path.read_bytes()[: 100])
+        assert DiskStore(tmp_path).load(cache_key(SMALL, OPTIONS)) is None
+        assert not path.exists()
+
+    def test_stale_format_version_discarded(self, tmp_path):
+        store = DiskStore(tmp_path)
+        AnalysisCache(store=store).get_or_analyze(SMALL, "a.mj", OPTIONS)
+        key = cache_key(SMALL, OPTIONS)
+        path = store.path_for(key)
+        envelope = pickle.loads(path.read_bytes())
+        envelope["format"] = FORMAT_VERSION + 1
+        path.write_bytes(pickle.dumps(envelope))
+        fresh = DiskStore(tmp_path)
+        assert fresh.load(key) is None
+        assert fresh.stats.discarded == 1
+
+    def test_key_mismatch_discarded(self, tmp_path):
+        store = DiskStore(tmp_path)
+        AnalysisCache(store=store).get_or_analyze(SMALL, "a.mj", OPTIONS)
+        good = store.path_for(cache_key(SMALL, OPTIONS))
+        other_key = cache_key(OTHER, OPTIONS)
+        moved = store.path_for(other_key)
+        moved.parent.mkdir(parents=True, exist_ok=True)
+        moved.write_bytes(good.read_bytes())
+        assert DiskStore(tmp_path).load(other_key) is None
+
+    def test_missing_artifact_counts_as_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        assert store.load("0" * 64) is None
+        assert store.stats.misses == 1 and store.stats.discarded == 0
+
+    def test_save_failure_is_nonfatal(self, tmp_path, monkeypatch):
+        store = DiskStore(tmp_path)
+        monkeypatch.setattr(
+            "repro.server.store.pickle.dump",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        cache = AnalysisCache(store=store)
+        _, origin = cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        assert origin == "analyzed"
+        assert store.stats.save_errors == 1
