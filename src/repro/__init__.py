@@ -36,6 +36,7 @@ from repro.analysis.pointsto import (
 )
 from repro.frontend import CompiledProgram, compile_source
 from repro.interp.interpreter import run_program
+from repro.profiling import StageProfiler
 from repro.interp.values import ExecutionResult
 from repro.sdg.sdg import SDG, build_sdg
 from repro.slicing.engine import SliceResult
@@ -77,6 +78,9 @@ class AnalyzedProgram:
     pts: PointsToResult
     sdg: SDG
     options: AnalyzeOptions = AnalyzeOptions()
+    #: Per-stage wall time of the cold analysis that produced this
+    #: object (a ``StageProfiler.as_dict()`` snapshot), or None.
+    timings: dict | None = None
 
     @property
     def thin_slicer(self) -> ThinSlicer:
@@ -96,27 +100,39 @@ def analyze(
     include_stdlib: bool = True,
     containers: frozenset[str] | None = DEFAULT_CONTAINER_CLASSES,
     options: AnalyzeOptions | None = None,
+    profiler: StageProfiler | None = None,
 ) -> AnalyzedProgram:
     """Compile + points-to + SDG in one call (the common tool pipeline).
 
     ``options`` bundles every knob into one hashable value; when given
-    it overrides the individual keyword arguments.
+    it overrides the individual keyword arguments.  Stage timings are
+    always collected (see :class:`~repro.profiling.StageProfiler`) and
+    stored on the returned program's ``timings`` attribute.
     """
     if options is None:
         options = AnalyzeOptions(
             include_stdlib=include_stdlib, containers=containers
         )
+    if profiler is None:
+        profiler = StageProfiler()
     compiled = compile_source(
-        source, filename, include_stdlib=options.include_stdlib
+        source, filename, include_stdlib=options.include_stdlib,
+        profiler=profiler,
     )
-    pts = solve_points_to(compiled.ir, containers=options.containers)
-    sdg = build_sdg(
-        compiled,
-        pts,
-        heap_mode=options.heap_mode,
-        include_control=options.include_control,
-    )
-    return AnalyzedProgram(compiled, pts, sdg, options)
+    with profiler.stage("pointsto"):
+        pts = solve_points_to(compiled.ir, containers=options.containers)
+    with profiler.stage("sdg"):
+        sdg = build_sdg(
+            compiled,
+            pts,
+            heap_mode=options.heap_mode,
+            include_control=options.include_control,
+        )
+    profiler.add_count("pts_keys", len(pts.pts))
+    profiler.add_count("call_graph_nodes", pts.call_graph.node_count())
+    profiler.add_count("sdg_nodes", sdg.node_count())
+    profiler.add_count("sdg_edges", sdg.edge_count())
+    return AnalyzedProgram(compiled, pts, sdg, options, profiler.as_dict())
 
 
 def thin_slice(analyzed: AnalyzedProgram, line: int) -> SliceResult:
@@ -139,6 +155,7 @@ __all__ = [
     "PointsToResult",
     "SDG",
     "SliceResult",
+    "StageProfiler",
     "ThinSlicer",
     "TraditionalSlicer",
     "analyze",

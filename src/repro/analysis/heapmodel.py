@@ -21,8 +21,40 @@ STRING_SITE = -1
 ARGS_ARRAY_SITE = -2
 
 
+class _CachedHash:
+    """Mixin: lazily computed, cached ``__hash__`` for frozen dataclasses.
+
+    Pointer keys and abstract objects are hashed millions of times per
+    analysis (worklists, points-to dicts, SDG edge dedup), and context
+    chains make the generated dataclass hash recursive.  The cache is
+    dropped on pickle — a stored hash from another process would be
+    stale under ``PYTHONHASHSEED`` randomization.
+    """
+
+    __hash_fields__: tuple[str, ...] = ()
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(
+                tuple(getattr(self, name) for name in self.__hash_fields__)
+            )
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
+
 @dataclass(frozen=True)
-class AbstractObject:
+class AbstractObject(_CachedHash):
     """An allocation site, possibly cloned by receiver context."""
 
     site: int  # instruction uid of the New/NewArray, or a special site
@@ -30,6 +62,17 @@ class AbstractObject:
     kind: str  # 'object' | 'array' | 'string'
     context: "AbstractObject | None" = None
     label: str = ""  # human-readable site description
+
+    __hash_fields__ = ("site", "class_name", "kind", "context", "label")
+    # Must be assigned in the class body: @dataclass(frozen=True) would
+    # otherwise shadow the inherited cached hash with a generated one.
+    def __hash__(self) -> int:  # specialized _CachedHash: no getattr loop
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.site, self.class_name, self.kind, self.context, self.label))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def depth(self) -> int:
         depth = 0
@@ -92,12 +135,21 @@ def _truncate(obj: AbstractObject, levels: int) -> AbstractObject | None:
 
 
 @dataclass(frozen=True)
-class VarKey:
+class VarKey(_CachedHash):
     """An SSA variable in a (possibly context-cloned) function instance."""
 
     function: str
     var: str
     context: AbstractObject | None = None
+
+    __hash_fields__ = ("function", "var", "context")
+    def __hash__(self) -> int:  # specialized _CachedHash: no getattr loop
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.function, self.var, self.context))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __str__(self) -> str:
         ctx = f"@{self.context}" if self.context is not None else ""
@@ -105,31 +157,58 @@ class VarKey:
 
 
 @dataclass(frozen=True)
-class FieldKey:
+class FieldKey(_CachedHash):
     """An instance field (or ``[]`` element slot) of an abstract object."""
 
     obj: AbstractObject
     field: str
+
+    __hash_fields__ = ("obj", "field")
+    def __hash__(self) -> int:  # specialized _CachedHash: no getattr loop
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.obj, self.field))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __str__(self) -> str:
         return f"{self.obj}.{self.field}"
 
 
 @dataclass(frozen=True)
-class StaticKey:
+class StaticKey(_CachedHash):
     class_name: str
     field: str
+
+    __hash_fields__ = ("class_name", "field")
+    def __hash__(self) -> int:  # specialized _CachedHash: no getattr loop
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.class_name, self.field))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __str__(self) -> str:
         return f"{self.class_name}.{self.field}"
 
 
 @dataclass(frozen=True)
-class RetKey:
+class RetKey(_CachedHash):
     """The return value of a function instance."""
 
     function: str
     context: AbstractObject | None = None
+
+    __hash_fields__ = ("function", "context")
+    def __hash__(self) -> int:  # specialized _CachedHash: no getattr loop
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.function, self.context))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __str__(self) -> str:
         ctx = f"@{self.context}" if self.context is not None else ""

@@ -91,6 +91,17 @@ def _print_json(payload: dict[str, Any]) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
+def _print_timings(timings: dict[str, Any] | None) -> None:
+    """Print a pipeline stage table to stderr (``--timings``)."""
+    from repro.profiling import render_timings
+
+    if not timings:
+        print("timings: not available for this request", file=sys.stderr)
+        return
+    print("pipeline timings:", file=sys.stderr)
+    print(render_timings(timings), file=sys.stderr)
+
+
 # ----------------------------------------------------------------------
 # Query subcommands
 # ----------------------------------------------------------------------
@@ -127,6 +138,9 @@ def _cmd_slice(args: argparse.Namespace) -> int:
             flavor=flavor,
             context=args.context,
         )
+    if args.timings:
+        # Server-side analyses report timings via ``stats``, not per slice.
+        _print_timings(None if args.server else analyzed.timings)
     if args.format == "json":
         _print_json(payload)
         return 0 if payload["seed_count"] else 1
@@ -312,6 +326,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     else:
         analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
         payload = stats_payload(analyzed, name)
+    if args.timings:
+        _print_timings(payload.get("timings"))
     if args.format == "json":
         _print_json(payload)
         return 0
@@ -375,6 +391,11 @@ def main(argv: list[str] | None = None) -> int:
     p_slice.add_argument("--no-stdlib", action="store_true")
     p_slice.add_argument("--context", type=int, default=0)
     p_slice.add_argument("--format", choices=("text", "json"), default="text")
+    p_slice.add_argument(
+        "--timings",
+        action="store_true",
+        help="print pipeline stage timings to stderr",
+    )
     p_slice.add_argument("--server", metavar="HOST:PORT")
     p_slice.set_defaults(fn=_cmd_slice)
 
@@ -422,6 +443,11 @@ def main(argv: list[str] | None = None) -> int:
     p_stats.add_argument("file")
     p_stats.add_argument("--no-stdlib", action="store_true")
     p_stats.add_argument("--format", choices=("text", "json"), default="text")
+    p_stats.add_argument(
+        "--timings",
+        action="store_true",
+        help="print pipeline stage timings to stderr",
+    )
     p_stats.add_argument("--server", metavar="HOST:PORT")
     p_stats.set_defaults(fn=_cmd_stats)
 

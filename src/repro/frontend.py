@@ -13,14 +13,54 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.lang import ast
-from repro.lang.parser import parse_program
-from repro.lang.source import SourceFile
+from repro.lang.errors import MJError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import Parser, parse_program
+from repro.lang.source import Position, SourceFile
+from repro.lang.tokens import Token
 from repro.lang.symbols import ClassTable
 from repro.lang.typechecker import check_program
 from repro.ir.builder import build_program
 from repro.ir.cfg import IRProgram
 from repro.ir.dominance import DominatorInfo
 from repro.ir.ssa import to_ssa
+from repro.profiling import StageProfiler
+
+
+class _DemandSSAFunctions(dict):
+    """``IRProgram.functions`` view that SSA-converts on first access.
+
+    Reads that need a body (``[...]``, ``.get``, ``.items``,
+    ``.values``) run the pending conversion hook for that function;
+    key-only operations (``in``, ``len``, iteration, ``sorted``) do
+    not.  Pickling forces every pending conversion first, so persisted
+    programs are always fully SSA-converted plain dicts.
+    """
+
+    pending: dict
+
+    def __getitem__(self, name):
+        function = dict.__getitem__(self, name)
+        convert = self.pending.pop(name, None)
+        if convert is not None:
+            convert(function)
+        return function
+
+    def get(self, name, default=None):
+        if dict.__contains__(self, name):
+            return self[name]
+        return default
+
+    def values(self):
+        return [self[name] for name in dict.keys(self)]
+
+    def items(self):
+        return [(name, self[name]) for name in dict.keys(self)]
+
+    def __reduce__(self):
+        for name in list(self.pending):
+            _ = self[name]
+        return (dict, (dict(self),))
 
 
 @dataclass
@@ -44,6 +84,62 @@ def stdlib_source() -> str:
     return load_stdlib()
 
 
+#: Offset-free (kind, text, line, column) records for the stdlib token
+#: stream, lexed once per process.  The stdlib rides along with every
+#: ``include_stdlib=True`` compile, so re-scanning its characters is
+#: pure waste; only the line offset and filename differ per program.
+_stdlib_token_template: list[tuple] | None = None
+
+#: Parsed stdlib class declarations per (filename, line offset).  The
+#: stdlib source is fixed, so its AST only varies in the positions baked
+#: into the nodes; every compile of the same program reuses one parse.
+#: Sharing is safe because nothing mutates AST structure after parsing —
+#: the type checker only rewrites its (deterministic) annotations.
+_stdlib_ast_cache: dict[tuple[str, int], list[ast.ClassDecl]] = {}
+
+
+def _stdlib_classes(filename: str, offset: int) -> list[ast.ClassDecl]:
+    global _stdlib_token_template
+    cached = _stdlib_ast_cache.get((filename, offset))
+    if cached is not None:
+        return cached
+    if _stdlib_token_template is None:
+        _stdlib_token_template = [
+            (t.kind, t.text, t.position.line, t.position.column)
+            for t in tokenize(stdlib_source(), "<stdlib>")
+        ]
+    tokens = [
+        Token(kind, value, Position(line + offset, column, filename))
+        for kind, value, line, column in _stdlib_token_template
+    ]
+    classes = Parser(tokens).parse_program().classes
+    if len(_stdlib_ast_cache) >= 64:
+        _stdlib_ast_cache.clear()
+    _stdlib_ast_cache[(filename, offset)] = classes
+    return classes
+
+
+def _parse_with_stdlib(text: str, full_text: str, filename: str) -> ast.Program:
+    """Parse ``text`` + stdlib, reusing the cached stdlib parse.
+
+    Parsing the user program alone and appending the stdlib's class
+    declarations yields exactly what parsing the concatenated text
+    would: the grammar is a flat sequence of classes, so a clean user
+    parse cannot be influenced by what follows.  Inputs where that does
+    not hold — a lex or parse error in the user text, whose diagnostic
+    can depend on the appended stdlib — fall back to the concatenated
+    scan so errors are bit-identical to the reference path.
+    """
+    try:
+        program = Parser(tokenize(text, filename)).parse_program()
+    except MJError:
+        return parse_program(full_text, filename)
+    program.classes.extend(
+        _stdlib_classes(filename, text.count("\n") + 1)
+    )
+    return program
+
+
 def source_fingerprint(text: str, include_stdlib: bool = False) -> str:
     """SHA-256 over exactly the text :func:`compile_source` would consume.
 
@@ -63,22 +159,47 @@ def compile_source(
     text: str,
     filename: str = "<input>",
     include_stdlib: bool = False,
+    profiler: StageProfiler | None = None,
 ) -> CompiledProgram:
     """Parse, type-check, lower to IR, and convert to SSA.
 
     With ``include_stdlib=True`` the MJ standard library is appended to
     the program text (as later classes, so user line numbers are stable).
+    A :class:`~repro.profiling.StageProfiler` records per-stage wall
+    time (``parse``/``typecheck``/``ir``/``ssa``) when provided.
     """
+    if profiler is None:
+        profiler = StageProfiler()
     full_text = text
     if include_stdlib:
         full_text = text + "\n" + stdlib_source()
-    program = parse_program(full_text, filename)
-    table = check_program(program)
-    ir_program = build_program(program, table)
-    dominators = {
-        name: to_ssa(function)
-        for name, function in ir_program.functions.items()
-    }
+    with profiler.stage("parse"):
+        if include_stdlib:
+            program = _parse_with_stdlib(text, full_text, filename)
+        else:
+            program = parse_program(full_text, filename)
+    with profiler.stage("typecheck"):
+        table = check_program(program)
+    with profiler.stage("ir"):
+        ir_program = build_program(program, table)
+    with profiler.stage("ssa"):
+        dominators: dict[str, DominatorInfo] = {}
+
+        def _convert(function, _dom=dominators, _prof=profiler) -> None:
+            with _prof.stage("ssa"):
+                _dom[function.name] = to_ssa(function)
+
+        lazy = _DemandSSAFunctions(ir_program.functions)
+        lazy.pending = {name: _convert for name in lazy}
+        ir_program.functions = lazy
+        # Analysis roots convert eagerly; everything else converts the
+        # first time an analysis asks for its body.  Cold programs only
+        # reach a fraction of the stdlib, so the unreachable remainder
+        # never pays for phi placement and renaming.
+        for root in ir_program.entry_points():
+            _ = ir_program.functions[root]
+    profiler.add_count("classes", len(table.classes))
+    profiler.add_count("functions", len(ir_program.functions))
     return CompiledProgram(
         source=SourceFile(filename, full_text),
         ast=program,

@@ -131,9 +131,9 @@ def _rename(function: IRFunction, dom: DominatorInfo) -> None:
         pushed: list[str] = []
         for instr in block.instructions:
             if not isinstance(instr, ins.Phi):
-                instr.rename_uses(
-                    {v: current(v) for v in set(instr.operands_for_renaming())}
-                )
+                ops = instr.operands_for_renaming()
+                if ops:
+                    instr.rename_uses({v: current(v) for v in set(ops)})
             var = instr.defined_var()
             if var is not None:
                 instr.rename_def(fresh(var))

@@ -1,12 +1,23 @@
-"""Hand-written lexer for MJ.
+"""Lexer for MJ.
 
-The lexer is a single forward pass producing a list of tokens.  Comments
-(``//`` and ``/* */``) are skipped, but ``//@tag:name`` markers remain
-visible to the suite loader because it reads the raw text (see
+Two implementations share this module:
+
+* :class:`Lexer` — the original hand-written character-at-a-time
+  scanner, kept as the reference for rare constructs (char literals,
+  malformed strings) so error positions and messages stay identical;
+* a compiled-regex fast path used by :func:`tokenize`, which scans
+  whitespace runs, comments, words, numbers, well-formed strings, and
+  operators in one ``re`` match each — about 5x faster on the cold
+  analysis path (see ``docs/PERFORMANCE.md``).
+
+Comments (``//`` and ``/* */``) are skipped, but ``//@tag:name`` markers
+remain visible to the suite loader because it reads the raw text (see
 :mod:`repro.lang.source`).
 """
 
 from __future__ import annotations
+
+import re
 
 from repro.lang.errors import LexError
 from repro.lang.source import Position
@@ -200,6 +211,152 @@ class Lexer:
         return Token(TokenKind.CHAR_LITERAL, ch, start)
 
 
+# ---------------------------------------------------------------------------
+# Fast path: one compiled regex per token, falling back to the reference
+# scanner for rare constructs so diagnostics stay byte-identical.
+# ---------------------------------------------------------------------------
+
+_OPERATORS: dict[str, TokenKind] = {**_TWO_CHAR_OPERATORS, **_ONE_CHAR_OPERATORS}
+
+#: Group order: 1 whitespace, 2 line comment, 3 block comment, 4 word,
+#: 5 int literal, 6 string literal, 7 operator (two-char before one-char
+#: for maximal munch; comments are listed before the ``/`` operator).
+_TOKEN_RE = re.compile(
+    r"([ \t\r\n]+)"
+    r"|(//[^\n]*)"
+    r"|(/\*(?:[^*]|\*(?!/))*\*/)"
+    r"|([A-Za-z_][A-Za-z0-9_]*)"
+    r"|(\d+)"
+    r'|("(?:[^"\\\n]|\\[^\n])*")'
+    r"|(<=|>=|==|!=|&&|\|\||\+\+|--|\+=|-=|[(){}\[\];,.=+\-*/%!<>])"
+)
+
+_WS, _LINE_COMMENT, _BLOCK_COMMENT, _WORD, _NUMBER, _STRING, _OP = range(1, 8)
+
+
+def _decode_string(raw: str, line: int, start_col: int, filename: str) -> str:
+    """Decode the body of a matched string literal, validating escapes.
+
+    ``raw`` includes both quotes; a bad escape raises at the escape
+    character's position, matching :meth:`Lexer._lex_string`.
+    """
+    if "\\" not in raw:
+        return raw[1:-1]
+    chars: list[str] = []
+    index = 1
+    limit = len(raw) - 1
+    while index < limit:
+        ch = raw[index]
+        if ch == "\\":
+            escape = raw[index + 1]
+            if escape not in _ESCAPES:
+                raise LexError(
+                    f"bad escape \\{escape}",
+                    Position(line, start_col + index + 1, filename),
+                )
+            chars.append(_ESCAPES[escape])
+            index += 2
+        else:
+            chars.append(ch)
+            index += 1
+    return "".join(chars)
+
+
+def _slow_token(
+    text: str, filename: str, pos: int, line: int, col: int
+) -> tuple[Token, int, int, int]:
+    """Delegate one token to the reference scanner (rare constructs)."""
+    lexer = Lexer(text, filename)
+    lexer._pos = pos
+    lexer._line = line
+    lexer._col = col
+    token = lexer._next_token()
+    return token, lexer._pos, lexer._line, lexer._col
+
+
 def tokenize(text: str, filename: str = "<input>") -> list[Token]:
-    """Convenience wrapper: lex ``text`` into a token list."""
-    return Lexer(text, filename).tokenize()
+    """Lex ``text`` into a token list ending with a single EOF token."""
+    tokens: list[Token] = []
+    append = tokens.append
+    match_at = _TOKEN_RE.match
+    length = len(text)
+    pos = 0
+    line = 1
+    line_start = 0  # offset of the first character of the current line
+    while pos < length:
+        match = match_at(text, pos)
+        if match is None:
+            # Rare constructs and errors: char literals, unterminated
+            # strings, unknown characters, unterminated block comments.
+            ch = text[pos]
+            if ch == '"':
+                # The only way a string fails the regex is not closing
+                # on its own line, but let the reference scanner decide
+                # (it distinguishes bad escapes at a line break).
+                token, pos, line, col = _slow_token(
+                    text, filename, pos, line, pos - line_start + 1
+                )
+                line_start = pos - (col - 1)
+                append(token)
+                continue
+            token, pos, line, col = _slow_token(
+                text, filename, pos, line, pos - line_start + 1
+            )
+            line_start = pos - (col - 1)
+            append(token)
+            continue
+        group = match.lastindex
+        end = match.end()
+        if group == _WS:
+            newlines = text.count("\n", pos, end)
+            if newlines:
+                line += newlines
+                line_start = text.rindex("\n", pos, end) + 1
+            pos = end
+            continue
+        if group == _LINE_COMMENT:
+            pos = end
+            continue
+        if group == _BLOCK_COMMENT:
+            newlines = text.count("\n", pos, end)
+            if newlines:
+                line += newlines
+                line_start = text.rindex("\n", pos, end) + 1
+            pos = end
+            continue
+        column = pos - line_start + 1
+        if group == _WORD:
+            word = match.group(_WORD)
+            append(
+                Token(
+                    KEYWORDS.get(word, TokenKind.IDENT),
+                    word,
+                    Position(line, column, filename),
+                )
+            )
+        elif group == _NUMBER:
+            position = Position(line, column, filename)
+            if end < length and text[end].isalpha():
+                raise LexError("identifier cannot start with a digit", position)
+            append(Token(TokenKind.INT_LITERAL, match.group(_NUMBER), position))
+        elif group == _STRING:
+            append(
+                Token(
+                    TokenKind.STRING_LITERAL,
+                    _decode_string(match.group(_STRING), line, column, filename),
+                    Position(line, column, filename),
+                )
+            )
+        else:  # operator
+            op = match.group(_OP)
+            if op == "/" and end < length and text[end] == "*":
+                # '/*' that the block-comment alternative rejected:
+                # an unterminated block comment.
+                raise LexError(
+                    "unterminated block comment",
+                    Position(line, column, filename),
+                )
+            append(Token(_OPERATORS[op], op, Position(line, column, filename)))
+        pos = end
+    append(Token(TokenKind.EOF, "", Position(line, length - line_start + 1, filename)))
+    return tokens

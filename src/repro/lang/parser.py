@@ -47,11 +47,18 @@ class Parser:
     # ------------------------------------------------------------------
 
     def _peek(self, offset: int = 0) -> Token:
-        index = min(self._index + offset, len(self._tokens) - 1)
-        return self._tokens[index]
+        # The stream always ends with EOF, which _advance never passes;
+        # only multi-token lookahead near the end can overrun.
+        try:
+            return self._tokens[self._index + offset]
+        except IndexError:
+            return self._tokens[-1]
 
     def _at(self, kind: TokenKind, offset: int = 0) -> bool:
-        return self._peek(offset).kind is kind
+        try:
+            return self._tokens[self._index + offset].kind is kind
+        except IndexError:
+            return self._tokens[-1].kind is kind
 
     def _advance(self) -> Token:
         token = self._tokens[self._index]

@@ -24,6 +24,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.analysis.heapmodel import _CachedHash
 from repro.ir import instructions as ins
 from repro.lang.source import Position
 
@@ -37,6 +38,13 @@ class EdgeKind(enum.Enum):
     PARAM_IN = "param-in"
     PARAM_OUT = "param-out"
     SUMMARY = "summary"
+
+
+# Plain int tag per member, read as a C-level attribute in the SDG's
+# edge-dedup hot path (enum.__hash__ and .value both go through Python).
+for _index, _kind in enumerate(EdgeKind):
+    _kind.index = _index
+del _index, _kind
 
 
 #: Kinds a thin slicer traverses: pure producer flow.
@@ -56,7 +64,7 @@ TRADITIONAL_KINDS = THIN_KINDS | {EdgeKind.BASE, EdgeKind.CONTROL}
 
 
 @dataclass(frozen=True)
-class StmtNode:
+class StmtNode(_CachedHash):
     """An IR instruction inside one method *instance*.
 
     The SDG is built over the call graph's method instances (function ×
@@ -69,6 +77,16 @@ class StmtNode:
     instr: ins.Instruction
     context: object = None  # AbstractObject | None
 
+    __hash_fields__ = ("instr", "context")
+
+    def __hash__(self) -> int:  # specialized _CachedHash: no getattr loop
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.instr, self.context))
+            object.__setattr__(self, "_hash", value)
+            return value
+
     @property
     def position(self) -> Position:
         return self.instr.position
@@ -79,7 +97,7 @@ class StmtNode:
 
 
 @dataclass(frozen=True)
-class ParamNode:
+class ParamNode(_CachedHash):
     """A synthetic parameter node.
 
     ``role`` is ``formal_in``/``formal_out``/``actual_in``/``actual_out``.
@@ -96,6 +114,19 @@ class ParamNode:
     slot: str
     position: Position
     context: object = None  # AbstractObject | None
+
+    __hash_fields__ = ("role", "function", "site", "slot", "position", "context")
+
+    def __hash__(self) -> int:  # specialized _CachedHash: no getattr loop
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(
+                (self.role, self.function, self.site, self.slot,
+                 self.position, self.context)
+            )
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __str__(self) -> str:
         where = f"@{self.site}" if self.site else ""

@@ -40,6 +40,8 @@ from repro.lang.source import Position
 from repro.sdg.controldeps import instruction_control_deps
 from repro.sdg.nodes import EdgeKind, ParamNode, SDGNode, StmtNode, is_statement
 
+_EMPTY_PTS: dict[str, frozenset] = {}
+
 
 class SDG:
     """The dependence graph over statement and parameter nodes."""
@@ -49,7 +51,11 @@ class SDG:
         self.include_control = include_control
         self.deps: dict[SDGNode, list[tuple[SDGNode, EdgeKind]]] = defaultdict(list)
         self.nodes: set[SDGNode] = set()
-        self._edge_seen: set[tuple[SDGNode, SDGNode, EdgeKind]] = set()
+        # Nodes are interned: add_node returns the canonical instance and
+        # stamps it with a small-int ``_nid``, so edge dedup hashes int
+        # triples instead of recursive dataclasses.
+        self._intern: dict[SDGNode, SDGNode] = {}
+        self._edge_seen: set[tuple[int, int, int]] = set()
         # Procedure membership (function name), for pts queries.
         self.proc_of: dict[SDGNode, str] = {}
         # Instruction -> its statement nodes (one per instance).
@@ -63,16 +69,23 @@ class SDG:
     # Construction
     # ------------------------------------------------------------------
 
-    def add_node(self, node: SDGNode, proc: str) -> None:
-        if node not in self.nodes:
-            self.nodes.add(node)
-            self.proc_of[node] = proc
-            if isinstance(node, StmtNode):
-                self.stmt_index[node.instr].append(node)
+    def add_node(self, node: SDGNode, proc: str) -> SDGNode:
+        """Register ``node`` and return its canonical instance."""
+        canonical = self._intern.get(node)
+        if canonical is not None:
+            return canonical
+        object.__setattr__(node, "_nid", len(self._intern))
+        self._intern[node] = node
+        self.nodes.add(node)
+        self.proc_of[node] = proc
+        if isinstance(node, StmtNode):
+            self.stmt_index[node.instr].append(node)
+        return node
 
     def add_edge(self, frm: SDGNode, to: SDGNode, kind: EdgeKind) -> None:
-        """Record that ``frm`` depends on ``to``."""
-        key = (frm, to, kind)
+        """Record that ``frm`` depends on ``to`` (both must be canonical
+        instances previously returned by :meth:`add_node`)."""
+        key = (frm._nid, to._nid, kind.index)
         if key in self._edge_seen:
             return
         self._edge_seen.add(key)
@@ -173,6 +186,18 @@ class _SDGBuilder:
         )
         # def site of each SSA variable per instance (params -> formal-in)
         self._defs: dict[tuple[str, object], dict[str, SDGNode]] = {}
+        # One StmtNode per (instruction, context): later passes reuse the
+        # node built by _add_instance_nodes, so its cached hash and set
+        # identity pay off across every add_edge call.
+        self._stmt_cache: dict[tuple[int, object], StmtNode] = {}
+        # pts VarKey entries regrouped per method instance (lazy).
+        self._pts_by_instance: dict[tuple[str, object], dict[str, frozenset]] | None = None
+        # Per-function dependence pairs, shared by every instance of the
+        # function: local def-use chains and control deps are properties
+        # of the SSA body, so computing them once and replaying against
+        # each context's nodes avoids re-walking multi-instance methods.
+        self._flow_pairs_cache: dict[str, list[tuple]] = {}
+        self._ctrl_pairs_cache: dict[str, list[tuple]] = {}
 
     # ------------------------------------------------------------------
 
@@ -209,25 +234,37 @@ class _SDGBuilder:
             return entry.instructions[0].position
         return Position(0, 0, "<synthetic>")
 
+    def _instance_pts(self, name: str, ctx: object) -> dict[str, frozenset]:
+        """Points-to sets of one method instance, keyed by variable."""
+        if self._pts_by_instance is None:
+            grouped: dict[tuple[str, object], dict[str, frozenset]] = defaultdict(dict)
+            for key, objs in self.pts.pts.items():
+                if type(key) is VarKey:
+                    grouped[(key.function, key.context)][key.var] = objs
+            self._pts_by_instance = dict(grouped)
+        return self._pts_by_instance.get((name, ctx), _EMPTY_PTS)
+
     def _pts_of(self, name: str, var: str, ctx: object):
-        return self.pts.pts.get(VarKey(name, var, ctx), frozenset())
+        return self._instance_pts(name, ctx).get(var, frozenset())
 
     def _add_instance_nodes(self, name: str, ctx: object) -> None:
         function = self._function(name)
         defs: dict[str, SDGNode] = {}
         position = self._entry_position(function)
         if self.graph.include_control:
-            entry = ParamNode("entry", name, 0, "<entry>", position, ctx)
-            self.graph.add_node(entry, name)
+            entry = self.graph.add_node(
+                ParamNode("entry", name, 0, "<entry>", position, ctx), name
+            )
             self.graph.entries[(name, ctx)] = entry
         for param in function.params:
-            node = ParamNode("formal_in", name, 0, param, position, ctx)
-            self.graph.add_node(node, name)
+            node = self.graph.add_node(
+                ParamNode("formal_in", name, 0, param, position, ctx), name
+            )
             self.graph.formal_in[(name, ctx, param)] = node
             defs[param] = node
         for instr in function.instructions():
-            stmt = StmtNode(instr, ctx)
-            self.graph.add_node(stmt, name)
+            stmt = self.graph.add_node(StmtNode(instr, ctx), name)
+            self._stmt_cache[(instr.uid, ctx)] = stmt
             var = instr.defined_var()
             if var is not None:
                 defs[var] = stmt
@@ -240,12 +277,25 @@ class _SDGBuilder:
         return self._defs[(name, ctx)].get(var)
 
     def _stmt(self, name: str, ctx: object, instr: ins.Instruction) -> StmtNode:
-        return StmtNode(instr, ctx)
+        node = self._stmt_cache.get((instr.uid, ctx))
+        if node is None:
+            node = StmtNode(instr, ctx)
+            self._stmt_cache[(instr.uid, ctx)] = node
+        return node
 
-    def _local_flow(self, name: str, ctx: object) -> None:
+    def _flow_pairs(self, name: str) -> list[tuple]:
+        """(use instr, def instr | param name, kind) triples for ``name``."""
+        pairs = self._flow_pairs_cache.get(name)
+        if pairs is not None:
+            return pairs
         function = self._function(name)
+        defs: dict[str, object] = {param: param for param in function.params}
         for instr in function.instructions():
-            node = self._stmt(name, ctx, instr)
+            var = instr.defined_var()
+            if var is not None:
+                defs[var] = instr
+        pairs = []
+        for instr in function.instructions():
             direct = list(instr.direct_uses())
             base = list(instr.base_uses())
             if self.index_as_producer and isinstance(
@@ -254,35 +304,64 @@ class _SDGBuilder:
                 base = [instr.base]
                 direct.append(instr.index)
             for var in direct:
-                definition = self._def_of(name, ctx, var)
+                definition = defs.get(var)
                 if definition is not None:
-                    self.graph.add_edge(node, definition, EdgeKind.FLOW)
+                    pairs.append((instr, definition, EdgeKind.FLOW))
             for var in base:
-                definition = self._def_of(name, ctx, var)
+                definition = defs.get(var)
                 if definition is not None:
-                    self.graph.add_edge(node, definition, EdgeKind.BASE)
+                    pairs.append((instr, definition, EdgeKind.BASE))
+        self._flow_pairs_cache[name] = pairs
+        return pairs
 
-    def _control(self, name: str, ctx: object) -> None:
+    def _local_flow(self, name: str, ctx: object) -> None:
+        stmt_cache = self._stmt_cache
+        formal_in = self.graph.formal_in
+        add_edge = self.graph.add_edge
+        for instr, definition, kind in self._flow_pairs(name):
+            if definition.__class__ is str:
+                def_node = formal_in.get((name, ctx, definition))
+                if def_node is None:
+                    continue
+            else:
+                def_node = stmt_cache[(definition.uid, ctx)]
+            add_edge(stmt_cache[(instr.uid, ctx)], def_node, kind)
+
+    def _ctrl_pairs(self, name: str) -> list[tuple]:
+        """(instr, controlling instrs | None) pairs; None = entry region."""
+        pairs = self._ctrl_pairs_cache.get(name)
+        if pairs is not None:
+            return pairs
         function = self._function(name)
         controlled = instruction_control_deps(function)
-        entry = self.graph.entries.get((name, ctx))
+        pairs = []
         for instr in function.instructions():
-            node = self._stmt(name, ctx, instr)
             controllers = controlled.get(instr)
             if controllers:
-                for controller in controllers:
-                    if controller is not instr:
-                        self.graph.add_edge(
-                            node,
-                            self._stmt(name, ctx, controller),
-                            EdgeKind.CONTROL,
-                        )
-            elif entry is not None:
+                pairs.append(
+                    (instr, tuple(c for c in controllers if c is not instr))
+                )
+            else:
+                pairs.append((instr, None))
+        self._ctrl_pairs_cache[name] = pairs
+        return pairs
+
+    def _control(self, name: str, ctx: object) -> None:
+        entry = self.graph.entries.get((name, ctx))
+        stmt_cache = self._stmt_cache
+        add_edge = self.graph.add_edge
+        for instr, controllers in self._ctrl_pairs(name):
+            if controllers is None:
                 # Top-level statements are control dependent on the
                 # procedure entry (Ferrante-style region node); the
                 # entry links back to the call sites below, giving the
                 # HRB interprocedural control dependence.
-                self.graph.add_edge(node, entry, EdgeKind.CONTROL)
+                if entry is not None:
+                    add_edge(stmt_cache[(instr.uid, ctx)], entry, EdgeKind.CONTROL)
+            else:
+                node = stmt_cache[(instr.uid, ctx)]
+                for controller in controllers:
+                    add_edge(node, stmt_cache[(controller.uid, ctx)], EdgeKind.CONTROL)
 
     def _catch_flow(self, name: str, ctx: object) -> None:
         function = self._function(name)
@@ -331,10 +410,12 @@ class _SDGBuilder:
         for formal, actual in zip(formals, call.args):
             actuals.append((formal, actual))
         for formal, actual in actuals:
-            actual_in = ParamNode(
-                "actual_in", caller, call.uid, formal, call.position, ctx
+            actual_in = self.graph.add_node(
+                ParamNode(
+                    "actual_in", caller, call.uid, formal, call.position, ctx
+                ),
+                caller,
             )
-            self.graph.add_node(actual_in, caller)
             definition = self._def_of(caller, ctx, actual)
             if definition is not None:
                 self.graph.add_edge(actual_in, definition, EdgeKind.FLOW)
@@ -366,15 +447,17 @@ class _SDGBuilder:
         node = self.graph.formal_out.get(key)
         if node is None:
             function = self._function(callee.function)
-            node = ParamNode(
-                "formal_out",
+            node = self.graph.add_node(
+                ParamNode(
+                    "formal_out",
+                    callee.function,
+                    0,
+                    slot,
+                    self._entry_position(function),
+                    callee.context,
+                ),
                 callee.function,
-                0,
-                slot,
-                self._entry_position(function),
-                callee.context,
             )
-            self.graph.add_node(node, callee.function)
             self.graph.formal_out[key] = node
             if slot == "<ret>":
                 for ret in function.returns():
@@ -394,16 +477,17 @@ class _SDGBuilder:
         """Index of writers per (field, abstract object) or static key."""
         writers: dict[tuple[str, object], list[SDGNode]] = defaultdict(list)
         for name, ctx in self.instances:
+            pmap = self._instance_pts(name, ctx)
             for instr in self._function(name).instructions():
                 node = self._stmt(name, ctx, instr)
                 if isinstance(instr, ins.FieldStore):
-                    for obj in self._pts_of(name, instr.base, ctx):
+                    for obj in pmap.get(instr.base, ()):
                         writers[(instr.field_name, obj)].append(node)
                 elif isinstance(instr, ins.ArrayStore):
-                    for obj in self._pts_of(name, instr.base, ctx):
+                    for obj in pmap.get(instr.base, ()):
                         writers[(ARRAY_FIELD, obj)].append(node)
                 elif isinstance(instr, ins.NewArray):
-                    for obj in self._pts_of(name, instr.dest, ctx):
+                    for obj in pmap.get(instr.dest, ()):
                         writers[(ARRAY_FIELD, obj)].append(node)
                 elif isinstance(instr, ins.StaticStore):
                     writers[
@@ -414,14 +498,19 @@ class _SDGBuilder:
     def _heap_direct(self) -> None:
         writers = self._store_sites()
         for name, ctx in self.instances:
+            pmap = self._instance_pts(name, ctx)
             for instr in self._function(name).instructions():
+                if not isinstance(
+                    instr, (ins.FieldLoad, ins.ArrayLoad, ins.StaticLoad)
+                ):
+                    continue
                 node = self._stmt(name, ctx, instr)
                 if isinstance(instr, ins.FieldLoad):
-                    for obj in self._pts_of(name, instr.base, ctx):
+                    for obj in pmap.get(instr.base, ()):
                         for store in writers.get((instr.field_name, obj), ()):
                             self.graph.add_edge(node, store, EdgeKind.HEAP)
                 elif isinstance(instr, ins.ArrayLoad):
-                    for obj in self._pts_of(name, instr.base, ctx):
+                    for obj in pmap.get(instr.base, ()):
                         for store in writers.get((ARRAY_FIELD, obj), ()):
                             self.graph.add_edge(node, store, EdgeKind.HEAP)
                 elif isinstance(instr, ins.StaticLoad):
@@ -462,12 +551,16 @@ class _SDGBuilder:
             function = self._function(name)
             position = self._entry_position(function)
             for loc in sorted(modref.ref.get(name, ()), key=str):
-                node = ParamNode("formal_in", name, 0, f"heap:{loc}", position, ctx)
-                self.graph.add_node(node, name)
+                node = self.graph.add_node(
+                    ParamNode("formal_in", name, 0, f"heap:{loc}", position, ctx),
+                    name,
+                )
                 self.graph.formal_in[(name, ctx, f"heap:{loc}")] = node
             for loc in sorted(modref.mod.get(name, ()), key=str):
-                node = ParamNode("formal_out", name, 0, f"heap:{loc}", position, ctx)
-                self.graph.add_node(node, name)
+                node = self.graph.add_node(
+                    ParamNode("formal_out", name, 0, f"heap:{loc}", position, ctx),
+                    name,
+                )
                 self.graph.formal_out[(name, ctx, f"heap:{loc}")] = node
             self._check_budget()
 
@@ -506,11 +599,13 @@ class _SDGBuilder:
                 if callee.function not in self.program.functions:
                     continue
                 for loc in sorted(modref.ref.get(callee.function, ()), key=str):
-                    actual_in = ParamNode(
-                        "actual_in", name, call.uid, f"heap:{loc}",
-                        call.position, ctx,
+                    actual_in = self.graph.add_node(
+                        ParamNode(
+                            "actual_in", name, call.uid, f"heap:{loc}",
+                            call.position, ctx,
+                        ),
+                        name,
                     )
-                    self.graph.add_node(actual_in, name)
                     readers[loc].append(actual_in)
                     formal_in = self.graph.formal_in.get(
                         (callee.function, callee.context, f"heap:{loc}")
@@ -520,11 +615,13 @@ class _SDGBuilder:
                             formal_in, actual_in, EdgeKind.PARAM_IN
                         )
                 for loc in sorted(modref.mod.get(callee.function, ()), key=str):
-                    actual_out = ParamNode(
-                        "actual_out", name, call.uid, f"heap:{loc}",
-                        call.position, ctx,
+                    actual_out = self.graph.add_node(
+                        ParamNode(
+                            "actual_out", name, call.uid, f"heap:{loc}",
+                            call.position, ctx,
+                        ),
+                        name,
                     )
-                    self.graph.add_node(actual_out, name)
                     writers[loc].append(actual_out)
                     formal_out = self.graph.formal_out.get(
                         (callee.function, callee.context, f"heap:{loc}")

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, TextIO
 
 from repro import AnalyzedProgram, AnalyzeOptions, __version__
+from repro.profiling import merge_timing_dicts
 from repro.server.cache import AnalysisCache
 from repro.server.protocol import (
     PROTOCOL_VERSION,
@@ -104,6 +105,9 @@ class SliceServer:
         )
         self._stats_lock = threading.Lock()
         self._method_stats: dict[str, MethodStats] = {}
+        # Aggregated pipeline stage timings over every analysis this
+        # process actually ran (cache hits contribute nothing).
+        self._pipeline: dict[str, Any] = {}
         self._methods: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
             "ping": self._method_ping,
             "slice": self._method_slice,
@@ -262,6 +266,10 @@ class SliceServer:
                 for name, stats in sorted(self._method_stats.items())
             }
             requests_total = sum(s.count for s in self._method_stats.values())
+            pipeline = {
+                key: dict(value) if isinstance(value, dict) else value
+                for key, value in self._pipeline.items()
+            }
         return {
             "version": __version__,
             "protocol": PROTOCOL_VERSION,
@@ -269,6 +277,7 @@ class SliceServer:
             "requests_total": requests_total,
             "methods": methods,
             "cache": self.cache.stats(),
+            "pipeline": pipeline,
         }
 
     # ------------------------------------------------------------------
@@ -302,6 +311,9 @@ class SliceServer:
             include_stdlib=bool(params.get("include_stdlib", True))
         )
         analyzed, origin = self.cache.get_or_analyze(source, name, options)
+        if origin == "analyzed" and analyzed.timings:
+            with self._stats_lock:
+                merge_timing_dicts(self._pipeline, analyzed.timings)
         return analyzed, name, origin
 
     @staticmethod

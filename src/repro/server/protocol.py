@@ -96,6 +96,7 @@ def stats_payload(analyzed: AnalyzedProgram, program: str) -> dict[str, Any]:
         "call_graph_edges": graph.edge_count(),
         "sdg_statements": analyzed.sdg.statement_count(),
         "sdg_edges": analyzed.sdg.edge_count(),
+        "timings": analyzed.timings,
     }
 
 

@@ -68,6 +68,13 @@ class TabulationSlicer:
         self.summaries: dict[SDGNode, set[SDGNode]] = defaultdict(set)
         self.path_edge_count = 0
         self._summaries_ready = False
+        # Incremental tabulation state: path edges, their index by source
+        # node, and the worklist persist across calls, so summaries are
+        # seeded per formal-out on demand and never recomputed.
+        self._path_edges: set[tuple[SDGNode, SDGNode]] = set()
+        self._by_node: dict[SDGNode, set[SDGNode]] = defaultdict(set)
+        self._worklist: deque[tuple[SDGNode, SDGNode]] = deque()
+        self._seeded: set[SDGNode] = set()
         # (formal_out, call site) -> actual-out style nodes at that site
         self._aouts: dict[tuple[SDGNode, int], list[SDGNode]] = defaultdict(list)
         for node in sdg.nodes:
@@ -83,35 +90,48 @@ class TabulationSlicer:
     # ------------------------------------------------------------------
 
     def compute_summaries(self) -> None:
+        """Summaries for every procedure instance (whole-program mode)."""
         if self._summaries_ready:
             return
-        path_edges: set[tuple[SDGNode, SDGNode]] = set()
-        by_node: dict[SDGNode, set[SDGNode]] = defaultdict(set)
-        worklist: deque[tuple[SDGNode, SDGNode]] = deque()
+        self._ensure_summaries(self.sdg.formal_out.values())
+        self._summaries_ready = True
 
-        def propagate(node: SDGNode, formal_out: SDGNode) -> None:
-            key = (node, formal_out)
-            if key in path_edges:
-                return
-            path_edges.add(key)
-            if (
-                self.max_path_edges is not None
-                and len(path_edges) > self.max_path_edges
-            ):
-                raise TabulationBudgetExceeded(len(path_edges))
-            by_node[node].add(formal_out)
-            worklist.append(key)
+    def _propagate(self, node: SDGNode, formal_out: SDGNode) -> None:
+        key = (node, formal_out)
+        if key in self._path_edges:
+            return
+        self._path_edges.add(key)
+        if (
+            self.max_path_edges is not None
+            and len(self._path_edges) > self.max_path_edges
+        ):
+            raise TabulationBudgetExceeded(len(self._path_edges))
+        self._by_node[node].add(formal_out)
+        self._worklist.append(key)
 
-        def add_summary(actual_out: SDGNode, actual_in: SDGNode) -> None:
-            if actual_in in self.summaries[actual_out]:
-                return
-            self.summaries[actual_out].add(actual_in)
-            for formal_out in list(by_node.get(actual_out, ())):
-                propagate(actual_in, formal_out)
+    def _add_summary(self, actual_out: SDGNode, actual_in: SDGNode) -> None:
+        if actual_in in self.summaries[actual_out]:
+            return
+        self.summaries[actual_out].add(actual_in)
+        for formal_out in list(self._by_node.get(actual_out, ())):
+            self._propagate(actual_in, formal_out)
 
-        for formal_out in self.sdg.formal_out.values():
-            propagate(formal_out, formal_out)
+    def _ensure_summaries(self, formal_outs) -> None:
+        """Tabulate path edges seeded at ``formal_outs`` (incremental).
 
+        Each formal-out is seeded at most once per slicer; the path-edge
+        relation is monotone, so continuing the same worklist with new
+        seeds reaches the same fixpoint as seeding everything upfront —
+        this is what makes demand-driven slicing spend its
+        ``max_path_edges`` budget only on procedures a slice can see,
+        raising the effective ceiling for single-seed slices.
+        """
+        for formal_out in formal_outs:
+            if formal_out not in self._seeded:
+                self._seeded.add(formal_out)
+                self._propagate(formal_out, formal_out)
+
+        worklist = self._worklist
         while worklist:
             node, formal_out = worklist.popleft()
             if isinstance(node, ParamNode) and node.role == "formal_in":
@@ -122,16 +142,38 @@ class TabulationSlicer:
                     if site is None:
                         continue
                     for actual_out in self._aouts.get((formal_out, site), ()):
-                        add_summary(actual_out, actual_in)
+                        self._add_summary(actual_out, actual_in)
                 continue
             for dep, kind in self.sdg.dependencies(node):
                 if kind in self.same_level:
-                    propagate(dep, formal_out)
+                    self._propagate(dep, formal_out)
             for actual_in in list(self.summaries.get(node, ())):
-                propagate(actual_in, formal_out)
+                self._propagate(actual_in, formal_out)
 
-        self.path_edge_count = len(path_edges)
-        self._summaries_ready = True
+        self.path_edge_count = len(self._path_edges)
+
+    def _relevant_formal_outs(self, seeds: list[SDGNode]) -> list[SDGNode]:
+        """Formal-outs whose summaries a slice from ``seeds`` could use.
+
+        Unconstrained backward closure over *all* raw edge kinds.  Every
+        summary edge abbreviates a raw backward path (actual-out →
+        formal-out → … → formal-in → actual-in), so this closure is a
+        superset of everything the two-phase traversal can reach with
+        any set of summary edges; formal-outs outside it can never be
+        queried and need no tabulation.
+        """
+        seen: set[SDGNode] = set(seeds)
+        stack: list[SDGNode] = list(seeds)
+        formal_outs: list[SDGNode] = []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ParamNode) and node.role == "formal_out":
+                formal_outs.append(node)
+            for dep, _kind in self.sdg.dependencies(node):
+                if dep not in seen:
+                    seen.add(dep)
+                    stack.append(dep)
+        return formal_outs
 
     # ------------------------------------------------------------------
     # Two-phase slicing
@@ -163,7 +205,8 @@ class TabulationSlicer:
                 queue.append(dep)
 
     def slice_from_nodes(self, seeds: list[SDGNode]) -> SliceResult:
-        self.compute_summaries()
+        if not self._summaries_ready:
+            self._ensure_summaries(self._relevant_formal_outs(seeds))
         traversal = Traversal()
         # Phase 1: ascend to callers (and same-level + summaries).
         self._bfs(seeds, EdgeKind.PARAM_IN, traversal)

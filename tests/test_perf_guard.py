@@ -82,6 +82,32 @@ def _timed(thunk) -> float:
     return time.perf_counter() - start
 
 
+#: Cold-path envelope per program (ms), ~10x the best-of times measured
+#: after the solver/frontend optimization round (jtopas ~21ms, minixml
+#: ~54ms, minijavac ~51ms, parsegen ~75ms) so only a genuine cold-path
+#: regression — not scheduler noise — can trip it.
+COLD_ENVELOPE_MS = {
+    "jtopas": 300,
+    "minixml": 600,
+    "minijavac": 600,
+    "parsegen": 800,
+}
+
+
+@pytest.mark.parametrize("name", sorted(COLD_ENVELOPE_MS))
+def test_cold_analysis_envelope(name):
+    from repro import analyze
+    from repro.suite.loader import load_source
+
+    source = load_source(name)
+    best = min(_timed(lambda: analyze(source, name)) for _ in range(3))
+    budget = COLD_ENVELOPE_MS[name] / 1000
+    assert best < budget, (
+        f"cold analysis of {name} took {best * 1000:.0f}ms "
+        f"(envelope {COLD_ENVELOPE_MS[name]}ms)"
+    )
+
+
 def test_thousand_slices_under_budget():
     compiled = compile_source(
         load_source("minijavac"), "minijavac", include_stdlib=True
