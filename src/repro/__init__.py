@@ -26,9 +26,10 @@ Quickstart::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro.analysis.modref import ModRefResult, compute_modref
+from repro.budget import Budget, BudgetExceeded
 from repro.analysis.pointsto import (
     DEFAULT_CONTAINER_CLASSES,
     PointsToResult,
@@ -59,6 +60,12 @@ class AnalyzeOptions:
     containers: frozenset[str] | None = DEFAULT_CONTAINER_CLASSES
     heap_mode: str = "direct"
     include_control: bool = True
+    #: Cooperative cancellation token for this one request.  Runtime
+    #: state, not configuration: excluded from equality/hash and from
+    #: :meth:`cache_token`, and stripped from the options stored on the
+    #: resulting :class:`AnalyzedProgram` (cached artifacts must never
+    #: reference a request-scoped budget).
+    budget: Budget | None = field(default=None, compare=False)
 
     def cache_token(self) -> str:
         containers = (
@@ -115,23 +122,31 @@ def analyze(
         )
     if profiler is None:
         profiler = StageProfiler()
+    budget = options.budget
     compiled = compile_source(
         source, filename, include_stdlib=options.include_stdlib,
-        profiler=profiler,
+        profiler=profiler, budget=budget,
     )
     with profiler.stage("pointsto"):
-        pts = solve_points_to(compiled.ir, containers=options.containers)
+        pts = solve_points_to(
+            compiled.ir, containers=options.containers, budget=budget
+        )
     with profiler.stage("sdg"):
         sdg = build_sdg(
             compiled,
             pts,
             heap_mode=options.heap_mode,
             include_control=options.include_control,
+            budget=budget,
         )
     profiler.add_count("pts_keys", len(pts.pts))
     profiler.add_count("call_graph_nodes", pts.call_graph.node_count())
     profiler.add_count("sdg_nodes", sdg.node_count())
     profiler.add_count("sdg_edges", sdg.edge_count())
+    if budget is not None:
+        # Cached artifacts outlive the request; never let them hold a
+        # request-scoped cancellation token.
+        options = replace(options, budget=None)
     return AnalyzedProgram(compiled, pts, sdg, options, profiler.as_dict())
 
 
@@ -148,6 +163,8 @@ def traditional_slice(analyzed: AnalyzedProgram, line: int) -> SliceResult:
 __all__ = [
     "AnalyzeOptions",
     "AnalyzedProgram",
+    "Budget",
+    "BudgetExceeded",
     "CompiledProgram",
     "DEFAULT_CONTAINER_CLASSES",
     "ExecutionResult",

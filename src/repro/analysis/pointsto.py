@@ -52,6 +52,7 @@ from repro.analysis.heapmodel import (
     make_object,
 )
 from repro.analysis.callgraph import CallGraph, MethodInstance
+from repro.budget import Budget
 from repro.ir import instructions as ins
 from repro.ir.cfg import IRFunction, IRProgram
 from repro.lang.symbols import STRING_NATIVES
@@ -135,11 +136,13 @@ class PointsToAnalysis:
         program: IRProgram,
         containers: frozenset[str] | None = DEFAULT_CONTAINER_CLASSES,
         max_context_depth: int = 2,
+        budget: Budget | None = None,
     ) -> None:
         self.program = program
         self.table = program.table
         self.containers = frozenset(containers or ())
         self.max_context_depth = max_context_depth
+        self.budget = budget
 
         # Interning tables.
         self._key_id: dict[PointerKey, int] = {}
@@ -329,7 +332,10 @@ class PointsToAnalysis:
         wl = self._wl
         find = self._find
         objs = self._objs
+        budget = self.budget
         while wl:
+            if budget is not None:
+                budget.poll()
             if self._copy_edges_added >= self._collapse_threshold:
                 self._collapse()
             _, k = heappop(wl)
@@ -738,6 +744,12 @@ def solve_points_to(
     program: IRProgram,
     containers: frozenset[str] | None = DEFAULT_CONTAINER_CLASSES,
     max_context_depth: int = 2,
+    budget: Budget | None = None,
 ) -> PointsToResult:
-    """Run the analysis with the given container-cloning configuration."""
-    return PointsToAnalysis(program, containers, max_context_depth).solve()
+    """Run the analysis with the given container-cloning configuration.
+
+    ``budget`` (a :class:`repro.budget.Budget`) is polled at the
+    worklist head, so a cancelled request abandons the solve within
+    milliseconds by raising :class:`~repro.budget.BudgetExceeded`.
+    """
+    return PointsToAnalysis(program, containers, max_context_depth, budget).solve()

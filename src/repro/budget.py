@@ -1,0 +1,138 @@
+"""Cooperative cancellation budgets for long-running analyses.
+
+A :class:`Budget` is a per-request token carrying a wall-clock deadline,
+an optional step budget, and an explicit cancellation flag.  The
+analysis hot loops (the points-to worklist, SDG assembly, tabulation)
+call :meth:`Budget.poll` at their loop heads; when the deadline passes,
+the step budget is exhausted, or another thread calls
+:meth:`Budget.cancel`, the next poll raises :class:`BudgetExceeded` and
+the whole pipeline unwinds within milliseconds — freeing the worker
+thread instead of letting an abandoned request grind on forever (the
+failure mode the slice daemon had before this existed).
+
+Thin slicing exists because running a full analysis to completion is
+not always affordable; a budget makes that explicit at the serving
+layer: bound the work, cancel what nobody is waiting for, and shed the
+rest.
+
+The token is deliberately cheap.  ``poll`` checks the cancellation flag
+on every call (a plain attribute read, so cross-thread cancellation is
+observed immediately) but consults the clock only every
+``CHECK_INTERVAL`` steps; ``check`` always does the full test and is
+what stage boundaries and sleep loops use.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: ``poll`` consults the wall clock every this-many steps.
+CHECK_INTERVAL = 64
+
+_MASK = CHECK_INTERVAL - 1
+
+
+class BudgetExceeded(Exception):
+    """An analysis outran its budget (deadline, steps, or cancellation).
+
+    ``reason`` is a short machine-checkable tag: ``"deadline"``,
+    ``"steps"``, or whatever :meth:`Budget.cancel` was given (the
+    daemon uses ``"cancelled"`` for client disconnects).
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        self.reason = reason
+        super().__init__(detail or reason)
+
+
+class Budget:
+    """Deadline + step budget + cancellation flag for one request.
+
+    A budget with neither limit never expires on its own but can still
+    be cancelled — that is what frees a worker whose client vanished.
+    """
+
+    __slots__ = ("deadline", "max_steps", "steps", "cancelled", "cancel_reason")
+
+    def __init__(
+        self,
+        deadline: float | None = None,
+        max_steps: int | None = None,
+    ) -> None:
+        #: Absolute :func:`time.monotonic` instant, or None (no deadline).
+        self.deadline = deadline
+        self.max_steps = max_steps
+        self.steps = 0
+        self.cancelled = False
+        self.cancel_reason = ""
+
+    @classmethod
+    def from_timeout(
+        cls, seconds: float | None, max_steps: int | None = None
+    ) -> "Budget":
+        """A budget expiring ``seconds`` from now (None = no deadline)."""
+        deadline = None if seconds is None else time.monotonic() + seconds
+        return cls(deadline=deadline, max_steps=max_steps)
+
+    # ------------------------------------------------------------------
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Flag the budget; the owning worker aborts at its next poll.
+
+        Safe to call from any thread (a plain attribute write)."""
+        self.cancel_reason = reason
+        self.cancelled = True
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline, or None when there is none."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def expired(self) -> bool:
+        """Non-raising full check (deadline / steps / cancellation)."""
+        if self.cancelled:
+            return True
+        if self.max_steps is not None and self.steps > self.max_steps:
+            return True
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    # ------------------------------------------------------------------
+
+    def check(self) -> None:
+        """Full check; raises :class:`BudgetExceeded` when over."""
+        if self.cancelled:
+            raise BudgetExceeded(self.cancel_reason or "cancelled")
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise BudgetExceeded(
+                "steps", f"step budget of {self.max_steps} exhausted"
+            )
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise BudgetExceeded("deadline", "wall-clock deadline exceeded")
+
+    def poll(self) -> None:
+        """Hot-loop check: cancellation every call, the clock every
+        :data:`CHECK_INTERVAL` steps."""
+        if self.cancelled:
+            raise BudgetExceeded(self.cancel_reason or "cancelled")
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise BudgetExceeded(
+                "steps", f"step budget of {self.max_steps} exhausted"
+            )
+        if self.steps & _MASK:
+            return
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise BudgetExceeded("deadline", "wall-clock deadline exceeded")
+
+    def sleep(self, seconds: float, slice_s: float = 0.01) -> None:
+        """Sleep cooperatively: wake every ``slice_s`` to re-check, so a
+        cancelled or expired budget aborts the sleep within ~10 ms.
+        (Used by the fault-injection harness's slow-analysis fault.)"""
+        end = time.monotonic() + seconds
+        while True:
+            self.check()
+            left = end - time.monotonic()
+            if left <= 0:
+                return
+            time.sleep(min(slice_s, left))

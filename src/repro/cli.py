@@ -3,6 +3,7 @@
 Subcommands::
 
     slice FILE --line N [--traditional] [--no-stdlib] [--context N]
+               [--deadline S]
     run FILE [ARG ...]
     explain FILE --line N            # control explainers for a line
     why FILE --source N --sink M     # producer path between two lines
@@ -10,6 +11,7 @@ Subcommands::
     dot FILE [--line N] [-o OUT]     # Graphviz export (slice or full)
     stats FILE                       # analysis statistics
     serve [--tcp HOST:PORT]          # long-lived analysis daemon
+    health --server HOST:PORT        # daemon load and counters
 
 ``FILE`` may also be the name of a shipped suite program (e.g.
 ``figure1``).
@@ -112,6 +114,8 @@ def _cmd_slice(args: argparse.Namespace) -> int:
 
     source, name = _read_program(args.file)
     flavor = "traditional" if args.traditional else "thin"
+    if args.deadline is not None and args.deadline <= 0:
+        raise SystemExit("error: --deadline must be positive")
     if args.server:
         payload = _server_request(
             args.server,
@@ -122,9 +126,26 @@ def _cmd_slice(args: argparse.Namespace) -> int:
             flavor=flavor,
             context=args.context,
             include_stdlib=not args.no_stdlib,
+            deadline=args.deadline,
         )
     else:
-        analyzed = analyze(source, name, include_stdlib=not args.no_stdlib)
+        from repro import AnalyzeOptions, Budget, BudgetExceeded
+
+        options = AnalyzeOptions(
+            include_stdlib=not args.no_stdlib,
+            budget=(
+                Budget.from_timeout(args.deadline)
+                if args.deadline is not None
+                else None
+            ),
+        )
+        try:
+            analyzed = analyze(source, name, options=options)
+        except BudgetExceeded as exc:
+            raise SystemExit(
+                f"error: analysis exceeded the {args.deadline:g}s deadline "
+                f"({exc})"
+            ) from None
         slicer = (
             analyzed.traditional_slicer
             if args.traditional
@@ -345,6 +366,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    payload = _server_request(args.server, "health")
+    if args.format == "json":
+        _print_json(payload)
+    else:
+        state = "healthy" if payload["healthy"] else "shutting down"
+        print(
+            f"{state}: {payload['busy']}/{payload['workers']} workers busy, "
+            f"{payload['queued']} queued (max {payload['max_queue']}), "
+            f"{payload['shed_total']} shed, "
+            f"{payload['cancelled_total']} cancelled, "
+            f"up {payload['uptime_s']:.0f}s"
+        )
+    return 0 if payload["healthy"] else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import logging
 
@@ -366,10 +403,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             or os.environ.get("REPRO_CACHE_DIR")
             or str(DEFAULT_CACHE_DIR)
         )
-        store = DiskStore(Path(cache_dir))
+        max_bytes = None
+        if args.store_max_mb is not None:
+            if args.store_max_mb <= 0:
+                raise SystemExit("error: --store-max-mb must be positive")
+            max_bytes = int(args.store_max_mb * 1024 * 1024)
+        store = DiskStore(Path(cache_dir), max_bytes=max_bytes)
     cache = AnalysisCache(capacity=args.memory_capacity, store=store)
     timeout = args.timeout if args.timeout and args.timeout > 0 else None
-    server = SliceServer(cache, timeout=timeout)
+    server = SliceServer(
+        cache,
+        timeout=timeout,
+        workers=args.workers,
+        max_queue=args.max_queue,
+    )
     if args.tcp:
         host, port = _parse_hostport(args.tcp)
         serve_tcp(server, host, port)
@@ -390,6 +437,11 @@ def main(argv: list[str] | None = None) -> int:
     p_slice.add_argument("--traditional", action="store_true")
     p_slice.add_argument("--no-stdlib", action="store_true")
     p_slice.add_argument("--context", type=int, default=0)
+    p_slice.add_argument(
+        "--deadline",
+        type=float,
+        help="give up after this many seconds (cooperative cancellation)",
+    )
     p_slice.add_argument("--format", choices=("text", "json"), default="text")
     p_slice.add_argument(
         "--timings",
@@ -475,9 +527,37 @@ def main(argv: list[str] | None = None) -> int:
         help="per-request budget in seconds (0 disables)",
     )
     p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="analysis worker threads (default: 4)",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="pending requests beyond busy workers before shedding "
+        "load with Overloaded (default: 32)",
+    )
+    p_serve.add_argument(
+        "--store-max-mb",
+        type=float,
+        help="disk store size budget in MiB; oldest artifacts are "
+        "evicted after each save",
+    )
+    p_serve.add_argument(
         "--quiet", action="store_true", help="suppress structured logs"
     )
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_health = sub.add_parser(
+        "health", help="query a running daemon's load and counters"
+    )
+    p_health.add_argument("--server", metavar="HOST:PORT", required=True)
+    p_health.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    p_health.set_defaults(fn=_cmd_health)
 
     args = parser.parse_args(argv)
     return args.fn(args)

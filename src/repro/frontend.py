@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from repro.budget import Budget
 from repro.lang import ast
 from repro.lang.errors import MJError
 from repro.lang.lexer import tokenize
@@ -160,6 +161,7 @@ def compile_source(
     filename: str = "<input>",
     include_stdlib: bool = False,
     profiler: StageProfiler | None = None,
+    budget: "Budget | None" = None,
 ) -> CompiledProgram:
     """Parse, type-check, lower to IR, and convert to SSA.
 
@@ -167,21 +169,36 @@ def compile_source(
     the program text (as later classes, so user line numbers are stable).
     A :class:`~repro.profiling.StageProfiler` records per-stage wall
     time (``parse``/``typecheck``/``ir``/``ssa``) when provided.
+
+    ``budget`` is checked at every stage boundary, so a cancelled or
+    timed-out request aborts between stages with
+    :class:`~repro.budget.BudgetExceeded`.  (The budget is *not*
+    captured by the demand-SSA conversion hooks: those can fire long
+    after this request completes, against a cached program, and must
+    not observe a stale request-scoped token.)
     """
     if profiler is None:
         profiler = StageProfiler()
     full_text = text
     if include_stdlib:
         full_text = text + "\n" + stdlib_source()
+    if budget is not None:
+        budget.check()
     with profiler.stage("parse"):
         if include_stdlib:
             program = _parse_with_stdlib(text, full_text, filename)
         else:
             program = parse_program(full_text, filename)
+    if budget is not None:
+        budget.check()
     with profiler.stage("typecheck"):
         table = check_program(program)
+    if budget is not None:
+        budget.check()
     with profiler.stage("ir"):
         ir_program = build_program(program, table)
+    if budget is not None:
+        budget.check()
     with profiler.stage("ssa"):
         dominators: dict[str, DominatorInfo] = {}
 

@@ -31,6 +31,7 @@ from collections import defaultdict
 
 from repro.analysis.callgraph import MethodInstance
 from repro.analysis.heapmodel import ARRAY_FIELD, VarKey
+from repro.budget import Budget
 from repro.analysis.modref import ModRefResult, field_loc, static_loc
 from repro.analysis.pointsto import PointsToResult
 from repro.frontend import CompiledProgram
@@ -136,6 +137,7 @@ def build_sdg(
     modref: ModRefResult | None = None,
     node_budget: int | None = None,
     index_as_producer: bool = False,
+    budget: Budget | None = None,
 ) -> SDG:
     """Assemble the SDG for every call-graph-reachable method instance.
 
@@ -144,6 +146,10 @@ def build_sdg(
     via expansion — §4.1); setting this flag classifies index uses as
     producer flow instead, so benches can measure the cost of the
     alternative design.
+
+    ``budget`` (a :class:`repro.budget.Budget`) is polled at the
+    per-instance loop heads, so a cancelled request abandons
+    construction with :class:`~repro.budget.BudgetExceeded`.
     """
     if heap_mode not in ("direct", "params"):
         raise ValueError(f"unknown heap_mode {heap_mode!r}")
@@ -151,7 +157,7 @@ def build_sdg(
         raise ValueError("heap_mode='params' requires a mod-ref result")
     builder = _SDGBuilder(
         compiled, pts, heap_mode, include_control, modref, node_budget,
-        index_as_producer,
+        index_as_producer, budget,
     )
     return builder.build()
 
@@ -166,6 +172,7 @@ class _SDGBuilder:
         modref: ModRefResult | None,
         node_budget: int | None,
         index_as_producer: bool = False,
+        budget: Budget | None = None,
     ) -> None:
         self.compiled = compiled
         self.program = compiled.ir
@@ -173,6 +180,7 @@ class _SDGBuilder:
         self.modref = modref
         self.node_budget = node_budget
         self.index_as_producer = index_as_producer
+        self.budget = budget
         self.graph = SDG(heap_mode, include_control)
         # Every reachable method instance with an IR body.
         self.instances: list[tuple[str, object]] = sorted(
@@ -203,13 +211,16 @@ class _SDGBuilder:
 
     def build(self) -> SDG:
         for name, ctx in self.instances:
+            self._poll()
             self._add_instance_nodes(name, ctx)
         for name, ctx in self.instances:
+            self._poll()
             self._local_flow(name, ctx)
             if self.graph.include_control:
                 self._control(name, ctx)
             self._catch_flow(name, ctx)
         for name, ctx in self.instances:
+            self._poll()
             self._calls(name, ctx)
         if self.graph.heap_mode == "direct":
             self._heap_direct()
@@ -217,6 +228,10 @@ class _SDGBuilder:
             self._heap_params()
         self._array_lengths()
         return self.graph
+
+    def _poll(self) -> None:
+        if self.budget is not None:
+            self.budget.poll()
 
     def _check_budget(self) -> None:
         if (
@@ -477,6 +492,7 @@ class _SDGBuilder:
         """Index of writers per (field, abstract object) or static key."""
         writers: dict[tuple[str, object], list[SDGNode]] = defaultdict(list)
         for name, ctx in self.instances:
+            self._poll()
             pmap = self._instance_pts(name, ctx)
             for instr in self._function(name).instructions():
                 node = self._stmt(name, ctx, instr)
@@ -498,6 +514,7 @@ class _SDGBuilder:
     def _heap_direct(self) -> None:
         writers = self._store_sites()
         for name, ctx in self.instances:
+            self._poll()
             pmap = self._instance_pts(name, ctx)
             for instr in self._function(name).instructions():
                 if not isinstance(
@@ -548,6 +565,7 @@ class _SDGBuilder:
         # Formal-in/out heap nodes per instance (mod-ref is per function;
         # instances of one function share its partition sets).
         for name, ctx in self.instances:
+            self._poll()
             function = self._function(name)
             position = self._entry_position(function)
             for loc in sorted(modref.ref.get(name, ()), key=str):
@@ -565,6 +583,7 @@ class _SDGBuilder:
             self._check_budget()
 
         for name, ctx in self.instances:
+            self._poll()
             self._heap_params_for_instance(name, ctx)
 
     def _heap_params_for_instance(self, name: str, ctx: object) -> None:
@@ -657,6 +676,7 @@ class _SDGBuilder:
     def _array_lengths(self) -> None:
         allocs: dict[object, list[SDGNode]] = defaultdict(list)
         for name, ctx in self.instances:
+            self._poll()
             for instr in self._function(name).instructions():
                 if isinstance(instr, ins.NewArray):
                     node = self._stmt(name, ctx, instr)

@@ -17,8 +17,12 @@ package turns the library into a service:
 * :mod:`repro.server.daemon` — the request dispatcher with per-request
   timeouts, error isolation, and latency/hit-rate observability, and
   the stdio/TCP serving loops;
-* :mod:`repro.server.client` — a thin Python client that spawns a
-  stdio daemon or connects over TCP.
+* :mod:`repro.server.client` — a resilient Python client that spawns a
+  stdio daemon or connects over TCP, with per-request deadlines and
+  jittered-backoff retries for ``Overloaded``/``Disconnected``;
+* :mod:`repro.server.faults` — the fault-injection hooks the chaos
+  tests use to prove the daemon survives slow analyses, worker
+  crashes, torn disk writes, and dropped connections.
 
 Quickstart::
 
@@ -34,12 +38,15 @@ from __future__ import annotations
 from repro.server.cache import AnalysisCache, cache_key
 from repro.server.client import ServerError, SliceClient
 from repro.server.daemon import SliceServer, serve_stdio, serve_tcp, start_tcp_server
+from repro.server.faults import FaultPlan, InjectedFault
 from repro.server.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.server.store import DiskStore
 
 __all__ = [
     "AnalysisCache",
     "DiskStore",
+    "FaultPlan",
+    "InjectedFault",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ServerError",

@@ -21,6 +21,7 @@ from typing import Any
 
 from repro import AnalyzedProgram, AnalyzeOptions, __version__, analyze
 from repro.frontend import source_fingerprint
+from repro.server.faults import FaultPlan
 from repro.server.store import DiskStore
 
 DEFAULT_MEMORY_CAPACITY = 8
@@ -51,11 +52,13 @@ class AnalysisCache:
         self,
         capacity: int = DEFAULT_MEMORY_CAPACITY,
         store: DiskStore | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.store = store
+        self.fault_plan = fault_plan
         self._entries: OrderedDict[str, AnalyzedProgram] = OrderedDict()
         self._lock = threading.Lock()
         self.memory_hits = 0
@@ -85,6 +88,11 @@ class AnalysisCache:
                     self.disk_hits += 1
                     self._put(key, loaded)
                 return loaded, "disk"
+        if self.fault_plan is not None:
+            # Injected slow analysis / analysis-time faults.  Raising
+            # here (BudgetExceeded on cancellation) leaves no cache
+            # entry behind, same as a failing real analysis.
+            self.fault_plan.on_analysis(options.budget)
         analyzed = analyze(source, filename, options=options)
         with self._lock:
             self.misses += 1

@@ -5,23 +5,33 @@ Design rules:
 * **Error isolation** — ``handle_line`` never raises.  A query that
   throws (bad params, MJ compile error, an analysis bug) produces a
   structured error response; the daemon keeps serving.
-* **Per-request timeout** — handlers run on a small worker pool and
-  are abandoned after ``timeout`` seconds (the worker finishes in the
-  background; the client gets a ``Timeout`` error immediately).
-* **Observability** — every request is timed and counted per method,
+* **Cooperative cancellation** — every analysis request carries a
+  :class:`repro.budget.Budget` (wall-clock deadline + cancellation
+  flag) that the pipeline hot loops poll.  A timed-out or
+  client-abandoned request doesn't just get an error response: its
+  worker thread observes the cancelled budget and unwinds within
+  milliseconds, so pathological programs cannot wedge the pool.
+* **Admission control** — at most ``max_queue`` requests may wait for
+  a worker; beyond that the daemon sheds load with a fast structured
+  ``Overloaded`` error instead of silently piling work up.
+* **Observability** — every request is timed and counted per method
   and emitted as a structured (JSON) log line; the ``stats`` RPC with
-  no program argument returns the counters plus the cache hit/miss
-  numbers.
+  no program argument returns the counters plus cache hit/miss
+  numbers, and the ``health`` RPC reports busy/queued workers without
+  ever touching the worker pool.
 
 Two serving loops: :func:`serve_stdio` (one client on stdin/stdout)
 and :func:`serve_tcp` (a threading TCP server, many clients, one
-request pipeline per connection).
+request pipeline per connection).  Both cap request lines at
+:data:`MAX_LINE_BYTES` and answer oversized lines with a structured
+``Protocol`` error instead of buffering unbounded input.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import socket
 import socketserver
 import threading
 import time
@@ -31,8 +41,10 @@ from dataclasses import dataclass
 from typing import Any, Callable, TextIO
 
 from repro import AnalyzedProgram, AnalyzeOptions, __version__
+from repro.budget import Budget, BudgetExceeded
 from repro.profiling import merge_timing_dicts
 from repro.server.cache import AnalysisCache
+from repro.server.faults import FaultPlan
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -48,6 +60,17 @@ from repro.server.protocol import (
 )
 
 logger = logging.getLogger("repro.server")
+
+#: Hard cap on one request line; beyond this the serving loops answer a
+#: structured ``Protocol`` error without buffering the rest.
+MAX_LINE_BYTES = 10 * 1024 * 1024
+
+#: Default bound on requests waiting for a free worker.
+DEFAULT_MAX_QUEUE = 32
+
+#: How often the dispatcher wakes while waiting on a worker, to notice
+#: passed deadlines and vanished clients.
+_WAIT_SLICE_S = 0.05
 
 
 class QueryError(Exception):
@@ -95,9 +118,16 @@ class SliceServer:
         cache: AnalysisCache | None = None,
         timeout: float | None = None,
         workers: int = 4,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.cache = cache if cache is not None else AnalysisCache()
         self.timeout = timeout
+        self.workers = workers
+        self.max_queue = max_queue
+        self.fault_plan = fault_plan
+        if fault_plan is not None and self.cache.fault_plan is None:
+            self.cache.fault_plan = fault_plan
         self.started = time.time()
         self.shutting_down = False
         self._pool = ThreadPoolExecutor(
@@ -105,11 +135,21 @@ class SliceServer:
         )
         self._stats_lock = threading.Lock()
         self._method_stats: dict[str, MethodStats] = {}
+        # Load accounting: queued = submitted but not yet started,
+        # busy = currently executing on a worker thread.
+        self._load_lock = threading.Lock()
+        self._busy = 0
+        self._queued = 0
+        self.shed_total = 0
+        self.cancelled_total = 0
         # Aggregated pipeline stage timings over every analysis this
         # process actually ran (cache hits contribute nothing).
         self._pipeline: dict[str, Any] = {}
-        self._methods: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
+        self._methods: dict[
+            str, Callable[[dict[str, Any], Budget | None], dict[str, Any]]
+        ] = {
             "ping": self._method_ping,
+            "health": self._method_health,
             "slice": self._method_slice,
             "explain": self._method_explain,
             "why": self._method_why,
@@ -122,15 +162,35 @@ class SliceServer:
     # Entry points
     # ------------------------------------------------------------------
 
-    def handle_line(self, line: str) -> str:
+    def handle_line(
+        self, line: str, client_alive: Callable[[], bool] | None = None
+    ) -> str:
         """One request line in, one response line out.  Never raises."""
+        if len(line) > MAX_LINE_BYTES:
+            return encode_message(
+                error_response(
+                    None,
+                    "Protocol",
+                    f"request line exceeds {MAX_LINE_BYTES} bytes",
+                )
+            )
         try:
             request = decode_message(line)
         except ProtocolError as exc:
             return encode_message(error_response(None, "Protocol", str(exc)))
-        return encode_message(self.handle_request(request))
+        return encode_message(self.handle_request(request, client_alive))
 
-    def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
+    def handle_request(
+        self,
+        request: dict[str, Any],
+        client_alive: Callable[[], bool] | None = None,
+    ) -> dict[str, Any]:
+        """Dispatch one request.
+
+        ``client_alive`` (supplied by the TCP handler) is polled while
+        the request waits on a worker; when it reports the client gone,
+        the in-flight budget is cancelled so the worker frees itself.
+        """
         request_id = request.get("id")
         method = request.get("method")
         params = request.get("params") or {}
@@ -145,7 +205,7 @@ class SliceServer:
         start = time.perf_counter()
         timed_out = False
         try:
-            introspection = method in ("ping", "shutdown") or (
+            introspection = method in ("ping", "shutdown", "health") or (
                 method == "stats"
                 and "source" not in params
                 and "program" not in params
@@ -153,20 +213,19 @@ class SliceServer:
             if introspection:
                 # Must stay responsive even when the worker pool is
                 # saturated by slow analyses.
-                result = self._methods[method](params)
+                result = self._methods[method](params, None)
             else:
-                future = self._pool.submit(self._methods[method], params)
-                result = future.result(timeout=self.timeout)
+                result = self._run_on_worker(method, params, client_alive)
             response = ok_response(request_id, result)
-        except FutureTimeout:
-            timed_out = True
-            response = error_response(
-                request_id,
-                "Timeout",
-                f"request exceeded {self.timeout:g}s budget",
-            )
         except QueryError as exc:
+            timed_out = exc.error_type == "Timeout"
             response = error_response(request_id, exc.error_type, str(exc))
+        except BudgetExceeded as exc:
+            # The worker observed its own budget before the dispatcher
+            # noticed; classify by the recorded reason.
+            timed_out = exc.reason != "cancelled"
+            error_type = "Timeout" if timed_out else "Cancelled"
+            response = error_response(request_id, error_type, str(exc))
         except Exception as exc:
             response = error_response(request_id, type(exc).__name__, str(exc))
         latency_ms = (time.perf_counter() - start) * 1000
@@ -174,23 +233,149 @@ class SliceServer:
         return response
 
     # ------------------------------------------------------------------
+    # Worker-pool dispatch: admission, deadlines, cancellation
+    # ------------------------------------------------------------------
+
+    def _run_on_worker(
+        self,
+        method: str,
+        params: dict[str, Any],
+        client_alive: Callable[[], bool] | None,
+    ) -> dict[str, Any]:
+        limit = self._effective_limit(params)
+        budget = Budget.from_timeout(limit)
+        with self._load_lock:
+            if self._busy >= self.workers and self._queued >= self.max_queue:
+                self.shed_total += 1
+                raise QueryError(
+                    "Overloaded",
+                    f"all {self.workers} workers busy and {self._queued} "
+                    f"requests queued (max {self.max_queue}); retry with "
+                    "backoff",
+                )
+            self._queued += 1
+        future = self._pool.submit(
+            self._run_worker, self._methods[method], params, budget
+        )
+        deadline = None if limit is None else time.monotonic() + limit
+        while True:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._abort(future, budget, "deadline")
+                    raise QueryError(
+                        "Timeout", f"request exceeded {limit:g}s budget"
+                    )
+                wait = min(_WAIT_SLICE_S, remaining)
+            else:
+                wait = _WAIT_SLICE_S
+            try:
+                return future.result(timeout=wait)
+            except FutureTimeout:
+                if client_alive is not None and not client_alive():
+                    self._abort(future, budget, "cancelled")
+                    raise QueryError(
+                        "Cancelled",
+                        "client disconnected before the response was ready",
+                    ) from None
+            except BudgetExceeded:
+                # The worker observed its own expired budget before the
+                # dispatcher's next wake-up; it still counts as a
+                # cancelled in-flight analysis.
+                with self._load_lock:
+                    self.cancelled_total += 1
+                raise
+
+    def _effective_limit(self, params: dict[str, Any]) -> float | None:
+        """min(server timeout, per-request ``deadline`` param)."""
+        deadline = params.pop("deadline", None)
+        if deadline is not None:
+            if (
+                not isinstance(deadline, (int, float))
+                or isinstance(deadline, bool)
+                or deadline <= 0
+            ):
+                raise QueryError(
+                    "BadParams",
+                    "'deadline' must be a positive number of seconds",
+                )
+            deadline = float(deadline)
+        limits = [l for l in (self.timeout, deadline) if l is not None]
+        return min(limits) if limits else None
+
+    def _run_worker(
+        self,
+        handler: Callable[[dict[str, Any], Budget], dict[str, Any]],
+        params: dict[str, Any],
+        budget: Budget,
+    ) -> dict[str, Any]:
+        with self._load_lock:
+            self._queued -= 1
+            self._busy += 1
+        try:
+            budget.check()  # cancelled while still queued -> free at once
+            if self.fault_plan is not None:
+                self.fault_plan.on_worker(budget)
+            return handler(params, budget)
+        finally:
+            with self._load_lock:
+                self._busy -= 1
+
+    def _abort(self, future, budget: Budget, reason: str) -> None:
+        """Cancel an in-flight request: flag its budget (the worker's
+        next poll raises) and, if it never started, drop it from the
+        queue accounting ourselves (the worker wrapper will not run)."""
+        budget.cancel(reason)
+        dropped = future.cancel()
+        with self._load_lock:
+            if dropped:
+                self._queued -= 1
+            self.cancelled_total += 1
+
+    # ------------------------------------------------------------------
     # Methods
     # ------------------------------------------------------------------
 
-    def _method_ping(self, params: dict[str, Any]) -> dict[str, Any]:
+    def _method_ping(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
         return {
             "pong": True,
             "version": __version__,
             "protocol": PROTOCOL_VERSION,
         }
 
-    def _method_shutdown(self, params: dict[str, Any]) -> dict[str, Any]:
+    def _method_health(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
+        """Pool load at a glance; never touches the worker pool itself."""
+        with self._load_lock:
+            busy, queued = self._busy, self._queued
+            shed, cancelled = self.shed_total, self.cancelled_total
+        return {
+            "healthy": not self.shutting_down,
+            "shutting_down": self.shutting_down,
+            "workers": self.workers,
+            "busy": busy,
+            "queued": queued,
+            "max_queue": self.max_queue,
+            "shed_total": shed,
+            "cancelled_total": cancelled,
+            "uptime_s": round(time.time() - self.started, 3),
+        }
+
+    def _method_shutdown(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
         self.shutting_down = True
         return {"stopping": True}
 
-    def _method_slice(self, params: dict[str, Any]) -> dict[str, Any]:
-        analyzed, name, origin = self._analyzed_program(params)
+    def _method_slice(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
+        analyzed, name, origin = self._analyzed_program(params, budget)
         line = self._int_param(params, "line")
+        context = self._opt_int_param(params, "context", 0)
         flavor = params.get("flavor", "thin")
         if flavor not in ("thin", "traditional"):
             raise QueryError("BadParams", f"unknown flavor: {flavor!r}")
@@ -205,21 +390,25 @@ class SliceServer:
             program=name,
             line=line,
             flavor=flavor,
-            context=int(params.get("context", 0)),
+            context=context,
         )
         payload["origin"] = origin
         return payload
 
-    def _method_explain(self, params: dict[str, Any]) -> dict[str, Any]:
-        analyzed, name, origin = self._analyzed_program(params)
+    def _method_explain(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
+        analyzed, name, origin = self._analyzed_program(params, budget)
         payload = explain_payload(
             analyzed, program=name, line=self._int_param(params, "line")
         )
         payload["origin"] = origin
         return payload
 
-    def _method_why(self, params: dict[str, Any]) -> dict[str, Any]:
-        analyzed, name, origin = self._analyzed_program(params)
+    def _method_why(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
+        analyzed, name, origin = self._analyzed_program(params, budget)
         payload = why_payload(
             analyzed,
             program=name,
@@ -229,10 +418,12 @@ class SliceServer:
         payload["origin"] = origin
         return payload
 
-    def _method_chop(self, params: dict[str, Any]) -> dict[str, Any]:
+    def _method_chop(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
         from repro.slicing.chopping import thin_chop, traditional_chop
 
-        analyzed, name, origin = self._analyzed_program(params)
+        analyzed, name, origin = self._analyzed_program(params, budget)
         flavor = params.get("flavor", "thin")
         if flavor not in ("thin", "traditional"):
             raise QueryError("BadParams", f"unknown flavor: {flavor!r}")
@@ -251,9 +442,11 @@ class SliceServer:
         payload["origin"] = origin
         return payload
 
-    def _method_stats_rpc(self, params: dict[str, Any]) -> dict[str, Any]:
+    def _method_stats_rpc(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
         if "source" in params or "program" in params:
-            analyzed, name, origin = self._analyzed_program(params)
+            analyzed, name, origin = self._analyzed_program(params, budget)
             payload = stats_payload(analyzed, name)
             payload["origin"] = origin
             return payload
@@ -270,6 +463,16 @@ class SliceServer:
                 key: dict(value) if isinstance(value, dict) else value
                 for key, value in self._pipeline.items()
             }
+        with self._load_lock:
+            service = {
+                "workers": self.workers,
+                "busy": self._busy,
+                "queued": self._queued,
+                "max_queue": self.max_queue,
+                "shed_total": self.shed_total,
+                "cancelled_total": self.cancelled_total,
+                "timeout_s": self.timeout,
+            }
         return {
             "version": __version__,
             "protocol": PROTOCOL_VERSION,
@@ -278,6 +481,7 @@ class SliceServer:
             "methods": methods,
             "cache": self.cache.stats(),
             "pipeline": pipeline,
+            "service": service,
         }
 
     # ------------------------------------------------------------------
@@ -285,7 +489,7 @@ class SliceServer:
     # ------------------------------------------------------------------
 
     def _analyzed_program(
-        self, params: dict[str, Any]
+        self, params: dict[str, Any], budget: Budget | None
     ) -> tuple[AnalyzedProgram, str, str]:
         source = params.get("source")
         name = params.get("filename", "<input>")
@@ -308,7 +512,8 @@ class SliceServer:
         if not isinstance(source, str):
             raise QueryError("BadParams", "'source' must be a string")
         options = AnalyzeOptions(
-            include_stdlib=bool(params.get("include_stdlib", True))
+            include_stdlib=bool(params.get("include_stdlib", True)),
+            budget=budget,
         )
         analyzed, origin = self.cache.get_or_analyze(source, name, options)
         if origin == "analyzed" and analyzed.timings:
@@ -319,6 +524,13 @@ class SliceServer:
     @staticmethod
     def _int_param(params: dict[str, Any], key: str) -> int:
         value = params.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise QueryError("BadParams", f"{key!r} must be an integer")
+        return value
+
+    @staticmethod
+    def _opt_int_param(params: dict[str, Any], key: str, default: int) -> int:
+        value = params.get(key, default)
         if not isinstance(value, int) or isinstance(value, bool):
             raise QueryError("BadParams", f"{key!r} must be an integer")
         return value
@@ -352,11 +564,32 @@ class SliceServer:
 # ----------------------------------------------------------------------
 
 
+def _oversize_response() -> str:
+    return encode_message(
+        error_response(
+            None, "Protocol", f"request line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    )
+
+
 def serve_stdio(
     server: SliceServer, in_stream: TextIO, out_stream: TextIO
 ) -> None:
     """Answer newline-delimited requests until EOF or shutdown."""
-    for line in in_stream:
+    while True:
+        line = in_stream.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            break
+        if len(line) > MAX_LINE_BYTES and not line.endswith("\n"):
+            # Oversized: reject without buffering, then discard the rest
+            # of the line so framing recovers at the next newline.
+            while True:
+                rest = in_stream.readline(MAX_LINE_BYTES)
+                if not rest or rest.endswith("\n"):
+                    break
+            out_stream.write(_oversize_response() + "\n")
+            out_stream.flush()
+            continue
         if not line.strip():
             continue
         out_stream.write(server.handle_line(line) + "\n")
@@ -369,18 +602,56 @@ def serve_stdio(
 class _LineHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         slice_server: SliceServer = self.server.slice_server  # type: ignore[attr-defined]
-        for raw in self.rfile:
-            line = raw.decode("utf-8", errors="replace")
-            if not line.strip():
-                continue
-            self.wfile.write((slice_server.handle_line(line) + "\n").encode("utf-8"))
-            self.wfile.flush()
-            if slice_server.shutting_down:
-                # shutdown() must not run on this handler thread.
-                threading.Thread(
-                    target=self.server.shutdown, daemon=True
-                ).start()
-                break
+        plan = slice_server.fault_plan
+        try:
+            while True:
+                raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+                if not raw:
+                    break
+                if len(raw) > MAX_LINE_BYTES and not raw.endswith(b"\n"):
+                    # Framing is unrecoverable mid-line on a socket we
+                    # refuse to buffer; answer and drop the connection.
+                    self.wfile.write(
+                        (_oversize_response() + "\n").encode("utf-8")
+                    )
+                    self.wfile.flush()
+                    break
+                line = raw.decode("utf-8", errors="replace")
+                if not line.strip():
+                    continue
+                response = slice_server.handle_line(
+                    line, client_alive=self._client_alive
+                )
+                if plan is not None and plan.drop_connection():
+                    # Injected fault: the connection dies before the
+                    # response is written.
+                    self.connection.close()
+                    return
+                self.wfile.write((response + "\n").encode("utf-8"))
+                self.wfile.flush()
+                if slice_server.shutting_down:
+                    # shutdown() must not run on this handler thread.
+                    threading.Thread(
+                        target=self.server.shutdown, daemon=True
+                    ).start()
+                    break
+        except OSError:
+            # Client vanished mid-write; per-request cancellation has
+            # already been signalled via client_alive.
+            pass
+
+    def _client_alive(self) -> bool:
+        """Peek the socket without consuming data: a closed peer reads
+        as EOF, a healthy (possibly pipelining) peer as data or EAGAIN."""
+        try:
+            return (
+                self.connection.recv(1, socket.MSG_PEEK | socket.MSG_DONTWAIT)
+                != b""
+            )
+        except (BlockingIOError, InterruptedError):
+            return True
+        except OSError:
+            return False
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):

@@ -1,0 +1,97 @@
+"""Fault injection for the serving stack (tests and chaos drills).
+
+A :class:`FaultPlan` is a small bag of failure dials that the serving
+components consult at well-defined points:
+
+* :class:`~repro.server.daemon.SliceServer` — before a worker runs a
+  query it calls :meth:`FaultPlan.on_worker` (injected worker
+  exceptions), and the TCP handler calls :meth:`FaultPlan.drop_connection`
+  before writing each response (torn connections);
+* :class:`~repro.server.cache.AnalysisCache` — on a cache miss it calls
+  :meth:`FaultPlan.on_analysis` before running the real pipeline
+  (deliberately slow analyses, budget-aware so cancellation works);
+* :class:`~repro.server.store.DiskStore` — :meth:`FaultPlan.torn_write`
+  replaces the next N atomic saves with a truncated write straight to
+  the final path, simulating a crash that bypassed the temp-file dance.
+
+Every hook is a no-op on a default-constructed plan, and ``None`` plans
+cost one attribute check — production paths pay nothing.  Counter-style
+faults (``worker_errors``, ``torn_writes``, ``connection_drops``) are
+consumed atomically, so concurrent requests trip each fault exactly the
+requested number of times.
+
+``tests/test_faults.py`` drives every fault through the real daemon and
+asserts it keeps answering with correct counters afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.budget import Budget
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by a :class:`FaultPlan` hook."""
+
+
+@dataclass
+class FaultPlan:
+    """Failure dials consumed by the serving components.
+
+    ``analysis_delay_s`` applies to *every* cold analysis while set;
+    the integer dials are one-shot counters (each trip decrements).
+    """
+
+    #: Sleep this long inside every cold analysis (cooperatively: the
+    #: request budget is polled every ~10 ms, so cancellation still
+    #: frees the worker immediately).
+    analysis_delay_s: float = 0.0
+    #: Raise :class:`InjectedFault` from the next N worker executions.
+    worker_errors: int = 0
+    #: Replace the next N disk-store saves with a truncated write at
+    #: the final artifact path (a torn file, as if the process died
+    #: mid-write without the atomic-replace protection).
+    torn_writes: int = 0
+    #: Close the next N TCP connections instead of writing the response.
+    connection_drops: int = 0
+
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def _take(self, counter: str) -> bool:
+        """Atomically consume one unit of a one-shot fault counter."""
+        with self._lock:
+            remaining = getattr(self, counter)
+            if remaining <= 0:
+                return False
+            setattr(self, counter, remaining - 1)
+            return True
+
+    # ------------------------------------------------------------------
+    # Hooks (called by the serving components)
+    # ------------------------------------------------------------------
+
+    def on_worker(self, budget: Budget | None = None) -> None:
+        """Called by the daemon right before a worker runs a query."""
+        if self._take("worker_errors"):
+            raise InjectedFault("injected worker failure")
+
+    def on_analysis(self, budget: Budget | None = None) -> None:
+        """Called by the cache on a miss, before the real pipeline."""
+        delay = self.analysis_delay_s
+        if delay <= 0:
+            return
+        if budget is None:
+            budget = Budget()
+        budget.sleep(delay)
+
+    def torn_write(self) -> bool:
+        """Should the next disk save be torn?  (Consumes one unit.)"""
+        return self._take("torn_writes")
+
+    def drop_connection(self) -> bool:
+        """Should this TCP response be dropped?  (Consumes one unit.)"""
+        return self._take("connection_drops")

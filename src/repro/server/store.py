@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any
 
 from repro import AnalyzedProgram, __version__
+from repro.server.faults import FaultPlan
 
 FORMAT_VERSION = 1
 
@@ -38,6 +39,7 @@ class StoreStats:
     discarded: int = 0
     saves: int = 0
     save_errors: int = 0
+    evicted: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -46,15 +48,24 @@ class StoreStats:
             "discarded": self.discarded,
             "saves": self.saves,
             "save_errors": self.save_errors,
+            "evicted": self.evicted,
         }
 
 
 @dataclass
 class DiskStore:
-    """Content-addressed pickle store under one root directory."""
+    """Content-addressed pickle store under one root directory.
+
+    ``max_bytes`` gives the store a size budget: after every save the
+    store prunes oldest-mtime artifacts until it fits (see
+    :meth:`prune`).  ``fault_plan`` is the test-only failure hook — see
+    :mod:`repro.server.faults`.
+    """
 
     root: Path
     stats: StoreStats = field(default_factory=StoreStats)
+    max_bytes: int | None = None
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -105,6 +116,15 @@ class DiskStore:
             "key": key,
             "payload": analyzed,
         }
+        if self.fault_plan is not None and self.fault_plan.torn_write():
+            # Injected fault: a truncated blob lands at the *final* path,
+            # as if the process died mid-write with no atomic replace.
+            # load() must discard it and the pipeline must recompute.
+            path.parent.mkdir(parents=True, exist_ok=True)
+            blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+            path.write_bytes(blob[: max(1, len(blob) // 3)])
+            self.stats.saves += 1
+            return
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as handle:
@@ -115,3 +135,34 @@ class DiskStore:
             self.stats.save_errors += 1
             logger.warning("store save failed for %s: %s", path, exc)
             tmp.unlink(missing_ok=True)
+            return
+        if self.max_bytes is not None:
+            self.prune(self.max_bytes)
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict oldest-mtime artifacts until the store fits ``max_bytes``.
+
+        Returns the total size (bytes) remaining.  Eviction order is
+        modification time, so the most recently saved artifacts survive;
+        a concurrently vanished file is skipped, never fatal.
+        """
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                info = path.stat()
+            except OSError:
+                continue
+            entries.append((info.st_mtime, info.st_size, path))
+            total += info.st_size
+        entries.sort()
+        for _mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.stats.evicted += 1
+        return total

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 
+from repro.budget import Budget
 from repro.frontend import CompiledProgram
 from repro.ir import instructions as ins
 from repro.sdg.nodes import EdgeKind, ParamNode, SDGNode, StmtNode
@@ -60,11 +61,13 @@ class TabulationSlicer:
         sdg: SDG,
         same_level: frozenset[EdgeKind] = TRADITIONAL_SAME_LEVEL,
         max_path_edges: int | None = None,
+        budget: Budget | None = None,
     ) -> None:
         self.compiled = compiled
         self.sdg = sdg
         self.same_level = same_level
         self.max_path_edges = max_path_edges
+        self.budget = budget
         self.summaries: dict[SDGNode, set[SDGNode]] = defaultdict(set)
         self.path_edge_count = 0
         self._summaries_ready = False
@@ -132,7 +135,10 @@ class TabulationSlicer:
                 self._propagate(formal_out, formal_out)
 
         worklist = self._worklist
+        budget = self.budget
         while worklist:
+            if budget is not None:
+                budget.poll()
             node, formal_out = worklist.popleft()
             if isinstance(node, ParamNode) and node.role == "formal_in":
                 for actual_in, kind in self.sdg.dependencies(node):

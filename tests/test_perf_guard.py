@@ -21,6 +21,7 @@ from repro.suite.loader import load_source
 from repro.suite.synthetic import generate_layered_program
 
 
+@pytest.mark.perf
 def test_whole_suite_analysis_under_budget():
     start = time.perf_counter()
     for name in SUITE_PROGRAMS:
@@ -31,6 +32,7 @@ def test_whole_suite_analysis_under_budget():
     assert elapsed < 30, f"suite analysis took {elapsed:.1f}s (typical ~2s)"
 
 
+@pytest.mark.perf
 def test_synthetic_program_analysis_under_budget():
     source = generate_layered_program(12, 6)  # ~2.8k SDG statements
     start = time.perf_counter()
@@ -41,6 +43,7 @@ def test_synthetic_program_analysis_under_budget():
     assert elapsed < 15, f"synthetic analysis took {elapsed:.1f}s (typical ~0.5s)"
 
 
+@pytest.mark.perf
 def test_warm_cached_query_10x_faster_than_cold(tmp_path):
     """A cache hit must skip the pipeline: ≥10x faster than first analysis.
 
@@ -94,6 +97,7 @@ COLD_ENVELOPE_MS = {
 }
 
 
+@pytest.mark.perf
 @pytest.mark.parametrize("name", sorted(COLD_ENVELOPE_MS))
 def test_cold_analysis_envelope(name):
     from repro import analyze
@@ -108,6 +112,7 @@ def test_cold_analysis_envelope(name):
     )
 
 
+@pytest.mark.perf
 def test_thousand_slices_under_budget():
     compiled = compile_source(
         load_source("minijavac"), "minijavac", include_stdlib=True

@@ -146,6 +146,36 @@ class TestDispatch:
         )
         assert response["error"]["type"] == "BadParams"
 
+    def test_bad_context_param(self, server):
+        line = seed_line("figure2", "seed")
+        for bad in ("two", 1.5, True, None):
+            response = rpc(
+                server, "slice", program="figure2", line=line, context=bad
+            )
+            assert response["error"]["type"] == "BadParams", bad
+            assert "context" in response["error"]["message"]
+
+    def test_bad_deadline_param(self, server):
+        line = seed_line("figure2", "seed")
+        for bad in ("soon", 0, -1, True):
+            response = rpc(
+                server, "slice", program="figure2", line=line, deadline=bad
+            )
+            assert response["error"]["type"] == "BadParams", bad
+
+    def test_health(self, server):
+        response = rpc(server, "health")
+        result = response["result"]
+        assert result["healthy"] is True
+        assert result["workers"] >= 1
+        assert result["busy"] == 0 and result["queued"] == 0
+        assert result["shed_total"] == 0
+
+    def test_service_stats_block(self, server):
+        stats = rpc(server, "stats")["result"]["service"]
+        assert stats["workers"] >= 1
+        assert "shed_total" in stats and "cancelled_total" in stats
+
     def test_compile_error_is_isolated(self, server):
         response = rpc(server, "slice", source="class {", line=1)
         assert response["ok"] is False
@@ -175,6 +205,40 @@ class TestDispatch:
             assert instance.shutting_down
         finally:
             instance.close()
+
+
+class TestLineCap:
+    def test_oversized_line_rejected(self, server, monkeypatch):
+        import repro.server.daemon as daemon_mod
+
+        monkeypatch.setattr(daemon_mod, "MAX_LINE_BYTES", 1024)
+        response = json.loads(server.handle_line("x" * 2048))
+        assert response["ok"] is False
+        assert response["error"]["type"] == "Protocol"
+        assert "1024" in response["error"]["message"]
+        # Normal-sized traffic still works.
+        assert rpc(server, "ping")["ok"]
+
+    def test_stdio_loop_recovers_after_oversized_line(self, monkeypatch):
+        import repro.server.daemon as daemon_mod
+
+        monkeypatch.setattr(daemon_mod, "MAX_LINE_BYTES", 1024)
+        huge = "y" * 5000
+        requests = "\n".join(
+            [
+                huge,
+                json.dumps({"id": 1, "method": "ping", "params": {}}),
+                json.dumps({"id": 2, "method": "shutdown", "params": {}}),
+            ]
+        )
+        out = io.StringIO()
+        serve_stdio(SliceServer(AnalysisCache()), io.StringIO(requests), out)
+        responses = [json.loads(l) for l in out.getvalue().splitlines()]
+        # Oversized line answered with a Protocol error, then framing
+        # recovers: the ping and shutdown still get their responses.
+        assert responses[0]["error"]["type"] == "Protocol"
+        assert [r["id"] for r in responses[1:]] == [1, 2]
+        assert responses[1]["result"]["pong"] is True
 
 
 class TestStdio:
@@ -256,3 +320,19 @@ class TestSpawn:
             assert stats["sdg_statements"] > 0
             assert stats["origin"] == "memory"
             client.shutdown()
+
+    def test_dead_child_raises_structured_disconnect(self, tmp_path):
+        client = SliceClient.spawn(
+            extra_args=["--no-disk-cache", "--quiet"]
+        )
+        try:
+            assert client.ping()["pong"]
+            client.shutdown()
+            client.process.wait(timeout=10)
+            # Writing to the dead child must surface as a structured
+            # ServerError("Disconnected"), never a raw BrokenPipeError.
+            with pytest.raises(ServerError) as err:
+                client.ping()
+            assert err.value.error_type == "Disconnected"
+        finally:
+            client.close()

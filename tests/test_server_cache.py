@@ -164,3 +164,57 @@ class TestDiskTier:
         _, origin = cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
         assert origin == "analyzed"
         assert store.stats.save_errors == 1
+
+
+class TestPrune:
+    @staticmethod
+    def _fill(store, analyzed, count):
+        """Save one artifact under ``count`` distinct keys with strictly
+        increasing mtimes (so eviction order is deterministic)."""
+        import os
+
+        keys = [f"{i:02x}" + "0" * 62 for i in range(count)]
+        for i, key in enumerate(keys):
+            store.save(key, analyzed)
+            path = store.path_for(key)
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        return keys
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        store = DiskStore(tmp_path)
+        analyzed, _ = AnalysisCache(store=None).get_or_analyze(
+            SMALL, "a.mj", OPTIONS
+        )
+        keys = self._fill(store, analyzed, 4)
+        blob_size = store.path_for(keys[0]).stat().st_size
+        remaining = store.prune(2 * blob_size)
+        assert remaining <= 2 * blob_size
+        assert store.stats.evicted == 2
+        assert not store.path_for(keys[0]).exists()
+        assert not store.path_for(keys[1]).exists()
+        assert store.path_for(keys[2]).exists()
+        assert store.path_for(keys[3]).exists()
+
+    def test_prune_noop_under_budget(self, tmp_path):
+        store = DiskStore(tmp_path)
+        analyzed, _ = AnalysisCache(store=None).get_or_analyze(
+            SMALL, "a.mj", OPTIONS
+        )
+        self._fill(store, analyzed, 2)
+        store.prune(10**12)
+        assert store.stats.evicted == 0
+
+    def test_save_enforces_size_budget(self, tmp_path):
+        probe = DiskStore(tmp_path / "probe")
+        analyzed, _ = AnalysisCache(store=None).get_or_analyze(
+            SMALL, "a.mj", OPTIONS
+        )
+        probe.save("0" * 64, analyzed)
+        blob_size = probe.path_for("0" * 64).stat().st_size
+
+        store = DiskStore(tmp_path / "store", max_bytes=2 * blob_size)
+        self._fill(store, analyzed, 5)
+        kept = list((tmp_path / "store").glob("*/*.pkl"))
+        assert len(kept) <= 2
+        assert store.stats.evicted >= 3
+        assert store.stats.saves == 5

@@ -1,0 +1,141 @@
+"""Concurrency hammer: many clients, one daemon, no lost responses.
+
+Eight threads each open their own TCP connection and fire a mixed
+workload — warm slices, cold slices (unique sources), malformed
+requests, and requests with hopeless deadlines.  Every request must get
+exactly its own response (the client verifies id matching on every
+reply), and afterwards the daemon's counters must account for every
+request exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.lang.source import marker_line
+from repro.server.cache import AnalysisCache
+from repro.server.client import ServerError, SliceClient
+from repro.server.daemon import SliceServer, start_tcp_server
+from repro.suite.loader import load_source
+
+SOURCE = load_source("figure2")
+SEED_LINE = marker_line(SOURCE, "tag", "seed")
+
+THREADS = 8
+ROUNDS = 3
+#: Requests per thread per round: warm slice, bad params, cold slice
+#: with an impossible deadline (times out), warm slice again.
+REQUESTS_PER_ROUND = 4
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    server = SliceServer(AnalysisCache(capacity=4), workers=4, max_queue=64)
+    tcp_server, _thread = start_tcp_server(server)
+    host, port = tcp_server.server_address[:2]
+    yield server, host, port
+    tcp_server.shutdown()
+    tcp_server.server_close()
+    server.close()
+
+
+def hammer(host: str, port: int, worker_id: int, failures: list):
+    try:
+        with SliceClient.connect(host, port, retries=3) as client:
+            for round_no in range(ROUNDS):
+                # Warm query: everyone shares one cached analysis.
+                result = client.slice_program("figure2", SEED_LINE)
+                if result["line_count"] <= 0:
+                    raise AssertionError("empty slice from warm query")
+
+                # Malformed request: must be a structured error, and
+                # must not poison the connection for what follows.
+                try:
+                    client.request("slice", program="figure2", line="x")
+                    raise AssertionError("BadParams did not raise")
+                except ServerError as exc:
+                    if exc.error_type != "BadParams":
+                        raise
+
+                # Cold analysis (unique source per thread+round) with a
+                # hopeless deadline: a structured Timeout, not a hang.
+                unique = f"{SOURCE}// w{worker_id} r{round_no}\n"
+                try:
+                    client.slice(
+                        unique, SEED_LINE, deadline=0.001, retries=0
+                    )
+                except ServerError as exc:
+                    if exc.error_type not in ("Timeout", "Cancelled"):
+                        raise
+                else:
+                    # A fast machine may finish inside the deadline —
+                    # success is acceptable, losing the response is not.
+                    pass
+
+                # The connection still works after error traffic.
+                result = client.slice_program("figure2", SEED_LINE)
+                if result["line_count"] <= 0:
+                    raise AssertionError("empty slice after error traffic")
+    except Exception as exc:  # noqa: BLE001 — collected for the main thread
+        failures.append((worker_id, repr(exc)))
+
+
+def test_hammer_no_lost_responses(daemon):
+    server, host, port = daemon
+    failures: list = []
+    threads = [
+        threading.Thread(
+            target=hammer, args=(host, port, i, failures), daemon=True
+        )
+        for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "hammer thread hung"
+    assert not failures, f"worker failures: {failures}"
+
+    stats = server.server_stats()
+    expected = THREADS * ROUNDS * REQUESTS_PER_ROUND
+    assert stats["requests_total"] == expected
+    assert stats["methods"]["slice"]["count"] == expected
+    # Every malformed request is an error; every deadline miss a timeout.
+    assert stats["methods"]["slice"]["errors"] >= THREADS * ROUNDS
+    # Cancelled workers from timed-out requests unwind cooperatively;
+    # give them a beat, then nothing may remain in flight.
+    deadline = time.monotonic() + 2.0
+    while time.monotonic() < deadline:
+        stats = server.server_stats()
+        if not stats["service"]["busy"] and not stats["service"]["queued"]:
+            break
+        time.sleep(0.02)
+    assert stats["service"]["busy"] == 0
+    assert stats["service"]["queued"] == 0
+
+
+def test_health_under_load(daemon):
+    """health answers promptly even while slices are running."""
+    _server, host, port = daemon
+    stop = threading.Event()
+
+    def churn():
+        with SliceClient.connect(host, port) as client:
+            while not stop.is_set():
+                client.slice_program("figure2", SEED_LINE)
+
+    thread = threading.Thread(target=churn, daemon=True)
+    thread.start()
+    try:
+        with SliceClient.connect(host, port) as client:
+            for _ in range(20):
+                health = client.health()
+                assert health["healthy"] is True
+                assert 0 <= health["busy"] <= health["workers"]
+    finally:
+        stop.set()
+        thread.join(timeout=10)
+    assert not thread.is_alive()
