@@ -1,0 +1,175 @@
+"""Multi-core executor trajectory: thread vs process cold throughput.
+
+For each worker count the same batch of *cold* analyses (salted sources,
+so every task pays the full pipeline) runs two ways:
+
+* **thread** — N daemon-style threads calling ``repro.analyze``
+  directly; the GIL serializes them, so N threads ≈ 1x;
+* **process** — the same N-wide fan-out dispatching to a warmed
+  :class:`repro.parallel.ProcessPool`, which is what the daemon's
+  ``--executor process`` mode does on a cold cache miss.
+
+Also measures the batched-RPC win: one ``slice_batch`` round trip for
+many seeds vs the same seeds as individual ``slice`` requests.
+
+Emits a human table (``results/parallel.txt``) and a machine-readable
+trajectory point (``results/BENCH_parallel.json``).  The ≥1.8x
+acceptance threshold at 4 workers is asserted only when the machine has
+4+ cores (``thresholds_enforced`` records the decision); the measured
+JSON is emitted either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from _util import emit, format_table
+from repro import analyze
+from repro.lang.source import marker_line
+from repro.parallel import ProcessPool, analyze_artifact
+from repro.server.cache import AnalysisCache
+from repro.server.daemon import SliceServer
+from repro.suite.loader import load_source
+
+PROGRAM = "minixml"
+WORKER_COUNTS = [1, 2, 4]
+TASKS_PER_WORKER = 2
+BATCH_SEEDS = 32
+
+
+def _salted(base: str, index: int) -> str:
+    return f"{base}\n// parallel-bench salt {index}\n"
+
+
+def _thread_cold_s(base: str, workers: int, tasks: int) -> float:
+    with ThreadPoolExecutor(max_workers=workers) as fan:
+        start = time.perf_counter()
+        list(
+            fan.map(
+                lambda i: analyze(_salted(base, i), f"salt{i}.mj"),
+                range(tasks),
+            )
+        )
+        return time.perf_counter() - start
+
+
+def _process_cold_s(base: str, workers: int, tasks: int) -> float:
+    with ProcessPool(workers=workers) as pool:
+        pool.prestart(wait=True)
+        with ThreadPoolExecutor(max_workers=workers) as fan:
+            # First task per worker pays the package import — a cost a
+            # long-lived daemon pays once, so it is excluded here.
+            list(
+                fan.map(
+                    lambda i: pool.run(
+                        analyze_artifact, _salted(base, 10_000 + i), "warm.mj"
+                    ),
+                    range(workers),
+                )
+            )
+            start = time.perf_counter()
+            list(
+                fan.map(
+                    lambda i: pool.run(
+                        analyze_artifact, _salted(base, i), f"salt{i}.mj"
+                    ),
+                    range(tasks),
+                )
+            )
+            return time.perf_counter() - start
+
+
+def _rpc(server: SliceServer, method: str, **params):
+    line = json.dumps({"id": 1, "method": method, "params": params})
+    response = json.loads(server.handle_line(line))
+    assert response["ok"], response
+    return response["result"]
+
+
+def _batch_vs_sequential_ms() -> dict[str, float]:
+    """Warm-cache RPC cost: one slice_batch vs BATCH_SEEDS single slices."""
+    source = load_source(PROGRAM)
+    seed = marker_line(source, "tag", "printrender")
+    seeds = [seed] * BATCH_SEEDS
+    server = SliceServer(AnalysisCache())
+    try:
+        _rpc(server, "slice", program=PROGRAM, line=seed)  # warm the cache
+        start = time.perf_counter()
+        for line in seeds:
+            _rpc(server, "slice", program=PROGRAM, line=line)
+        sequential_ms = (time.perf_counter() - start) * 1000
+        start = time.perf_counter()
+        batch = _rpc(server, "slice_batch", program=PROGRAM, lines=seeds)
+        batch_ms = (time.perf_counter() - start) * 1000
+        assert batch["count"] == BATCH_SEEDS
+        assert batch["distinct_programs"] == 1
+    finally:
+        server.close()
+    return {
+        "seeds": BATCH_SEEDS,
+        "sequential_ms": round(sequential_ms, 3),
+        "batch_ms": round(batch_ms, 3),
+        "speedup": round(sequential_ms / batch_ms, 2),
+    }
+
+
+def test_parallel_trajectory(results_dir):
+    cpu_count = os.cpu_count() or 1
+    base = load_source(PROGRAM)
+
+    rows = []
+    by_workers = {}
+    for workers in WORKER_COUNTS:
+        tasks = workers * TASKS_PER_WORKER
+        thread_s = _thread_cold_s(base, workers, tasks)
+        process_s = _process_cold_s(base, workers, tasks)
+        speedup = thread_s / process_s
+        by_workers[str(workers)] = {
+            "tasks": tasks,
+            "thread_s": round(thread_s, 3),
+            "process_s": round(process_s, 3),
+            "thread_per_s": round(tasks / thread_s, 2),
+            "process_per_s": round(tasks / process_s, 2),
+            "speedup": round(speedup, 2),
+        }
+        rows.append(
+            [
+                str(workers),
+                str(tasks),
+                f"{tasks / thread_s:.1f}/s",
+                f"{tasks / process_s:.1f}/s",
+                f"{speedup:.2f}x",
+            ]
+        )
+
+    batch = _batch_vs_sequential_ms()
+    thresholds_enforced = cpu_count >= 4
+    payload = {
+        "benchmark": "parallel",
+        "program": PROGRAM,
+        "cpu_count": cpu_count,
+        "thresholds_enforced": thresholds_enforced,
+        "cold_throughput": by_workers,
+        "slice_batch": batch,
+    }
+    table = format_table(
+        ["workers", "tasks", "thread", "process", "speedup"], rows
+    )
+    table += (
+        f"\nslice_batch: {batch['seeds']} seeds in {batch['batch_ms']:.1f}ms "
+        f"vs {batch['sequential_ms']:.1f}ms sequential "
+        f"({batch['speedup']:.2f}x)\n"
+        f"cpu_count={cpu_count} thresholds_enforced={thresholds_enforced}\n"
+    )
+    emit(results_dir, "parallel.txt", table)
+    (results_dir / "BENCH_parallel.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    if thresholds_enforced:
+        # Acceptance: 4 process workers deliver ≥1.8x the cold
+        # throughput of 4 GIL-bound threads.
+        assert by_workers["4"]["speedup"] >= 1.8, by_workers["4"]

@@ -11,13 +11,23 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
-from repro.analysis.heapmodel import AbstractObject
+from repro.analysis.heapmodel import AbstractObject, _CachedHash, _nil
 
 
 @dataclass(frozen=True)
-class MethodInstance:
+class MethodInstance(_CachedHash):
     function: str
     context: AbstractObject | None = None
+
+    __hash_fields__ = ("function", "context")
+
+    def __hash__(self) -> int:  # specialized _CachedHash: no getattr loop
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.function, _nil(self.context)))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __str__(self) -> str:
         if self.context is None:

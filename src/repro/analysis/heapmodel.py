@@ -20,6 +20,19 @@ ARRAY_FIELD = "[]"
 STRING_SITE = -1
 ARGS_ARRAY_SITE = -2
 
+#: Stands in for ``None`` inside hashed field tuples.  ``hash(None)`` is
+#: address-derived on Python < 3.12 and ASLR re-randomizes it per
+#: process even under ``PYTHONHASHSEED=0``; letting it into these hashes
+#: would make set/frozenset layout — and therefore pickled artifact
+#: bytes — differ between worker processes, breaking the byte-stable
+#: artifacts the serialize-once store path relies on.  ``hash(())`` is a
+#: pure algorithmic constant, stable everywhere.
+_NIL = ()
+
+
+def _nil(value):
+    return _NIL if value is None else value
+
 
 class _CachedHash:
     """Mixin: lazily computed, cached ``__hash__`` for frozen dataclasses.
@@ -38,7 +51,9 @@ class _CachedHash:
             return self._hash
         except AttributeError:
             value = hash(
-                tuple(getattr(self, name) for name in self.__hash_fields__)
+                tuple(
+                    _nil(getattr(self, name)) for name in self.__hash_fields__
+                )
             )
             object.__setattr__(self, "_hash", value)
             return value
@@ -70,7 +85,9 @@ class AbstractObject(_CachedHash):
         try:
             return self._hash
         except AttributeError:
-            value = hash((self.site, self.class_name, self.kind, self.context, self.label))
+            value = hash(
+                (self.site, self.class_name, self.kind, _nil(self.context), self.label)
+            )
             object.__setattr__(self, "_hash", value)
             return value
 
@@ -147,7 +164,7 @@ class VarKey(_CachedHash):
         try:
             return self._hash
         except AttributeError:
-            value = hash((self.function, self.var, self.context))
+            value = hash((self.function, self.var, _nil(self.context)))
             object.__setattr__(self, "_hash", value)
             return value
 
@@ -206,7 +223,7 @@ class RetKey(_CachedHash):
         try:
             return self._hash
         except AttributeError:
-            value = hash((self.function, self.context))
+            value = hash((self.function, _nil(self.context)))
             object.__setattr__(self, "_hash", value)
             return value
 

@@ -2,8 +2,8 @@
 
 Subcommands::
 
-    slice FILE --line N [--traditional] [--no-stdlib] [--context N]
-               [--deadline S]
+    slice FILE --line N [--line M ...] [--batch-file F] [--traditional]
+               [--no-stdlib] [--context N] [--deadline S]
     run FILE [ARG ...]
     explain FILE --line N            # control explainers for a line
     why FILE --source N --sink M     # producer path between two lines
@@ -109,25 +109,75 @@ def _print_timings(timings: dict[str, Any] | None) -> None:
 # ----------------------------------------------------------------------
 
 
+def _read_batch_lines(path: str) -> list[int]:
+    """Seed lines from a batch file: one integer per line, ``#`` comments."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        raise SystemExit(f"error: cannot read {path!r}: {reason}") from None
+    seeds: list[int] = []
+    for number, raw in enumerate(text.splitlines(), 1):
+        stripped = raw.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        try:
+            seeds.append(int(stripped))
+        except ValueError:
+            raise SystemExit(
+                f"error: {path}:{number}: not an integer seed line: {raw!r}"
+            ) from None
+    return seeds
+
+
+def _render_slice_text(payload: dict[str, Any], name: str, line: int) -> int:
+    """Print one seed's slice block (the single text formatter every
+    path — local, server, batch — routes through).  Returns exit code."""
+    if not payload["seed_count"]:
+        print(f"no statements found at {name}:{line}", file=sys.stderr)
+        return 1
+    print(f"{payload['flavor']} slice from {name}:{line} "
+          f"({payload['line_count']} lines):\n")
+    print(payload["source_view"])
+    return 0
+
+
 def _cmd_slice(args: argparse.Namespace) -> int:
-    from repro.server.protocol import slice_payload
+    from repro.server.protocol import slice_batch_payload, slice_payload
 
     source, name = _read_program(args.file)
     flavor = "traditional" if args.traditional else "thin"
     if args.deadline is not None and args.deadline <= 0:
         raise SystemExit("error: --deadline must be positive")
+    seeds = list(args.line or [])
+    if args.batch_file:
+        seeds.extend(_read_batch_lines(args.batch_file))
+    if not seeds:
+        raise SystemExit(
+            "error: need at least one seed (--line N, repeatable, "
+            "or --batch-file FILE)"
+        )
+    analyzed = None
+    distinct_programs = 1
     if args.server:
-        payload = _server_request(
-            args.server,
-            "slice",
+        common = dict(
             source=source,
             filename=name,
-            line=args.line,
             flavor=flavor,
             context=args.context,
             include_stdlib=not args.no_stdlib,
             deadline=args.deadline,
         )
+        if len(seeds) == 1:
+            payloads = [
+                _server_request(args.server, "slice", line=seeds[0], **common)
+            ]
+        else:
+            batch = _server_request(
+                args.server, "slice_batch", lines=seeds, **common
+            )
+            payloads = batch["results"]
+            distinct_programs = batch["distinct_programs"]
     else:
         from repro import AnalyzeOptions, Budget, BudgetExceeded
 
@@ -146,32 +196,40 @@ def _cmd_slice(args: argparse.Namespace) -> int:
                 f"error: analysis exceeded the {args.deadline:g}s deadline "
                 f"({exc})"
             ) from None
-        slicer = (
-            analyzed.traditional_slicer
-            if args.traditional
-            else analyzed.thin_slicer
-        )
-        result = slicer.slice_from_line(args.line)
-        payload = slice_payload(
-            result,
-            program=name,
-            line=args.line,
-            flavor=flavor,
-            context=args.context,
-        )
+        payloads = []
+        for line in seeds:
+            slicer = (
+                analyzed.traditional_slicer
+                if args.traditional
+                else analyzed.thin_slicer
+            )
+            result = slicer.slice_from_line(line)
+            payloads.append(
+                slice_payload(
+                    result,
+                    program=name,
+                    line=line,
+                    flavor=flavor,
+                    context=args.context,
+                )
+            )
     if args.timings:
         # Server-side analyses report timings via ``stats``, not per slice.
         _print_timings(None if args.server else analyzed.timings)
     if args.format == "json":
-        _print_json(payload)
-        return 0 if payload["seed_count"] else 1
-    if not payload["seed_count"]:
-        print(f"no statements found at {name}:{args.line}", file=sys.stderr)
-        return 1
-    print(f"{payload['flavor']} slice from {name}:{args.line} "
-          f"({payload['line_count']} lines):\n")
-    print(payload["source_view"])
-    return 0
+        if len(payloads) == 1:
+            _print_json(payloads[0])
+        else:
+            _print_json(
+                slice_batch_payload(
+                    payloads, distinct_programs=distinct_programs
+                )
+            )
+        return 0 if all(p["seed_count"] for p in payloads) else 1
+    status = 0
+    for payload, line in zip(payloads, seeds):
+        status |= _render_slice_text(payload, name, line)
+    return status
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -386,7 +444,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import logging
 
     from repro.server.cache import AnalysisCache
-    from repro.server.daemon import SliceServer, serve_stdio, serve_tcp
+    from repro.server.daemon import (
+        SliceServer,
+        default_executor,
+        serve_stdio,
+        serve_tcp,
+    )
     from repro.server.store import DiskStore
 
     server_logger = logging.getLogger("repro.server")
@@ -416,7 +479,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout=timeout,
         workers=args.workers,
         max_queue=args.max_queue,
+        executor=args.executor or default_executor(args.workers),
     )
+    server.prestart()
     if args.tcp:
         host, port = _parse_hostport(args.tcp)
         serve_tcp(server, host, port)
@@ -433,7 +498,17 @@ def main(argv: list[str] | None = None) -> int:
 
     p_slice = sub.add_parser("slice", help="compute a slice from a line")
     p_slice.add_argument("file")
-    p_slice.add_argument("--line", type=int, required=True)
+    p_slice.add_argument(
+        "--line",
+        type=int,
+        action="append",
+        help="seed line; repeat for a batch (one analysis, many slices)",
+    )
+    p_slice.add_argument(
+        "--batch-file",
+        metavar="FILE",
+        help="file of seed lines (one integer per line, # comments)",
+    )
     p_slice.add_argument("--traditional", action="store_true")
     p_slice.add_argument("--no-stdlib", action="store_true")
     p_slice.add_argument("--context", type=int, default=0)
@@ -531,6 +606,13 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=4,
         help="analysis worker threads (default: 4)",
+    )
+    p_serve.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default=None,
+        help="where cold analyses run: worker threads (GIL-bound) or "
+        "worker processes (true multi-core; default when --workers > 1)",
     )
     p_serve.add_argument(
         "--max-queue",

@@ -27,6 +27,19 @@ def _fresh_id() -> int:
     return next(_instruction_ids)
 
 
+def reset_instruction_uids(start: int = 0) -> None:
+    """Rewind the global uid counter so the next program starts at ``start``.
+
+    Uids order and hash the instructions of *live* programs, so this is
+    only safe when no previously compiled program will ever be touched
+    again by the caller — in practice: in a single-analysis-at-a-time
+    worker process (see :mod:`repro.parallel`), where it makes pickled
+    artifacts deterministic.  Never call it in a threaded server parent.
+    """
+    global _instruction_ids
+    _instruction_ids = itertools.count(start)
+
+
 @dataclass
 class Instruction:
     """Base class for IR instructions.

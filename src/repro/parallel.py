@@ -1,0 +1,508 @@
+"""Multi-core execution: a spawn-safe, warm-reusable process pool.
+
+The daemon's worker threads serialize CPU-bound analysis under the GIL,
+so N threads on N cores deliver ~1x cold throughput.  This module moves
+the analysis itself into worker *processes* while keeping the serving
+logic (admission, cancellation, counters) in the parent's threads:
+
+* **Spawn-safe** — workers are started with the ``spawn`` context, so a
+  heavily threaded daemon never forks a copy of its own locks.  Workers
+  are warm: each survives across tasks, keeping the imported package
+  and the frontend's stdlib caches, so only the first task per worker
+  pays start-up cost.
+* **Per-task deadline enforcement** — a :class:`repro.budget.Budget`
+  cannot be polled across a process boundary, so the parent enforces it
+  from outside: the thread waiting on a worker polls the budget between
+  pipe reads and, when it expires (deadline or cross-thread cancel),
+  **kills the worker process** and respawns a replacement in the
+  background.  The waiting thread unwinds with the usual
+  :class:`~repro.budget.BudgetExceeded`, so the daemon's cancellation
+  accounting is identical across executors.
+* **Structured error transport** — a task that raises inside a worker
+  comes back as :class:`WorkerError` carrying the original exception's
+  type name, message, and traceback text; a worker that dies (crash,
+  OOM-kill, injected fault) surfaces as :class:`WorkerCrashed`.  Raw
+  pickled exception objects never cross the boundary.
+
+**Canonical artifacts.**  Workers run with ``PYTHONHASHSEED`` pinned
+(see :data:`DEFAULT_CHILD_ENV`), and the :func:`analyze_artifact` task
+resets the global instruction-uid counter before each analysis and
+strips run timings before pickling.  Under those conditions the pickled
+:class:`~repro.AnalyzedProgram` bytes are a pure function of
+``(source, options, package version)`` — byte-identical across workers,
+restarts, and machines — which is what lets the serialize-once path
+store worker bytes directly into the content-addressed disk store.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import pickle
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.budget import Budget, BudgetExceeded
+
+#: Environment pinned into every worker at spawn time.  A fixed hash
+#: seed makes str-keyed set iteration — and therefore artifact pickle
+#: bytes — deterministic across worker processes.
+DEFAULT_CHILD_ENV = {"PYTHONHASHSEED": "0"}
+
+#: How long to wait for a freshly spawned worker's ready handshake.
+SPAWN_TIMEOUT_S = 120.0
+
+#: Poll interval while waiting on a busy worker (budget checks and
+#: crash detection happen at this cadence).
+_WAIT_SLICE_S = 0.05
+
+#: Exit code used by the injected ``worker_process_crash`` fault, so a
+#: drill-induced death is recognizable in logs.
+CRASH_EXIT_CODE = 23
+
+#: Serializes the os.environ mutation around Process.start(): the
+#: ``spawn`` context passes the *current* environment to the child, so
+#: the pinned child env must be installed exactly for the duration of
+#: the start call.
+_SPAWN_ENV_LOCK = threading.Lock()
+
+
+class WorkerError(RuntimeError):
+    """A task failed inside a worker; the original error, transported.
+
+    ``error_type`` is the remote exception's class name (``MJSyntaxError``,
+    ``ValueError``, ...), so the daemon can answer with exactly the same
+    structured error type an in-process analysis would have produced.
+    """
+
+    def __init__(
+        self, error_type: str, message: str, traceback_text: str = ""
+    ) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message
+        self.traceback_text = traceback_text
+
+
+class WorkerCrashed(WorkerError):
+    """A worker process died mid-task (crash, kill, injected fault)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("WorkerCrashed", message)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _worker_main(conn: multiprocessing.connection.Connection) -> None:
+    """Task loop of one worker process: recv task, run, send result.
+
+    Failures are transported as ``("error", {...})`` payloads; only a
+    process death (never an exception) leaves the loop without a
+    response, and the parent detects that as EOF on the pipe.
+    """
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:  # graceful shutdown sentinel
+            break
+        fn, args, kwargs = task
+        try:
+            result = fn(*args, **kwargs)
+        except Exception as exc:
+            payload = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            }
+            try:
+                conn.send(("error", payload))
+            except (OSError, ValueError):
+                break
+        else:
+            try:
+                conn.send(("ok", result))
+            except (OSError, ValueError):
+                break
+    conn.close()
+
+
+def analyze_artifact(
+    source: str,
+    filename: str = "<input>",
+    options: Any = None,
+    *,
+    inject_delay_s: float = 0.0,
+    inject_crash: bool = False,
+) -> tuple[bytes, dict | None]:
+    """Pool task: one cold analysis, returned as canonical pickled bytes.
+
+    Returns ``(payload, timings)`` where ``payload`` is the
+    :func:`artifact_payload` bytes (deterministic — see module
+    docstring) and ``timings`` is the run's stage profile, shipped
+    separately because wall times are per-run observability data, not
+    artifact content.
+
+    ``inject_delay_s`` / ``inject_crash`` are the process-level fault
+    dials (see :class:`repro.server.faults.FaultPlan`): the delay is a
+    plain *non-cooperative* sleep — only a parent-side kill can end it
+    early — and the crash exits the process without a response.
+    """
+    if inject_delay_s > 0:
+        time.sleep(inject_delay_s)
+    if inject_crash:
+        os._exit(CRASH_EXIT_CODE)
+    from repro import AnalyzeOptions, analyze
+    from repro.ir.instructions import reset_instruction_uids
+
+    # One analysis per task and no surviving instructions between tasks,
+    # so rewinding the uid counter is safe here (and only here): it is
+    # what makes the pickled bytes deterministic.
+    reset_instruction_uids()
+    # The frontend's stdlib AST cache bakes the filename string into
+    # positions it reuses across analyses.  Each task unpickles a fresh
+    # filename object, so without interning a warm worker would mix
+    # last task's string into this task's graph and the pickle's memo
+    # topology (hence its bytes) would differ from a cold run.
+    filename = sys.intern(filename)
+    analyzed = analyze(source, filename, options=options or AnalyzeOptions())
+    return artifact_payload(analyzed), analyzed.timings
+
+
+def artifact_payload(analyzed: Any) -> bytes:
+    """Canonical pickle of an :class:`~repro.AnalyzedProgram`.
+
+    Run timings are stripped — they vary per run and would defeat
+    byte-stable artifacts; the request-scoped budget was already
+    stripped by :func:`repro.analyze`.
+    """
+    return pickle.dumps(
+        replace(analyzed, timings=None), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def load_artifact(payload: bytes) -> Any:
+    """Inverse of :func:`artifact_payload` (one unpickle, no copies)."""
+    return pickle.loads(payload)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    process: Any
+    conn: multiprocessing.connection.Connection
+    pid: int
+    tasks_done: int = 0
+
+
+@dataclass
+class PoolStats:
+    """Monotonic counters; read via :meth:`ProcessPool.stats`."""
+
+    spawned_total: int = 0
+    respawns: int = 0
+    crashes: int = 0
+    kills: int = 0
+    tasks_total: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "spawned_total": self.spawned_total,
+            "respawns": self.respawns,
+            "crashes": self.crashes,
+            "kills": self.kills,
+            "tasks_total": self.tasks_total,
+        }
+
+
+class ProcessPool:
+    """A warm pool of spawn-context worker processes.
+
+    Tasks are module-level callables plus picklable arguments.
+    :meth:`run` is synchronous and budget-aware: the calling thread
+    owns one worker for the duration of the task and enforces the
+    budget from outside the process (kill + background respawn).
+
+    Workers are spawned lazily by default — a pool that never sees a
+    cold analysis never pays a spawn — and kept warm afterwards; call
+    :meth:`prestart` to pay all spawn costs up front (the daemon does
+    this at boot).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        child_env: dict[str, str] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.child_env = (
+            dict(DEFAULT_CHILD_ENV) if child_env is None else dict(child_env)
+        )
+        self._ctx = multiprocessing.get_context("spawn")
+        self._cond = threading.Condition()
+        self._idle: list[_Worker] = []
+        self._live = 0  # spawned or being spawned, including busy workers
+        self._closed = False
+        self.counters = PoolStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(self) -> _Worker:
+        """Start one worker (caller already reserved a ``_live`` slot)."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        # The spawn context re-runs the parent's __main__ in the child
+        # when it looks like a plain script.  A REPL/stdin parent has
+        # __file__ == "<stdin>" (no spec), which the child cannot
+        # re-run; hiding the phantom __file__ for the duration of
+        # start() makes spawn skip the main-module fixup entirely.
+        main_module = sys.modules.get("__main__")
+        phantom_main = (
+            main_module is not None
+            and getattr(main_module, "__spec__", None) is None
+            and hasattr(main_module, "__file__")
+            and not os.path.exists(getattr(main_module, "__file__", "") or "")
+        )
+        with _SPAWN_ENV_LOCK:
+            saved: dict[str, str | None] = {}
+            for key, value in self.child_env.items():
+                saved[key] = os.environ.get(key)
+                os.environ[key] = value
+            if phantom_main:
+                saved_file = main_module.__file__
+                del main_module.__file__
+            try:
+                process.start()
+            finally:
+                if phantom_main:
+                    main_module.__file__ = saved_file
+                for key, value in saved.items():
+                    if value is None:
+                        os.environ.pop(key, None)
+                    else:
+                        os.environ[key] = value
+        child_conn.close()
+        if not parent_conn.poll(SPAWN_TIMEOUT_S):
+            process.kill()
+            process.join(timeout=5)
+            parent_conn.close()
+            raise WorkerCrashed("worker failed its ready handshake")
+        status, pid = parent_conn.recv()
+        assert status == "ready", status
+        with self._cond:
+            self.counters.spawned_total += 1
+        return _Worker(process=process, conn=parent_conn, pid=pid)
+
+    def prestart(self, wait: bool = True) -> None:
+        """Spawn up to ``workers`` idle workers now instead of lazily."""
+        spawned: list[threading.Thread] = []
+        while True:
+            with self._cond:
+                if self._closed or self._live >= self.workers:
+                    break
+                self._live += 1
+            thread = threading.Thread(target=self._spawn_into_idle, daemon=True)
+            thread.start()
+            spawned.append(thread)
+        if wait:
+            for thread in spawned:
+                thread.join()
+
+    def _spawn_into_idle(self) -> None:
+        try:
+            worker = self._spawn_worker()
+        except Exception:
+            with self._cond:
+                self._live -= 1
+                self._cond.notify_all()
+            return
+        with self._cond:
+            if self._closed:
+                self._shutdown_worker(worker)
+                self._live -= 1
+            else:
+                self._idle.append(worker)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop every worker; busy ones are killed (shutdown semantics)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._cond.notify_all()
+        for worker in idle:
+            self._shutdown_worker(worker)
+
+    @staticmethod
+    def _shutdown_worker(worker: _Worker) -> None:
+        try:
+            worker.conn.send(None)
+        except (OSError, ValueError):
+            pass
+        worker.process.join(timeout=2)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=5)
+        worker.conn.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        /,
+        *args: Any,
+        budget: Budget | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn(*args, **kwargs)`` on a worker; block for the result.
+
+        While waiting, the budget is polled every ~50 ms; on expiry or
+        cross-thread cancellation the worker process is **killed**, a
+        replacement is respawned in the background, and
+        :class:`~repro.budget.BudgetExceeded` propagates exactly as a
+        cooperative in-process cancellation would.
+        """
+        worker = self._acquire(budget)
+        healthy = False
+        try:
+            try:
+                worker.conn.send((fn, args, kwargs))
+            except (OSError, ValueError):
+                self._discard(worker, crashed=True)
+                raise WorkerCrashed(
+                    f"worker pid {worker.pid} died between tasks"
+                ) from None
+            while True:
+                try:
+                    if worker.conn.poll(_WAIT_SLICE_S):
+                        status, payload = worker.conn.recv()
+                        worker.tasks_done += 1
+                        with self._cond:
+                            self.counters.tasks_total += 1
+                        if status == "ok":
+                            healthy = True
+                            return payload
+                        healthy = True
+                        raise WorkerError(
+                            payload["type"],
+                            payload["message"],
+                            payload.get("traceback", ""),
+                        )
+                except (EOFError, OSError):
+                    exit_code = self._discard(worker, crashed=True)
+                    raise WorkerCrashed(
+                        f"analysis worker pid {worker.pid} died mid-task "
+                        f"(exit code {exit_code})"
+                    ) from None
+                if budget is not None and budget.expired():
+                    self._discard(worker, crashed=False)
+                    budget.check()  # raises with the precise reason
+                    raise BudgetExceeded(  # pragma: no cover — check() raced
+                        "deadline", "budget expired while awaiting a worker"
+                    )
+        finally:
+            if healthy:
+                self._release(worker)
+
+    def _acquire(self, budget: Budget | None) -> _Worker:
+        """Claim an idle worker, spawning one if below capacity."""
+        while True:
+            with self._cond:
+                if self._closed:
+                    raise RuntimeError("pool is closed")
+                if self._idle:
+                    return self._idle.pop()
+                if self._live < self.workers:
+                    self._live += 1
+                    break
+                self._cond.wait(_WAIT_SLICE_S)
+            if budget is not None:
+                budget.check()
+        try:
+            return self._spawn_worker()
+        except BaseException:
+            with self._cond:
+                self._live -= 1
+                self._cond.notify_all()
+            raise
+
+    def _release(self, worker: _Worker) -> None:
+        with self._cond:
+            if self._closed:
+                pass  # fall through to shutdown outside the lock
+            else:
+                self._idle.append(worker)
+                self._cond.notify_all()
+                return
+        self._shutdown_worker(worker)
+
+    def _discard(self, worker: _Worker, crashed: bool) -> int | None:
+        """Kill a bad/overdue worker, free its slot, respawn in background."""
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5)
+        exit_code = worker.process.exitcode
+        worker.conn.close()
+        with self._cond:
+            self._live -= 1
+            if crashed:
+                self.counters.crashes += 1
+            else:
+                self.counters.kills += 1
+            self.counters.respawns += 1
+            closed = self._closed
+            self._cond.notify_all()
+        if not closed:
+            # Replace the dead worker off the caller's critical path so
+            # the daemon's slot (busy counter) frees immediately.
+            with self._cond:
+                if self._live < self.workers:
+                    self._live += 1
+                    threading.Thread(
+                        target=self._spawn_into_idle, daemon=True
+                    ).start()
+        return exit_code
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._cond:
+            return {
+                "workers": self.workers,
+                "live": self._live,
+                "idle": len(self._idle),
+                **self.counters.as_dict(),
+            }
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -10,6 +10,13 @@ source) misses.
 Lookup order: memory → disk → :func:`repro.analyze`.  Every analysis
 result is promoted into both tiers, so a restarted process finds the
 artifact on disk and a long-lived process answers from memory.
+
+With an ``executor`` (a :class:`repro.parallel.ProcessPool`), misses
+run :func:`repro.parallel.analyze_artifact` in a worker process and the
+parent receives *pickled artifact bytes*: those bytes go to the disk
+tier unchanged via :meth:`DiskStore.save_bytes` and are unpickled
+exactly once for the in-memory LRU — serialize-once, where the thread
+path previously pickled the same object again inside ``store.save``.
 """
 
 from __future__ import annotations
@@ -17,10 +24,12 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
+from dataclasses import replace
 from typing import Any
 
 from repro import AnalyzedProgram, AnalyzeOptions, __version__, analyze
 from repro.frontend import source_fingerprint
+from repro.parallel import ProcessPool, analyze_artifact, load_artifact
 from repro.server.faults import FaultPlan
 from repro.server.store import DiskStore
 
@@ -53,12 +62,14 @@ class AnalysisCache:
         capacity: int = DEFAULT_MEMORY_CAPACITY,
         store: DiskStore | None = None,
         fault_plan: "FaultPlan | None" = None,
+        executor: ProcessPool | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.store = store
         self.fault_plan = fault_plan
+        self.executor = executor
         self._entries: OrderedDict[str, AnalyzedProgram] = OrderedDict()
         self._lock = threading.Lock()
         self.memory_hits = 0
@@ -93,13 +104,55 @@ class AnalysisCache:
             # here (BudgetExceeded on cancellation) leaves no cache
             # entry behind, same as a failing real analysis.
             self.fault_plan.on_analysis(options.budget)
-        analyzed = analyze(source, filename, options=options)
+        if self.executor is not None:
+            analyzed, payload = self._analyze_in_executor(
+                source, filename, options
+            )
+        else:
+            analyzed, payload = analyze(source, filename, options=options), None
         with self._lock:
             self.misses += 1
             self._put(key, analyzed)
         if self.store is not None:
-            self.store.save(key, analyzed)
+            if payload is not None:
+                self.store.save_bytes(key, payload)
+            else:
+                self.store.save(key, analyzed)
         return analyzed, "analyzed"
+
+    def _analyze_in_executor(
+        self, source: str, filename: str, options: AnalyzeOptions
+    ) -> tuple[AnalyzedProgram, bytes]:
+        """Run one cold analysis on a worker process.
+
+        Returns ``(analyzed, payload)``: the worker's canonical pickled
+        bytes plus the single unpickled copy for the LRU, with the run's
+        timings (shipped out-of-band — they are observability data, not
+        artifact content) reattached to the in-memory object only.
+        """
+        inject_crash = False
+        inject_delay = 0.0
+        if self.fault_plan is not None:
+            inject_crash = self.fault_plan.take_process_crash()
+            inject_delay = self.fault_plan.worker_process_delay_s
+        budget = options.budget
+        if budget is not None:
+            # Budget tokens cannot cross the process boundary (the
+            # parent enforces them by killing the worker); strip before
+            # pickling the options for the task message.
+            options = replace(options, budget=None)
+        payload, timings = self.executor.run(
+            analyze_artifact,
+            source,
+            filename,
+            options,
+            inject_delay_s=inject_delay,
+            inject_crash=inject_crash,
+            budget=budget,
+        )
+        analyzed = load_artifact(payload)
+        analyzed.timings = timings
+        return analyzed, payload
 
     def _put(self, key: str, analyzed: AnalyzedProgram) -> None:
         self._entries[key] = analyzed

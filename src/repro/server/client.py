@@ -278,6 +278,26 @@ class SliceClient:
     def slice_program(self, program: str, line: int, **params: Any) -> dict[str, Any]:
         return self.request("slice", program=program, line=line, **params)
 
+    def slice_batch(
+        self,
+        *,
+        source: str | None = None,
+        program: str | None = None,
+        lines: Sequence[int] | None = None,
+        items: Sequence[dict[str, Any]] | None = None,
+        **params: Any,
+    ) -> dict[str, Any]:
+        """Many seeds in one round trip; see the ``slice_batch`` RPC."""
+        if source is not None:
+            params["source"] = source
+        if program is not None:
+            params["program"] = program
+        if lines is not None:
+            params["lines"] = list(lines)
+        if items is not None:
+            params["items"] = list(items)
+        return self.request("slice_batch", **params)
+
     def explain(self, source: str, line: int, **params: Any) -> dict[str, Any]:
         return self.request("explain", source=source, line=line, **params)
 

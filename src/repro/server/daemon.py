@@ -19,6 +19,13 @@ Design rules:
   no program argument returns the counters plus cache hit/miss
   numbers, and the ``health`` RPC reports busy/queued workers without
   ever touching the worker pool.
+* **Multi-core execution** — with ``executor="process"`` the request
+  threads stay (admission, slicing, cancellation accounting are all
+  parent-side) but every cold analysis is dispatched to a
+  :class:`repro.parallel.ProcessPool` worker, which hands back pickled
+  artifact bytes (serialize-once into the disk store).  A deadline or
+  disconnect kills the worker process and frees the slot exactly as a
+  cooperative thread-mode cancellation would.
 
 Two serving loops: :func:`serve_stdio` (one client on stdin/stdout)
 and :func:`serve_tcp` (a threading TCP server, many clients, one
@@ -42,6 +49,7 @@ from typing import Any, Callable, TextIO
 
 from repro import AnalyzedProgram, AnalyzeOptions, __version__
 from repro.budget import Budget, BudgetExceeded
+from repro.parallel import ProcessPool, WorkerError
 from repro.profiling import merge_timing_dicts
 from repro.server.cache import AnalysisCache
 from repro.server.faults import FaultPlan
@@ -54,6 +62,7 @@ from repro.server.protocol import (
     error_response,
     explain_payload,
     ok_response,
+    slice_batch_payload,
     slice_payload,
     stats_payload,
     why_payload,
@@ -71,6 +80,15 @@ DEFAULT_MAX_QUEUE = 32
 #: How often the dispatcher wakes while waiting on a worker, to notice
 #: passed deadlines and vanished clients.
 _WAIT_SLICE_S = 0.05
+
+#: Hard cap on seeds in one ``slice_batch`` request (admission sanity:
+#: one request should not monopolize the daemon indefinitely).
+MAX_BATCH_ITEMS = 256
+
+
+def default_executor(workers: int) -> str:
+    """``process`` when there is parallelism to win, else ``thread``."""
+    return "process" if workers > 1 else "thread"
 
 
 class QueryError(Exception):
@@ -120,7 +138,10 @@ class SliceServer:
         workers: int = 4,
         max_queue: int = DEFAULT_MAX_QUEUE,
         fault_plan: FaultPlan | None = None,
+        executor: str = "thread",
     ) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor: {executor!r}")
         self.cache = cache if cache is not None else AnalysisCache()
         self.timeout = timeout
         self.workers = workers
@@ -128,6 +149,12 @@ class SliceServer:
         self.fault_plan = fault_plan
         if fault_plan is not None and self.cache.fault_plan is None:
             self.cache.fault_plan = fault_plan
+        self.executor = executor
+        self.process_pool: ProcessPool | None = None
+        if executor == "process":
+            self.process_pool = ProcessPool(workers=workers)
+            if self.cache.executor is None:
+                self.cache.executor = self.process_pool
         self.started = time.time()
         self.shutting_down = False
         self._pool = ThreadPoolExecutor(
@@ -143,20 +170,30 @@ class SliceServer:
         self.shed_total = 0
         self.cancelled_total = 0
         # Aggregated pipeline stage timings over every analysis this
-        # process actually ran (cache hits contribute nothing).
+        # process actually ran (cache hits contribute nothing).  The
+        # merge is not internally synchronized and concurrent workers
+        # (plus batch fan-out threads) interleave accumulation, so every
+        # touch — write or read — goes through this dedicated lock.
         self._pipeline: dict[str, Any] = {}
+        self._pipeline_lock = threading.Lock()
         self._methods: dict[
             str, Callable[[dict[str, Any], Budget | None], dict[str, Any]]
         ] = {
             "ping": self._method_ping,
             "health": self._method_health,
             "slice": self._method_slice,
+            "slice_batch": self._method_slice_batch,
             "explain": self._method_explain,
             "why": self._method_why,
             "chop": self._method_chop,
             "stats": self._method_stats_rpc,
             "shutdown": self._method_shutdown,
         }
+
+    def prestart(self) -> None:
+        """Pay worker-process spawn costs now instead of on first miss."""
+        if self.process_pool is not None:
+            self.process_pool.prestart(wait=False)
 
     # ------------------------------------------------------------------
     # Entry points
@@ -226,6 +263,12 @@ class SliceServer:
             timed_out = exc.reason != "cancelled"
             error_type = "Timeout" if timed_out else "Cancelled"
             response = error_response(request_id, error_type, str(exc))
+        except WorkerError as exc:
+            # A process-executor failure, transported.  Task exceptions
+            # carry the original type name so the client sees the same
+            # structured error as an in-process analysis failure; a
+            # worker death surfaces as its own "WorkerCrashed" type.
+            response = error_response(request_id, exc.error_type, exc.message)
         except Exception as exc:
             response = error_response(request_id, type(exc).__name__, str(exc))
         latency_ms = (time.perf_counter() - start) * 1000
@@ -352,7 +395,7 @@ class SliceServer:
         with self._load_lock:
             busy, queued = self._busy, self._queued
             shed, cancelled = self.shed_total, self.cancelled_total
-        return {
+        payload = {
             "healthy": not self.shutting_down,
             "shutting_down": self.shutting_down,
             "workers": self.workers,
@@ -361,8 +404,12 @@ class SliceServer:
             "max_queue": self.max_queue,
             "shed_total": shed,
             "cancelled_total": cancelled,
+            "executor": self.executor,
             "uptime_s": round(time.time() - self.started, 3),
         }
+        if self.process_pool is not None:
+            payload["pool"] = self.process_pool.stats()
+        return payload
 
     def _method_shutdown(
         self, params: dict[str, Any], budget: Budget | None
@@ -374,26 +421,140 @@ class SliceServer:
         self, params: dict[str, Any], budget: Budget | None
     ) -> dict[str, Any]:
         analyzed, name, origin = self._analyzed_program(params, budget)
-        line = self._int_param(params, "line")
-        context = self._opt_int_param(params, "context", 0)
-        flavor = params.get("flavor", "thin")
-        if flavor not in ("thin", "traditional"):
-            raise QueryError("BadParams", f"unknown flavor: {flavor!r}")
+        item = {
+            "line": self._int_param(params, "line"),
+            "context": self._opt_int_param(params, "context", 0),
+            "flavor": self._flavor_param(params),
+        }
+        return self._slice_result(analyzed, name, origin, item)
+
+    def _slice_result(
+        self,
+        analyzed: AnalyzedProgram,
+        name: str,
+        origin: str,
+        item: dict[str, Any],
+    ) -> dict[str, Any]:
+        """One seed's slice payload — the single construction path for
+        both ``slice`` and every ``slice_batch`` element, so their
+        output stays byte-identical."""
         slicer = (
             analyzed.traditional_slicer
-            if flavor == "traditional"
+            if item["flavor"] == "traditional"
             else analyzed.thin_slicer
         )
-        result = slicer.slice_from_line(line)
+        result = slicer.slice_from_line(item["line"])
         payload = slice_payload(
             result,
             program=name,
-            line=line,
-            flavor=flavor,
-            context=context,
+            line=item["line"],
+            flavor=item["flavor"],
+            context=item["context"],
         )
         payload["origin"] = origin
         return payload
+
+    def _method_slice_batch(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
+        """Many seeds in one request: analyze once per distinct
+        fingerprint (concurrently — in process mode those analyses land
+        on different worker processes), then fan the per-seed slice
+        queries out over the shared SDGs and answer in request order.
+
+        Validation is all-or-nothing: any malformed item fails the whole
+        request before any analysis starts.
+        """
+        items = self._batch_items(params)
+        groups: dict[tuple[str, bool], dict[str, Any]] = {}
+        order: list[tuple[str, bool]] = []
+        for item in items:
+            gkey = (item["source"], item["include_stdlib"])
+            if gkey not in groups:
+                groups[gkey] = item
+                order.append(gkey)
+
+        def analyze_group(
+            gkey: tuple[str, bool]
+        ) -> tuple[AnalyzedProgram, str, str]:
+            first = groups[gkey]
+            gparams = {
+                "source": first["source"],
+                "filename": first["name"],
+                "include_stdlib": first["include_stdlib"],
+            }
+            return self._analyzed_program(gparams, budget)
+
+        if len(order) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(len(order), max(2, self.workers)),
+                thread_name_prefix="repro-batch",
+            ) as fan:
+                futures = {gkey: fan.submit(analyze_group, gkey) for gkey in order}
+                resolved = {gkey: fut.result() for gkey, fut in futures.items()}
+        else:
+            resolved = {order[0]: analyze_group(order[0])}
+
+        def slice_item(item: dict[str, Any]) -> dict[str, Any]:
+            analyzed, _name, origin = resolved[
+                (item["source"], item["include_stdlib"])
+            ]
+            return self._slice_result(analyzed, item["name"], origin, item)
+
+        if len(items) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(len(items), max(2, self.workers)),
+                thread_name_prefix="repro-batch",
+            ) as fan:
+                results = list(fan.map(slice_item, items))
+        else:
+            results = [slice_item(items[0])]
+        return slice_batch_payload(results, distinct_programs=len(order))
+
+    def _batch_items(self, params: dict[str, Any]) -> list[dict[str, Any]]:
+        """Normalize/validate a ``slice_batch`` request into item dicts.
+
+        Two shapes: ``lines: [..]`` against one top-level source or
+        program, or ``items: [{...}, ...]`` where each item may carry
+        its own source/program and the top level provides defaults.
+        """
+        raw_items = params.get("items")
+        if raw_items is None:
+            lines = params.get("lines")
+            if not isinstance(lines, list):
+                raise QueryError(
+                    "BadParams", "need 'lines' (list) or 'items' (list)"
+                )
+            raw_items = [{"line": line} for line in lines]
+        if not isinstance(raw_items, list) or not raw_items:
+            raise QueryError("BadParams", "'items' must be a non-empty list")
+        if len(raw_items) > MAX_BATCH_ITEMS:
+            raise QueryError(
+                "BadParams",
+                f"batch of {len(raw_items)} seeds exceeds the "
+                f"{MAX_BATCH_ITEMS}-item cap; split the request",
+            )
+        items: list[dict[str, Any]] = []
+        for index, raw in enumerate(raw_items):
+            if not isinstance(raw, dict):
+                raise QueryError(
+                    "BadParams", f"items[{index}] must be an object"
+                )
+            merged = {**params, **raw}
+            merged.pop("items", None)
+            merged.pop("lines", None)
+            source, name = self._resolve_source(merged)
+            items.append(
+                {
+                    "source": source,
+                    "name": name,
+                    "include_stdlib": bool(merged.get("include_stdlib", True)),
+                    "line": self._int_param(merged, "line"),
+                    "context": self._opt_int_param(merged, "context", 0),
+                    "flavor": self._flavor_param(merged),
+                }
+            )
+        return items
 
     def _method_explain(
         self, params: dict[str, Any], budget: Budget | None
@@ -459,6 +620,7 @@ class SliceServer:
                 for name, stats in sorted(self._method_stats.items())
             }
             requests_total = sum(s.count for s in self._method_stats.values())
+        with self._pipeline_lock:
             pipeline = {
                 key: dict(value) if isinstance(value, dict) else value
                 for key, value in self._pipeline.items()
@@ -472,7 +634,10 @@ class SliceServer:
                 "shed_total": self.shed_total,
                 "cancelled_total": self.cancelled_total,
                 "timeout_s": self.timeout,
+                "executor": self.executor,
             }
+        if self.process_pool is not None:
+            service["pool"] = self.process_pool.stats()
         return {
             "version": __version__,
             "protocol": PROTOCOL_VERSION,
@@ -488,9 +653,9 @@ class SliceServer:
     # Helpers
     # ------------------------------------------------------------------
 
-    def _analyzed_program(
-        self, params: dict[str, Any], budget: Budget | None
-    ) -> tuple[AnalyzedProgram, str, str]:
+    @staticmethod
+    def _resolve_source(params: dict[str, Any]) -> tuple[str, str]:
+        """Resolve request params to ``(source_text, display_name)``."""
         source = params.get("source")
         name = params.get("filename", "<input>")
         if source is None:
@@ -511,15 +676,28 @@ class SliceServer:
             name = f"{program}.mj"
         if not isinstance(source, str):
             raise QueryError("BadParams", "'source' must be a string")
+        return source, name
+
+    def _analyzed_program(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> tuple[AnalyzedProgram, str, str]:
+        source, name = self._resolve_source(params)
         options = AnalyzeOptions(
             include_stdlib=bool(params.get("include_stdlib", True)),
             budget=budget,
         )
         analyzed, origin = self.cache.get_or_analyze(source, name, options)
         if origin == "analyzed" and analyzed.timings:
-            with self._stats_lock:
+            with self._pipeline_lock:
                 merge_timing_dicts(self._pipeline, analyzed.timings)
         return analyzed, name, origin
+
+    @staticmethod
+    def _flavor_param(params: dict[str, Any]) -> str:
+        flavor = params.get("flavor", "thin")
+        if flavor not in ("thin", "traditional"):
+            raise QueryError("BadParams", f"unknown flavor: {flavor!r}")
+        return flavor
 
     @staticmethod
     def _int_param(params: dict[str, Any], key: str) -> int:
@@ -557,6 +735,8 @@ class SliceServer:
 
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
+        if self.process_pool is not None:
+            self.process_pool.close()
 
 
 # ----------------------------------------------------------------------

@@ -56,6 +56,18 @@ class FaultPlan:
     torn_writes: int = 0
     #: Close the next N TCP connections instead of writing the response.
     connection_drops: int = 0
+    #: Kill the worker *process* (``os._exit``) during the next N
+    #: analyses dispatched to a process executor.  Consumed parent-side
+    #: at dispatch and shipped to the worker as a task argument, so the
+    #: death is observed exactly as a real crash: EOF on the pipe.
+    #: Ignored by the thread executor (threads cannot crash in
+    #: isolation).
+    worker_process_crashes: int = 0
+    #: Non-cooperative sleep inside process-executor analyses while set.
+    #: Unlike ``analysis_delay_s`` this cannot poll a budget — only a
+    #: parent-side deadline kill ends it early, which is exactly what
+    #: the deadline drills need.
+    worker_process_delay_s: float = 0.0
 
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -87,6 +99,10 @@ class FaultPlan:
         if budget is None:
             budget = Budget()
         budget.sleep(delay)
+
+    def take_process_crash(self) -> bool:
+        """Should the next process-executor analysis crash its worker?"""
+        return self._take("worker_process_crashes")
 
     def torn_write(self) -> bool:
         """Should the next disk save be torn?  (Consumes one unit.)"""

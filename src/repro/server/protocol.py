@@ -85,6 +85,18 @@ def slice_payload(
     }
 
 
+def slice_batch_payload(
+    results: list[dict[str, Any]], *, distinct_programs: int
+) -> dict[str, Any]:
+    """Envelope for ``slice_batch``: per-seed :func:`slice_payload`
+    dicts in request order, plus how many distinct analyses fed them."""
+    return {
+        "count": len(results),
+        "distinct_programs": distinct_programs,
+        "results": results,
+    }
+
+
 def stats_payload(analyzed: AnalyzedProgram, program: str) -> dict[str, Any]:
     graph = analyzed.pts.call_graph
     return {

@@ -2,11 +2,14 @@
 
 Each artifact lives at ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is
 the cache key from :func:`repro.server.cache.cache_key`.  The pickle
-wraps the :class:`repro.AnalyzedProgram` in an envelope carrying a
-format version and the key itself, so a stale or corrupted file — a
-truncated write, a pickle from an incompatible code version, a hash
-collision in a hand-edited store — is *discarded and recomputed*,
-never propagated and never fatal.
+is an envelope carrying a format version, the key itself, and — since
+format 2 — the *already-serialized* artifact bytes from
+:func:`repro.parallel.artifact_payload`, so bytes produced by a worker
+process are written through unchanged (serialize-once) and the stored
+payload is identical whichever executor produced it.  A stale or
+corrupted file — a truncated write, a pickle from an incompatible code
+version, a hash collision in a hand-edited store — is *discarded and
+recomputed*, never propagated and never fatal.
 
 Writes go through a temp file + :func:`os.replace` so a crash mid-save
 leaves either the old artifact or none, but never a torn file at the
@@ -23,9 +26,10 @@ from pathlib import Path
 from typing import Any
 
 from repro import AnalyzedProgram, __version__
+from repro.parallel import artifact_payload, load_artifact
 from repro.server.faults import FaultPlan
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 logger = logging.getLogger("repro.server")
 
@@ -96,25 +100,45 @@ class DiskStore:
             ):
                 raise ValueError("stale or mismatched envelope")
             payload = envelope["payload"]
-            if not isinstance(payload, AnalyzedProgram):
+            if not isinstance(payload, bytes):
                 raise ValueError("unexpected payload type")
+            analyzed = load_artifact(payload)
+            if not isinstance(analyzed, AnalyzedProgram):
+                raise ValueError("unexpected artifact type")
         except Exception as exc:
             self.stats.discarded += 1
             logger.warning("discarding bad artifact %s: %s", path, exc)
             path.unlink(missing_ok=True)
             return None
         self.stats.hits += 1
-        return payload
+        return analyzed
 
     def save(self, key: str, analyzed: AnalyzedProgram) -> None:
-        """Atomically persist one artifact; failures are logged, not raised."""
+        """Serialize and persist one artifact (thread-executor path)."""
+        try:
+            payload = artifact_payload(analyzed)
+        except Exception as exc:
+            self.stats.save_errors += 1
+            logger.warning("artifact serialization failed for %s: %s", key, exc)
+            return
+        self.save_bytes(key, payload)
+
+    def save_bytes(self, key: str, payload: bytes) -> None:
+        """Atomically persist pre-serialized artifact bytes.
+
+        This is the *single* write path: :meth:`save` serializes and
+        delegates here, and the process executor hands worker-produced
+        bytes straight through — so torn-write fault injection and the
+        atomic tmp+replace discipline cover both executors identically.
+        Failures are logged, not raised.
+        """
         path = self.path_for(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         envelope = {
             "format": FORMAT_VERSION,
             "version": __version__,
             "key": key,
-            "payload": analyzed,
+            "payload": payload,
         }
         if self.fault_plan is not None and self.fault_plan.torn_write():
             # Injected fault: a truncated blob lands at the *final* path,

@@ -6,12 +6,36 @@ the whole suite stays fast.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.pointsto import solve_points_to
 from repro.frontend import compile_source
 from repro.sdg.sdg import build_sdg
 from repro.suite.loader import load_source
+
+#: CI runs the server/fault suites a second time with these knobs set
+#: (REPRO_TEST_EXECUTOR=process REPRO_TEST_WORKERS=2) so every drill
+#: also exercises the process-pool executor; the default (tier-1) run
+#: stays in thread mode.
+TEST_EXECUTOR = os.environ.get("REPRO_TEST_EXECUTOR", "thread")
+TEST_WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "0") or 0)
+
+
+def make_server(cache=None, **kwargs):
+    """A :class:`SliceServer` honoring the suite-wide executor knobs.
+
+    Explicit ``executor``/``workers`` kwargs win; worker processes are
+    spawned lazily, so thread-path tests cost nothing extra even when
+    the knob selects the process executor.
+    """
+    from repro.server.daemon import SliceServer
+
+    kwargs.setdefault("executor", TEST_EXECUTOR)
+    if TEST_WORKERS:
+        kwargs.setdefault("workers", TEST_WORKERS)
+    return SliceServer(cache, **kwargs)
 
 
 def compile_and_analyze(source: str, filename: str = "<test>", stdlib: bool = False):

@@ -16,6 +16,13 @@ fewer path edges.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
 import pytest
 
 from repro.analysis.modref import compute_modref
@@ -160,6 +167,131 @@ def test_scc_heavy_slices_identical():
         got = ThinSlicer(compiled, sdg_fast).slice_from_line(line)
         want = ThinSlicer(compiled, sdg_slow).slice_from_line(line)
         assert got.lines == want.lines
+
+
+class TestProcessArtifactDeterminism:
+    """Worker artifact bytes must be a pure function of the input.
+
+    The serialize-once path stores a worker's pickled bytes straight
+    into the content-addressed disk store, so a *warm* pool worker must
+    produce exactly the bytes a cold, freshly started interpreter
+    produces — for every suite program, in one fixed worker pair (warm
+    reuse is the adversarial part: a prior task's state leaking into
+    the pickle memo is precisely the bug class this guards against)."""
+
+    REFERENCE_SCRIPT = textwrap.dedent(
+        """
+        import hashlib, json, sys
+        from repro.parallel import analyze_artifact
+        from repro.suite.harness import SUITE_PROGRAMS
+        from repro.suite.loader import load_source
+
+        digests = {}
+        for name in SUITE_PROGRAMS:
+            payload, _ = analyze_artifact(load_source(name), name + ".mj")
+            digests[name] = hashlib.sha256(payload).hexdigest()
+        print(json.dumps(digests))
+        """
+    )
+
+    def test_warm_worker_bytes_match_cold_interpreter(self):
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "0"
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        reference = subprocess.run(
+            [sys.executable, "-c", self.REFERENCE_SCRIPT],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert reference.returncode == 0, reference.stderr
+        want = json.loads(reference.stdout)
+
+        from repro.parallel import ProcessPool, analyze_artifact
+
+        with ProcessPool(workers=2) as pool:
+            got = {}
+            for name in SUITE_PROGRAMS:
+                payload, _ = pool.run(
+                    analyze_artifact, load_source(name), name + ".mj"
+                )
+                got[name] = hashlib.sha256(payload).hexdigest()
+        assert got == want
+
+
+class TestExecutorPathIdentity:
+    """One (program, seed) query answered four ways — local slicer,
+    thread-executor daemon, process-executor daemon, and ``slice_batch``
+    — must produce byte-identical payloads (``origin`` aside, which
+    reports cache provenance, not slice content)."""
+
+    @staticmethod
+    def _rpc(server, method, **params):
+        line = json.dumps({"id": 1, "method": method, "params": params})
+        response = json.loads(server.handle_line(line))
+        assert response["ok"], response
+        return response["result"]
+
+    @staticmethod
+    def _canonical(payload):
+        stripped = {k: v for k, v in payload.items() if k != "origin"}
+        return json.dumps(stripped, sort_keys=True)
+
+    def test_four_paths_byte_identical(self):
+        from repro import AnalyzeOptions, analyze
+        from repro.lang.source import marker_line
+        from repro.server.cache import AnalysisCache
+        from repro.server.daemon import SliceServer
+        from repro.server.protocol import slice_payload
+
+        program = "figure2"
+        source = load_source(program)
+        seed = marker_line(source, "tag", "seed")
+
+        analyzed = analyze(
+            source,
+            f"{program}.mj",
+            options=AnalyzeOptions(include_stdlib=True),
+        )
+        local = slice_payload(
+            analyzed.thin_slicer.slice_from_line(seed),
+            program=f"{program}.mj",
+            line=seed,
+            flavor="thin",
+            context=0,
+        )
+
+        threaded = SliceServer(AnalysisCache(), executor="thread")
+        try:
+            via_thread = self._rpc(
+                threaded, "slice", program=program, line=seed
+            )
+            batch = self._rpc(
+                threaded, "slice_batch", program=program, lines=[seed, seed]
+            )
+        finally:
+            threaded.close()
+        processed = SliceServer(
+            AnalysisCache(), workers=2, executor="process"
+        )
+        try:
+            via_process = self._rpc(
+                processed, "slice", program=program, line=seed
+            )
+        finally:
+            processed.close()
+
+        assert batch["count"] == 2
+        assert batch["distinct_programs"] == 1
+        want = self._canonical(local)
+        assert self._canonical(via_thread) == want
+        assert self._canonical(via_process) == want
+        for result in batch["results"]:
+            assert self._canonical(result) == want
 
 
 def test_demand_tabulation_matches_full_with_fewer_path_edges():

@@ -23,6 +23,7 @@ from repro.server.daemon import SliceServer, start_tcp_server
 from repro.server.faults import FaultPlan, InjectedFault
 from repro.server.store import DiskStore
 from repro.suite.loader import load_source
+from tests.conftest import make_server
 
 SOURCE = load_source("figure2")
 SEED_LINE = marker_line(SOURCE, "tag", "seed")
@@ -46,7 +47,7 @@ def wait_until(predicate, timeout_s: float, interval_s: float = 0.02) -> bool:
 def faulty():
     """A daemon with an armed (but initially inert) fault plan."""
     plan = FaultPlan()
-    server = SliceServer(
+    server = make_server(
         AnalysisCache(), workers=2, max_queue=4, fault_plan=plan
     )
     yield server, plan
@@ -129,7 +130,7 @@ class TestWorkerFaults:
         plan = FaultPlan(analysis_delay_s=30.0)
         store = DiskStore(tmp_path / "store")
         cache = AnalysisCache(store=store, fault_plan=plan)
-        server = SliceServer(cache, fault_plan=plan)
+        server = make_server(cache, fault_plan=plan)
         try:
             response = rpc(
                 server, "slice", program="figure2", line=SEED_LINE, deadline=0.2
@@ -161,7 +162,7 @@ class TestWorkerFaults:
         retried = rpc(server, "slice", program="figure2", line=SEED_LINE)
         assert retried["ok"]
 
-        fresh = SliceServer(AnalysisCache())
+        fresh = make_server(AnalysisCache())
         try:
             undisturbed = rpc(
                 fresh, "slice", program="figure2", line=SEED_LINE
@@ -171,6 +172,95 @@ class TestWorkerFaults:
         assert json.dumps(retried["result"], sort_keys=True) == json.dumps(
             undisturbed["result"], sort_keys=True
         )
+
+
+class TestProcessExecutor:
+    """Drills that only make sense when analyses run in worker
+    *processes*: the failure is a dead process, not an exception, and
+    recovery means the pool respawned a replacement.  These always use
+    ``executor="process"`` explicitly — they are meaningless in thread
+    mode — while the rest of the file follows the suite-wide knob."""
+
+    @pytest.fixture
+    def process_server(self, tmp_path):
+        plan = FaultPlan()
+        store = DiskStore(tmp_path / "store")
+        cache = AnalysisCache(store=store)
+        server = SliceServer(
+            cache, workers=2, executor="process", fault_plan=plan
+        )
+        # Pay spawn costs up front so the drills' timing assertions
+        # measure fault handling, not worker start-up.
+        server.process_pool.prestart(wait=True)
+        yield server, plan, cache, store
+        server.close()
+
+    def test_worker_crash_respawns_and_retry_succeeds(self, process_server):
+        server, plan, cache, store = process_server
+        spawned_before = server.process_pool.stats()["spawned_total"]
+        plan.worker_process_crashes = 1
+
+        response = rpc(server, "slice", program="figure2", line=SEED_LINE)
+        assert response["ok"] is False
+        assert response["error"]["type"] == "WorkerCrashed"
+
+        # The crash must leave no trace in either cache tier.
+        assert len(cache) == 0
+        assert cache.misses == 0
+        assert store.stats.saves == 0
+        assert not list(store.root.glob("*/*.pkl"))
+
+        # The pool replaces the dead worker in the background.
+        assert wait_until(
+            lambda: rpc(server, "health")["result"]["pool"]["spawned_total"]
+            > spawned_before,
+            5.0,
+        )
+
+        # A retry recomputes and must be byte-identical to what an
+        # undisturbed (thread-mode) server answers.
+        retried = rpc(server, "slice", program="figure2", line=SEED_LINE)
+        assert retried["ok"] is True
+        fresh = SliceServer(AnalysisCache())
+        try:
+            undisturbed = rpc(fresh, "slice", program="figure2", line=SEED_LINE)
+        finally:
+            fresh.close()
+        assert json.dumps(retried["result"], sort_keys=True) == json.dumps(
+            undisturbed["result"], sort_keys=True
+        )
+        assert store.stats.saves == 1  # the retry's serialize-once write
+
+    def test_deadline_kills_worker_and_frees_slot(self, process_server):
+        server, plan, cache, store = process_server
+        # A *non-cooperative* stall: the worker cannot poll any budget,
+        # so only the parent-side kill can end it.
+        plan.worker_process_delay_s = 30.0
+
+        start = time.monotonic()
+        response = rpc(
+            server, "slice", program="figure2", line=SEED_LINE, deadline=0.2
+        )
+        elapsed = time.monotonic() - start
+        assert response["error"]["type"] == "Timeout"
+        assert elapsed < 2.0
+
+        # The slot must free within a second of the kill, observed via
+        # the health RPC (which never touches the pool).
+        assert wait_until(
+            lambda: rpc(server, "health")["result"]["busy"] == 0, 1.0
+        )
+        health = rpc(server, "health")["result"]
+        assert health["cancelled_total"] >= 1
+        assert health["pool"]["kills"] >= 1
+
+        # No partial artifact escaped the killed worker.
+        assert len(cache) == 0
+        assert store.stats.saves == 0
+
+        # Disarmed, the same query succeeds on the respawned worker.
+        plan.worker_process_delay_s = 0.0
+        assert rpc(server, "slice", program="figure2", line=SEED_LINE)["ok"]
 
 
 class TestTornWrites:
@@ -200,7 +290,7 @@ class TestTornWrites:
 class TestOverload:
     def test_saturated_pool_sheds_fast_and_recovers(self):
         plan = FaultPlan(analysis_delay_s=30.0)
-        server = SliceServer(
+        server = make_server(
             AnalysisCache(), workers=1, max_queue=0, fault_plan=plan
         )
         try:
@@ -237,7 +327,7 @@ class TestOverload:
 class TestConnectionFaults:
     def test_client_disconnect_cancels_inflight_work(self):
         plan = FaultPlan(analysis_delay_s=30.0)
-        server = SliceServer(AnalysisCache(), workers=2, fault_plan=plan)
+        server = make_server(AnalysisCache(), workers=2, fault_plan=plan)
         tcp_server, _thread = start_tcp_server(server)
         host, port = tcp_server.server_address[:2]
         try:
@@ -266,7 +356,7 @@ class TestConnectionFaults:
 
     def test_dropped_connection_is_retried_transparently(self):
         plan = FaultPlan(connection_drops=1)
-        server = SliceServer(AnalysisCache(), fault_plan=plan)
+        server = make_server(AnalysisCache(), fault_plan=plan)
         tcp_server, _thread = start_tcp_server(server)
         host, port = tcp_server.server_address[:2]
         try:
@@ -283,7 +373,7 @@ class TestConnectionFaults:
 
     def test_no_retry_without_budget(self):
         plan = FaultPlan(connection_drops=1)
-        server = SliceServer(AnalysisCache(), fault_plan=plan)
+        server = make_server(AnalysisCache(), fault_plan=plan)
         tcp_server, _thread = start_tcp_server(server)
         host, port = tcp_server.server_address[:2]
         try:

@@ -8,6 +8,7 @@ only fire on genuine regressions, not machine noise.
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -109,6 +110,71 @@ def test_cold_analysis_envelope(name):
     assert best < budget, (
         f"cold analysis of {name} took {best * 1000:.0f}ms "
         f"(envelope {COLD_ENVELOPE_MS[name]}ms)"
+    )
+
+
+def _salted(base: str, index: int) -> str:
+    """Distinct source text (distinct fingerprint) per task, same cost."""
+    return f"{base}\n// cold-throughput salt {index}\n"
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="process-executor speedup needs at least 2 cores",
+)
+def test_process_executor_beats_threads_on_cold_analyses():
+    """Multi-core guard: ≥1.3x cold throughput at 2 process workers.
+
+    Two threads running ``analyze`` serialize under the GIL; two worker
+    processes do not.  Salted sources keep every analysis cold, and the
+    pool is warmed first so the comparison measures analysis throughput,
+    not spawn/import cost (which a long-lived daemon pays once).
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro import analyze
+    from repro.parallel import ProcessPool, analyze_artifact
+
+    base = load_source("minixml")
+    tasks = 4
+
+    with ThreadPoolExecutor(max_workers=2) as threads:
+        start = time.perf_counter()
+        list(
+            threads.map(
+                lambda i: analyze(_salted(base, i), f"salt{i}.mj"),
+                range(tasks),
+            )
+        )
+        thread_s = time.perf_counter() - start
+
+    with ProcessPool(workers=2) as pool:
+        pool.prestart(wait=True)
+        with ThreadPoolExecutor(max_workers=2) as fan:
+            # First task per worker pays the package import; warm both.
+            list(
+                fan.map(
+                    lambda i: pool.run(
+                        analyze_artifact, _salted(base, 1000 + i), "warm.mj"
+                    ),
+                    range(2),
+                )
+            )
+            start = time.perf_counter()
+            list(
+                fan.map(
+                    lambda i: pool.run(
+                        analyze_artifact, _salted(base, i), f"salt{i}.mj"
+                    ),
+                    range(tasks),
+                )
+            )
+            process_s = time.perf_counter() - start
+
+    assert process_s * 1.3 <= thread_s, (
+        f"2 process workers took {process_s:.2f}s vs {thread_s:.2f}s for "
+        f"2 threads — expected >=1.3x cold throughput"
     )
 
 

@@ -14,6 +14,7 @@ from repro.server.client import ServerError, SliceClient
 from repro.server.daemon import SliceServer, serve_stdio, start_tcp_server
 from repro.server.protocol import ProtocolError, decode_message, encode_message
 from repro.suite.loader import load_source
+from tests.conftest import make_server
 
 
 def seed_line(name: str, tag: str) -> int:
@@ -27,7 +28,7 @@ def rpc(server: SliceServer, method: str, request_id=1, **params):
 
 @pytest.fixture(scope="module")
 def server():
-    instance = SliceServer(AnalysisCache())
+    instance = make_server(AnalysisCache())
     yield instance
     instance.close()
 
@@ -112,6 +113,89 @@ class TestDispatch:
         assert not result["empty"]
         assert any("substring" in row["text"] for row in result["lines"])
 
+    def test_slice_batch_matches_single_slices(self, server):
+        lines = [seed_line("figure2", "seed"), seed_line("figure2", "seed") - 1]
+        batch = rpc(server, "slice_batch", program="figure2", lines=lines)
+        assert batch["ok"]
+        result = batch["result"]
+        assert result["count"] == 2
+        assert result["distinct_programs"] == 1
+        for line, payload in zip(lines, result["results"]):
+            single = rpc(server, "slice", program="figure2", line=line)
+            want = dict(single["result"])
+            got = dict(payload)
+            # Origins may differ (the single slice hits the batch's
+            # cache entry); the slice content must be byte-identical.
+            want.pop("origin"), got.pop("origin")
+            assert json.dumps(got, sort_keys=True) == json.dumps(
+                want, sort_keys=True
+            )
+
+    def test_slice_batch_items_span_programs(self, server):
+        items = [
+            {"program": "figure2", "line": seed_line("figure2", "seed")},
+            {"program": "figure5", "line": seed_line("figure5", "opread")},
+            {
+                "program": "figure2",
+                "line": seed_line("figure2", "seed"),
+                "flavor": "traditional",
+            },
+        ]
+        response = rpc(server, "slice_batch", items=items)
+        assert response["ok"]
+        result = response["result"]
+        assert result["count"] == 3
+        assert result["distinct_programs"] == 2
+        assert result["results"][0]["program"] == "figure2.mj"
+        assert result["results"][1]["program"] == "figure5.mj"
+        assert result["results"][2]["flavor"] == "traditional"
+        assert (
+            result["results"][2]["line_count"]
+            > result["results"][0]["line_count"]
+        )
+
+    def test_slice_batch_needs_lines_or_items(self, server):
+        response = rpc(server, "slice_batch", program="figure2")
+        assert response["ok"] is False
+        assert response["error"]["type"] == "BadParams"
+
+    def test_slice_batch_rejects_bad_line_type(self, server):
+        response = rpc(
+            server, "slice_batch", program="figure2", lines=[3, "nine"]
+        )
+        assert response["ok"] is False
+        assert response["error"]["type"] == "BadParams"
+
+    def test_slice_batch_rejects_empty_items(self, server):
+        response = rpc(server, "slice_batch", program="figure2", items=[])
+        assert response["ok"] is False
+        assert response["error"]["type"] == "BadParams"
+
+    def test_slice_batch_enforces_item_cap(self, server):
+        from repro.server.daemon import MAX_BATCH_ITEMS
+
+        response = rpc(
+            server,
+            "slice_batch",
+            program="figure2",
+            lines=[1] * (MAX_BATCH_ITEMS + 1),
+        )
+        assert response["ok"] is False
+        assert response["error"]["type"] == "BadParams"
+        assert str(MAX_BATCH_ITEMS) in response["error"]["message"]
+
+    def test_slice_batch_validation_is_all_or_nothing(self, server):
+        before = rpc(server, "stats")["result"]["cache"]["misses"]
+        items = [
+            {"program": "figure2", "line": seed_line("figure2", "seed")},
+            {"program": "no-such-program", "line": 1},
+        ]
+        response = rpc(server, "slice_batch", items=items)
+        assert response["ok"] is False
+        assert response["error"]["type"] == "UnknownProgram"
+        # The bad item failed the request before any analysis started.
+        assert rpc(server, "stats")["result"]["cache"]["misses"] == before
+
     def test_program_stats(self, server):
         response = rpc(server, "stats", program="figure2")
         result = response["result"]
@@ -189,7 +273,7 @@ class TestDispatch:
                 time.sleep(0.5)
                 return super().get_or_analyze(source, filename, options)
 
-        slow = SliceServer(SlowCache(), timeout=0.05)
+        slow = make_server(SlowCache(), timeout=0.05)
         try:
             response = rpc(slow, "slice", program="figure2", line=1)
             assert response["error"]["type"] == "Timeout"
@@ -198,7 +282,7 @@ class TestDispatch:
             slow.close()
 
     def test_shutdown_sets_flag(self):
-        instance = SliceServer(AnalysisCache())
+        instance = make_server(AnalysisCache())
         try:
             response = rpc(instance, "shutdown")
             assert response["result"]["stopping"] is True
@@ -232,7 +316,7 @@ class TestLineCap:
             ]
         )
         out = io.StringIO()
-        serve_stdio(SliceServer(AnalysisCache()), io.StringIO(requests), out)
+        serve_stdio(make_server(AnalysisCache()), io.StringIO(requests), out)
         responses = [json.loads(l) for l in out.getvalue().splitlines()]
         # Oversized line answered with a Protocol error, then framing
         # recovers: the ping and shutdown still get their responses.
@@ -258,7 +342,7 @@ class TestStdio:
             ]
         )
         out = io.StringIO()
-        serve_stdio(SliceServer(AnalysisCache()), io.StringIO(requests), out)
+        serve_stdio(make_server(AnalysisCache()), io.StringIO(requests), out)
         responses = [json.loads(l) for l in out.getvalue().splitlines()]
         # The loop stops after shutdown: request 4 is never answered.
         assert [r["id"] for r in responses] == [1, 2, 3]
@@ -267,7 +351,7 @@ class TestStdio:
 
 class TestTCP:
     def test_tcp_roundtrip_and_shutdown(self):
-        instance = SliceServer(AnalysisCache())
+        instance = make_server(AnalysisCache())
         tcp_server, thread = start_tcp_server(instance)
         host, port = tcp_server.server_address[:2]
         try:
@@ -291,7 +375,7 @@ class TestTCP:
             instance.close()
 
     def test_two_connections_share_cache(self):
-        instance = SliceServer(AnalysisCache())
+        instance = make_server(AnalysisCache())
         tcp_server, thread = start_tcp_server(instance)
         host, port = tcp_server.server_address[:2]
         try:

@@ -19,6 +19,7 @@ from repro.lang.source import marker_line
 from repro.server.cache import AnalysisCache
 from repro.server.client import ServerError, SliceClient
 from repro.server.daemon import SliceServer, start_tcp_server
+from tests.conftest import make_server
 from repro.suite.loader import load_source
 
 SOURCE = load_source("figure2")
@@ -33,7 +34,7 @@ REQUESTS_PER_ROUND = 4
 
 @pytest.fixture(scope="module")
 def daemon():
-    server = SliceServer(AnalysisCache(capacity=4), workers=4, max_queue=64)
+    server = make_server(AnalysisCache(capacity=4), workers=4, max_queue=64)
     tcp_server, _thread = start_tcp_server(server)
     host, port = tcp_server.server_address[:2]
     yield server, host, port
