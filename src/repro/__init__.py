@@ -37,6 +37,7 @@ from repro.analysis.pointsto import (
 )
 from repro.frontend import CompiledProgram, compile_source
 from repro.interp.interpreter import run_program
+from repro.resources import ResourceExceeded
 from repro.profiling import StageProfiler
 from repro.interp.values import ExecutionResult
 from repro.sdg.sdg import SDG, build_sdg
@@ -66,6 +67,16 @@ class AnalyzeOptions:
     #: resulting :class:`AnalyzedProgram` (cached artifacts must never
     #: reference a request-scoped budget).
     budget: Budget | None = field(default=None, compare=False)
+    #: Worker-memory cap in MiB for this analysis, or None (uncapped).
+    #: Enforced by the process executor — the parent polls worker RSS
+    #: and kills an overgrown worker, surfacing a structured
+    #: :class:`~repro.resources.ResourceExceeded`; a setrlimit backstop
+    #: inside the worker catches allocation bursts between polls.  Like
+    #: ``budget`` this is resource policy, not analysis configuration:
+    #: excluded from equality/hash and from :meth:`cache_token` (the
+    #: artifact a capped analysis produces is byte-identical to an
+    #: uncapped one).
+    memory_limit_mb: float | None = field(default=None, compare=False)
 
     def cache_token(self) -> str:
         containers = (
@@ -143,10 +154,11 @@ def analyze(
     profiler.add_count("call_graph_nodes", pts.call_graph.node_count())
     profiler.add_count("sdg_nodes", sdg.node_count())
     profiler.add_count("sdg_edges", sdg.edge_count())
-    if budget is not None:
-        # Cached artifacts outlive the request; never let them hold a
-        # request-scoped cancellation token.
-        options = replace(options, budget=None)
+    if budget is not None or options.memory_limit_mb is not None:
+        # Cached artifacts outlive the request; never let them hold
+        # request-scoped resource policy (and keep artifact bytes
+        # independent of the cap the producing request ran under).
+        options = replace(options, budget=None, memory_limit_mb=None)
     return AnalyzedProgram(compiled, pts, sdg, options, profiler.as_dict())
 
 
@@ -170,6 +182,7 @@ __all__ = [
     "ExecutionResult",
     "ModRefResult",
     "PointsToResult",
+    "ResourceExceeded",
     "SDG",
     "SliceResult",
     "StageProfiler",

@@ -12,6 +12,7 @@ Subcommands::
     stats FILE                       # analysis statistics
     serve [--tcp HOST:PORT]          # long-lived analysis daemon
     health --server HOST:PORT        # daemon load and counters
+    fuzz [--budget 60s] [--seed N]   # fuzz the analyzer's no-crash contract
 
 ``FILE`` may also be the name of a shipped suite program (e.g.
 ``figure1``).
@@ -424,18 +425,93 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 
 
+def _parse_duration(text: str) -> float:
+    """``"60"``, ``"60s"``, or ``"5m"`` → seconds."""
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw.endswith("m"):
+        raw, scale = raw[:-1], 60.0
+    elif raw.endswith("s"):
+        raw = raw[:-1]
+    try:
+        value = float(raw) * scale
+    except ValueError:
+        raise SystemExit(
+            f"error: bad duration {text!r} (use e.g. 60, 60s, or 5m)"
+        ) from None
+    if value <= 0:
+        raise SystemExit("error: duration must be positive")
+    return value
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_campaign
+    from repro.fuzz.runner import CrashRecord, default_corpus
+
+    corpus = default_corpus()
+    corpus_dir = Path(args.corpus) if args.corpus else None
+    if corpus_dir is not None:
+        if not corpus_dir.is_dir():
+            raise SystemExit(f"error: {args.corpus!r} is not a directory")
+        extra = sorted(corpus_dir.glob("*.mj"))
+        corpus.extend(p.read_text(encoding="utf-8") for p in extra)
+
+    def progress(record: CrashRecord) -> None:
+        print(
+            f"NEW FAILURE [{record.verdict}] {record.error_type}: "
+            f"{record.message[:100]} (seed {record.seed})"
+            + (f" -> {record.path}" if record.path else ""),
+            file=sys.stderr,
+        )
+
+    report = run_campaign(
+        budget_s=_parse_duration(args.budget),
+        seed=args.seed,
+        corpus=corpus,
+        crash_dir=args.crash_dir,
+        input_budget_s=args.input_budget,
+        max_inputs=args.max_inputs,
+        progress=progress,
+    )
+    if args.format == "json":
+        _print_json(report.as_dict())
+    else:
+        print(
+            f"fuzzed {report.executed} inputs in {report.elapsed_s:.1f}s "
+            f"(seed {report.seed}): {report.generated} generated, "
+            f"{report.mutated} mutated; {report.ok} analyzed ok, "
+            f"{report.structured_errors} structured errors, "
+            f"{len(report.crashes)} contract violations"
+        )
+        for crash in report.crashes:
+            where = f" ({crash.path})" if crash.path else ""
+            print(
+                f"  [{crash.verdict}] {crash.error_type}: "
+                f"{crash.message[:100]}{where}"
+            )
+    return 1 if report.failed else 0
+
+
 def _cmd_health(args: argparse.Namespace) -> int:
     payload = _server_request(args.server, "health")
     if args.format == "json":
         _print_json(payload)
     else:
         state = "healthy" if payload["healthy"] else "shutting down"
+        extra = ""
+        quarantine = payload.get("quarantine")
+        breaker = payload.get("breaker")
+        if quarantine is not None and breaker is not None:
+            extra = (
+                f", {quarantine['quarantined']} quarantined, "
+                f"breaker {breaker['state']}"
+            )
         print(
             f"{state}: {payload['busy']}/{payload['workers']} workers busy, "
             f"{payload['queued']} queued (max {payload['max_queue']}), "
             f"{payload['shed_total']} shed, "
-            f"{payload['cancelled_total']} cancelled, "
-            f"up {payload['uptime_s']:.0f}s"
+            f"{payload['cancelled_total']} cancelled"
+            f"{extra}, up {payload['uptime_s']:.0f}s"
         )
     return 0 if payload["healthy"] else 1
 
@@ -450,6 +526,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serve_stdio,
         serve_tcp,
     )
+    from repro.server.quarantine import Quarantine
     from repro.server.store import DiskStore
 
     server_logger = logging.getLogger("repro.server")
@@ -474,12 +551,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store = DiskStore(Path(cache_dir), max_bytes=max_bytes)
     cache = AnalysisCache(capacity=args.memory_capacity, store=store)
     timeout = args.timeout if args.timeout and args.timeout > 0 else None
+    memory_limit = (
+        args.memory_limit_mb
+        if args.memory_limit_mb and args.memory_limit_mb > 0
+        else None
+    )
+    quarantine = None
+    if args.poison_threshold is not None:
+        if args.poison_threshold < 1:
+            raise SystemExit("error: --poison-threshold must be >= 1")
+        quarantine = Quarantine(threshold=args.poison_threshold)
     server = SliceServer(
         cache,
         timeout=timeout,
         workers=args.workers,
         max_queue=args.max_queue,
         executor=args.executor or default_executor(args.workers),
+        memory_limit_mb=memory_limit,
+        quarantine=quarantine,
     )
     server.prestart()
     if args.tcp:
@@ -628,6 +717,20 @@ def main(argv: list[str] | None = None) -> int:
         "evicted after each save",
     )
     p_serve.add_argument(
+        "--memory-limit-mb",
+        type=float,
+        help="per-analysis RSS limit in MiB, enforced by killing the "
+        "worker process and answering ResourceExceeded (0 disables; "
+        "process executor only)",
+    )
+    p_serve.add_argument(
+        "--poison-threshold",
+        type=int,
+        default=None,
+        help="worker-killing failures of one input before it is "
+        "quarantined and answered with PoisonInput (default: 3)",
+    )
+    p_serve.add_argument(
         "--quiet", action="store_true", help="suppress structured logs"
     )
     p_serve.set_defaults(fn=_cmd_serve)
@@ -640,6 +743,46 @@ def main(argv: list[str] | None = None) -> int:
         "--format", choices=("text", "json"), default="text"
     )
     p_health.set_defaults(fn=_cmd_health)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz the analyzer: every input must end in a slice or a "
+        "structured error, never a crash or hang",
+    )
+    p_fuzz.add_argument(
+        "--budget",
+        default="60s",
+        help="campaign wall-clock budget, e.g. 60, 60s, 5m (default: 60s)",
+    )
+    p_fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign seed; every input derives from it (default: 0)",
+    )
+    p_fuzz.add_argument(
+        "--crash-dir",
+        default="crashes",
+        help="write minimized failing inputs here (default: ./crashes)",
+    )
+    p_fuzz.add_argument(
+        "--corpus",
+        help="directory of extra .mj seeds to mutate (e.g. tests/corpus); "
+        "the paper suite is always included",
+    )
+    p_fuzz.add_argument(
+        "--input-budget",
+        type=float,
+        default=5.0,
+        help="per-input analysis budget in seconds (default: 5)",
+    )
+    p_fuzz.add_argument(
+        "--max-inputs",
+        type=int,
+        help="stop after this many inputs even if time remains",
+    )
+    p_fuzz.add_argument("--format", choices=("text", "json"), default="text")
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -184,19 +184,32 @@ def compile_source(
         full_text = text + "\n" + stdlib_source()
     if budget is not None:
         budget.check()
-    with profiler.stage("parse"):
-        if include_stdlib:
-            program = _parse_with_stdlib(text, full_text, filename)
-        else:
-            program = parse_program(full_text, filename)
-    if budget is not None:
-        budget.check()
-    with profiler.stage("typecheck"):
-        table = check_program(program)
-    if budget is not None:
-        budget.check()
-    with profiler.stage("ir"):
-        ir_program = build_program(program, table)
+    # The parser bounds syntactic nesting (see
+    # repro.lang.parser.MAX_NESTING), but an adversarial input can still
+    # be *wide* in ways that recurse deeply downstream — e.g. a
+    # thousand-term `a+a+...` chain parses iteratively yet builds a
+    # left-leaning AST that the recursive type checker and IR builder
+    # walk one frame per term.  Convert any such stack exhaustion into
+    # the same structured MJError a syntactic overrun produces: part of
+    # the hardening contract that no input crashes the pipeline.
+    try:
+        with profiler.stage("parse"):
+            if include_stdlib:
+                program = _parse_with_stdlib(text, full_text, filename)
+            else:
+                program = parse_program(full_text, filename)
+        if budget is not None:
+            budget.check()
+        with profiler.stage("typecheck"):
+            table = check_program(program)
+        if budget is not None:
+            budget.check()
+        with profiler.stage("ir"):
+            ir_program = build_program(program, table)
+    except RecursionError:
+        raise MJError(
+            "program structure exceeds the analyzer's recursion limits"
+        ) from None
     if budget is not None:
         budget.check()
     with profiler.stage("ssa"):

@@ -1,0 +1,32 @@
+"""Grammar-based and mutation fuzzing for the MJ analysis pipeline.
+
+The oracle contract under test: any input text, valid or garbage, must
+end in a slice or a structured error (``MJError`` /
+``BudgetExceeded`` / ``ResourceExceeded``) — never an uncaught
+exception, never a hang the budget cannot bound.  See
+``docs/HARDENING.md`` and the ``repro fuzz`` CLI subcommand.
+"""
+
+from repro.fuzz.grammar import ProgramGenerator, generate_program
+from repro.fuzz.minimize import minimize_source
+from repro.fuzz.mutate import mutate_source
+from repro.fuzz.oracle import OracleResult, check_source
+from repro.fuzz.runner import (
+    CrashRecord,
+    FuzzReport,
+    default_corpus,
+    run_campaign,
+)
+
+__all__ = [
+    "CrashRecord",
+    "FuzzReport",
+    "OracleResult",
+    "ProgramGenerator",
+    "check_source",
+    "default_corpus",
+    "generate_program",
+    "minimize_source",
+    "mutate_source",
+    "run_campaign",
+]

@@ -1,0 +1,434 @@
+"""Seeded grammar-based MJ program generator.
+
+Produces syntactically valid, *mostly* well-typed MJ programs straight
+from the language grammar: a handful of classes (fields, constructors,
+methods, occasional inheritance) plus a ``Main.main`` exercising loops,
+conditionals, arrays, casts, ``instanceof``, try/throw/catch, and calls
+into the generated classes.  The point is to reach deep into the
+pipeline — SSA, points-to, SDG construction, tabulation — with inputs
+no human wrote, under the fuzz oracle's no-crash/no-hang contract.
+
+Determinism is load-bearing: ``generate_program(seed)`` is a pure
+function of the seed (one private ``random.Random`` per call, no global
+RNG), so every crash the fuzzer reports can be regenerated from its
+seed alone.
+
+The generator tracks declared variables by type while emitting code, so
+expressions are type-correct by construction; *invalid* inputs are the
+mutation fuzzer's job (:mod:`repro.fuzz.mutate`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: Nesting the generator will not exceed — comfortably below the
+#: parser's MAX_NESTING guard so generated programs always parse.
+MAX_DEPTH = 6
+
+_INT = "int"
+_BOOL = "boolean"
+_INT_ARRAY = "int[]"
+
+
+@dataclass
+class _Method:
+    name: str
+    params: list[str]  # parameter types
+    returns: str  # _INT, _BOOL, or "void"
+
+
+@dataclass
+class _Class:
+    name: str
+    base: str | None = None
+    int_fields: list[str] = field(default_factory=list)
+    ref_fields: list[tuple[str, str]] = field(default_factory=list)  # (name, class)
+    methods: list[_Method] = field(default_factory=list)
+    ctor_params: int = 0
+
+
+class _Scope:
+    """Variables visible at the emission point, grouped by type.
+
+    Child scopes (``_Scope(parent)``) copy the visible names but share
+    the fresh-name counter, so declarations inside a nested block never
+    leak into the enclosing scope and names never collide anywhere.
+    """
+
+    def __init__(self, parent: "_Scope | None" = None) -> None:
+        if parent is None:
+            self.by_type: dict[str, list[str]] = {}
+            self._counter = [0]
+        else:
+            self.by_type = {k: list(v) for k, v in parent.by_type.items()}
+            self._counter = parent._counter
+
+    def fresh(self, type_name: str) -> str:
+        self._counter[0] += 1
+        name = f"v{self._counter[0]}"
+        self.by_type.setdefault(type_name, []).append(name)
+        return name
+
+    def pick(self, rng: random.Random, type_name: str) -> str | None:
+        names = self.by_type.get(type_name)
+        return rng.choice(names) if names else None
+
+
+class ProgramGenerator:
+    """One seeded generation run; use :func:`generate_program`."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.classes: list[_Class] = []
+        self.lines: list[str] = []
+        self.indent = 0
+
+    # -- emission ------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+    # -- class shapes --------------------------------------------------
+
+    def _plan_classes(self) -> None:
+        rng = self.rng
+        count = rng.randint(1, 3)
+        for index in range(count):
+            cls = _Class(name=f"C{index}")
+            if index > 0 and rng.random() < 0.4:
+                cls.base = rng.choice(self.classes).name
+            for f in range(rng.randint(1, 3)):
+                cls.int_fields.append(f"f{f}")
+            if self.classes and rng.random() < 0.6:
+                target = rng.choice(self.classes).name
+                cls.ref_fields.append(("ref", target))
+            cls.ctor_params = rng.randint(0, min(2, len(cls.int_fields)))
+            for m in range(rng.randint(1, 2)):
+                cls.methods.append(
+                    _Method(
+                        # Class-qualified so a subclass never collides
+                        # with a parent method of a different signature.
+                        name=f"m{index}_{m}",
+                        params=[_INT] * rng.randint(0, 2),
+                        returns=rng.choice([_INT, _INT, _BOOL, "void"]),
+                    )
+                )
+            self.classes.append(cls)
+
+    def _all_int_fields(self, cls: _Class) -> list[str]:
+        fields = list(cls.int_fields)
+        base = cls.base
+        while base is not None:
+            parent = next(c for c in self.classes if c.name == base)
+            fields.extend(parent.int_fields)
+            base = parent.base
+        return fields
+
+    def _emit_class(self, cls: _Class) -> None:
+        head = f"class {cls.name}"
+        if cls.base is not None:
+            head += f" extends {cls.base}"
+        self._emit(head + " {")
+        self.indent += 1
+        for f in cls.int_fields:
+            self._emit(f"int {f};")
+        for name, target in cls.ref_fields:
+            self._emit(f"{target} {name};")
+        self._emit_ctor(cls)
+        for method in cls.methods:
+            self._emit_method(cls, method)
+        self.indent -= 1
+        self._emit("}")
+        self._emit("")
+
+    def _emit_ctor(self, cls: _Class) -> None:
+        rng = self.rng
+        params = ", ".join(f"int p{i}" for i in range(cls.ctor_params))
+        self._emit(f"{cls.name}({params}) {{")
+        self.indent += 1
+        if cls.base is not None:
+            parent = next(c for c in self.classes if c.name == cls.base)
+            args = ", ".join(
+                str(rng.randint(0, 9)) for _ in range(parent.ctor_params)
+            )
+            self._emit(f"super({args});")
+        for index, f in enumerate(cls.int_fields):
+            if index < cls.ctor_params:
+                self._emit(f"this.{f} = p{index};")
+            else:
+                self._emit(f"this.{f} = {rng.randint(0, 99)};")
+        self.indent -= 1
+        self._emit("}")
+
+    def _emit_method(self, cls: _Class, method: _Method) -> None:
+        scope = _Scope()
+        params = []
+        for index, ptype in enumerate(method.params):
+            name = f"a{index}"
+            scope.by_type.setdefault(ptype, []).append(name)
+            params.append(f"{ptype} {name}")
+        for f in self._all_int_fields(cls):
+            scope.by_type.setdefault(_INT, []).append(f)
+        self._emit(f"{method.returns} {method.name}({', '.join(params)}) {{")
+        self.indent += 1
+        for _ in range(self.rng.randint(1, 3)):
+            self._emit_stmt(scope, depth=0, in_loop=False)
+        if method.returns == _INT:
+            self._emit(f"return {self._int_expr(scope, 1)};")
+        elif method.returns == _BOOL:
+            self._emit(f"return {self._bool_expr(scope, 1)};")
+        self.indent -= 1
+        self._emit("}")
+
+    # -- statements ----------------------------------------------------
+
+    def _emit_stmt(self, scope: _Scope, depth: int, in_loop: bool) -> None:
+        rng = self.rng
+        roll = rng.random()
+        if depth >= MAX_DEPTH:
+            roll = 1.0  # force a flat statement at the depth limit
+        if roll < 0.22:
+            self._emit_decl(scope)
+        elif roll < 0.40:
+            self._emit_assign(scope)
+        elif roll < 0.52 and depth < MAX_DEPTH:
+            self._emit_if(scope, depth, in_loop)
+        elif roll < 0.62 and depth < MAX_DEPTH:
+            self._emit_loop(scope, depth)
+        elif roll < 0.70 and depth < MAX_DEPTH:
+            self._emit_try(scope, depth)
+        elif roll < 0.78 and in_loop:
+            self._emit(rng.choice(["break;", "continue;"]))
+        else:
+            self._emit(f"print({self._int_expr(scope, depth + 1)});")
+
+    def _emit_decl(self, scope: _Scope) -> None:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.45:
+            # Build the initializer before registering the name, so the
+            # new variable cannot appear in its own initializer.
+            init = self._int_expr(scope, 1)
+            self._emit(f"int {scope.fresh(_INT)} = {init};")
+        elif roll < 0.6:
+            init = self._bool_expr(scope, 1)
+            self._emit(f"boolean {scope.fresh(_BOOL)} = {init};")
+        elif roll < 0.75 and self.classes:
+            cls = rng.choice(self.classes)
+            name = scope.fresh(cls.name)
+            self._emit(f"{cls.name} {name} = {self._new_expr(cls)};")
+        else:
+            name = scope.fresh(_INT_ARRAY)
+            size = rng.randint(1, 8)
+            self._emit(f"int[] {name} = new int[{size}];")
+
+    def _emit_assign(self, scope: _Scope) -> None:
+        rng = self.rng
+        target = scope.pick(rng, _INT)
+        if target is None:
+            self._emit_decl(scope)
+            return
+        array = scope.pick(rng, _INT_ARRAY)
+        obj = self._pick_object(scope)
+        roll = rng.random()
+        if roll < 0.2:
+            op = rng.choice(["+=", "-="])
+            self._emit(f"{target} {op} {self._int_expr(scope, 1)};")
+        elif roll < 0.35 and array is not None:
+            self._emit(
+                f"{array}[{rng.randint(0, 3)}] = {self._int_expr(scope, 1)};"
+            )
+        elif roll < 0.5 and obj is not None:
+            name, cls = obj
+            fields = self._all_int_fields(cls)
+            if fields:
+                self._emit(
+                    f"{name}.{rng.choice(fields)} = {self._int_expr(scope, 1)};"
+                )
+                return
+            self._emit(f"{target} = {self._int_expr(scope, 1)};")
+        elif roll < 0.6:
+            self._emit(f"{target}{rng.choice(['++', '--'])};")
+        else:
+            self._emit(f"{target} = {self._int_expr(scope, 1)};")
+
+    def _emit_if(self, scope: _Scope, depth: int, in_loop: bool) -> None:
+        self._emit(f"if ({self._bool_expr(scope, depth + 1)}) {{")
+        self.indent += 1
+        inner = _Scope(scope)
+        for _ in range(self.rng.randint(1, 2)):
+            self._emit_stmt(inner, depth + 1, in_loop)
+        self.indent -= 1
+        if self.rng.random() < 0.4:
+            self._emit("} else {")
+            self.indent += 1
+            self._emit_stmt(_Scope(scope), depth + 1, in_loop)
+            self.indent -= 1
+        self._emit("}")
+
+    def _emit_loop(self, scope: _Scope, depth: int) -> None:
+        rng = self.rng
+        bound = rng.randint(2, 10)
+        use_for = rng.random() < 0.5
+        inner = _Scope(scope)
+        if use_for:
+            # The loop variable lives only in the loop body's scope.
+            name = inner.fresh(_INT)
+            self._emit(f"for (int {name} = 0; {name} < {bound}; {name}++) {{")
+        else:
+            name = scope.fresh(_INT)
+            self._emit(f"int {name} = 0;")
+            self._emit(f"while ({name} < {bound}) {{")
+        self.indent += 1
+        for _ in range(rng.randint(1, 2)):
+            self._emit_stmt(inner, depth + 1, in_loop=True)
+        if not use_for:
+            self._emit(f"{name} = {name} + 1;")
+        self.indent -= 1
+        self._emit("}")
+
+    def _emit_try(self, scope: _Scope, depth: int) -> None:
+        if not self.classes:
+            self._emit_decl(scope)
+            return
+        cls = self.rng.choice(self.classes)
+        self._emit("try {")
+        self.indent += 1
+        if self.rng.random() < 0.5:
+            self._emit(f"throw {self._new_expr(cls)};")
+        else:
+            self._emit_stmt(_Scope(scope), depth + 1, in_loop=False)
+        self.indent -= 1
+        self._emit(f"}} catch ({cls.name} e{depth}) {{")
+        self.indent += 1
+        fields = self._all_int_fields(cls)
+        if fields:
+            self._emit(f"print(e{depth}.{self.rng.choice(fields)});")
+        else:
+            self._emit(f"print({self.rng.randint(0, 9)});")
+        self.indent -= 1
+        self._emit("}")
+
+    # -- expressions ---------------------------------------------------
+
+    def _pick_object(self, scope: _Scope) -> tuple[str, _Class] | None:
+        candidates = [
+            (name, cls)
+            for cls in self.classes
+            for name in scope.by_type.get(cls.name, [])
+        ]
+        return self.rng.choice(candidates) if candidates else None
+
+    def _new_expr(self, cls: _Class) -> str:
+        args = ", ".join(
+            str(self.rng.randint(0, 9)) for _ in range(cls.ctor_params)
+        )
+        return f"new {cls.name}({args})"
+
+    def _int_expr(self, scope: _Scope, depth: int) -> str:
+        rng = self.rng
+        if depth >= MAX_DEPTH:
+            return str(rng.randint(0, 99))
+        roll = rng.random()
+        if roll < 0.3:
+            return str(rng.randint(0, 99))
+        if roll < 0.5:
+            name = scope.pick(rng, _INT)
+            return name if name is not None else str(rng.randint(0, 99))
+        if roll < 0.62:
+            array = scope.pick(rng, _INT_ARRAY)
+            if array is not None:
+                if rng.random() < 0.3:
+                    return f"{array}.length"
+                return f"{array}[{rng.randint(0, 3)}]"
+        if roll < 0.75:
+            obj = self._pick_object(scope)
+            if obj is not None:
+                name, cls = obj
+                fields = self._all_int_fields(cls)
+                int_methods = [
+                    m for m in cls.methods if m.returns == _INT
+                ]
+                if int_methods and rng.random() < 0.5:
+                    method = rng.choice(int_methods)
+                    args = ", ".join(
+                        self._int_expr(scope, depth + 1)
+                        for _ in method.params
+                    )
+                    return f"{name}.{method.name}({args})"
+                if fields:
+                    return f"{name}.{rng.choice(fields)}"
+        op = rng.choice(["+", "-", "*", "/", "%"])
+        left = self._int_expr(scope, depth + 1)
+        right = self._int_expr(scope, depth + 1)
+        if op in ("/", "%"):
+            # Static analysis never divides, but keep the programs
+            # honest for the interpreter too.
+            right = f"({right} + 1)"
+        return f"({left} {op} {right})"
+
+    def _bool_expr(self, scope: _Scope, depth: int) -> str:
+        rng = self.rng
+        if depth >= MAX_DEPTH:
+            return rng.choice(["true", "false"])
+        roll = rng.random()
+        if roll < 0.15:
+            return rng.choice(["true", "false"])
+        if roll < 0.25:
+            name = scope.pick(rng, _BOOL)
+            if name is not None:
+                return name
+        if roll < 0.4:
+            op = rng.choice(["&&", "||"])
+            return (
+                f"({self._bool_expr(scope, depth + 1)} {op} "
+                f"{self._bool_expr(scope, depth + 1)})"
+            )
+        if roll < 0.5:
+            return f"!({self._bool_expr(scope, depth + 1)})"
+        if roll < 0.6:
+            obj = self._pick_object(scope)
+            if obj is not None:
+                name, cls = obj
+                subs = [
+                    c.name
+                    for c in self.classes
+                    if c.base == cls.name or c.name == cls.name
+                ]
+                return f"{name} instanceof {rng.choice(subs)}"
+        op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        return (
+            f"{self._int_expr(scope, depth + 1)} {op} "
+            f"{self._int_expr(scope, depth + 1)}"
+        )
+
+    # -- entry ---------------------------------------------------------
+
+    def generate(self) -> str:
+        self._plan_classes()
+        self._emit("// fuzz-generated MJ program")
+        for cls in self.classes:
+            self._emit_class(cls)
+        self._emit("class Main {")
+        self.indent += 1
+        self._emit("static void main(String[] args) {")
+        self.indent += 1
+        scope = _Scope()
+        for cls in self.classes:
+            name = scope.fresh(cls.name)
+            self._emit(f"{cls.name} {name} = {self._new_expr(cls)};")
+        for _ in range(self.rng.randint(4, 10)):
+            self._emit_stmt(scope, depth=0, in_loop=False)
+        self._emit(f"print({self._int_expr(scope, 1)});")
+        self.indent -= 1
+        self._emit("}")
+        self.indent -= 1
+        self._emit("}")
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_program(seed: int) -> str:
+    """Deterministically generate one MJ program from ``seed``."""
+    return ProgramGenerator(seed).generate()

@@ -1,0 +1,57 @@
+"""Delta-debugging minimizer for failing fuzz inputs.
+
+Classic ddmin over lines: repeatedly try removing chunks (halving the
+chunk size as removals stop working) while the oracle keeps reporting
+the *same failure signature*, then a final pass drops single lines.
+The result is the small repro that lands in the crash directory — a
+crasher a human can read, not the 200-line fuzz soup that found it.
+
+Each candidate costs one full oracle run, so :func:`minimize_source`
+takes a ``max_checks`` cap; minimization is best-effort and the
+original input is always a valid fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def minimize_source(
+    source: str,
+    still_fails: Callable[[str], bool],
+    *,
+    max_checks: int = 200,
+) -> str:
+    """Shrink ``source`` while ``still_fails`` holds.
+
+    ``still_fails`` must return True for ``source`` itself (the caller
+    checks the failure signature, not just "any failure", so the
+    minimizer cannot wander onto a different bug).
+    """
+    lines = source.split("\n")
+    checks = 0
+
+    def fails(candidate: list[str]) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        return still_fails("\n".join(candidate))
+
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1 and checks < max_checks:
+        removed_any = False
+        start = 0
+        while start < len(lines) and checks < max_checks:
+            candidate = lines[:start] + lines[start + chunk:]
+            if candidate and fails(candidate):
+                lines = candidate
+                removed_any = True
+                # Same start index now addresses the next chunk.
+            else:
+                start += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return "\n".join(lines)

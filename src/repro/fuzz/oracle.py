@@ -1,0 +1,104 @@
+"""The fuzz oracle: the analyzer's no-crash/no-hang contract.
+
+For *any* input text, running the full pipeline (and slicing from a few
+seed lines) under a :class:`repro.budget.Budget` must end in exactly one
+of two ways:
+
+* **ok** — the program analyzed and sliced;
+* **structured error** — an :class:`repro.lang.errors.MJError`
+  (lex/parse/type/IR/analysis diagnostics, including the recursion
+  sentinels), a :class:`repro.budget.BudgetExceeded` (the budget fired),
+  or a :class:`repro.resources.ResourceExceeded` (the memory sentinel).
+
+Anything else is a finding: an uncaught exception is a **crash**, and an
+input whose wall-clock blows through the budget by a wide margin is a
+**hang** (the cooperative-cancellation polls missed a hot loop).
+
+:func:`check_source` returns a :class:`OracleResult` whose
+``signature`` (verdict + exception type + a message prefix) is what the
+campaign de-duplicates and the minimizer preserves while shrinking.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro import AnalyzeOptions, analyze
+from repro.budget import Budget, BudgetExceeded
+from repro.lang.errors import MJError
+from repro.resources import ResourceExceeded
+
+#: Wall-clock slack: duration beyond ``budget * factor + 1s`` is a hang.
+HANG_FACTOR = 3.0
+
+#: Default per-input analysis budget, seconds.
+DEFAULT_INPUT_BUDGET_S = 5.0
+
+#: Slice from these seed lines after a successful analysis (both
+#: flavors); out-of-range lines simply produce empty slices.
+_SLICE_LINES = (1, 5, 12)
+
+
+@dataclass
+class OracleResult:
+    verdict: str  # "ok" | "error" | "crash" | "hang"
+    error_type: str | None
+    message: str
+    duration_s: float
+    traceback: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict in ("crash", "hang")
+
+    @property
+    def signature(self) -> str:
+        """Stable identity of a failure, for dedup and minimization."""
+        if self.verdict == "hang":
+            return "hang"
+        return f"{self.verdict}:{self.error_type}:{self.message[:80]}"
+
+
+def check_source(
+    source: str,
+    *,
+    budget_s: float = DEFAULT_INPUT_BUDGET_S,
+    filename: str = "<fuzz>",
+) -> OracleResult:
+    """Run one input through the oracle contract."""
+    start = time.monotonic()
+
+    def done(verdict: str, error_type: str | None, message: str,
+             tb: str = "") -> OracleResult:
+        duration = time.monotonic() - start
+        if duration > budget_s * HANG_FACTOR + 1.0:
+            # Whatever else happened, the budget failed to bound it.
+            return OracleResult(
+                "hang",
+                error_type,
+                f"analysis ran {duration:.1f}s against a {budget_s:g}s "
+                f"budget (then: {message or verdict})",
+                duration,
+                tb,
+            )
+        return OracleResult(verdict, error_type, message, duration, tb)
+
+    options = AnalyzeOptions(budget=Budget.from_timeout(budget_s))
+    try:
+        analyzed = analyze(source, filename, options=options)
+        for line in _SLICE_LINES:
+            analyzed.thin_slicer.slice_from_line(line)
+            analyzed.traditional_slicer.slice_from_line(line)
+    except MJError as exc:
+        return done("error", type(exc).__name__, str(exc))
+    except BudgetExceeded as exc:
+        return done("error", "BudgetExceeded", str(exc))
+    except ResourceExceeded as exc:
+        return done("error", "ResourceExceeded", str(exc))
+    except Exception as exc:  # the finding the fuzzer exists to catch
+        return done(
+            "crash", type(exc).__name__, str(exc), traceback.format_exc()
+        )
+    return done("ok", None, "")

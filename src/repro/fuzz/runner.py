@@ -1,0 +1,200 @@
+"""The fuzz campaign: generate, mutate, check, minimize, report.
+
+One call to :func:`run_campaign` drives a time-boxed loop that
+alternates grammar-generated programs (:mod:`repro.fuzz.grammar`) with
+mutated corpus programs (:mod:`repro.fuzz.mutate`), runs every input
+through the oracle (:mod:`repro.fuzz.oracle`), and for each *novel*
+failure signature shrinks the input with ddmin
+(:mod:`repro.fuzz.minimize`) and writes a repro pair to the crash
+directory::
+
+    crash-<sig12>.mj    the minimized input
+    crash-<sig12>.txt   verdict, error type, message, traceback
+
+The whole campaign is a pure function of ``(seed, corpus, budgets)``:
+input k is generated from ``random.Random(seed * 1_000_003 + k)``, so
+a failure found by a CI run is reproducible locally from the seed in
+the report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fuzz.grammar import generate_program
+from repro.fuzz.minimize import minimize_source
+from repro.fuzz.mutate import mutate_source
+from repro.fuzz.oracle import DEFAULT_INPUT_BUDGET_S, check_source
+
+#: Of every 4 inputs, this many are grammar-generated (rest mutated).
+_GENERATED_PER_CYCLE = 2
+
+
+@dataclass
+class CrashRecord:
+    signature: str
+    seed: int
+    kind: str  # "generated" | "mutated"
+    verdict: str
+    error_type: str | None
+    message: str
+    source: str
+    minimized: str
+    path: str | None = None
+
+
+@dataclass
+class FuzzReport:
+    seed: int
+    budget_s: float
+    executed: int = 0
+    generated: int = 0
+    mutated: int = 0
+    ok: int = 0
+    structured_errors: int = 0
+    crashes: list[CrashRecord] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.crashes)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget_s": self.budget_s,
+            "executed": self.executed,
+            "generated": self.generated,
+            "mutated": self.mutated,
+            "ok": self.ok,
+            "structured_errors": self.structured_errors,
+            "elapsed_s": round(self.elapsed_s, 2),
+            "crashes": [
+                {
+                    "signature": c.signature,
+                    "seed": c.seed,
+                    "kind": c.kind,
+                    "verdict": c.verdict,
+                    "error_type": c.error_type,
+                    "message": c.message,
+                    "path": c.path,
+                }
+                for c in self.crashes
+            ],
+        }
+
+
+def default_corpus() -> list[str]:
+    """Known-good seeds for mutation: the paper suite programs."""
+    from repro.suite.loader import load_source, program_names
+
+    return [load_source(name) for name in program_names()]
+
+
+def run_campaign(
+    budget_s: float = 60.0,
+    seed: int = 0,
+    *,
+    corpus: list[str] | None = None,
+    crash_dir: str | Path | None = None,
+    input_budget_s: float = DEFAULT_INPUT_BUDGET_S,
+    max_inputs: int | None = None,
+    minimize_checks: int = 200,
+    progress: "callable | None" = None,
+) -> FuzzReport:
+    """Fuzz until ``budget_s`` wall-clock seconds (or ``max_inputs``)."""
+    if corpus is None:
+        corpus = default_corpus()
+    report = FuzzReport(seed=seed, budget_s=budget_s)
+    seen: set[str] = set()
+    start = time.monotonic()
+    index = 0
+    while time.monotonic() - start < budget_s:
+        if max_inputs is not None and index >= max_inputs:
+            break
+        input_seed = seed * 1_000_003 + index
+        generated = index % 4 < _GENERATED_PER_CYCLE or not corpus
+        if generated:
+            source = generate_program(input_seed)
+            kind = "generated"
+            report.generated += 1
+        else:
+            rng = random.Random(input_seed)
+            source = mutate_source(rng.choice(corpus), rng, donors=corpus)
+            kind = "mutated"
+            report.mutated += 1
+        index += 1
+        report.executed += 1
+        result = check_source(source, budget_s=input_budget_s)
+        if result.verdict == "ok":
+            report.ok += 1
+        elif not result.failed:
+            report.structured_errors += 1
+        elif result.signature not in seen:
+            seen.add(result.signature)
+            record = _record_crash(
+                source,
+                result,
+                input_seed,
+                kind,
+                crash_dir,
+                input_budget_s,
+                minimize_checks,
+            )
+            report.crashes.append(record)
+            if progress is not None:
+                progress(record)
+    report.elapsed_s = time.monotonic() - start
+    return report
+
+
+def _record_crash(
+    source: str,
+    result,
+    input_seed: int,
+    kind: str,
+    crash_dir: str | Path | None,
+    input_budget_s: float,
+    minimize_checks: int,
+) -> CrashRecord:
+    signature = result.signature
+
+    def still_fails(candidate: str) -> bool:
+        probe = check_source(candidate, budget_s=input_budget_s)
+        return probe.signature == signature
+
+    minimized = minimize_source(
+        source, still_fails, max_checks=minimize_checks
+    )
+    record = CrashRecord(
+        signature=signature,
+        seed=input_seed,
+        kind=kind,
+        verdict=result.verdict,
+        error_type=result.error_type,
+        message=result.message,
+        source=source,
+        minimized=minimized,
+    )
+    if crash_dir is not None:
+        digest = hashlib.sha256(signature.encode("utf-8")).hexdigest()[:12]
+        directory = Path(crash_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        repro_path = directory / f"crash-{digest}.mj"
+        repro_path.write_text(record.minimized, encoding="utf-8")
+        (directory / f"crash-{digest}.txt").write_text(
+            f"signature: {signature}\n"
+            f"verdict: {record.verdict}\n"
+            f"error_type: {record.error_type}\n"
+            f"message: {record.message}\n"
+            f"kind: {kind}\n"
+            f"input_seed: {input_seed}\n\n"
+            f"{result.traceback}",
+            encoding="utf-8",
+        )
+        record.path = str(repro_path)
+    return record

@@ -34,6 +34,14 @@ _EXPR_START = {
 
 _TYPE_START = {TokenKind.INT, TokenKind.BOOLEAN, TokenKind.VOID, TokenKind.IDENT}
 
+#: Hard cap on statement/expression nesting.  Each level of nesting
+#: costs a stack of recursive-descent frames here and another in every
+#: downstream AST walk (type checker, IR builder); bounding it keeps an
+#: adversarial ``((((...))))`` input a structured :class:`ParseError`
+#: instead of a :class:`RecursionError` — or worse, a stack overflow in
+#: a worker process.  Real MJ code nests an order of magnitude shallower.
+MAX_NESTING = 64
+
 
 class Parser:
     """Parses a token stream into an :class:`repro.lang.ast.Program`."""
@@ -41,6 +49,7 @@ class Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        self._depth = 0
 
     # ------------------------------------------------------------------
     # Token-stream helpers
@@ -81,6 +90,15 @@ class Parser:
 
     def _here(self) -> Position:
         return self._peek().position
+
+    def _enter_nesting(self) -> None:
+        self._depth += 1
+        if self._depth > MAX_NESTING:
+            raise ParseError(
+                f"statement/expression nesting exceeds the analyzer's "
+                f"{MAX_NESTING}-level limit",
+                self._here(),
+            )
 
     # ------------------------------------------------------------------
     # Program structure
@@ -206,6 +224,13 @@ class Parser:
         return ast.Block(start, statements)
 
     def _parse_stmt(self) -> ast.Stmt:
+        self._enter_nesting()
+        try:
+            return self._parse_stmt_inner()
+        finally:
+            self._depth -= 1
+
+    def _parse_stmt_inner(self) -> ast.Stmt:
         token = self._peek()
         kind = token.kind
         if kind is TokenKind.LBRACE:
@@ -338,7 +363,11 @@ class Parser:
         return self._parse_expr()
 
     def _parse_expr(self) -> ast.Expr:
-        return self._parse_or()
+        self._enter_nesting()
+        try:
+            return self._parse_or()
+        finally:
+            self._depth -= 1
 
     def _parse_or(self) -> ast.Expr:
         left = self._parse_and()
@@ -405,14 +434,22 @@ class Parser:
         return left
 
     def _parse_unary(self) -> ast.Expr:
-        token = self._peek()
-        if token.kind is TokenKind.NOT:
-            self._advance()
-            return ast.Unary(token.position, "!", self._parse_unary())
-        if token.kind is TokenKind.MINUS:
-            self._advance()
-            return ast.Unary(token.position, "-", self._parse_unary())
-        return self._parse_postfix()
+        # Iterative over the prefix run: a `!!!!...x` chain must not
+        # consume a parser stack frame (or a nesting level) per token.
+        prefixes: list[Token] = []
+        while self._peek().kind in (TokenKind.NOT, TokenKind.MINUS):
+            if len(prefixes) >= MAX_NESTING:
+                raise ParseError(
+                    f"unary operator chain exceeds the analyzer's "
+                    f"{MAX_NESTING}-level limit",
+                    self._here(),
+                )
+            prefixes.append(self._advance())
+        expr = self._parse_postfix()
+        for token in reversed(prefixes):
+            op = "!" if token.kind is TokenKind.NOT else "-"
+            expr = ast.Unary(token.position, op, expr)
+        return expr
 
     def _parse_postfix(self) -> ast.Expr:
         expr = self._parse_primary()

@@ -48,6 +48,12 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from repro.budget import Budget, BudgetExceeded
+from repro.resources import (
+    ResourceExceeded,
+    apply_memory_rlimit,
+    clear_memory_rlimit,
+    process_rss_mb,
+)
 
 #: Environment pinned into every worker at spawn time.  A fixed hash
 #: seed makes str-keyed set iteration — and therefore artifact pickle
@@ -142,8 +148,10 @@ def analyze_artifact(
     filename: str = "<input>",
     options: Any = None,
     *,
+    memory_limit_mb: float = 0.0,
     inject_delay_s: float = 0.0,
     inject_crash: bool = False,
+    inject_alloc_mb: float = 0.0,
 ) -> tuple[bytes, dict | None]:
     """Pool task: one cold analysis, returned as canonical pickled bytes.
 
@@ -153,30 +161,69 @@ def analyze_artifact(
     separately because wall times are per-run observability data, not
     artifact content.
 
-    ``inject_delay_s`` / ``inject_crash`` are the process-level fault
-    dials (see :class:`repro.server.faults.FaultPlan`): the delay is a
-    plain *non-cooperative* sleep — only a parent-side kill can end it
-    early — and the crash exits the process without a response.
+    ``memory_limit_mb`` installs the in-worker ``RLIMIT_AS`` backstop
+    (with headroom — the parent's RSS poll is the primary sentinel) and
+    converts the resulting ``MemoryError`` into a structured
+    :class:`~repro.resources.ResourceExceeded` for transport.
+
+    ``inject_delay_s`` / ``inject_crash`` / ``inject_alloc_mb`` are the
+    process-level fault dials (see
+    :class:`repro.server.faults.FaultPlan`): the delay is a plain
+    *non-cooperative* sleep — only a parent-side kill can end it early —
+    the crash exits the process without a response, and the allocation
+    pins that much extra RSS for long enough that the parent's memory
+    poll observes it.
     """
     if inject_delay_s > 0:
         time.sleep(inject_delay_s)
     if inject_crash:
         os._exit(CRASH_EXIT_CODE)
-    from repro import AnalyzeOptions, analyze
-    from repro.ir.instructions import reset_instruction_uids
+    limited = memory_limit_mb > 0 and apply_memory_rlimit(memory_limit_mb)
+    try:
+        ballast = None
+        if inject_alloc_mb > 0:
+            try:
+                ballast = bytearray(int(inject_alloc_mb * 1024 * 1024))
+                # Hold the ballast across several parent poll cycles so
+                # the RSS sentinel (50 ms cadence) reliably observes it.
+                time.sleep(0.5)
+            except MemoryError:
+                raise ResourceExceeded(
+                    "memory",
+                    f"worker exceeded the {memory_limit_mb:g} MiB memory "
+                    "limit (allocation failed under the rlimit backstop)",
+                    limit_mb=memory_limit_mb,
+                ) from None
+        from repro import AnalyzeOptions, analyze
+        from repro.ir.instructions import reset_instruction_uids
 
-    # One analysis per task and no surviving instructions between tasks,
-    # so rewinding the uid counter is safe here (and only here): it is
-    # what makes the pickled bytes deterministic.
-    reset_instruction_uids()
-    # The frontend's stdlib AST cache bakes the filename string into
-    # positions it reuses across analyses.  Each task unpickles a fresh
-    # filename object, so without interning a warm worker would mix
-    # last task's string into this task's graph and the pickle's memo
-    # topology (hence its bytes) would differ from a cold run.
-    filename = sys.intern(filename)
-    analyzed = analyze(source, filename, options=options or AnalyzeOptions())
-    return artifact_payload(analyzed), analyzed.timings
+        # One analysis per task and no surviving instructions between tasks,
+        # so rewinding the uid counter is safe here (and only here): it is
+        # what makes the pickled bytes deterministic.
+        reset_instruction_uids()
+        # The frontend's stdlib AST cache bakes the filename string into
+        # positions it reuses across analyses.  Each task unpickles a fresh
+        # filename object, so without interning a warm worker would mix
+        # last task's string into this task's graph and the pickle's memo
+        # topology (hence its bytes) would differ from a cold run.
+        filename = sys.intern(filename)
+        try:
+            analyzed = analyze(
+                source, filename, options=options or AnalyzeOptions()
+            )
+            payload = artifact_payload(analyzed)
+        except MemoryError:
+            raise ResourceExceeded(
+                "memory",
+                f"worker exceeded the {memory_limit_mb:g} MiB memory limit "
+                "(rlimit backstop fired mid-analysis)",
+                limit_mb=memory_limit_mb,
+            ) from None
+        del ballast
+        return payload, analyzed.timings
+    finally:
+        if limited:
+            clear_memory_rlimit()
 
 
 def artifact_payload(analyzed: Any) -> bytes:
@@ -207,6 +254,8 @@ class _Worker:
     conn: multiprocessing.connection.Connection
     pid: int
     tasks_done: int = 0
+    #: Highest RSS sample observed for this worker (parent-side poll).
+    peak_rss_mb: float = 0.0
 
 
 @dataclass
@@ -217,15 +266,22 @@ class PoolStats:
     respawns: int = 0
     crashes: int = 0
     kills: int = 0
+    #: Kills specifically for exceeding a task's memory limit (also
+    #: counted in ``kills``).
+    memory_kills: int = 0
     tasks_total: int = 0
+    #: Highest RSS sample ever observed across all workers (MiB).
+    peak_rss_mb: float = 0.0
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "spawned_total": self.spawned_total,
             "respawns": self.respawns,
             "crashes": self.crashes,
             "kills": self.kills,
+            "memory_kills": self.memory_kills,
             "tasks_total": self.tasks_total,
+            "peak_rss_mb": round(self.peak_rss_mb, 1),
         }
 
 
@@ -260,6 +316,9 @@ class ProcessPool:
         self._live = 0  # spawned or being spawned, including busy workers
         self._closed = False
         self.counters = PoolStats()
+        #: Peak RSS per live worker pid (pruned when a worker dies);
+        #: surfaced through :meth:`stats` for the health RPC.
+        self._worker_peaks: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -355,8 +414,7 @@ class ProcessPool:
         for worker in idle:
             self._shutdown_worker(worker)
 
-    @staticmethod
-    def _shutdown_worker(worker: _Worker) -> None:
+    def _shutdown_worker(self, worker: _Worker) -> None:
         try:
             worker.conn.send(None)
         except (OSError, ValueError):
@@ -366,6 +424,8 @@ class ProcessPool:
             worker.process.kill()
             worker.process.join(timeout=5)
         worker.conn.close()
+        with self._cond:
+            self._worker_peaks.pop(worker.pid, None)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -377,6 +437,7 @@ class ProcessPool:
         /,
         *args: Any,
         budget: Budget | None = None,
+        rss_limit_mb: float | None = None,
         **kwargs: Any,
     ) -> Any:
         """Run ``fn(*args, **kwargs)`` on a worker; block for the result.
@@ -386,9 +447,19 @@ class ProcessPool:
         replacement is respawned in the background, and
         :class:`~repro.budget.BudgetExceeded` propagates exactly as a
         cooperative in-process cancellation would.
+
+        ``rss_limit_mb`` arms the memory sentinel on the same cadence:
+        each wake samples the worker's resident set (and records its
+        peak); a worker that outgrows the limit is killed and respawned
+        exactly like a deadline overrun, but the caller unwinds with a
+        structured :class:`~repro.resources.ResourceExceeded` instead
+        of an uncontrolled OOM kill taking the worker (or the host)
+        down.  Where RSS cannot be sampled the in-worker rlimit
+        backstop (see :func:`analyze_artifact`) is the only cap.
         """
         worker = self._acquire(budget)
         healthy = False
+        sample_rss = True  # turned off after a failed /proc read
         try:
             try:
                 worker.conn.send((fn, args, kwargs))
@@ -419,6 +490,23 @@ class ProcessPool:
                         f"analysis worker pid {worker.pid} died mid-task "
                         f"(exit code {exit_code})"
                     ) from None
+                if sample_rss:
+                    rss = process_rss_mb(worker.pid)
+                    if rss is None:
+                        sample_rss = False
+                    else:
+                        self._note_rss(worker, rss)
+                        if rss_limit_mb is not None and rss > rss_limit_mb:
+                            self._discard(worker, crashed=False, memory=True)
+                            raise ResourceExceeded(
+                                "memory",
+                                f"analysis worker pid {worker.pid} exceeded "
+                                f"the {rss_limit_mb:g} MiB memory limit "
+                                f"(observed {rss:.0f} MiB RSS); worker "
+                                "killed and respawned",
+                                limit_mb=rss_limit_mb,
+                                observed_mb=rss,
+                            )
                 if budget is not None and budget.expired():
                     self._discard(worker, crashed=False)
                     budget.check()  # raises with the precise reason
@@ -428,6 +516,16 @@ class ProcessPool:
         finally:
             if healthy:
                 self._release(worker)
+
+    def _note_rss(self, worker: _Worker, rss: float) -> None:
+        """Record one RSS sample into the per-worker and pool peaks."""
+        if rss <= worker.peak_rss_mb:
+            return
+        worker.peak_rss_mb = rss
+        with self._cond:
+            self._worker_peaks[worker.pid] = rss
+            if rss > self.counters.peak_rss_mb:
+                self.counters.peak_rss_mb = rss
 
     def _acquire(self, budget: Budget | None) -> _Worker:
         """Claim an idle worker, spawning one if below capacity."""
@@ -461,7 +559,9 @@ class ProcessPool:
                 return
         self._shutdown_worker(worker)
 
-    def _discard(self, worker: _Worker, crashed: bool) -> int | None:
+    def _discard(
+        self, worker: _Worker, crashed: bool, memory: bool = False
+    ) -> int | None:
         """Kill a bad/overdue worker, free its slot, respawn in background."""
         if worker.process.is_alive():
             worker.process.kill()
@@ -470,10 +570,13 @@ class ProcessPool:
         worker.conn.close()
         with self._cond:
             self._live -= 1
+            self._worker_peaks.pop(worker.pid, None)
             if crashed:
                 self.counters.crashes += 1
             else:
                 self.counters.kills += 1
+                if memory:
+                    self.counters.memory_kills += 1
             self.counters.respawns += 1
             closed = self._closed
             self._cond.notify_all()
@@ -498,6 +601,10 @@ class ProcessPool:
                 "workers": self.workers,
                 "live": self._live,
                 "idle": len(self._idle),
+                "worker_peak_rss_mb": {
+                    str(pid): round(peak, 1)
+                    for pid, peak in sorted(self._worker_peaks.items())
+                },
                 **self.counters.as_dict(),
             }
 

@@ -1,0 +1,117 @@
+"""Resource sentinels: structured memory accounting for analyses.
+
+Hostile or pathological inputs can exhaust memory long before they
+exhaust a wall-clock budget.  This module gives the pipeline a
+*structured* answer to that failure mode, mirroring what
+:class:`repro.budget.Budget` does for time:
+
+* :class:`ResourceExceeded` — the error every layer raises/transports
+  when a resource cap is hit.  Like :class:`~repro.budget.BudgetExceeded`
+  it carries a machine-checkable ``reason`` (currently ``"memory"``),
+  but it is deliberately *not* a subclass: the daemon maps budget
+  overruns to ``Timeout``/``Cancelled`` and resource overruns to their
+  own ``ResourceExceeded`` wire type.
+* :func:`process_rss_mb` — resident-set sampling via ``/proc`` (gated:
+  returns ``None`` where unavailable).  The parent side of
+  :class:`repro.parallel.ProcessPool` polls this alongside its deadline
+  poll and **kills** a worker that outgrows
+  ``AnalyzeOptions.memory_limit_mb``, surfacing :class:`ResourceExceeded`
+  instead of an OOM kill.
+* :func:`apply_memory_rlimit` — the in-worker backstop:
+  ``resource.setrlimit(RLIMIT_AS)`` with headroom above the RSS cap, so
+  a single allocation too fast for the parent's ~50 ms poll raises
+  ``MemoryError`` inside the worker instead of taking the host down.
+  Task code converts that ``MemoryError`` to :class:`ResourceExceeded`.
+
+Nothing here imports the analysis pipeline, so worker processes and the
+fuzz oracle can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # POSIX only; Windows has neither resource nor /proc.
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None  # type: ignore[assignment]
+
+#: Extra address space granted above ``memory_limit_mb`` by the rlimit
+#: backstop.  RLIMIT_AS bounds *virtual* memory, which for a Python
+#: process sits well above its RSS (allocator arenas, mapped files),
+#: so the backstop needs room or it would fire before the RSS cap.
+RLIMIT_HEADROOM_MB = 512
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+class ResourceExceeded(Exception):
+    """An analysis outran a resource cap (currently: worker memory).
+
+    ``reason`` is a short machine-checkable tag (``"memory"``);
+    ``limit_mb``/``observed_mb`` record the cap and the measurement that
+    tripped it (``observed_mb`` may be None when the in-worker rlimit
+    backstop fired — there is no sample, only the failed allocation).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        detail: str = "",
+        *,
+        limit_mb: float | None = None,
+        observed_mb: float | None = None,
+    ) -> None:
+        self.reason = reason
+        self.limit_mb = limit_mb
+        self.observed_mb = observed_mb
+        super().__init__(detail or reason)
+
+
+def process_rss_mb(pid: int | None = None) -> float | None:
+    """Resident set size of ``pid`` (default: this process) in MiB.
+
+    Reads ``/proc/<pid>/statm`` — one short read, cheap enough for a
+    50 ms poll loop.  Returns ``None`` where /proc is unavailable (the
+    sentinel then degrades to the rlimit backstop alone) or when the
+    process is already gone.
+    """
+    target = os.getpid() if pid is None else pid
+    try:
+        with open(f"/proc/{target}/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE / (1024 * 1024)
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def apply_memory_rlimit(limit_mb: float) -> bool:
+    """Best-effort ``RLIMIT_AS`` backstop at ``limit_mb`` + headroom.
+
+    Called inside worker processes before an analysis runs.  Returns
+    True when a limit was installed.  Raising the soft limit back up
+    for a later unlimited task is allowed (the hard limit is left
+    untouched), so warm workers can run tasks with different caps.
+    """
+    if _resource is None or limit_mb <= 0:
+        return False
+    soft_bytes = int((limit_mb + RLIMIT_HEADROOM_MB) * 1024 * 1024)
+    try:
+        _, hard = _resource.getrlimit(_resource.RLIMIT_AS)
+        if hard != _resource.RLIM_INFINITY:
+            soft_bytes = min(soft_bytes, hard)
+        _resource.setrlimit(_resource.RLIMIT_AS, (soft_bytes, hard))
+        return True
+    except (OSError, ValueError):  # pragma: no cover - platform quirks
+        return False
+
+
+def clear_memory_rlimit() -> None:
+    """Reset the soft ``RLIMIT_AS`` to the hard limit (end of task)."""
+    if _resource is None:
+        return
+    try:
+        _, hard = _resource.getrlimit(_resource.RLIMIT_AS)
+        _resource.setrlimit(_resource.RLIMIT_AS, (hard, hard))
+    except (OSError, ValueError):  # pragma: no cover - platform quirks
+        pass

@@ -29,7 +29,13 @@ from typing import Any
 
 from repro import AnalyzedProgram, AnalyzeOptions, __version__, analyze
 from repro.frontend import source_fingerprint
-from repro.parallel import ProcessPool, analyze_artifact, load_artifact
+from repro.parallel import (
+    ProcessPool,
+    WorkerError,
+    analyze_artifact,
+    load_artifact,
+)
+from repro.resources import ResourceExceeded
 from repro.server.faults import FaultPlan
 from repro.server.store import DiskStore
 
@@ -82,8 +88,15 @@ class AnalysisCache:
         source: str,
         filename: str = "<input>",
         options: AnalyzeOptions | None = None,
+        executor_ok: bool = True,
     ) -> tuple[AnalyzedProgram, str]:
-        """Return ``(analyzed, origin)``, origin ∈ memory | disk | analyzed."""
+        """Return ``(analyzed, origin)``, origin ∈ memory | disk | analyzed.
+
+        ``executor_ok=False`` forces a cold miss to run in-process even
+        when a process executor is attached — the daemon's circuit
+        breaker uses it to degrade process→thread after repeated worker
+        crashes (see :class:`repro.server.quarantine.CircuitBreaker`).
+        """
         options = options or AnalyzeOptions()
         key = cache_key(source, options)
         with self._lock:
@@ -104,7 +117,7 @@ class AnalysisCache:
             # here (BudgetExceeded on cancellation) leaves no cache
             # entry behind, same as a failing real analysis.
             self.fault_plan.on_analysis(options.budget)
-        if self.executor is not None:
+        if self.executor is not None and executor_ok:
             analyzed, payload = self._analyze_in_executor(
                 source, filename, options
             )
@@ -132,24 +145,38 @@ class AnalysisCache:
         """
         inject_crash = False
         inject_delay = 0.0
+        inject_alloc = 0.0
         if self.fault_plan is not None:
             inject_crash = self.fault_plan.take_process_crash()
             inject_delay = self.fault_plan.worker_process_delay_s
+            inject_alloc = self.fault_plan.worker_alloc_mb
         budget = options.budget
+        memory_limit = options.memory_limit_mb
         if budget is not None:
             # Budget tokens cannot cross the process boundary (the
             # parent enforces them by killing the worker); strip before
             # pickling the options for the task message.
             options = replace(options, budget=None)
-        payload, timings = self.executor.run(
-            analyze_artifact,
-            source,
-            filename,
-            options,
-            inject_delay_s=inject_delay,
-            inject_crash=inject_crash,
-            budget=budget,
-        )
+        try:
+            payload, timings = self.executor.run(
+                analyze_artifact,
+                source,
+                filename,
+                options,
+                memory_limit_mb=memory_limit or 0.0,
+                inject_delay_s=inject_delay,
+                inject_crash=inject_crash,
+                inject_alloc_mb=inject_alloc,
+                budget=budget,
+                rss_limit_mb=memory_limit,
+            )
+        except WorkerError as exc:
+            if exc.error_type == "ResourceExceeded":
+                # The in-worker rlimit backstop fired; re-raise as the
+                # same structured error the parent-side RSS sentinel
+                # produces, so callers see one taxonomy.
+                raise ResourceExceeded("memory", exc.message) from None
+            raise
         analyzed = load_artifact(payload)
         analyzed.timings = timings
         return analyzed, payload

@@ -19,6 +19,12 @@ Design rules:
   no program argument returns the counters plus cache hit/miss
   numbers, and the ``health`` RPC reports busy/queued workers without
   ever touching the worker pool.
+* **Input hardening** — requests whose analysis repeatedly *kills a
+  worker process* (crash or memory-limit overrun) are quarantined by
+  content fingerprint and answered with an immediate structured
+  ``PoisonInput`` error; pool-wide crash storms trip a circuit breaker
+  that degrades cold analyses process→thread until a cooldown probe
+  succeeds (see :mod:`repro.server.quarantine`).
 * **Multi-core execution** — with ``executor="process"`` the request
   threads stay (admission, slicing, cancellation accounting are all
   parent-side) but every cold analysis is dispatched to a
@@ -49,10 +55,12 @@ from typing import Any, Callable, TextIO
 
 from repro import AnalyzedProgram, AnalyzeOptions, __version__
 from repro.budget import Budget, BudgetExceeded
-from repro.parallel import ProcessPool, WorkerError
+from repro.parallel import ProcessPool, WorkerCrashed, WorkerError
 from repro.profiling import merge_timing_dicts
-from repro.server.cache import AnalysisCache
+from repro.resources import ResourceExceeded
+from repro.server.cache import AnalysisCache, cache_key
 from repro.server.faults import FaultPlan
+from repro.server.quarantine import CircuitBreaker, Quarantine
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -139,6 +147,9 @@ class SliceServer:
         max_queue: int = DEFAULT_MAX_QUEUE,
         fault_plan: FaultPlan | None = None,
         executor: str = "thread",
+        memory_limit_mb: float | None = None,
+        quarantine: Quarantine | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor: {executor!r}")
@@ -150,6 +161,14 @@ class SliceServer:
         if fault_plan is not None and self.cache.fault_plan is None:
             self.cache.fault_plan = fault_plan
         self.executor = executor
+        self.memory_limit_mb = memory_limit_mb
+        #: Poison-input tracking + pool-health breaker (see
+        #: :mod:`repro.server.quarantine`).  Both are live for either
+        #: executor — only the process executor ever *feeds* them
+        #: (thread-mode analyses cannot kill a worker in isolation), but
+        #: health always reports their state.
+        self.quarantine = quarantine if quarantine is not None else Quarantine()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.process_pool: ProcessPool | None = None
         if executor == "process":
             self.process_pool = ProcessPool(workers=workers)
@@ -263,6 +282,11 @@ class SliceServer:
             timed_out = exc.reason != "cancelled"
             error_type = "Timeout" if timed_out else "Cancelled"
             response = error_response(request_id, error_type, str(exc))
+        except ResourceExceeded as exc:
+            # The memory sentinel killed (or the rlimit backstop
+            # unwound) the analysis; its own wire type keeps it apart
+            # from budget timeouts — the input is too hungry, not slow.
+            response = error_response(request_id, "ResourceExceeded", str(exc))
         except WorkerError as exc:
             # A process-executor failure, transported.  Task exceptions
             # carry the original type name so the client sees the same
@@ -406,7 +430,11 @@ class SliceServer:
             "cancelled_total": cancelled,
             "executor": self.executor,
             "uptime_s": round(time.time() - self.started, 3),
+            "quarantine": self.quarantine.stats(),
+            "breaker": self.breaker.stats(),
         }
+        if self.memory_limit_mb is not None:
+            payload["memory_limit_mb"] = self.memory_limit_mb
         if self.process_pool is not None:
             payload["pool"] = self.process_pool.stats()
         return payload
@@ -636,6 +664,10 @@ class SliceServer:
                 "timeout_s": self.timeout,
                 "executor": self.executor,
             }
+        service["quarantine"] = self.quarantine.stats()
+        service["breaker"] = self.breaker.stats()
+        if self.memory_limit_mb is not None:
+            service["memory_limit_mb"] = self.memory_limit_mb
         if self.process_pool is not None:
             service["pool"] = self.process_pool.stats()
         return {
@@ -685,8 +717,39 @@ class SliceServer:
         options = AnalyzeOptions(
             include_stdlib=bool(params.get("include_stdlib", True)),
             budget=budget,
+            memory_limit_mb=self.memory_limit_mb,
         )
-        analyzed, origin = self.cache.get_or_analyze(source, name, options)
+        # Poison gate: a fingerprint that has repeatedly killed workers
+        # is answered immediately — no analysis, no worker dispatch, no
+        # respawn — breaking the crash/respawn loop at the front door.
+        fingerprint = cache_key(source, options)
+        poisoned = self.quarantine.check(fingerprint)
+        if poisoned is not None:
+            raise QueryError("PoisonInput", poisoned)
+        use_process = (
+            self.process_pool is not None and self.breaker.allow_process()
+        )
+        try:
+            analyzed, origin = self.cache.get_or_analyze(
+                source, name, options, executor_ok=use_process
+            )
+        except WorkerCrashed as exc:
+            # Both guards observe the crash: the quarantine attributes
+            # it to this input, the breaker to pool health overall.
+            self.quarantine.record_failure(
+                fingerprint, "WorkerCrashed", exc.message
+            )
+            self.breaker.record_crash()
+            raise
+        except ResourceExceeded as exc:
+            # A resource kill poisons the input but does not trip the
+            # breaker: the pool is healthy, the input is hungry.
+            self.quarantine.record_failure(
+                fingerprint, "ResourceExceeded", str(exc)
+            )
+            raise
+        if use_process and origin == "analyzed":
+            self.breaker.record_success()
         if origin == "analyzed" and analyzed.timings:
             with self._pipeline_lock:
                 merge_timing_dicts(self._pipeline, analyzed.timings)
@@ -789,13 +852,19 @@ class _LineHandler(socketserver.StreamRequestHandler):
                 if not raw:
                     break
                 if len(raw) > MAX_LINE_BYTES and not raw.endswith(b"\n"):
-                    # Framing is unrecoverable mid-line on a socket we
-                    # refuse to buffer; answer and drop the connection.
+                    # Oversized: reject without buffering, then discard
+                    # the rest of the line so framing recovers at the
+                    # next newline — the connection stays usable, same
+                    # as the stdio loop.
+                    while True:
+                        rest = self.rfile.readline(MAX_LINE_BYTES)
+                        if not rest or rest.endswith(b"\n"):
+                            break
                     self.wfile.write(
                         (_oversize_response() + "\n").encode("utf-8")
                     )
                     self.wfile.flush()
-                    break
+                    continue
                 line = raw.decode("utf-8", errors="replace")
                 if not line.strip():
                     continue

@@ -68,6 +68,12 @@ class FaultPlan:
     #: parent-side deadline kill ends it early, which is exactly what
     #: the deadline drills need.
     worker_process_delay_s: float = 0.0
+    #: Pin this many MiB of extra RSS inside process-executor analyses
+    #: while set (held across several parent poll cycles), so the
+    #: memory-sentinel drills can trip ``AnalyzeOptions.memory_limit_mb``
+    #: without an actually pathological program.  Ignored by the thread
+    #: executor.
+    worker_alloc_mb: float = 0.0
 
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False

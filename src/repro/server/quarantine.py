@@ -1,0 +1,224 @@
+"""Poison-input quarantine and the executor circuit breaker.
+
+Two guards against the respawn-storm failure mode: a request whose
+analysis *kills a worker process* (crash or memory overrun) gets the
+worker respawned and can simply be sent again — and again — burning a
+spawn per attempt while the daemon's counters look merely unlucky.
+
+* :class:`Quarantine` tracks worker-killing failures per input
+  fingerprint (the content-addressed cache key, so byte-identical
+  resubmissions share strikes regardless of filename).  After
+  ``threshold`` strikes the fingerprint is quarantined: subsequent
+  requests are answered with an immediate structured ``PoisonInput``
+  error — no worker dispatch, no respawn — until the daemon restarts.
+  The map is a bounded LRU, so an attacker cycling fingerprints cannot
+  grow it without bound (evicting a tracked fingerprint just resets its
+  strikes).
+
+* :class:`CircuitBreaker` watches pool-level health: ``threshold``
+  worker crashes within ``window_s`` — crashing *inputs* rotating too
+  fast for per-fingerprint quarantine, or a systemic worker bug — trip
+  the breaker and the daemon degrades cold analyses process→thread
+  (coarser isolation, but no spawn churn).  After ``cooldown_s`` the
+  breaker goes half-open and lets analyses probe the process executor
+  again; a clean success closes it, another crash re-opens it.
+
+Both are plain thread-safe state machines with injectable clocks; the
+daemon owns one of each and surfaces their ``stats()`` in ``health``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Worker-killing failures of one fingerprint before it is quarantined.
+DEFAULT_POISON_THRESHOLD = 3
+
+#: Bound on tracked fingerprints (LRU eviction beyond this).
+DEFAULT_QUARANTINE_CAPACITY = 256
+
+#: Pool-level crashes within the window before the breaker opens.
+DEFAULT_BREAKER_THRESHOLD = 5
+
+#: Sliding window (seconds) over which crashes count toward the trip.
+DEFAULT_BREAKER_WINDOW_S = 30.0
+
+#: How long the breaker stays open before probing the pool again.
+DEFAULT_BREAKER_COOLDOWN_S = 60.0
+
+
+@dataclass
+class _Entry:
+    strikes: int = 0
+    quarantined: bool = False
+    last_error_type: str = ""
+    last_message: str = ""
+
+
+class Quarantine:
+    """Bounded LRU of worker-killing input fingerprints."""
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_POISON_THRESHOLD,
+        capacity: int = DEFAULT_QUARANTINE_CAPACITY,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold = threshold
+        self.capacity = capacity
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.quarantined_total = 0  # monotonic: fingerprints ever poisoned
+        self.rejected_total = 0  # requests answered from quarantine
+
+    def check(self, fingerprint: str) -> str | None:
+        """Poison message when quarantined (counts the rejection), else None."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None or not entry.quarantined:
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.rejected_total += 1
+            return (
+                f"input quarantined after {entry.strikes} worker-killing "
+                f"failures (last: {entry.last_error_type}: "
+                f"{entry.last_message}); it will not be analyzed again by "
+                "this daemon"
+            )
+
+    def record_failure(
+        self, fingerprint: str, error_type: str, message: str
+    ) -> bool:
+        """Count one worker-killing failure; True when now quarantined."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                entry = _Entry()
+                self._entries[fingerprint] = entry
+            self._entries.move_to_end(fingerprint)
+            entry.strikes += 1
+            entry.last_error_type = error_type
+            entry.last_message = message
+            if not entry.quarantined and entry.strikes >= self.threshold:
+                entry.quarantined = True
+                self.quarantined_total += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return entry.quarantined
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            quarantined = sum(
+                1 for entry in self._entries.values() if entry.quarantined
+            )
+            return {
+                "size": len(self._entries),
+                "quarantined": quarantined,
+                "quarantined_total": self.quarantined_total,
+                "rejected_total": self.rejected_total,
+                "threshold": self.threshold,
+                "capacity": self.capacity,
+            }
+
+
+class CircuitBreaker:
+    """Pool-health breaker: repeated crashes degrade process→thread."""
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        window_s: float = DEFAULT_BREAKER_WINDOW_S,
+        cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._crash_times: deque[float] = deque()
+        self._opened_at = 0.0
+        self.trips_total = 0
+
+    def _prune(self, now: float) -> None:
+        while self._crash_times and now - self._crash_times[0] > self.window_s:
+            self._crash_times.popleft()
+
+    def allow_process(self) -> bool:
+        """May the next cold analysis use the process executor?"""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            now = self._clock()
+            if self._state == "open":
+                if now - self._opened_at < self.cooldown_s:
+                    return False
+                self._state = "half_open"
+            return True  # half-open: probe traffic is allowed through
+
+    def record_crash(self) -> bool:
+        """Count one pool-level worker crash; True when the breaker is
+        (now or already) open."""
+        with self._lock:
+            now = self._clock()
+            if self._state == "half_open":
+                # The probe crashed: straight back to open.
+                self._state = "open"
+                self._opened_at = now
+                self.trips_total += 1
+                self._crash_times.clear()
+                return True
+            if self._state == "open":
+                return True
+            self._crash_times.append(now)
+            self._prune(now)
+            if len(self._crash_times) >= self.threshold:
+                self._state = "open"
+                self._opened_at = now
+                self.trips_total += 1
+                self._crash_times.clear()
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A process-executor analysis completed cleanly."""
+        with self._lock:
+            if self._state == "half_open":
+                self._state = "closed"
+                self._crash_times.clear()
+
+    def state(self) -> str:
+        with self._lock:
+            if (
+                self._state == "open"
+                and self._clock() - self._opened_at >= self.cooldown_s
+            ):
+                return "half_open"
+            return self._state
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            state = self._state
+            if (
+                state == "open"
+                and self._clock() - self._opened_at >= self.cooldown_s
+            ):
+                state = "half_open"
+            return {
+                "state": state,
+                "recent_crashes": len(self._crash_times),
+                "trips_total": self.trips_total,
+                "threshold": self.threshold,
+                "window_s": self.window_s,
+                "cooldown_s": self.cooldown_s,
+            }

@@ -21,6 +21,7 @@ from __future__ import annotations
 import logging
 import os
 import pickle
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -44,6 +45,7 @@ class StoreStats:
     saves: int = 0
     save_errors: int = 0
     evicted: int = 0
+    tmp_swept: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -53,6 +55,7 @@ class StoreStats:
             "saves": self.saves,
             "save_errors": self.save_errors,
             "evicted": self.evicted,
+            "tmp_swept": self.tmp_swept,
         }
 
 
@@ -70,10 +73,15 @@ class DiskStore:
     stats: StoreStats = field(default_factory=StoreStats)
     max_bytes: int | None = None
     fault_plan: FaultPlan | None = None
+    #: Temp files older than this are orphans (a writer that died
+    #: between open and ``os.replace``) and get swept; young ones may
+    #: belong to a concurrent in-flight save and are left alone.
+    tmp_max_age_s: float = 60.0
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.sweep_tmp()
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -170,6 +178,7 @@ class DiskStore:
         modification time, so the most recently saved artifacts survive;
         a concurrently vanished file is skipped, never fatal.
         """
+        self.sweep_tmp()
         entries: list[tuple[float, int, Path]] = []
         total = 0
         for path in self.root.glob("*/*.pkl"):
@@ -190,3 +199,28 @@ class DiskStore:
             total -= size
             self.stats.evicted += 1
         return total
+
+    def sweep_tmp(self) -> int:
+        """Delete orphaned ``*.tmp.<pid>`` files left by dead writers.
+
+        A save that dies between opening its temp file and the atomic
+        ``os.replace`` leaks the temp file forever — it matches no
+        artifact glob, so neither :meth:`load` nor :meth:`prune` would
+        ever reclaim it.  Runs at store open and before every prune;
+        files younger than ``tmp_max_age_s`` are spared because a live
+        sibling process may still be mid-save.  Returns how many files
+        this call removed.
+        """
+        cutoff = time.time() - self.tmp_max_age_s
+        swept = 0
+        for tmp in self.root.glob("*/*.tmp.*"):
+            try:
+                if tmp.stat().st_mtime > cutoff:
+                    continue
+                tmp.unlink()
+            except OSError:
+                continue
+            swept += 1
+            logger.warning("swept orphaned temp file %s", tmp)
+        self.stats.tmp_swept += swept
+        return swept

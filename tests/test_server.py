@@ -269,9 +269,13 @@ class TestDispatch:
 
     def test_timeout_returns_structured_error(self):
         class SlowCache(AnalysisCache):
-            def get_or_analyze(self, source, filename="<input>", options=None):
+            def get_or_analyze(
+                self, source, filename="<input>", options=None, **kwargs
+            ):
                 time.sleep(0.5)
-                return super().get_or_analyze(source, filename, options)
+                return super().get_or_analyze(
+                    source, filename, options, **kwargs
+                )
 
         slow = make_server(SlowCache(), timeout=0.05)
         try:
