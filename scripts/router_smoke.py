@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""CI smoke drill for the sharded serving tier.
+
+Starts a 2-shard local tier with one CLI command (`serve --shards 2`),
+then proves the deployment story end to end, from outside the process:
+
+1. cold slice → ``origin: analyzed``; same request again → warm hit;
+2. SIGKILL one shard mid-stream → every request in the stream still
+   succeeds (failover re-routes via the ring);
+3. the aggregated ``health`` reports the dead shard unhealthy within
+   its probe interval, while the tier itself stays healthy;
+4. ``shutdown`` drains the tier and the process exits 0.
+
+Run from the repo root: ``PYTHONPATH=src python scripts/router_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.server.client import SliceClient  # noqa: E402
+from repro.suite.loader import load_source  # noqa: E402
+from repro.lang.source import marker_line  # noqa: E402
+
+PROBE_INTERVAL_S = 0.3
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def await_router_port(process: subprocess.Popen) -> int:
+    deadline = time.monotonic() + 90
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        if not line:
+            fail(f"tier exited early (code {process.poll()})")
+        try:
+            event = json.loads(line.split("] ", 1)[-1])
+        except json.JSONDecodeError:
+            continue
+        if event.get("event") == "listening" and event.get("role") == "router":
+            return int(event["port"])
+    fail("router did not report a port in time")
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="repro-smoke-")
+    env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+    env.setdefault("PYTHONPATH", "src")
+    tier = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--workers",
+            "1",
+            "--probe-interval",
+            str(PROBE_INTERVAL_S),
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        port = await_router_port(tier)
+        # Keep draining tier logs so no child blocks on a full pipe.
+        import threading
+
+        threading.Thread(
+            target=lambda: [None for _ in tier.stderr], daemon=True
+        ).start()
+
+        base = load_source("figure2")
+        seed = marker_line(base, "tag", "seed")
+        with SliceClient.connect("127.0.0.1", port) as client:
+            if client.ping().get("role") != "router":
+                fail("frontend did not identify as a router")
+
+            # 1. Cold then warm.
+            cold = client.slice(base, seed)
+            if cold["origin"] != "analyzed":
+                fail(f"cold slice origin {cold['origin']!r}")
+            warm = client.slice(base, seed)
+            if warm["origin"] not in ("memory", "disk"):
+                fail(f"warm slice origin {warm['origin']!r}")
+            if warm["lines"] != cold["lines"]:
+                fail("warm slice diverged from cold slice")
+            print(f"ok: cold ({cold['origin']}) and warm ({warm['origin']})")
+
+            health = client.health()
+            if health["healthy_shards"] != 2:
+                fail(f"expected 2 healthy shards, got {health}")
+            victim, pid = next(
+                (address, shard["pid"])
+                for address, shard in health["shards"].items()
+            )
+
+            # 2. Kill one shard mid-stream: zero failed requests.
+            sources = [f"{base}\n// smoke {i}\n" for i in range(4)]
+            for index in range(12):
+                if index == 4:
+                    os.kill(pid, signal.SIGKILL)
+                    print(f"ok: killed shard {victim} (pid {pid})")
+                result = client.slice(sources[index % len(sources)], seed)
+                if result["line_count"] <= 0:
+                    fail(f"request {index} returned an empty slice")
+            print("ok: 12/12 requests succeeded across the kill")
+
+            # 3. Health aggregate notices within the probe interval.
+            deadline = time.monotonic() + PROBE_INTERVAL_S * 10 + 5
+            while time.monotonic() < deadline:
+                health = client.health()
+                if health["shards"][victim]["state"] == "unhealthy":
+                    break
+                time.sleep(PROBE_INTERVAL_S / 2)
+            else:
+                fail(f"probe never demoted the dead shard: {health}")
+            if not health["healthy"] or health["healthy_shards"] != 1:
+                fail(f"tier should stay healthy on the survivor: {health}")
+            print("ok: health aggregate reports 1/2 shards, tier healthy")
+
+            # 4. Drain.
+            if client.shutdown() != {"stopping": True}:
+                fail("shutdown did not acknowledge")
+        if tier.wait(timeout=30) != 0:
+            fail(f"tier exited {tier.returncode}")
+        print("ok: tier drained and exited 0")
+        print("PASS")
+        return 0
+    finally:
+        if tier.poll() is None:
+            tier.kill()
+            tier.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

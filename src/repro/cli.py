@@ -11,7 +11,9 @@ Subcommands::
     dot FILE [--line N] [-o OUT]     # Graphviz export (slice or full)
     stats FILE                       # analysis statistics
     serve [--tcp HOST:PORT]          # long-lived analysis daemon
-    health --server HOST:PORT        # daemon load and counters
+    serve --tcp H:P --shards N       # router + N local shard daemons
+    route --shard H:P [--shard ...]  # router over external shards
+    health --server HOST:PORT        # daemon (or router) load/topology
     fuzz [--budget 60s] [--seed N]   # fuzz the analyzer's no-crash contract
 
 ``FILE`` may also be the name of a shipped suite program (e.g.
@@ -496,6 +498,31 @@ def _cmd_health(args: argparse.Namespace) -> int:
     payload = _server_request(args.server, "health")
     if args.format == "json":
         _print_json(payload)
+    elif payload.get("role") == "router":
+        if payload["healthy"]:
+            state = "healthy"
+        elif payload.get("shutting_down"):
+            state = "draining"
+        else:
+            state = "degraded"
+        counters = payload["router"]
+        print(
+            f"{state}: {payload['healthy_shards']}/{payload['shard_count']} "
+            f"shards healthy, {counters['forwarded_total']} forwarded, "
+            f"{counters['failover_total']} failovers, "
+            f"{counters['shed_total']} shed, up {payload['uptime_s']:.0f}s"
+        )
+        for address, shard in payload["shards"].items():
+            share = payload["ring"]["ownership"].get(address)
+            line = (
+                f"  {address}: {shard['state']}, "
+                f"{shard['forwarded_total']} forwarded"
+            )
+            if share is not None:
+                line += f", owns {share:.0%}"
+            if shard.get("last_error"):
+                line += f" ({shard['last_error'][:80]})"
+            print(line)
     else:
         state = "healthy" if payload["healthy"] else "shutting down"
         extra = ""
@@ -516,9 +543,109 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 0 if payload["healthy"] else 1
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _setup_server_logging(quiet: bool) -> None:
     import logging
 
+    if quiet:
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    for name in ("repro.server", "repro.router"):
+        server_logger = logging.getLogger(name)
+        server_logger.addHandler(handler)
+        server_logger.setLevel(logging.INFO)
+
+
+def _shard_serve_args(args: argparse.Namespace) -> list[str]:
+    """The ``serve`` flags forwarded to each spawned local shard.
+
+    The disk cache is deliberately shared: the store is
+    content-addressed with atomic writes, so concurrent shards are
+    safe, and a failover re-route finds the artifact already on disk.
+    """
+    forwarded = [
+        "--memory-capacity",
+        str(args.memory_capacity),
+        "--timeout",
+        str(args.timeout),
+        "--workers",
+        str(args.workers),
+        "--max-queue",
+        str(args.max_queue),
+    ]
+    if args.cache_dir:
+        forwarded += ["--cache-dir", args.cache_dir]
+    if args.no_disk_cache:
+        forwarded += ["--no-disk-cache"]
+    if args.executor:
+        forwarded += ["--executor", args.executor]
+    if args.store_max_mb is not None:
+        forwarded += ["--store-max-mb", str(args.store_max_mb)]
+    if args.memory_limit_mb is not None:
+        forwarded += ["--memory-limit-mb", str(args.memory_limit_mb)]
+    if args.poison_threshold is not None:
+        forwarded += ["--poison-threshold", str(args.poison_threshold)]
+    return forwarded
+
+
+def _run_router(
+    pool: Any,
+    host: str,
+    port: int,
+    *,
+    replicas: int,
+    max_inflight: int,
+    max_queue: int,
+) -> int:
+    """Serve a router over ``pool`` in the foreground until shutdown."""
+    from repro.server.router import Router
+
+    router = Router(
+        pool,
+        replicas=replicas,
+        max_inflight=max_inflight,
+        max_queue=max_queue,
+    )
+    pool.probe_all()
+    pool.start_probing()
+    router.start(host, port)
+    try:
+        router.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        router.stop()
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.server.shardpool import ShardPool
+
+    _setup_server_logging(args.quiet)
+    if args.probe_interval <= 0:
+        raise SystemExit("error: --probe-interval must be positive")
+    if args.failure_threshold < 1:
+        raise SystemExit("error: --failure-threshold must be >= 1")
+    pool = ShardPool(
+        failure_threshold=args.failure_threshold,
+        probe_interval_s=args.probe_interval,
+        request_timeout=args.request_timeout,
+    )
+    for spec in args.shard:
+        shard_host, shard_port = _parse_hostport(spec)
+        pool.attach(shard_host, shard_port)
+    host, port = _parse_hostport(args.tcp)
+    return _run_router(
+        pool,
+        host,
+        port,
+        replicas=args.replicas,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server.cache import AnalysisCache
     from repro.server.daemon import (
         SliceServer,
@@ -529,12 +656,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server.quarantine import Quarantine
     from repro.server.store import DiskStore
 
-    server_logger = logging.getLogger("repro.server")
-    if not args.quiet:
-        handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(logging.Formatter("%(message)s"))
-        server_logger.addHandler(handler)
-        server_logger.setLevel(logging.INFO)
+    if args.shards:
+        from repro.server.shardpool import ShardPool, ShardSpawnError
+
+        if args.shards < 1:
+            raise SystemExit("error: --shards must be >= 1")
+        if not args.tcp:
+            raise SystemExit(
+                "error: --shards needs --tcp HOST:PORT for the router "
+                "frontend (shards listen on ephemeral local ports)"
+            )
+        _setup_server_logging(args.quiet)
+        host, port = _parse_hostport(args.tcp)
+        pool = ShardPool(
+            probe_interval_s=args.probe_interval,
+            echo_shard_logs=not args.quiet,
+        )
+        try:
+            pool.spawn_local(args.shards, _shard_serve_args(args))
+        except ShardSpawnError as exc:
+            pool.stop()
+            raise SystemExit(f"error: {exc}") from None
+        return _run_router(
+            pool,
+            host,
+            port,
+            replicas=args.replicas,
+            max_inflight=args.workers * args.shards,
+            max_queue=args.max_queue * args.shards,
+        )
+
+    _setup_server_logging(args.quiet)
 
     store = None
     if not args.no_disk_cache:
@@ -733,7 +885,88 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument(
         "--quiet", action="store_true", help="suppress structured logs"
     )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="spawn this many local shard daemons and serve a "
+        "consistent-hash router in front of them on --tcp",
+    )
+    p_serve.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        help="seconds between shard health probes (--shards mode)",
+    )
+    p_serve.add_argument(
+        "--replicas",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the hash ring (--shards mode)",
+    )
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_route = sub.add_parser(
+        "route",
+        help="serve a consistent-hash router over externally managed "
+        "shard daemons",
+    )
+    p_route.add_argument(
+        "--shard",
+        metavar="HOST:PORT",
+        action="append",
+        required=True,
+        help="a running `repro serve --tcp` daemon; repeat per shard",
+    )
+    p_route.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default="127.0.0.1:0",
+        help="router listen address (default: an ephemeral local port, "
+        "reported by the structured `listening` log line)",
+    )
+    p_route.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        help="seconds between shard health probes (default: 1)",
+    )
+    p_route.add_argument(
+        "--failure-threshold",
+        type=int,
+        default=2,
+        help="consecutive failures before a shard is marked unhealthy "
+        "(default: 2)",
+    )
+    p_route.add_argument(
+        "--replicas",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the hash ring (default: 64)",
+    )
+    p_route.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        help="concurrently forwarded requests (default: 16)",
+    )
+    p_route.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admitted-but-waiting requests beyond --max-inflight "
+        "before shedding Overloaded (default: 64)",
+    )
+    p_route.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-forward transport timeout in seconds (default: 30)",
+    )
+    p_route.add_argument(
+        "--quiet", action="store_true", help="suppress structured logs"
+    )
+    p_route.set_defaults(fn=_cmd_route)
 
     p_health = sub.add_parser(
         "health", help="query a running daemon's load and counters"

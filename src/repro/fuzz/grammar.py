@@ -13,6 +13,14 @@ function of the seed (one private ``random.Random`` per call, no global
 RNG), so every crash the fuzzer reports can be regenerated from its
 seed alone.
 
+``scale`` multiplies the *upper bounds* of the size dials (classes,
+methods per class, statements per body) without touching the lower
+bounds or the draw order, so ``scale=1.0`` reproduces exactly the
+programs earlier releases generated from the same seed — old fuzzer
+crash seeds stay regenerable — while ``scale=8.0`` yields programs
+whose analyses run well past the hand-written suite, for the perf
+guards and the scale corpus under ``tests/scale/``.
+
 The generator tracks declared variables by type while emitting code, so
 expressions are type-correct by construction; *invalid* inputs are the
 mutation fuzzer's job (:mod:`repro.fuzz.mutate`).
@@ -79,8 +87,11 @@ class _Scope:
 class ProgramGenerator:
     """One seeded generation run; use :func:`generate_program`."""
 
-    def __init__(self, seed: int) -> None:
+    def __init__(self, seed: int, scale: float = 1.0) -> None:
+        if scale < 1.0:
+            raise ValueError("scale must be >= 1.0")
         self.rng = random.Random(seed)
+        self.scale = scale
         self.classes: list[_Class] = []
         self.lines: list[str] = []
         self.indent = 0
@@ -90,22 +101,31 @@ class ProgramGenerator:
     def _emit(self, text: str) -> None:
         self.lines.append("  " * self.indent + text)
 
+    def _count(self, low: int, high: int) -> int:
+        """A size draw whose upper bound grows with ``scale``.
+
+        At ``scale=1.0`` this is exactly ``randint(low, high)`` — same
+        bounds, same single draw — so the RNG stream (and therefore
+        every seed's output) is unchanged from before the dial existed.
+        """
+        return self.rng.randint(low, max(low, round(high * self.scale)))
+
     # -- class shapes --------------------------------------------------
 
     def _plan_classes(self) -> None:
         rng = self.rng
-        count = rng.randint(1, 3)
+        count = self._count(1, 3)
         for index in range(count):
             cls = _Class(name=f"C{index}")
             if index > 0 and rng.random() < 0.4:
                 cls.base = rng.choice(self.classes).name
-            for f in range(rng.randint(1, 3)):
+            for f in range(self._count(1, 3)):
                 cls.int_fields.append(f"f{f}")
             if self.classes and rng.random() < 0.6:
                 target = rng.choice(self.classes).name
                 cls.ref_fields.append(("ref", target))
             cls.ctor_params = rng.randint(0, min(2, len(cls.int_fields)))
-            for m in range(rng.randint(1, 2)):
+            for m in range(self._count(1, 2)):
                 cls.methods.append(
                     _Method(
                         # Class-qualified so a subclass never collides
@@ -173,7 +193,7 @@ class ProgramGenerator:
             scope.by_type.setdefault(_INT, []).append(f)
         self._emit(f"{method.returns} {method.name}({', '.join(params)}) {{")
         self.indent += 1
-        for _ in range(self.rng.randint(1, 3)):
+        for _ in range(self._count(1, 3)):
             self._emit_stmt(scope, depth=0, in_loop=False)
         if method.returns == _INT:
             self._emit(f"return {self._int_expr(scope, 1)};")
@@ -419,7 +439,7 @@ class ProgramGenerator:
         for cls in self.classes:
             name = scope.fresh(cls.name)
             self._emit(f"{cls.name} {name} = {self._new_expr(cls)};")
-        for _ in range(self.rng.randint(4, 10)):
+        for _ in range(self._count(4, 10)):
             self._emit_stmt(scope, depth=0, in_loop=False)
         self._emit(f"print({self._int_expr(scope, 1)});")
         self.indent -= 1
@@ -429,6 +449,10 @@ class ProgramGenerator:
         return "\n".join(self.lines) + "\n"
 
 
-def generate_program(seed: int) -> str:
-    """Deterministically generate one MJ program from ``seed``."""
-    return ProgramGenerator(seed).generate()
+def generate_program(seed: int, scale: float = 1.0) -> str:
+    """Deterministically generate one MJ program from ``seed``.
+
+    ``scale`` (>= 1.0) multiplies the generator's size upper bounds;
+    ``scale=1.0`` is byte-identical to the pre-dial generator.
+    """
+    return ProgramGenerator(seed, scale=scale).generate()

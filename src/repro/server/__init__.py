@@ -22,7 +22,12 @@ package turns the library into a service:
   jittered-backoff retries for ``Overloaded``/``Disconnected``;
 * :mod:`repro.server.faults` — the fault-injection hooks the chaos
   tests use to prove the daemon survives slow analyses, worker
-  crashes, torn disk writes, and dropped connections.
+  crashes, torn disk writes, and dropped connections;
+* :mod:`repro.server.ring` / :mod:`repro.server.shardpool` /
+  :mod:`repro.server.router` — the sharded serving tier: a consistent
+  hash ring over ``source_fingerprint``, shard lifecycle (spawn,
+  probe, drain), and an asyncio frontend that speaks the same protocol
+  while routing each request to the shard whose cache owns it.
 
 Quickstart::
 
@@ -40,20 +45,29 @@ from repro.server.client import ServerError, SliceClient
 from repro.server.daemon import SliceServer, serve_stdio, serve_tcp, start_tcp_server
 from repro.server.faults import FaultPlan, InjectedFault
 from repro.server.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.server.ring import HashRing
+from repro.server.router import Router, start_router
+from repro.server.shardpool import Shard, ShardPool, ShardSpawnError
 from repro.server.store import DiskStore
 
 __all__ = [
     "AnalysisCache",
     "DiskStore",
     "FaultPlan",
+    "HashRing",
     "InjectedFault",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "Router",
     "ServerError",
+    "Shard",
+    "ShardPool",
+    "ShardSpawnError",
     "SliceClient",
     "SliceServer",
     "cache_key",
     "serve_stdio",
     "serve_tcp",
     "start_tcp_server",
+    "start_router",
 ]

@@ -48,12 +48,24 @@ _BACKOFF_CAP_S = 2.0
 
 
 class ServerError(RuntimeError):
-    """An error response from the daemon (or a transport failure)."""
+    """An error response from the daemon (or a transport failure).
 
-    def __init__(self, error_type: str, message: str) -> None:
-        super().__init__(f"{error_type}: {message}")
+    ``endpoint`` names the server the failure came from (``host:port``,
+    or ``spawn:<pid>`` for a private child daemon).  In router mode the
+    router stamps relayed shard errors with the *shard's* address, so a
+    failure deep in the tier is attributable from the client side.
+    """
+
+    def __init__(
+        self, error_type: str, message: str, endpoint: str | None = None
+    ) -> None:
+        label = f"{error_type}: {message}"
+        if endpoint:
+            label += f" [from {endpoint}]"
+        super().__init__(label)
         self.error_type = error_type
         self.message = message
+        self.endpoint = endpoint
 
 
 def _backoff_delay(attempt: int) -> float:
@@ -73,6 +85,7 @@ class SliceClient:
             | None
         ) = None,
         retries: int = 2,
+        endpoint: str | None = None,
     ) -> None:
         self._send_line = send_line
         self._recv_line = recv_line
@@ -81,6 +94,10 @@ class SliceClient:
         # cannot be re-established (a spawned child stays dead).
         self._open_transport = open_transport
         self.retries = retries
+        #: Where requests go, for error attribution (``host:port`` or
+        #: ``spawn:<pid>``); every :class:`ServerError` this client
+        #: raises carries it unless the server named a deeper endpoint.
+        self.endpoint = endpoint
         self._next_id = 0
         self._closed = False
 
@@ -114,7 +131,14 @@ class SliceClient:
             return send, lambda: reader.readline(), close
 
         send, recv, close = open_transport()
-        return cls(send, recv, close, open_transport=open_transport, retries=retries)
+        return cls(
+            send,
+            recv,
+            close,
+            open_transport=open_transport,
+            retries=retries,
+            endpoint=f"{host}:{port}",
+        )
 
     @classmethod
     def spawn(
@@ -166,7 +190,9 @@ class SliceClient:
                 process.kill()
                 process.wait()
 
-        client = cls(send, recv, close, retries=retries)
+        client = cls(
+            send, recv, close, retries=retries, endpoint=f"spawn:{process.pid}"
+        )
         client.process = process
         return client
 
@@ -220,31 +246,50 @@ class SliceClient:
         try:
             self._send_line(message)
             line = self._recv_line()
-        except ServerError:
+        except ServerError as exc:
+            if exc.endpoint is None:
+                raise ServerError(
+                    exc.error_type, exc.message, endpoint=self.endpoint
+                ) from exc
             raise
         except (socket.timeout, TimeoutError) as exc:
             raise ServerError(
-                "Timeout", f"no response from server: {exc}"
+                "Timeout",
+                f"no response from server: {exc}",
+                endpoint=self.endpoint,
             ) from exc
         except (ConnectionError, BrokenPipeError, ValueError, OSError) as exc:
             raise ServerError(
-                "Disconnected", f"transport failure: {exc}"
+                "Disconnected",
+                f"transport failure: {exc}",
+                endpoint=self.endpoint,
             ) from exc
         if not line:
-            raise ServerError("Disconnected", "server closed the connection")
+            raise ServerError(
+                "Disconnected",
+                "server closed the connection",
+                endpoint=self.endpoint,
+            )
         try:
             response = decode_message(line)
         except ProtocolError as exc:
-            raise ServerError("Protocol", str(exc)) from exc
+            raise ServerError(
+                "Protocol", str(exc), endpoint=self.endpoint
+            ) from exc
         if response.get("id") != request_id:
             raise ServerError(
                 "Protocol",
                 f"response id {response.get('id')!r} != request id {request_id}",
+                endpoint=self.endpoint,
             )
         if not response.get("ok"):
             error = response.get("error") or {}
+            # A routed error may name the shard it came from; prefer
+            # that deeper endpoint over this client's own target.
             raise ServerError(
-                error.get("type", "Unknown"), error.get("message", "")
+                error.get("type", "Unknown"),
+                error.get("message", ""),
+                endpoint=error.get("endpoint") or self.endpoint,
             )
         return response["result"]
 

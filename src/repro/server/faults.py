@@ -27,7 +27,9 @@ asserts it keeps answering with correct counters afterwards.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.budget import Budget
 
@@ -68,6 +70,16 @@ class FaultPlan:
     #: parent-side deadline kill ends it early, which is exactly what
     #: the deadline drills need.
     worker_process_delay_s: float = 0.0
+    #: Hard-kill the owning shard right before the router forwards the
+    #: next N requests (the shard-kill chaos drill: the forward then
+    #: fails ``Disconnected`` and must re-route via the ring with zero
+    #: client-visible failures).  Only spawned shards can be killed;
+    #: the counter is consumed either way.
+    shard_kills: int = 0
+    #: Sleep this long on the router's forwarding path while set (the
+    #: shard-slow drill: inflates in-flight occupancy so admission
+    #: control sheds load with ``Overloaded``).
+    shard_slow_s: float = 0.0
     #: Pin this many MiB of extra RSS inside process-executor analyses
     #: while set (held across several parent poll cycles), so the
     #: memory-sentinel drills can trip ``AnalyzeOptions.memory_limit_mb``
@@ -117,3 +129,14 @@ class FaultPlan:
     def drop_connection(self) -> bool:
         """Should this TCP response be dropped?  (Consumes one unit.)"""
         return self._take("connection_drops")
+
+    def on_route(self, pool: "Any", address: str) -> None:
+        """Called by the router right before forwarding to ``address``.
+
+        Typed loosely to avoid a circular import; ``pool`` is the
+        router's :class:`~repro.server.shardpool.ShardPool`.
+        """
+        if self.shard_slow_s > 0:
+            time.sleep(self.shard_slow_s)
+        if self._take("shard_kills"):
+            pool.kill_shard(address)

@@ -1,0 +1,710 @@
+"""The sharded serving tier's frontend: an asyncio router.
+
+One endpoint, N daemons.  The router speaks the existing JSON-lines
+protocol *unchanged* — clients (including ``SliceClient`` and every
+``--server`` CLI path) cannot tell a router from a single daemon — and
+routes each analysis request by consistent-hashing its
+``source_fingerprint`` across the shard set, so every artifact is hot
+in exactly one shard's LRU instead of every process re-warming
+everything.
+
+Architecture:
+
+* **Connection holding** — the frontend is a single-threaded asyncio
+  loop; an idle connection costs one parked coroutine, so thousands of
+  editor sessions can stay connected for the price of their sockets.
+  ``ping``/``health`` are answered inline on the loop (they must stay
+  responsive when every forwarding slot is busy, mirroring the
+  daemon's introspection fast path).
+* **Forwarding** — request bodies are handled on a bounded thread pool
+  (``max_inflight``); beyond ``max_inflight + max_queue`` concurrently
+  admitted requests the router sheds load with the same structured
+  ``Overloaded`` error the daemon uses, so client backoff machinery
+  works identically end to end.
+* **Routing** — the routing key is the request's
+  :func:`repro.frontend.source_fingerprint` (the same digest the
+  shards' cache keys are built from).  Requests whose key cannot be
+  derived (missing/invalid params) are forwarded to the first healthy
+  shard so the *daemon's* validation answers authoritatively — the
+  router never re-implements parameter checking.
+* **Failover** — the ring's :meth:`~repro.server.ring.HashRing.preference`
+  order is walked healthy-first: a shard failure (``Overloaded`` /
+  ``Disconnected``, the same retryable set the client uses) advances
+  to the next candidate and feeds the shard's health accounting, so a
+  dead shard is demoted by live traffic before the next probe tick.
+  Structured shard errors (``BadParams``, ``Timeout``, ``MJError``...)
+  are relayed verbatim, stamped with the shard's address in the error
+  payload (``error.endpoint``) for debuggability.
+* **Batch fan-out** — ``slice_batch`` items are grouped by owning
+  shard, the sub-batches forwarded concurrently, and the merged result
+  preserves request order; single-owner batches forward untouched so
+  their bytes stay identical to single-daemon mode.
+* **Aggregation** — ``health`` reports the topology (per-shard state
+  and cached probe payloads, ring ownership shares, router counters)
+  without performing any I/O; ``stats`` fans out live to every shard.
+* **Draining** — ``shutdown`` answers immediately, then the router
+  stops accepting work and drains the pool (spawned shards are shut
+  down; attached shards are left running).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro import __version__
+from repro.frontend import source_fingerprint
+from repro.server.client import RETRYABLE, ServerError
+from repro.server.daemon import MAX_LINE_BYTES, MethodStats
+from repro.server.faults import FaultPlan
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    slice_batch_payload,
+)
+from repro.server.ring import DEFAULT_REPLICAS, HashRing
+from repro.server.shardpool import DRAINING, HEALTHY, ShardPool
+
+logger = logging.getLogger("repro.router")
+
+#: Methods the router understands (the daemon's surface, unchanged).
+ROUTER_METHODS = frozenset(
+    {
+        "ping",
+        "health",
+        "slice",
+        "slice_batch",
+        "explain",
+        "why",
+        "chop",
+        "stats",
+        "shutdown",
+    }
+)
+
+#: Methods answered inline on the event loop — they must stay
+#: responsive even when every forwarding slot is busy.
+_INTROSPECTION = frozenset({"ping", "health", "shutdown"})
+
+#: Above this size a request line is not pre-parsed on the event loop;
+#: it goes straight to a worker thread (only the shed path ever parses
+#: big lines on the loop, to echo the request id).
+_INLINE_PARSE_BYTES = 64 * 1024
+
+#: Default cap on concurrently forwarded requests.
+DEFAULT_MAX_INFLIGHT = 16
+
+#: Admitted-but-waiting requests beyond busy slots before shedding.
+DEFAULT_MAX_QUEUE = 64
+
+
+class Router:
+    """Routes protocol requests across a :class:`ShardPool` via a ring."""
+
+    def __init__(
+        self,
+        pool: ShardPool,
+        replicas: int = DEFAULT_REPLICAS,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        fault_plan: FaultPlan | None = None,
+        line_limit: int = MAX_LINE_BYTES,
+    ) -> None:
+        self.pool = pool
+        self.ring = HashRing(pool.addresses(), replicas=replicas)
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.fault_plan = fault_plan
+        self.line_limit = line_limit
+        self.started = time.time()
+        self.shutting_down = False
+        self.address: tuple[str, int] | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="repro-route"
+        )
+        self._stats_lock = threading.Lock()
+        self._method_stats: dict[str, MethodStats] = {}
+        self.forwarded_total = 0
+        self.failover_total = 0
+        self.shed_total = 0
+        # Event-loop plumbing (populated by start()).
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._stop_async: asyncio.Event | None = None
+        self._start_error: BaseException | None = None
+        self._inflight = 0  # touched only on the event loop thread
+
+    # ------------------------------------------------------------------
+    # Sync request core (runs on forwarding threads; also the test seam)
+    # ------------------------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        """One request line in, one response line out.  Never raises."""
+        if len(line) > self.line_limit:
+            return encode_message(
+                error_response(
+                    None,
+                    "Protocol",
+                    f"request line exceeds {self.line_limit} bytes",
+                )
+            )
+        try:
+            request = decode_message(line)
+        except ProtocolError as exc:
+            return encode_message(error_response(None, "Protocol", str(exc)))
+        return encode_message(self.handle_request(request))
+
+    def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
+        request_id = request.get("id")
+        method = request.get("method")
+        params = request.get("params") or {}
+        if not isinstance(method, str) or method not in ROUTER_METHODS:
+            return error_response(
+                request_id, "UnknownMethod", f"unknown method: {method!r}"
+            )
+        if not isinstance(params, dict):
+            return error_response(
+                request_id, "Protocol", "params must be an object"
+            )
+        start = time.perf_counter()
+        try:
+            if method == "ping":
+                response = ok_response(request_id, self._ping_payload())
+            elif method == "health":
+                response = ok_response(request_id, self.health_payload())
+            elif method == "shutdown":
+                response = ok_response(request_id, self._begin_shutdown())
+            elif method == "stats" and not (
+                "source" in params or "program" in params
+            ):
+                response = ok_response(request_id, self.stats_payload())
+            elif method == "slice_batch":
+                response = self._route_batch(params, request_id)
+            else:
+                response = self._forward(
+                    method, params, self._routing_key(params), request_id
+                )
+        except Exception as exc:  # isolation: the router never dies on a query
+            response = error_response(request_id, type(exc).__name__, str(exc))
+        self._record(
+            method, (time.perf_counter() - start) * 1000, response["ok"]
+        )
+        return response
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _routing_key(self, params: dict[str, Any]) -> str | None:
+        """The request's ``source_fingerprint`` — or ``None`` when it
+        cannot be derived, in which case the request is forwarded to
+        the first healthy shard for authoritative validation."""
+        source = params.get("source")
+        if source is None:
+            program = params.get("program")
+            if not isinstance(program, str):
+                return None
+            try:
+                from repro.suite.loader import load_source
+
+                source = load_source(program)
+            except (FileNotFoundError, OSError):
+                return None
+        if not isinstance(source, str):
+            return None
+        return source_fingerprint(source, bool(params.get("include_stdlib", True)))
+
+    def _candidates(self, key: str | None) -> list[str]:
+        """Forwarding order: ring preference for the key, healthy shards
+        first; unhealthy shards stay as a last resort (they may have
+        recovered since the last probe), draining shards never."""
+        states = {
+            address: snap["state"]
+            for address, snap in self.pool.snapshot().items()
+        }
+        order = (
+            self.ring.preference(key)
+            if key is not None
+            else sorted(states)
+        )
+        healthy = [a for a in order if states.get(a) == HEALTHY]
+        fallback = [
+            a
+            for a in order
+            if states.get(a) not in (HEALTHY, DRAINING) and a in states
+        ]
+        return healthy + fallback
+
+    def _forward(
+        self,
+        method: str,
+        params: dict[str, Any],
+        key: str | None,
+        request_id: Any,
+    ) -> dict[str, Any]:
+        candidates = self._candidates(key)
+        if not candidates:
+            return error_response(
+                request_id,
+                "Overloaded",
+                "no shard available (all draining or none attached); "
+                "retry with backoff",
+            )
+        last: ServerError | None = None
+        for attempt, address in enumerate(candidates):
+            if self.fault_plan is not None:
+                self.fault_plan.on_route(self.pool, address)
+            shard = self.pool.shard(address)
+            try:
+                result = shard.call(method, dict(params))
+            except ServerError as exc:
+                if exc.error_type in RETRYABLE:
+                    refused = isinstance(
+                        exc.__cause__, ConnectionRefusedError
+                    ) or shard.process_exited()
+                    self.pool.note_failure(
+                        address, str(exc), definitely_down=refused
+                    )
+                    with shard._lock:
+                        shard.failed_total += 1
+                    with self._stats_lock:
+                        self.failover_total += 1
+                    last = exc
+                    continue
+                # A structured answer proves the shard is alive; relay
+                # it stamped with the shard's address.
+                self.pool.note_success(address)
+                response = error_response(
+                    request_id, exc.error_type, exc.message
+                )
+                response["error"]["endpoint"] = exc.endpoint or address
+                return response
+            self.pool.note_success(address)
+            with shard._lock:
+                shard.forwarded_total += 1
+            with self._stats_lock:
+                self.forwarded_total += 1
+            if attempt:
+                logger.info(
+                    "%s",
+                    json.dumps(
+                        {
+                            "event": "failover",
+                            "method": method,
+                            "served_by": address,
+                            "attempts": attempt + 1,
+                        },
+                        sort_keys=True,
+                    ),
+                )
+            return ok_response(request_id, result)
+        assert last is not None
+        response = error_response(
+            request_id,
+            last.error_type,
+            f"all {len(candidates)} shards failed; last: {last.message}",
+        )
+        if last.endpoint:
+            response["error"]["endpoint"] = last.endpoint
+        return response
+
+    def _route_batch(
+        self, params: dict[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        """Fan ``slice_batch`` items out to their owning shards and
+        merge the results in request order.
+
+        Malformed shapes are not judged here: the whole request is
+        forwarded to one shard whose validation answers exactly as a
+        single daemon would (all-or-nothing, before any analysis).
+        """
+        raw_items = params.get("items")
+        if raw_items is None:
+            # lines-shape: one source, one owner, forward untouched.
+            return self._forward(
+                "slice_batch", params, self._routing_key(params), request_id
+            )
+        if not isinstance(raw_items, list) or not raw_items:
+            return self._forward("slice_batch", params, None, request_id)
+        groups: dict[str, list[tuple[int, Any]]] = {}
+        group_key: dict[str, str] = {}
+        for index, raw in enumerate(raw_items):
+            if not isinstance(raw, dict):
+                return self._forward("slice_batch", params, None, request_id)
+            merged = {**params, **raw}
+            merged.pop("items", None)
+            merged.pop("lines", None)
+            key = self._routing_key(merged)
+            if key is None:
+                return self._forward("slice_batch", params, None, request_id)
+            candidates = self._candidates(key)
+            owner = candidates[0] if candidates else ""
+            groups.setdefault(owner, []).append((index, raw))
+            group_key.setdefault(owner, key)
+        if len(groups) == 1:
+            # Single owner: forward the original request untouched so
+            # the response bytes match single-daemon mode exactly.
+            (owner,) = groups
+            return self._forward(
+                "slice_batch", params, group_key[owner], request_id
+            )
+
+        defaults = {
+            k: v for k, v in params.items() if k not in ("items", "lines")
+        }
+
+        def run(owner: str) -> dict[str, Any]:
+            sub_params = dict(defaults)
+            sub_params["items"] = [raw for _, raw in groups[owner]]
+            return self._forward(
+                "slice_batch", sub_params, group_key[owner], request_id
+            )
+
+        owners = sorted(groups)
+        with ThreadPoolExecutor(
+            max_workers=len(owners), thread_name_prefix="repro-route-batch"
+        ) as fan:
+            responses = dict(zip(owners, fan.map(run, owners)))
+        ordered: list[Any] = [None] * len(raw_items)
+        distinct = 0
+        for owner in owners:
+            response = responses[owner]
+            if not response["ok"]:
+                # One failing sub-batch fails the whole request, exactly
+                # like the daemon's all-or-nothing validation (other
+                # shards may have warmed their caches — a side effect,
+                # not an observable result).
+                return response
+            result = response["result"]
+            distinct += result["distinct_programs"]
+            for (index, _), payload in zip(groups[owner], result["results"]):
+                ordered[index] = payload
+        return ok_response(
+            request_id,
+            slice_batch_payload(ordered, distinct_programs=distinct),
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregated views
+    # ------------------------------------------------------------------
+
+    def _ping_payload(self) -> dict[str, Any]:
+        return {
+            "pong": True,
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "role": "router",
+        }
+
+    def _router_counters(self) -> dict[str, Any]:
+        with self._stats_lock:
+            return {
+                "forwarded_total": self.forwarded_total,
+                "failover_total": self.failover_total,
+                "shed_total": self.shed_total,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+            }
+
+    def health_payload(self) -> dict[str, Any]:
+        """Topology health from cached probe state — no I/O, so this
+        answers promptly however sick the shards are."""
+        shards = self.pool.snapshot()
+        healthy = [a for a, s in shards.items() if s["state"] == HEALTHY]
+        return {
+            "healthy": bool(healthy) and not self.shutting_down,
+            "shutting_down": self.shutting_down,
+            "role": "router",
+            "shard_count": len(shards),
+            "healthy_shards": len(healthy),
+            "probe_interval_s": self.pool.probe_interval_s,
+            "failure_threshold": self.pool.failure_threshold,
+            "uptime_s": round(time.time() - self.started, 3),
+            "router": self._router_counters(),
+            "shards": shards,
+            "ring": {
+                "replicas": self.ring.replicas,
+                "ownership": {
+                    address: round(share, 4)
+                    for address, share in sorted(self.ring.ownership().items())
+                },
+            },
+        }
+
+    def stats_payload(self) -> dict[str, Any]:
+        """Topology stats: the router's own counters plus a live
+        ``stats`` fan-out to every shard."""
+        shard_stats: dict[str, Any] = {}
+        requests_total = 0
+        for address in self.pool.addresses():
+            try:
+                payload = self.pool.shard(address).call("stats", {})
+            except ServerError as exc:
+                shard_stats[address] = {
+                    "error": {"type": exc.error_type, "message": exc.message}
+                }
+                continue
+            shard_stats[address] = payload
+            requests_total += payload.get("requests_total", 0)
+        with self._stats_lock:
+            methods = {
+                name: stats.as_dict()
+                for name, stats in sorted(self._method_stats.items())
+            }
+            routed_total = sum(s.count for s in self._method_stats.values())
+        return {
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "role": "router",
+            "uptime_s": round(time.time() - self.started, 3),
+            "requests_total": routed_total,
+            "shard_requests_total": requests_total,
+            "methods": methods,
+            "router": self._router_counters(),
+            "shards": shard_stats,
+            "ring": {
+                "replicas": self.ring.replicas,
+                "ownership": {
+                    address: round(share, 4)
+                    for address, share in sorted(self.ring.ownership().items())
+                },
+            },
+        }
+
+    def _record(self, method: str, latency_ms: float, ok: bool) -> None:
+        with self._stats_lock:
+            stats = self._method_stats.setdefault(method, MethodStats())
+            stats.record(latency_ms, ok, False)
+        logger.info(
+            "%s",
+            json.dumps(
+                {
+                    "event": "route",
+                    "method": method,
+                    "ok": ok,
+                    "latency_ms": round(latency_ms, 3),
+                },
+                sort_keys=True,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _begin_shutdown(self) -> dict[str, Any]:
+        """Answer immediately; drain in the background."""
+        already = self.shutting_down
+        self.shutting_down = True
+        if not already:
+            threading.Thread(
+                target=self.stop, name="repro-router-drain", daemon=True
+            ).start()
+        return {"stopping": True}
+
+    def stop(self) -> None:
+        """Stop accepting connections and drain the shard pool."""
+        self.shutting_down = True
+        if self._loop is not None and self._stop_async is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop_async.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self.pool.stop()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Serve on a background event-loop thread; returns the bound
+        ``(host, port)`` (``port=0`` binds an ephemeral port)."""
+        if self._thread is not None:
+            raise RuntimeError("router already started")
+        started = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self._serve_async(host, port, started))
+            except BaseException as exc:  # bind failures land here
+                self._start_error = exc
+                started.set()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-router", daemon=True
+        )
+        self._thread.start()
+        started.wait(timeout=30)
+        if self._start_error is not None:
+            raise self._start_error
+        assert self.address is not None
+        return self.address
+
+    def join(self) -> None:
+        """Block until the serving thread exits (CLI foreground mode)."""
+        if self._thread is not None:
+            while self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+
+    async def _serve_async(
+        self, host: str, port: int, started: threading.Event
+    ) -> None:
+        self._stop_async = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_conn, host, port, limit=self.line_limit + 2
+        )
+        sockname = server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        logger.info(
+            "%s",
+            json.dumps(
+                {
+                    "event": "listening",
+                    "role": "router",
+                    "host": self.address[0],
+                    "port": self.address[1],
+                },
+                sort_keys=True,
+            ),
+        )
+        started.set()
+        async with server:
+            await self._stop_async.wait()
+
+    async def _read_frame(
+        self, reader: asyncio.StreamReader
+    ) -> bytes | None:
+        """One newline-terminated frame; ``b""`` for an oversized line
+        (discarded exactly through its newline, so pipelined requests
+        behind it survive); ``None`` at EOF.
+
+        Built on ``readuntil`` rather than ``readline`` because on
+        overrun ``readuntil`` leaves the buffer intact (``readline``
+        clears it, losing any already-buffered follow-up requests).
+        """
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            # EOF; a trailing unterminated fragment is not a request.
+            return exc.partial or None
+        except asyncio.LimitOverrunError as exc:
+            await reader.readexactly(exc.consumed)
+            while True:
+                try:
+                    await reader.readuntil(b"\n")
+                    return b""
+                except asyncio.LimitOverrunError as more:
+                    await reader.readexactly(more.consumed)
+                except asyncio.IncompleteReadError:
+                    return None
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self.shutting_down:
+                raw = await self._read_frame(reader)
+                if raw is None:
+                    break
+                if raw == b"":
+                    # Oversized line: a structured Protocol error, and
+                    # framing has already recovered at its newline —
+                    # same contract as the daemon's serving loops.
+                    writer.write(
+                        (self._oversize_response() + "\n").encode("utf-8")
+                    )
+                    await writer.drain()
+                    continue
+                line = raw.decode("utf-8", errors="replace")
+                if not line.strip():
+                    continue
+                response = await self._dispatch(line)
+                writer.write((response + "\n").encode("utf-8"))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    def _oversize_response(self) -> str:
+        return encode_message(
+            error_response(
+                None,
+                "Protocol",
+                f"request line exceeds {self.line_limit} bytes",
+            )
+        )
+
+    async def _dispatch(self, line: str) -> str:
+        """Admission + introspection fast path, on the event loop."""
+        request: dict[str, Any] | None = None
+        if len(line) <= _INLINE_PARSE_BYTES:
+            try:
+                request = decode_message(line)
+            except ProtocolError as exc:
+                return encode_message(error_response(None, "Protocol", str(exc)))
+        if request is not None and request.get("method") in _INTROSPECTION:
+            # Never queued behind forwards: health checks must answer
+            # even when every forwarding slot is wedged.
+            return encode_message(self.handle_request(request))
+        if self._inflight >= self.max_inflight + self.max_queue:
+            if request is None:
+                try:
+                    request = decode_message(line)
+                except ProtocolError as exc:
+                    return encode_message(
+                        error_response(None, "Protocol", str(exc))
+                    )
+            with self._stats_lock:
+                self.shed_total += 1
+            return encode_message(
+                error_response(
+                    request.get("id"),
+                    "Overloaded",
+                    f"router at capacity ({self.max_inflight} in flight, "
+                    f"{self.max_queue} queued); retry with backoff",
+                )
+            )
+        self._inflight += 1
+        loop = asyncio.get_running_loop()
+        try:
+            if request is not None:
+                return await loop.run_in_executor(
+                    self._executor,
+                    lambda: encode_message(self.handle_request(request)),
+                )
+            return await loop.run_in_executor(
+                self._executor, self.handle_line, line
+            )
+        finally:
+            self._inflight -= 1
+
+
+def start_router(
+    pool: ShardPool,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **router_kwargs: Any,
+) -> Router:
+    """Build a :class:`Router` over ``pool``, start probing, and serve."""
+    router = Router(pool, **router_kwargs)
+    pool.probe_all()  # a deterministic first round before traffic lands
+    pool.start_probing()
+    router.start(host, port)
+    return router

@@ -1,0 +1,430 @@
+"""Shard lifecycle for the sharded serving tier.
+
+A *shard* is one ordinary ``repro serve --tcp`` daemon — admission
+control, quarantine, circuit breaker, and the two-tier cache all stay
+per-shard, exactly as they are in a single-daemon deployment.  This
+module owns everything the router needs to treat N of them as one
+service:
+
+* **Attachment** — :meth:`ShardPool.attach` registers an externally
+  managed daemon by address; :meth:`ShardPool.spawn_local` forks local
+  shard processes on ephemeral ports (reading the bound port back from
+  the daemon's structured ``listening`` log line) so ``repro serve
+  --shards N`` starts a whole tier with one command.
+* **Health** — a background probe thread calls the existing ``health``
+  RPC on every shard each interval.  A shard is marked ``unhealthy``
+  after ``failure_threshold`` consecutive failures — immediately when
+  the failure proves nothing is listening (connection refused, or a
+  spawned process that has exited).  A later successful probe marks it
+  healthy again; forwarding failures and successes feed the same
+  counters, so a dying shard is usually demoted by live traffic before
+  the next probe tick.
+* **Connection reuse** — each shard keeps a small free-list of
+  :class:`~repro.server.client.SliceClient` connections; the router
+  borrows one per forwarded request and returns it on success, so warm
+  traffic pays no re-dial.  Transport failures discard the connection.
+* **Draining** — :meth:`ShardPool.stop` marks every shard draining (no
+  new requests are routed to it), politely asks *spawned* shards to
+  shut down via the ``shutdown`` RPC, and kills any that linger.
+  Externally attached shards are left running — they may be serving
+  other routers.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from typing import Any
+
+from repro.server.client import ServerError, SliceClient
+
+#: Consecutive probe/forward failures before a shard is demoted.
+DEFAULT_FAILURE_THRESHOLD = 2
+
+#: Seconds between health-probe rounds.
+DEFAULT_PROBE_INTERVAL_S = 1.0
+
+#: Per-probe RPC timeout — probes must never wedge the probe thread.
+PROBE_TIMEOUT_S = 2.0
+
+#: How long to wait for a spawned shard to report its bound port.
+SPAWN_TIMEOUT_S = 30.0
+
+HEALTHY = "healthy"
+UNHEALTHY = "unhealthy"
+DRAINING = "draining"
+
+
+class ShardSpawnError(RuntimeError):
+    """A locally spawned shard died before reporting its address."""
+
+
+class Shard:
+    """One daemon endpoint: state, counters, and pooled connections."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        process: subprocess.Popen | None = None,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.address = f"{host}:{port}"
+        self.process = process
+        self.request_timeout = request_timeout
+        self.state = HEALTHY
+        self.consecutive_failures = 0
+        self.forwarded_total = 0
+        self.failed_total = 0
+        self.last_probe: dict[str, Any] | None = None
+        self.last_error: str | None = None
+        self._lock = threading.Lock()
+        self._free: list[SliceClient] = []
+
+    # -- connections ---------------------------------------------------
+
+    def _dial(self, timeout: float | None = None) -> SliceClient:
+        try:
+            return SliceClient.connect(
+                self.host,
+                self.port,
+                timeout=timeout if timeout is not None else self.request_timeout,
+                retries=0,
+            )
+        except OSError as exc:
+            raise ServerError(
+                "Disconnected",
+                f"cannot connect to shard: {exc}",
+                endpoint=self.address,
+            ) from exc
+
+    def call(self, method: str, params: dict[str, Any]) -> dict[str, Any]:
+        """One forwarded request on a pooled connection.
+
+        The borrowed client has ``retries=0``: retry policy belongs to
+        the router (which re-routes via the ring), not to the per-shard
+        transport — a second attempt against a dead shard would only
+        add latency before the failover.
+        """
+        with self._lock:
+            client = self._free.pop() if self._free else None
+        if client is None:
+            client = self._dial()
+        try:
+            result = client.request(method, **params)
+        except ServerError:
+            # Whatever the failure, this connection's state is now
+            # suspect (a Timeout may leave an unread response in the
+            # pipe); never return it to the pool.
+            client.close()
+            raise
+        except BaseException:
+            client.close()
+            raise
+        with self._lock:
+            self._free.append(client)
+        return result
+
+    def probe(self) -> dict[str, Any]:
+        """One ``health`` round trip on a fresh, short-timeout dial."""
+        client = self._dial(timeout=PROBE_TIMEOUT_S)
+        try:
+            return client.health()
+        finally:
+            client.close()
+
+    def close_connections(self) -> None:
+        with self._lock:
+            free, self._free = self._free, []
+        for client in free:
+            try:
+                client.close()
+            except (OSError, ValueError):
+                pass
+
+    def process_exited(self) -> bool:
+        return self.process is not None and self.process.poll() is not None
+
+    def snapshot(self) -> dict[str, Any]:
+        """Cached state for the router's aggregated ``health`` view —
+        never performs I/O, so the aggregate stays fast under failure."""
+        with self._lock:
+            payload: dict[str, Any] = {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "forwarded_total": self.forwarded_total,
+                "failed_total": self.failed_total,
+                "spawned": self.process is not None,
+                "last_probe": self.last_probe,
+            }
+            if self.process is not None:
+                payload["pid"] = self.process.pid
+            if self.last_error is not None:
+                payload["last_error"] = self.last_error
+        return payload
+
+
+class ShardPool:
+    """The router's view of every shard: membership, health, draining."""
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        probe_interval_s: float = DEFAULT_PROBE_INTERVAL_S,
+        request_timeout: float = 30.0,
+        echo_shard_logs: bool = True,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.probe_interval_s = probe_interval_s
+        self.request_timeout = request_timeout
+        self.echo_shard_logs = echo_shard_logs
+        self._shards: dict[str, Shard] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._probe_thread: threading.Thread | None = None
+        self._drains: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def attach(self, host: str, port: int) -> Shard:
+        """Register an externally managed daemon as a shard."""
+        shard = Shard(host, port, request_timeout=self.request_timeout)
+        with self._lock:
+            self._shards[shard.address] = shard
+        return shard
+
+    def spawn_local(
+        self,
+        count: int,
+        serve_args: list[str] | None = None,
+        python: str = sys.executable,
+    ) -> list[Shard]:
+        """Fork ``count`` local shard daemons on ephemeral ports.
+
+        Each shard is ``python -m repro.cli serve --tcp 127.0.0.1:0``
+        plus ``serve_args``; the bound port is read back from the
+        daemon's structured ``listening`` log line on stderr, after
+        which a drain thread forwards the shard's remaining logs to
+        this process's stderr.
+        """
+        spawned = []
+        for _ in range(count):
+            process = subprocess.Popen(
+                [python, "-m", "repro.cli", "serve", "--tcp", "127.0.0.1:0"]
+                + list(serve_args or []),
+                stdin=subprocess.DEVNULL,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            try:
+                port = self._await_listening(process)
+            except Exception:
+                process.kill()
+                process.wait()
+                raise
+            shard = Shard(
+                "127.0.0.1",
+                port,
+                process=process,
+                request_timeout=self.request_timeout,
+            )
+            drain = threading.Thread(
+                target=self._drain_stderr,
+                args=(process, shard.address, self.echo_shard_logs),
+                name=f"repro-shard-log-{port}",
+                daemon=True,
+            )
+            drain.start()
+            self._drains.append(drain)
+            with self._lock:
+                self._shards[shard.address] = shard
+            spawned.append(shard)
+        return spawned
+
+    @staticmethod
+    def _await_listening(process: subprocess.Popen) -> int:
+        assert process.stderr is not None
+        deadline = time.monotonic() + SPAWN_TIMEOUT_S
+        collected: list[str] = []
+        while time.monotonic() < deadline:
+            line = process.stderr.readline()
+            if not line:
+                raise ShardSpawnError(
+                    "shard exited before listening "
+                    f"(exit code {process.poll()}): {''.join(collected)[-500:]}"
+                )
+            collected.append(line)
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict) and event.get("event") == "listening":
+                return int(event["port"])
+        raise ShardSpawnError("shard did not report a port in time")
+
+    @staticmethod
+    def _drain_stderr(
+        process: subprocess.Popen, address: str, echo: bool = True
+    ) -> None:
+        """Forward a spawned shard's logs so they are not lost (and so
+        the shard never blocks on a full stderr pipe).  With ``echo``
+        off the pipe is still drained, just silently."""
+        assert process.stderr is not None
+        try:
+            for line in process.stderr:
+                if echo:
+                    sys.stderr.write(f"[shard {address}] {line}")
+        except (OSError, ValueError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def shard(self, address: str) -> Shard:
+        with self._lock:
+            return self._shards[address]
+
+    def addresses(self) -> list[str]:
+        with self._lock:
+            return sorted(self._shards)
+
+    def healthy_addresses(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                address
+                for address, shard in self._shards.items()
+                if shard.state == HEALTHY
+            )
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        with self._lock:
+            shards = dict(self._shards)
+        return {address: shard.snapshot() for address, shard in sorted(shards.items())}
+
+    # ------------------------------------------------------------------
+    # Health accounting (fed by probes *and* by forwarding outcomes)
+    # ------------------------------------------------------------------
+
+    def note_success(self, address: str, probe: dict[str, Any] | None = None) -> None:
+        shard = self.shard(address)
+        with shard._lock:
+            shard.consecutive_failures = 0
+            shard.last_error = None
+            if probe is not None:
+                shard.last_probe = probe
+            if shard.state != DRAINING:
+                shard.state = HEALTHY
+
+    def note_failure(
+        self, address: str, error: str, definitely_down: bool = False
+    ) -> None:
+        """One failed probe or forward.  ``definitely_down`` skips the
+        consecutive-failure grace: a refused connection or an exited
+        process is not a blip worth waiting out."""
+        shard = self.shard(address)
+        with shard._lock:
+            shard.consecutive_failures += 1
+            shard.last_error = error
+            if shard.state == DRAINING:
+                return
+            if definitely_down or shard.consecutive_failures >= self.failure_threshold:
+                shard.state = UNHEALTHY
+
+    def _probe_one(self, shard: Shard) -> None:
+        if shard.state == DRAINING:
+            return
+        if shard.process_exited():
+            self.note_failure(
+                shard.address,
+                f"shard process exited with code {shard.process.poll()}",
+                definitely_down=True,
+            )
+            return
+        try:
+            payload = shard.probe()
+        except ServerError as exc:
+            refused = isinstance(exc.__cause__, ConnectionRefusedError)
+            self.note_failure(
+                shard.address, str(exc), definitely_down=refused
+            )
+            return
+        if payload.get("shutting_down"):
+            self.note_failure(
+                shard.address, "shard is shutting down", definitely_down=True
+            )
+            return
+        self.note_success(shard.address, probe=payload)
+
+    def probe_all(self) -> None:
+        """One synchronous probe round (the probe thread's body; also
+        handy for tests and for a deterministic first round)."""
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            self._probe_one(shard)
+
+    def start_probing(self) -> None:
+        if self._probe_thread is not None:
+            return
+        self._probe_thread = threading.Thread(
+            target=self._probe_loop, name="repro-shard-probe", daemon=True
+        )
+        self._probe_thread.start()
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self.probe_interval_s):
+            self.probe_all()
+
+    # ------------------------------------------------------------------
+    # Drills and draining
+    # ------------------------------------------------------------------
+
+    def kill_shard(self, address: str) -> bool:
+        """Hard-kill a *spawned* shard (the chaos drill's hammer).
+        Returns False for externally attached shards."""
+        shard = self.shard(address)
+        if shard.process is None:
+            return False
+        shard.process.kill()
+        shard.process.wait()
+        return True
+
+    def stop(self, drain_timeout_s: float = 5.0) -> None:
+        """Drain the tier: stop probing, stop routing, stop spawned shards."""
+        self._stop.set()
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=drain_timeout_s)
+            self._probe_thread = None
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            with shard._lock:
+                shard.state = DRAINING
+        for shard in shards:
+            shard.close_connections()
+            if shard.process is None or shard.process.poll() is not None:
+                continue
+            try:
+                client = shard._dial(timeout=2.0)
+                try:
+                    client.shutdown()
+                finally:
+                    client.close()
+            except ServerError:
+                pass
+            try:
+                shard.process.wait(timeout=drain_timeout_s)
+            except subprocess.TimeoutExpired:
+                shard.process.kill()
+                shard.process.wait()

@@ -178,6 +178,58 @@ def test_process_executor_beats_threads_on_cold_analyses():
     )
 
 
+#: The checked-in scale corpus (tests/scale/): grammar-generated
+#: programs whose cold analyses run well past the hand-written suite
+#: (~0.4–1.0s vs the suite's ~0.2s ceiling), so these guards exercise
+#: non-trivial points-to/SDG workloads.  Envelopes are ~10x measured.
+SCALE_ENVELOPE_MS = {
+    "scale_s101_x6.mj": 5_000,
+    "scale_s202_x6.mj": 5_000,
+    "scale_s303_x14.mj": 8_000,
+    "scale_s404_x14.mj": 12_000,
+}
+
+_SCALE_DIR = os.path.join(os.path.dirname(__file__), "scale")
+
+
+@pytest.mark.perf
+@pytest.mark.parametrize("name", sorted(SCALE_ENVELOPE_MS))
+def test_scale_corpus_analysis_envelope(name):
+    from repro import analyze
+
+    with open(os.path.join(_SCALE_DIR, name)) as handle:
+        source = handle.read()
+    elapsed = _timed(lambda: analyze(source, name))
+    budget = SCALE_ENVELOPE_MS[name] / 1000
+    assert elapsed < budget, (
+        f"cold analysis of scale-corpus {name} took {elapsed * 1000:.0f}ms "
+        f"(envelope {SCALE_ENVELOPE_MS[name]}ms)"
+    )
+
+
+def test_scale_corpus_matches_generator():
+    """Every corpus file regenerates byte-identically from its manifest
+    entry — the grammar's determinism contract extends to the scale
+    dial, so a grammar change that silently rewrites the corpus (and
+    its measured costs) fails here instead of skewing the perf guards."""
+    import json
+
+    from repro.fuzz.grammar import generate_program
+
+    with open(os.path.join(_SCALE_DIR, "MANIFEST.json")) as handle:
+        manifest = json.load(handle)
+    assert len(manifest) >= 3
+    for entry in manifest:
+        with open(os.path.join(_SCALE_DIR, entry["file"])) as handle:
+            checked_in = handle.read()
+        regenerated = generate_program(entry["seed"], scale=entry["scale"])
+        assert regenerated == checked_in, (
+            f"{entry['file']} no longer matches "
+            f"generate_program({entry['seed']}, scale={entry['scale']})"
+        )
+        assert len(checked_in.splitlines()) == entry["lines"]
+
+
 @pytest.mark.perf
 def test_thousand_slices_under_budget():
     compiled = compile_source(

@@ -1,0 +1,158 @@
+"""Consistent-hash ring properties the sharded tier depends on.
+
+Three load-bearing guarantees: fingerprints spread evenly across
+shards (balance), membership changes move only ~1/N of the keyspace
+(the whole point of consistent hashing — a shard join/leave warms the
+survivors instead of flushing the tier), and identical fingerprints
+always land on the same shard (routing stability, which is what makes
+per-shard cache locality real).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.server.ring import HashRing
+
+#: Synthetic "fingerprints": same construction as the real routing key
+#: (hex SHA-256 digests), enough of them for tight distribution stats.
+KEYS = [
+    hashlib.sha256(f"program-{i}".encode()).hexdigest() for i in range(8000)
+]
+
+
+def _nodes(count: int) -> list[str]:
+    return [f"127.0.0.1:{7000 + i}" for i in range(count)]
+
+
+def _counts(ring: HashRing) -> dict[str, int]:
+    counts = {node: 0 for node in ring.nodes()}
+    for key in KEYS:
+        counts[ring.owner(key)] += 1
+    return counts
+
+
+class TestBalance:
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_key_distribution_is_balanced(self, shards):
+        """Every shard owns within 2x of its fair share of keys."""
+        ring = HashRing(_nodes(shards), replicas=64)
+        counts = _counts(ring)
+        fair = len(KEYS) / shards
+        for node, count in counts.items():
+            assert fair / 2 <= count <= fair * 2, (
+                f"{node} owns {count} of {len(KEYS)} keys "
+                f"(fair share {fair:.0f})"
+            )
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_ownership_fractions_track_key_counts(self, shards):
+        """The analytic arc shares agree with empirical key placement."""
+        ring = HashRing(_nodes(shards), replicas=64)
+        counts = _counts(ring)
+        shares = ring.ownership()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        for node in ring.nodes():
+            empirical = counts[node] / len(KEYS)
+            assert abs(shares[node] - empirical) < 0.05
+
+    def test_more_replicas_tighten_balance(self):
+        spreads = {}
+        for replicas in (8, 128):
+            ring = HashRing(_nodes(4), replicas=replicas)
+            counts = _counts(ring)
+            spreads[replicas] = max(counts.values()) - min(counts.values())
+        assert spreads[128] < spreads[8]
+
+
+class TestRemapping:
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_join_moves_about_one_over_n(self, shards):
+        """Adding shard N+1 remaps ~1/(N+1) of keys — never more than
+        twice that, and every move targets the new shard only."""
+        ring = HashRing(_nodes(shards), replicas=64)
+        before = {key: ring.owner(key) for key in KEYS}
+        newcomer = "127.0.0.1:9999"
+        ring.add(newcomer)
+        moved = 0
+        for key in KEYS:
+            after = ring.owner(key)
+            if after != before[key]:
+                moved += 1
+                # Consistent hashing's defining property: a join only
+                # reassigns keys *to the joiner*, never between
+                # incumbents.
+                assert after == newcomer
+        assert moved / len(KEYS) <= 2 / (shards + 1)
+        assert moved > 0
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_leave_moves_only_the_leavers_keys(self, shards):
+        ring = HashRing(_nodes(shards), replicas=64)
+        before = {key: ring.owner(key) for key in KEYS}
+        leaver = ring.nodes()[0]
+        ring.remove(leaver)
+        for key in KEYS:
+            if before[key] != leaver:
+                assert ring.owner(key) == before[key]
+
+    def test_leave_then_rejoin_restores_placement(self):
+        """A shard bouncing (crash + recovery) reclaims exactly its old
+        arc — the tier's warm caches survive the bounce."""
+        ring = HashRing(_nodes(4), replicas=64)
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.remove(_nodes(4)[2])
+        ring.add(_nodes(4)[2])
+        assert {key: ring.owner(key) for key in KEYS} == before
+
+
+class TestStability:
+    def test_identical_fingerprints_route_identically(self):
+        ring_a = HashRing(_nodes(5), replicas=64)
+        # Same membership, different insertion order, fresh process
+        # state: placement must be a pure function of (nodes, key).
+        ring_b = HashRing(list(reversed(_nodes(5))), replicas=64)
+        for key in KEYS[:500]:
+            assert ring_a.owner(key) == ring_b.owner(key)
+            assert ring_a.preference(key) == ring_b.preference(key)
+
+    def test_preference_starts_with_owner_and_covers_all(self):
+        ring = HashRing(_nodes(4), replicas=64)
+        for key in KEYS[:200]:
+            order = ring.preference(key)
+            assert order[0] == ring.owner(key)
+            assert sorted(order) == ring.nodes()
+
+    def test_preference_orders_differ_across_keys(self):
+        """Failover traffic spreads: the second-choice shard is not the
+        same for every key (no thundering herd onto one survivor)."""
+        ring = HashRing(_nodes(4), replicas=64)
+        seconds = {ring.preference(key)[1] for key in KEYS[:200]}
+        assert len(seconds) > 1
+
+
+class TestEdges:
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert len(ring) == 0
+        assert ring.preference("abc") == []
+        assert ring.ownership() == {}
+        with pytest.raises(LookupError):
+            ring.owner("abc")
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only:1"])
+        assert ring.ownership() == {"only:1": 1.0}
+        assert all(ring.owner(key) == "only:1" for key in KEYS[:100])
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(_nodes(3))
+        before = {key: ring.owner(key) for key in KEYS[:200]}
+        ring.add(_nodes(3)[1])
+        assert {key: ring.owner(key) for key in KEYS[:200]} == before
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
