@@ -6,7 +6,7 @@ query three ways:
 * **cold** — empty cache, the request pays the full pipeline;
 * **warm (memory)** — repeat against the same daemon, LRU hit;
 * **warm (disk)** — a *restarted* daemon over the same artifact store,
-  so the request unpickles instead of re-analyzing.
+  so the request maps the flat artifact instead of re-analyzing.
 
 Emits a human table (``results/server_latency.txt``) and a
 machine-readable trajectory point (``results/BENCH_server.json``).

@@ -1,0 +1,156 @@
+"""Warm-disk artifact cost: flat mmap view vs legacy pickle envelope.
+
+The serving-tier question this answers: a daemon restarts (or a new
+shard spins up) over a populated store — how fast is the first slice
+for each stored program?  Two warm paths are measured end-to-end
+(load + one thin slice from a mid-program seed):
+
+* **flat** — map the ``.art`` file read-only, slice straight off the
+  :class:`~repro.artifact.ArtifactView` arrays (format 3, the
+  production path: nothing is unpickled, nothing is reconstructed);
+* **pickle** — read the format-2 envelope and unpickle the whole
+  :class:`~repro.AnalyzedProgram` object graph, the way the store
+  worked before the flat format landed.
+
+Corpus: every suite program plus the two mid-size generated programs
+from ``tests/scale/``.  Emits ``results/store.txt`` and
+``results/BENCH_store.json``; asserts the flat path is ≥3x faster on
+the largest suite program (the acceptance threshold the CI perf guard
+also enforces — mmap vs unpickle is not core-count dependent, so the
+assertion runs everywhere).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from pathlib import Path
+
+from _util import emit, format_table
+from repro import AnalyzeOptions, analyze
+from repro.artifact import ArtifactView, content_key
+from repro.server.store import DiskStore
+from repro.slicing.flatslice import flat_slicer
+from repro.suite.harness import SUITE_PROGRAMS
+from repro.suite.loader import load_source
+
+SCALE_DIR = Path(__file__).resolve().parent.parent / "tests" / "scale"
+SCALE_FILES = ["scale_s101_x6.mj", "scale_s202_x6.mj"]
+REPEATS = 5
+SPEEDUP_FLOOR = 3.0
+
+
+def _corpus() -> list[tuple[str, str]]:
+    entries = [(name, load_source(name)) for name in SUITE_PROGRAMS]
+    for filename in SCALE_FILES:
+        entries.append((filename.removesuffix(".mj"), (SCALE_DIR / filename).read_text()))
+    return entries
+
+
+def _seed_line(view: ArtifactView) -> int:
+    """A mid-program statement line (same seed for both paths)."""
+    lines = sorted(
+        {
+            view.node_line(node)
+            for node in view.graph_nodes()
+            if view.is_statement(node) and view.node_line(node) > 0
+        }
+    )
+    return lines[len(lines) // 2]
+
+
+def _flat_warm_ms(store: DiskStore, key: str, seed: int) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        view = store.load_view(key)
+        result = flat_slicer(view, "thin").slice_from_line(seed)
+        assert result.lines
+        best = min(best, (time.perf_counter() - start) * 1000)
+        view.close()
+    return best
+
+
+def _pickle_warm_ms(store: DiskStore, key: str, seed: int) -> float:
+    """The retired format-2 warm path, reproduced without migration."""
+    path = store.legacy_path_for(key)
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        envelope = pickle.loads(path.read_bytes())
+        analyzed = pickle.loads(envelope["payload"])
+        result = analyzed.thin_slicer.slice_from_line(seed)
+        assert result.lines
+        best = min(best, (time.perf_counter() - start) * 1000)
+    return best
+
+
+def test_store_warm_path(results_dir, tmp_path):
+    flat_store = DiskStore(tmp_path / "flat")
+    legacy_store = DiskStore(tmp_path / "legacy")
+
+    rows = []
+    programs = {}
+    for name, source in _corpus():
+        options = AnalyzeOptions()
+        key = content_key(source, options)
+        start = time.perf_counter()
+        analyzed = analyze(source, f"{name}.mj", options=options)
+        analyze_ms = (time.perf_counter() - start) * 1000
+
+        flat_store.save(key, analyzed)
+        legacy_store.write_legacy_pickle(key, analyzed)
+        art_bytes = flat_store.path_for(key).stat().st_size
+        pkl_bytes = legacy_store.legacy_path_for(key).stat().st_size
+
+        probe = flat_store.load_view(key)
+        seed = _seed_line(probe)
+        probe.close()
+
+        flat_ms = _flat_warm_ms(flat_store, key, seed)
+        pickle_ms = _pickle_warm_ms(legacy_store, key, seed)
+        speedup = pickle_ms / flat_ms
+        programs[name] = {
+            "seed_line": seed,
+            "analyze_ms": round(analyze_ms, 1),
+            "art_kb": round(art_bytes / 1024, 1),
+            "pkl_kb": round(pkl_bytes / 1024, 1),
+            "flat_warm_ms": round(flat_ms, 3),
+            "pickle_warm_ms": round(pickle_ms, 3),
+            "speedup": round(speedup, 2),
+        }
+        rows.append(
+            [
+                name,
+                f"{art_bytes / 1024:.0f}KB",
+                f"{pkl_bytes / 1024:.0f}KB",
+                f"{flat_ms:.2f}ms",
+                f"{pickle_ms:.2f}ms",
+                f"{speedup:.1f}x",
+            ]
+        )
+
+    largest = max(
+        SUITE_PROGRAMS, key=lambda name: programs[name]["pkl_kb"]
+    )
+    payload = {
+        "benchmark": "store",
+        "repeats": REPEATS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "largest_suite_program": largest,
+        "programs": programs,
+    }
+    table = format_table(
+        ["program", "art", "pkl", "flat warm", "pickle warm", "speedup"], rows
+    )
+    table += (
+        f"\nwarm path = load + one thin slice, best of {REPEATS}; "
+        f"floor: flat >= {SPEEDUP_FLOOR:.0f}x on {largest}\n"
+    )
+    emit(results_dir, "store.txt", table)
+    (results_dir / "BENCH_store.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert programs[largest]["speedup"] >= SPEEDUP_FLOOR, programs[largest]

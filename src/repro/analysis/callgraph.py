@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
-from repro.analysis.heapmodel import AbstractObject, _CachedHash, _nil
+from repro.analysis.heapmodel import AbstractObject, _CachedHash
 
 
 @dataclass(frozen=True)
@@ -25,7 +25,7 @@ class MethodInstance(_CachedHash):
         try:
             return self._hash
         except AttributeError:
-            value = hash((self.function, _nil(self.context)))
+            value = hash((self.function, self.context))
             object.__setattr__(self, "_hash", value)
             return value
 

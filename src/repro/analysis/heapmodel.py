@@ -20,18 +20,16 @@ ARRAY_FIELD = "[]"
 STRING_SITE = -1
 ARGS_ARRAY_SITE = -2
 
-#: Stands in for ``None`` inside hashed field tuples.  ``hash(None)`` is
-#: address-derived on Python < 3.12 and ASLR re-randomizes it per
-#: process even under ``PYTHONHASHSEED=0``; letting it into these hashes
-#: would make set/frozenset layout — and therefore pickled artifact
-#: bytes — differ between worker processes, breaking the byte-stable
-#: artifacts the serialize-once store path relies on.  ``hash(())`` is a
-#: pure algorithmic constant, stable everywhere.
-_NIL = ()
-
-
-def _nil(value):
-    return _NIL if value is None else value
+# History: these hash tuples used to route ``None`` fields through a
+# ``_NIL = ()`` stand-in, because ``hash(None)`` is address-derived on
+# Python < 3.12 and ASLR re-randomizes it per process even under
+# ``PYTHONHASHSEED=0`` — set/frozenset iteration order (and therefore
+# pickled artifact bytes) differed between worker processes, and the
+# serialize-once pickle store needed byte-stable blobs.  The flat
+# artifact format (repro.artifact) sorts edges at encode time, so its
+# canonical bytes no longer depend on hash-driven iteration order and
+# the substitution is retired; tests/test_artifact.py documents the
+# history and asserts the canonical-bytes guarantee that replaced it.
 
 
 class _CachedHash:
@@ -51,9 +49,7 @@ class _CachedHash:
             return self._hash
         except AttributeError:
             value = hash(
-                tuple(
-                    _nil(getattr(self, name)) for name in self.__hash_fields__
-                )
+                tuple(getattr(self, name) for name in self.__hash_fields__)
             )
             object.__setattr__(self, "_hash", value)
             return value
@@ -86,7 +82,7 @@ class AbstractObject(_CachedHash):
             return self._hash
         except AttributeError:
             value = hash(
-                (self.site, self.class_name, self.kind, _nil(self.context), self.label)
+                (self.site, self.class_name, self.kind, self.context, self.label)
             )
             object.__setattr__(self, "_hash", value)
             return value
@@ -164,7 +160,7 @@ class VarKey(_CachedHash):
         try:
             return self._hash
         except AttributeError:
-            value = hash((self.function, self.var, _nil(self.context)))
+            value = hash((self.function, self.var, self.context))
             object.__setattr__(self, "_hash", value)
             return value
 
@@ -223,7 +219,7 @@ class RetKey(_CachedHash):
         try:
             return self._hash
         except AttributeError:
-            value = hash((self.function, _nil(self.context)))
+            value = hash((self.function, self.context))
             object.__setattr__(self, "_hash", value)
             return value
 

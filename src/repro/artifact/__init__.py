@@ -1,0 +1,22 @@
+"""Flat, versioned, mmap-able analysis artifacts.
+
+The write side (:func:`encode_artifact`) flattens an
+:class:`~repro.AnalyzedProgram` into struct-of-arrays sections; the read
+side (:class:`ArtifactView`) maps those bytes read-only and serves the
+slicers directly — see :mod:`repro.artifact.format` for the layout.
+"""
+
+from repro.artifact.format import ARTIFACT_FORMAT, MAGIC, NO_SITE, ArtifactError
+from repro.artifact.encode import canonical_bytes, content_key, encode_artifact
+from repro.artifact.view import ArtifactView
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "MAGIC",
+    "NO_SITE",
+    "ArtifactError",
+    "ArtifactView",
+    "canonical_bytes",
+    "content_key",
+    "encode_artifact",
+]

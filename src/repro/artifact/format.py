@@ -1,0 +1,151 @@
+"""Binary layout of the flat, mmap-able analysis artifact.
+
+One artifact file is a header plus a table of named sections::
+
+    offset 0   magic       8 bytes  b"REPROSDG"
+    offset 8   format      u32      ARTIFACT_FORMAT
+    offset 12  sections    u32      section count S
+    offset 16  table       S x (tag 4s, offset u64, length u64)
+    ...        section payloads, 8-byte aligned, in table order
+
+All integers are little-endian.  Section payloads are struct-of-arrays
+views over the SDG — fixed-width per-node and per-edge arrays that a
+reader can address directly through ``memoryview.cast`` on a read-only
+``mmap`` without materializing a single Python object per node:
+
+========  =============================================================
+``META``  JSON (sorted keys): package version, cache key, filename,
+          analyze options, stats counts, user-source length.
+``STRS``  Interned string table: u32 count, u32 offsets[count+1],
+          then the concatenated UTF-8 bytes (function names).
+``KIND``  u8[N] node kind (see :data:`NODE_KINDS`).
+``LINE``  i32[N] 1-based source line (0 for positionless nodes).
+``SITE``  u32[N] call-site uid for actual-in/out and call statements,
+          :data:`NO_SITE` otherwise (tabulation's site matching).
+``EIDX``  u32[N+1] CSR row index into ``ETGT``/``EKND``.
+``ETGT``  u32[E] backward edge targets (the nodes depended on).
+``EKND``  u8[E] edge kind (``EdgeKind.index``).
+``LKEY``  i32[L] sorted distinct seed lines.
+``LIDX``  u32[L+1] CSR row index into ``LNOD``.
+``LNOD``  u32[*] statement-node ids per seed line (slice seeds).
+``FUNC``  u32[F*3] per-function (name ref into STRS, node start,
+          node end): nodes are renumbered contiguously per function,
+          so each function owns one offset-indexed id range.
+``SRC ``  UTF-8 full program text (user source + appended stdlib).
+``RICH``  optional pickle of the full ``AnalyzedProgram`` (timings
+          stripped) — the ``to_analyzed_program()`` escape hatch.
+          Never touched by the slice fast path, so its pages are
+          never faulted in on a warm-disk slice.
+========  =============================================================
+
+Node ids are dense ints ``0..N-1``; edges are stored backward (the
+direction every slicer walks), per-node lists sorted by (target, kind)
+so the encoding is canonical: every section except ``RICH`` is a pure
+function of ``(source, options, package version)``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+MAGIC = b"REPROSDG"
+
+#: Version of this binary layout; bumped on any incompatible change.
+ARTIFACT_FORMAT = 1
+
+#: Sentinel in ``SITE`` for nodes that belong to no call site.
+NO_SITE = 0xFFFFFFFF
+
+#: ``KIND`` codes, index-aligned with :data:`NODE_ROLES`.
+KIND_STMT = 0
+KIND_ENTRY = 1
+KIND_FORMAL_IN = 2
+KIND_FORMAL_OUT = 3
+KIND_ACTUAL_IN = 4
+KIND_ACTUAL_OUT = 5
+
+#: ``KIND`` code -> tabulation role name (None for plain statements).
+NODE_ROLES = (None, "entry", "formal_in", "formal_out", "actual_in", "actual_out")
+
+#: ParamNode role -> ``KIND`` code.
+KIND_OF_ROLE = {
+    "entry": KIND_ENTRY,
+    "formal_in": KIND_FORMAL_IN,
+    "formal_out": KIND_FORMAL_OUT,
+    "actual_in": KIND_ACTUAL_IN,
+    "actual_out": KIND_ACTUAL_OUT,
+}
+
+_HEADER = struct.Struct("<8sII")
+_ENTRY = struct.Struct("<4sQQ")
+
+#: Sections whose bytes are canonical (everything but the pickle).
+CANONICAL_TAGS = (
+    b"META", b"STRS", b"KIND", b"LINE", b"SITE", b"EIDX", b"ETGT",
+    b"EKND", b"LKEY", b"LIDX", b"LNOD", b"FUNC", b"SRC ",
+)
+
+
+class ArtifactError(ValueError):
+    """A buffer that is not a valid artifact (bad magic, truncated
+    sections, wrong format/package version, key mismatch)."""
+
+
+def _pad8(length: int) -> int:
+    return (8 - length % 8) % 8
+
+
+def pack_sections(sections: list[tuple[bytes, bytes]]) -> bytes:
+    """Assemble header + table + 8-byte-aligned payloads."""
+    table_size = _HEADER.size + _ENTRY.size * len(sections)
+    offset = table_size + _pad8(table_size)
+    entries = []
+    chunks = []
+    for tag, payload in sections:
+        assert len(tag) == 4, tag
+        entries.append(_ENTRY.pack(tag, offset, len(payload)))
+        chunks.append(payload)
+        pad = _pad8(len(payload))
+        if pad:
+            chunks.append(b"\x00" * pad)
+        offset += len(payload) + pad
+    head = _HEADER.pack(MAGIC, ARTIFACT_FORMAT, len(sections))
+    parts = [head, *entries]
+    pad = _pad8(table_size)
+    if pad:
+        parts.append(b"\x00" * pad)
+    parts.extend(chunks)
+    return b"".join(parts)
+
+
+def parse_sections(buffer) -> dict[bytes, tuple[int, int]]:
+    """Validate the header and return ``{tag: (offset, length)}``.
+
+    Every section must lie entirely inside ``buffer`` — a torn write
+    that truncated the file fails here instead of producing a view
+    whose array reads walk off the end of the mapping.
+    """
+    size = len(buffer)
+    if size < _HEADER.size:
+        raise ArtifactError("buffer shorter than the artifact header")
+    magic, fmt, count = _HEADER.unpack_from(buffer, 0)
+    if magic != MAGIC:
+        raise ArtifactError("bad magic: not an artifact file")
+    if fmt != ARTIFACT_FORMAT:
+        raise ArtifactError(
+            f"artifact format {fmt} != supported format {ARTIFACT_FORMAT}"
+        )
+    table_end = _HEADER.size + _ENTRY.size * count
+    if size < table_end:
+        raise ArtifactError("truncated section table")
+    sections: dict[bytes, tuple[int, int]] = {}
+    for index in range(count):
+        tag, offset, length = _ENTRY.unpack_from(
+            buffer, _HEADER.size + _ENTRY.size * index
+        )
+        if offset + length > size:
+            raise ArtifactError(
+                f"section {tag!r} overruns the buffer (torn write?)"
+            )
+        sections[tag] = (offset, length)
+    return sections

@@ -1,0 +1,299 @@
+"""Zero-copy read side: :class:`ArtifactView` over bytes or an mmap.
+
+A view wraps one artifact buffer and exposes the SDG as dense int node
+ids plus typed array accessors (``memoryview.cast`` over the mapped
+pages — nothing is copied or deserialized up front).  Opening a view
+costs one header parse and one small JSON decode; the node/edge arrays
+are faulted in lazily by the kernel as a slice walks them, and the
+``RICH`` pickle section is only ever touched by
+:meth:`to_analyzed_program`.
+
+Because shards and pool workers open the same store files, the kernel
+shares one page-cache copy of each artifact across every process — the
+"one read-only mapping for all shards" the sharded tier wants — where
+the pickle store gave each process its own private unpickled object
+graph.
+
+The view implements the same graph protocol as
+:class:`repro.sdg.sdg.SDG` (``dependencies`` / ``node_role`` /
+``site_of`` / ``formal_out_nodes`` / ``graph_nodes`` /
+``seeds_at_line``), which is what lets
+:class:`repro.slicing.tabulation.TabulationSlicer` and the flat
+thin/traditional slicers run directly over a warm-disk artifact without
+reconstructing a single SDG object.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import pickle
+import threading
+from bisect import bisect_left, bisect_right
+from pathlib import Path
+
+from repro.sdg.nodes import EdgeKind
+from repro.artifact.format import (
+    KIND_ACTUAL_IN,
+    KIND_ACTUAL_OUT,
+    KIND_FORMAL_OUT,
+    KIND_STMT,
+    NO_SITE,
+    NODE_ROLES,
+    ArtifactError,
+    parse_sections,
+)
+
+#: ``EKND`` code -> EdgeKind member (index-aligned with EdgeKind.index).
+EDGE_KINDS = tuple(EdgeKind)
+
+
+class ArtifactView:
+    """Lazily-materializing, read-only view of one flat artifact."""
+
+    def __init__(self, buffer, *, mapped: mmap.mmap | None = None) -> None:
+        self._buffer = memoryview(buffer)
+        self._mmap = mapped
+        try:
+            self._init_sections()
+        except ArtifactError:
+            # Drop every buffer export before the caller sees the error,
+            # or closing the mmap underneath would raise BufferError.
+            self.close()
+            raise
+
+    def _init_sections(self) -> None:
+        sections = parse_sections(self._buffer)
+        try:
+            self._meta = json.loads(bytes(self._section(sections, b"META")))
+        except (KeyError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ArtifactError(f"bad META section: {exc}") from None
+        try:
+            self.kind = self._section(sections, b"KIND").cast("B")
+            self.line = self._section(sections, b"LINE").cast("i")
+            self.site = self._section(sections, b"SITE").cast("I")
+            self.eidx = self._section(sections, b"EIDX").cast("I")
+            self.etgt = self._section(sections, b"ETGT").cast("I")
+            self.eknd = self._section(sections, b"EKND").cast("B")
+            self._lkey = self._section(sections, b"LKEY").cast("i")
+            self._lidx = self._section(sections, b"LIDX").cast("I")
+            self._lnod = self._section(sections, b"LNOD").cast("I")
+            self._func = self._section(sections, b"FUNC").cast("I")
+            self._strs = self._section(sections, b"STRS")
+            self._src = self._section(sections, b"SRC ")
+        except KeyError as exc:
+            raise ArtifactError(f"missing section {exc}") from None
+        self._rich = sections.get(b"RICH")
+        self.node_count = len(self.kind)
+        if (
+            len(self.eidx) != self.node_count + 1
+            or len(self.line) != self.node_count
+            or len(self.site) != self.node_count
+            or len(self.etgt) != len(self.eknd)
+            or len(self._lidx) != len(self._lkey) + 1
+        ):
+            raise ArtifactError("inconsistent section lengths")
+        self._text: str | None = None
+        self._lines: list[str] | None = None
+        self._formal_outs: list[int] | None = None
+        self._program = None
+        self._lock = threading.Lock()
+
+    def _section(self, sections, tag: bytes):
+        offset, length = sections[tag]
+        return self._buffer[offset : offset + length]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str | Path) -> "ArtifactView":
+        """Map ``path`` read-only and wrap it (zero-copy).
+
+        The mapping — not a private heap copy — backs every array
+        accessor, so concurrent opens of one store file share pages.
+        """
+        with open(path, "rb") as handle:
+            try:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError as exc:  # empty file
+                raise ArtifactError(f"unmappable artifact: {exc}") from None
+        try:
+            return cls(mapped, mapped=mapped)
+        except ArtifactError:
+            mapped.close()
+            raise
+
+    @classmethod
+    def from_buffer(cls, payload: bytes) -> "ArtifactView":
+        """Wrap in-memory artifact bytes (e.g. a worker's payload)."""
+        return cls(payload)
+
+    def close(self) -> None:
+        """Release the array views and the mapping (idempotent)."""
+        for name in (
+            "kind", "line", "site", "eidx", "etgt", "eknd",
+            "_lkey", "_lidx", "_lnod", "_func", "_strs", "_src",
+        ):
+            if hasattr(self, name):
+                delattr(self, name)
+        buffer, self._buffer = getattr(self, "_buffer", None), None
+        if buffer is not None:
+            buffer.release()
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+    # ------------------------------------------------------------------
+    # Identity / metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def meta(self) -> dict:
+        return self._meta
+
+    @property
+    def key(self) -> str:
+        return self._meta.get("key", "")
+
+    @property
+    def package_version(self) -> str:
+        return self._meta.get("version", "")
+
+    @property
+    def filename(self) -> str:
+        return self._meta.get("filename", "<input>")
+
+    @property
+    def counts(self) -> dict:
+        return self._meta.get("counts", {})
+
+    def validate(self, key: str | None = None) -> None:
+        """Reject artifacts from another package version or cache key."""
+        from repro import __version__
+
+        if self.package_version != __version__:
+            raise ArtifactError(
+                f"artifact from package {self.package_version!r} != "
+                f"{__version__!r}"
+            )
+        if key is not None and self.key != key:
+            raise ArtifactError("artifact key mismatch")
+
+    # ------------------------------------------------------------------
+    # Graph protocol (shared with repro.sdg.sdg.SDG)
+    # ------------------------------------------------------------------
+
+    def graph_nodes(self):
+        return range(self.node_count)
+
+    def dependencies(self, node: int) -> list[tuple[int, EdgeKind]]:
+        start = self.eidx[node]
+        end = self.eidx[node + 1]
+        etgt, eknd, kinds = self.etgt, self.eknd, EDGE_KINDS
+        return [(etgt[i], kinds[eknd[i]]) for i in range(start, end)]
+
+    def node_role(self, node: int) -> str | None:
+        return NODE_ROLES[self.kind[node]]
+
+    def site_of(self, node: int) -> int | None:
+        site = self.site[node]
+        return None if site == NO_SITE else site
+
+    def formal_out_nodes(self) -> list[int]:
+        if self._formal_outs is None:
+            kind = self.kind
+            self._formal_outs = [
+                n for n in range(self.node_count) if kind[n] == KIND_FORMAL_OUT
+            ]
+        return self._formal_outs
+
+    def seeds_at_line(self, line: int) -> list[int]:
+        row = bisect_left(self._lkey, line)
+        if row == len(self._lkey) or self._lkey[row] != line:
+            return []
+        return list(self._lnod[self._lidx[row] : self._lidx[row + 1]])
+
+    def node_line(self, node: int) -> int:
+        return self.line[node]
+
+    def is_statement(self, node: int) -> bool:
+        return self.kind[node] == KIND_STMT
+
+    def counts_as_inspected(self, node: int) -> bool:
+        """Statements plus actual-in/out bindings, mirroring
+        :func:`repro.slicing.engine.counts_as_inspected`."""
+        return self.kind[node] in (KIND_STMT, KIND_ACTUAL_IN, KIND_ACTUAL_OUT)
+
+    def function_of(self, node: int) -> str:
+        """Owning function name, via the per-function id ranges."""
+        func = self._func
+        starts = [func[i * 3 + 1] for i in range(len(func) // 3)]
+        row = bisect_right(starts, node) - 1
+        return self.string(func[row * 3])
+
+    def string(self, ref: int) -> str:
+        offsets = self._strs.cast("I")
+        count = offsets[0]
+        if not 0 <= ref < count:
+            raise ArtifactError(f"string ref {ref} out of range")
+        base = 4 * (count + 2)
+        start = base + offsets[ref + 1]
+        end = base + offsets[ref + 2]
+        return bytes(self._strs[start:end]).decode("utf-8")
+
+    # ------------------------------------------------------------------
+    # Source text
+    # ------------------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        if self._text is None:
+            self._text = bytes(self._src).decode("utf-8")
+        return self._text
+
+    def source_lines(self) -> list[str]:
+        if self._lines is None:
+            self._lines = self.text.splitlines()
+        return self._lines
+
+    # ------------------------------------------------------------------
+    # Escape hatch
+    # ------------------------------------------------------------------
+
+    def to_analyzed_program(self):
+        """Materialize the rich object graph (memoized, thread-safe).
+
+        Prefers the embedded ``RICH`` pickle; an artifact encoded
+        without one is re-analyzed from the embedded user source with
+        the recorded options.  The slice fast path never calls this.
+        """
+        if self._program is not None:
+            return self._program
+        with self._lock:
+            if self._program is None:
+                if self._rich is not None:
+                    offset, length = self._rich
+                    self._program = pickle.loads(
+                        self._buffer[offset : offset + length]
+                    )
+                else:
+                    self._program = self._reanalyze()
+        return self._program
+
+    def _reanalyze(self):
+        from repro import AnalyzeOptions, analyze
+
+        recorded = self._meta.get("options", {})
+        containers = recorded.get("containers")
+        options = AnalyzeOptions(
+            include_stdlib=bool(recorded.get("include_stdlib", True)),
+            containers=None if containers is None else frozenset(containers),
+            heap_mode=recorded.get("heap_mode", "direct"),
+            include_control=bool(recorded.get("include_control", True)),
+        )
+        user_source = self.text[: self._meta.get("user_len", len(self.text))]
+        analyzed = analyze(user_source, self.filename, options=options)
+        analyzed.timings = None  # parity with the RICH pickle
+        return analyzed

@@ -24,14 +24,18 @@ logic (admission, cancellation, counters) in the parent's threads:
   OOM-kill, injected fault) surfaces as :class:`WorkerCrashed`.  Raw
   pickled exception objects never cross the boundary.
 
-**Canonical artifacts.**  Workers run with ``PYTHONHASHSEED`` pinned
-(see :data:`DEFAULT_CHILD_ENV`), and the :func:`analyze_artifact` task
-resets the global instruction-uid counter before each analysis and
-strips run timings before pickling.  Under those conditions the pickled
-:class:`~repro.AnalyzedProgram` bytes are a pure function of
+**Flat artifacts.**  Workers return *flat artifact bytes*
+(:func:`repro.artifact.encode_artifact`) rather than a monolithic
+pickle: the parent stores the bytes unchanged into the disk tier and
+opens an :class:`~repro.artifact.ArtifactView` over them — no unpickle
+of the whole object graph on the hot path.  The encoder sorts each
+node's edges, so every canonical section is a pure function of
 ``(source, options, package version)`` — byte-identical across workers,
-restarts, and machines — which is what lets the serialize-once path
-store worker bytes directly into the content-addressed disk store.
+restarts, and machines by construction, where the retired pickle path
+needed ``PYTHONHASHSEED`` pinning plus ``None``-free hash tuples to get
+the same guarantee.  (The pinned seed in :data:`DEFAULT_CHILD_ENV` is
+kept: it keeps worker behavior reproducible run-to-run, which the fault
+drills and benchmarks still appreciate.)
 """
 
 from __future__ import annotations
@@ -39,12 +43,11 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
-import pickle
 import sys
 import threading
 import time
 import traceback
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.budget import Budget, BudgetExceeded
@@ -56,8 +59,9 @@ from repro.resources import (
 )
 
 #: Environment pinned into every worker at spawn time.  A fixed hash
-#: seed makes str-keyed set iteration — and therefore artifact pickle
-#: bytes — deterministic across worker processes.
+#: seed makes str-keyed set iteration deterministic across worker
+#: processes — no longer load-bearing for artifact bytes (the flat
+#: encoder sorts its sections), just run-to-run reproducibility.
 DEFAULT_CHILD_ENV = {"PYTHONHASHSEED": "0"}
 
 #: How long to wait for a freshly spawned worker's ready handshake.
@@ -153,13 +157,13 @@ def analyze_artifact(
     inject_crash: bool = False,
     inject_alloc_mb: float = 0.0,
 ) -> tuple[bytes, dict | None]:
-    """Pool task: one cold analysis, returned as canonical pickled bytes.
+    """Pool task: one cold analysis, returned as flat artifact bytes.
 
     Returns ``(payload, timings)`` where ``payload`` is the
-    :func:`artifact_payload` bytes (deterministic — see module
-    docstring) and ``timings`` is the run's stage profile, shipped
-    separately because wall times are per-run observability data, not
-    artifact content.
+    :func:`artifact_payload` bytes (canonical sections deterministic —
+    see module docstring), stamped with the request's content key, and
+    ``timings`` is the run's stage profile, shipped separately because
+    wall times are per-run observability data, not artifact content.
 
     ``memory_limit_mb`` installs the in-worker ``RLIMIT_AS`` backstop
     (with headroom — the parent's RSS poll is the primary sentinel) and
@@ -195,23 +199,24 @@ def analyze_artifact(
                     limit_mb=memory_limit_mb,
                 ) from None
         from repro import AnalyzeOptions, analyze
+        from repro.artifact import content_key
         from repro.ir.instructions import reset_instruction_uids
 
-        # One analysis per task and no surviving instructions between tasks,
-        # so rewinding the uid counter is safe here (and only here): it is
-        # what makes the pickled bytes deterministic.
+        # One analysis per task and no surviving instructions between
+        # tasks, so rewinding the uid counter is safe here (and only
+        # here): it keeps instruction uids — which the artifact stores
+        # as call-site ids — identical across workers and restarts.
         reset_instruction_uids()
         # The frontend's stdlib AST cache bakes the filename string into
-        # positions it reuses across analyses.  Each task unpickles a fresh
-        # filename object, so without interning a warm worker would mix
-        # last task's string into this task's graph and the pickle's memo
-        # topology (hence its bytes) would differ from a cold run.
+        # positions it reuses across analyses; interning keeps a warm
+        # worker from mixing last task's string into this task's graph.
         filename = sys.intern(filename)
         try:
-            analyzed = analyze(
-                source, filename, options=options or AnalyzeOptions()
+            resolved = options or AnalyzeOptions()
+            analyzed = analyze(source, filename, options=resolved)
+            payload = artifact_payload(
+                analyzed, key=content_key(source, resolved)
             )
-            payload = artifact_payload(analyzed)
         except MemoryError:
             raise ResourceExceeded(
                 "memory",
@@ -226,21 +231,30 @@ def analyze_artifact(
             clear_memory_rlimit()
 
 
-def artifact_payload(analyzed: Any) -> bytes:
-    """Canonical pickle of an :class:`~repro.AnalyzedProgram`.
+def artifact_payload(analyzed: Any, key: str = "") -> bytes:
+    """Flat artifact bytes for an :class:`~repro.AnalyzedProgram`.
 
-    Run timings are stripped — they vary per run and would defeat
-    byte-stable artifacts; the request-scoped budget was already
-    stripped by :func:`repro.analyze`.
+    Run timings are stripped by the encoder — they vary per run and are
+    not artifact content; the request-scoped budget was already stripped
+    by :func:`repro.analyze`.  ``key`` (the content address) is stamped
+    into the artifact's META section so readers can validate it.
     """
-    return pickle.dumps(
-        replace(analyzed, timings=None), protocol=pickle.HIGHEST_PROTOCOL
-    )
+    from repro.artifact import encode_artifact
+
+    return encode_artifact(analyzed, key=key)
 
 
 def load_artifact(payload: bytes) -> Any:
-    """Inverse of :func:`artifact_payload` (one unpickle, no copies)."""
-    return pickle.loads(payload)
+    """Materialize the rich program from artifact bytes.
+
+    Opens a view over ``payload`` and takes the
+    ``to_analyzed_program()`` escape hatch — callers that can work from
+    the view directly should do that instead (see
+    :class:`repro.server.cache.CacheEntry`).
+    """
+    from repro.artifact import ArtifactView
+
+    return ArtifactView.from_buffer(payload).to_analyzed_program()
 
 
 # ----------------------------------------------------------------------

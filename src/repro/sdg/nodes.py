@@ -24,7 +24,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.analysis.heapmodel import _CachedHash, _nil
+from repro.analysis.heapmodel import _CachedHash
 from repro.ir import instructions as ins
 from repro.lang.source import Position
 
@@ -83,7 +83,7 @@ class StmtNode(_CachedHash):
         try:
             return self._hash
         except AttributeError:
-            value = hash((self.instr, _nil(self.context)))
+            value = hash((self.instr, self.context))
             object.__setattr__(self, "_hash", value)
             return value
 
@@ -123,7 +123,7 @@ class ParamNode(_CachedHash):
         except AttributeError:
             value = hash(
                 (self.role, self.function, self.site, self.slot,
-                 self.position, _nil(self.context))
+                 self.position, self.context)
             )
             object.__setattr__(self, "_hash", value)
             return value

@@ -119,6 +119,33 @@ class SDG:
             if isinstance(node, StmtNode):
                 yield node
 
+    # ------------------------------------------------------------------
+    # Graph protocol, shared with repro.artifact.view.ArtifactView: the
+    # tabulation slicer speaks only these methods (plus dependencies()),
+    # so it runs unchanged over rich nodes or flat artifact ids.
+    # ------------------------------------------------------------------
+
+    def graph_nodes(self):
+        return self.nodes
+
+    def node_role(self, node: SDGNode) -> str | None:
+        """Parameter-node role, or None for plain statements."""
+        return node.role if isinstance(node, ParamNode) else None
+
+    def site_of(self, node: SDGNode) -> int | None:
+        """The call-site uid a node belongs to, for actual-in/out
+        matching in tabulation; None for nodes off any call site."""
+        if isinstance(node, ParamNode):
+            if node.role in ("actual_in", "actual_out"):
+                return node.site
+            return None
+        if isinstance(node, StmtNode) and isinstance(node.instr, ins.Call):
+            return node.instr.uid
+        return None
+
+    def formal_out_nodes(self):
+        return list(self.formal_out.values())
+
 
 class SDGBudgetExceeded(Exception):
     """Raised when 'params' construction exceeds its node budget —

@@ -11,51 +11,112 @@ Lookup order: memory → disk → :func:`repro.analyze`.  Every analysis
 result is promoted into both tiers, so a restarted process finds the
 artifact on disk and a long-lived process answers from memory.
 
+The unit cached is a :class:`CacheEntry`: a flat
+:class:`~repro.artifact.ArtifactView` and/or the rich
+:class:`~repro.AnalyzedProgram`.  The slice/stats hot path runs
+straight off the view (mmap-backed on a disk hit — the object graph is
+never reconstructed); rich-only methods (explain/why/chop) call
+:meth:`CacheEntry.program`, which materializes once per entry and
+memoizes.
+
 With an ``executor`` (a :class:`repro.parallel.ProcessPool`), misses
-run :func:`repro.parallel.analyze_artifact` in a worker process and the
-parent receives *pickled artifact bytes*: those bytes go to the disk
-tier unchanged via :meth:`DiskStore.save_bytes` and are unpickled
-exactly once for the in-memory LRU — serialize-once, where the thread
-path previously pickled the same object again inside ``store.save``.
+run :func:`repro.parallel.analyze_artifact` in a worker process and
+the parent receives *flat artifact bytes*: those bytes go to the disk
+tier unchanged via :meth:`DiskStore.save_bytes` and the in-memory LRU
+holds a view over the same buffer — serialize once, deserialize never.
 """
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import replace
 from typing import Any
 
-from repro import AnalyzedProgram, AnalyzeOptions, __version__, analyze
-from repro.frontend import source_fingerprint
-from repro.parallel import (
-    ProcessPool,
-    WorkerError,
-    analyze_artifact,
-    load_artifact,
-)
+from repro import AnalyzedProgram, AnalyzeOptions, analyze
+from repro.artifact import ArtifactView, content_key
+from repro.parallel import ProcessPool, WorkerError, analyze_artifact
 from repro.resources import ResourceExceeded
 from repro.server.faults import FaultPlan
 from repro.server.store import DiskStore
+from repro.slicing.flatslice import flat_slicer
 
 DEFAULT_MEMORY_CAPACITY = 8
 
 
 def cache_key(source: str, options: AnalyzeOptions) -> str:
-    """Content address of one ``(source, options)`` analysis request."""
-    hasher = hashlib.sha256()
-    hasher.update(f"repro/{__version__}\n".encode("utf-8"))
-    hasher.update(options.cache_token().encode("utf-8"))
-    hasher.update(b"\n")
-    hasher.update(
-        source_fingerprint(source, options.include_stdlib).encode("utf-8")
-    )
-    return hasher.hexdigest()
+    """Content address of one ``(source, options)`` analysis request.
+
+    Delegates to :func:`repro.artifact.content_key` — the same address
+    a worker stamps into the artifacts it encodes, so a stored file can
+    be validated against the key it is filed under.
+    """
+    return content_key(source, options)
+
+
+class CacheEntry:
+    """One cached analysis, lazily materialized.
+
+    Holds a flat ``view``, a rich ``program``, or both; ``timings`` is
+    the run's stage profile when this entry was produced by a live
+    analysis (None for warm hits — wall times are per-run data).
+    """
+
+    def __init__(
+        self,
+        view: ArtifactView | None = None,
+        program: AnalyzedProgram | None = None,
+        timings: dict | None = None,
+    ) -> None:
+        if view is None and program is None:
+            raise ValueError("CacheEntry needs a view or a program")
+        self.view = view
+        self.timings = timings
+        self._program = program
+        self._lock = threading.Lock()
+
+    def program(self) -> AnalyzedProgram:
+        """The rich object graph (escape hatch; memoized, thread-safe)."""
+        if self._program is None:
+            with self._lock:
+                if self._program is None:
+                    program = self.view.to_analyzed_program()
+                    if self.timings is not None:
+                        program.timings = self.timings
+                    self._program = program
+        return self._program
+
+    def slicer(self, flavor: str):
+        """A thin/traditional slicer over whichever form is cheapest:
+        the already-rich program if one exists, else the flat view."""
+        if self._program is not None:
+            if flavor == "thin":
+                return self._program.thin_slicer
+            if flavor == "traditional":
+                return self._program.traditional_slicer
+            raise ValueError(f"unknown slice flavor: {flavor}")
+        return flat_slicer(self.view, flavor)
+
+    def stats_counts(self) -> dict[str, Any]:
+        """The count fields of the ``stats`` payload, without forcing
+        materialization: flat artifacts carry them in META."""
+        if self._program is None:
+            return dict(self.view.counts)
+        analyzed = self._program
+        graph = analyzed.pts.call_graph
+        return {
+            "classes": len(analyzed.compiled.table.classes),
+            "functions_ir": len(analyzed.compiled.ir.functions),
+            "reachable_functions": graph.function_count(),
+            "call_graph_nodes": graph.node_count(),
+            "call_graph_edges": graph.edge_count(),
+            "sdg_statements": analyzed.sdg.statement_count(),
+            "sdg_edges": analyzed.sdg.edge_count(),
+        }
 
 
 class AnalysisCache:
-    """LRU of :class:`AnalyzedProgram` objects with an optional disk tier.
+    """LRU of :class:`CacheEntry` objects with an optional disk tier.
 
     Thread-safe: the TCP daemon serves connections from multiple
     threads.  The lock guards the LRU bookkeeping and the counters; the
@@ -76,21 +137,21 @@ class AnalysisCache:
         self.store = store
         self.fault_plan = fault_plan
         self.executor = executor
-        self._entries: OrderedDict[str, AnalyzedProgram] = OrderedDict()
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self._lock = threading.Lock()
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def get_or_analyze(
+    def get_entry(
         self,
         source: str,
         filename: str = "<input>",
         options: AnalyzeOptions | None = None,
         executor_ok: bool = True,
-    ) -> tuple[AnalyzedProgram, str]:
-        """Return ``(analyzed, origin)``, origin ∈ memory | disk | analyzed.
+    ) -> tuple[CacheEntry, str]:
+        """Return ``(entry, origin)``, origin ∈ memory | disk | analyzed.
 
         ``executor_ok=False`` forces a cold miss to run in-process even
         when a process executor is attached — the daemon's circuit
@@ -106,42 +167,57 @@ class AnalysisCache:
                 self.memory_hits += 1
                 return cached, "memory"
         if self.store is not None:
-            loaded = self.store.load(key)
-            if loaded is not None:
+            view = self.store.load_view(key)
+            if view is not None:
+                entry = CacheEntry(view=view)
                 with self._lock:
                     self.disk_hits += 1
-                    self._put(key, loaded)
-                return loaded, "disk"
+                    self._put(key, entry)
+                return entry, "disk"
         if self.fault_plan is not None:
             # Injected slow analysis / analysis-time faults.  Raising
             # here (BudgetExceeded on cancellation) leaves no cache
             # entry behind, same as a failing real analysis.
             self.fault_plan.on_analysis(options.budget)
         if self.executor is not None and executor_ok:
-            analyzed, payload = self._analyze_in_executor(
+            entry, payload = self._analyze_in_executor(
                 source, filename, options
             )
         else:
-            analyzed, payload = analyze(source, filename, options=options), None
+            analyzed = analyze(source, filename, options=options)
+            entry = CacheEntry(program=analyzed, timings=analyzed.timings)
+            payload = None
         with self._lock:
             self.misses += 1
-            self._put(key, analyzed)
+            self._put(key, entry)
         if self.store is not None:
             if payload is not None:
                 self.store.save_bytes(key, payload)
             else:
-                self.store.save(key, analyzed)
-        return analyzed, "analyzed"
+                self.store.save(key, entry.program())
+        return entry, "analyzed"
+
+    def get_or_analyze(
+        self,
+        source: str,
+        filename: str = "<input>",
+        options: AnalyzeOptions | None = None,
+        executor_ok: bool = True,
+    ) -> tuple[AnalyzedProgram, str]:
+        """Materialized variant of :meth:`get_entry` for callers that
+        need the rich object graph."""
+        entry, origin = self.get_entry(source, filename, options, executor_ok)
+        return entry.program(), origin
 
     def _analyze_in_executor(
         self, source: str, filename: str, options: AnalyzeOptions
-    ) -> tuple[AnalyzedProgram, bytes]:
+    ) -> tuple[CacheEntry, bytes]:
         """Run one cold analysis on a worker process.
 
-        Returns ``(analyzed, payload)``: the worker's canonical pickled
-        bytes plus the single unpickled copy for the LRU, with the run's
-        timings (shipped out-of-band — they are observability data, not
-        artifact content) reattached to the in-memory object only.
+        Returns ``(entry, payload)``: the worker's flat artifact bytes
+        plus an entry holding a view over them, with the run's timings
+        (shipped out-of-band — they are observability data, not
+        artifact content) attached to the entry only.
         """
         inject_crash = False
         inject_delay = 0.0
@@ -177,12 +253,11 @@ class AnalysisCache:
                 # produces, so callers see one taxonomy.
                 raise ResourceExceeded("memory", exc.message) from None
             raise
-        analyzed = load_artifact(payload)
-        analyzed.timings = timings
-        return analyzed, payload
+        view = ArtifactView.from_buffer(payload)
+        return CacheEntry(view=view, timings=timings), payload
 
-    def _put(self, key: str, analyzed: AnalyzedProgram) -> None:
-        self._entries[key] = analyzed
+    def _put(self, key: str, entry: CacheEntry) -> None:
+        self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

@@ -28,10 +28,16 @@ Design rules:
 * **Multi-core execution** — with ``executor="process"`` the request
   threads stay (admission, slicing, cancellation accounting are all
   parent-side) but every cold analysis is dispatched to a
-  :class:`repro.parallel.ProcessPool` worker, which hands back pickled
+  :class:`repro.parallel.ProcessPool` worker, which hands back flat
   artifact bytes (serialize-once into the disk store).  A deadline or
   disconnect kills the worker process and frees the slot exactly as a
   cooperative thread-mode cancellation would.
+* **Zero-copy warm path** — ``slice``/``slice_batch``/``stats`` run
+  against the :class:`repro.server.cache.CacheEntry` directly: a
+  warm-disk hit slices over the mmap-backed
+  :class:`~repro.artifact.ArtifactView` and never reconstructs the
+  object graph.  Only the rich methods (``explain``/``why``/``chop``)
+  materialize, once per entry, via :meth:`CacheEntry.program`.
 
 Two serving loops: :func:`serve_stdio` (one client on stdin/stdout)
 and :func:`serve_tcp` (a threading TCP server, many clients, one
@@ -58,7 +64,7 @@ from repro.budget import Budget, BudgetExceeded
 from repro.parallel import ProcessPool, WorkerCrashed, WorkerError
 from repro.profiling import merge_timing_dicts
 from repro.resources import ResourceExceeded
-from repro.server.cache import AnalysisCache, cache_key
+from repro.server.cache import AnalysisCache, CacheEntry, cache_key
 from repro.server.faults import FaultPlan
 from repro.server.quarantine import CircuitBreaker, Quarantine
 from repro.server.protocol import (
@@ -72,7 +78,7 @@ from repro.server.protocol import (
     ok_response,
     slice_batch_payload,
     slice_payload,
-    stats_payload,
+    stats_payload_from_counts,
     why_payload,
 )
 
@@ -448,29 +454,27 @@ class SliceServer:
     def _method_slice(
         self, params: dict[str, Any], budget: Budget | None
     ) -> dict[str, Any]:
-        analyzed, name, origin = self._analyzed_program(params, budget)
+        entry, name, origin = self._cache_entry(params, budget)
         item = {
             "line": self._int_param(params, "line"),
             "context": self._opt_int_param(params, "context", 0),
             "flavor": self._flavor_param(params),
         }
-        return self._slice_result(analyzed, name, origin, item)
+        return self._slice_result(entry, name, origin, item)
 
     def _slice_result(
         self,
-        analyzed: AnalyzedProgram,
+        entry: CacheEntry,
         name: str,
         origin: str,
         item: dict[str, Any],
     ) -> dict[str, Any]:
         """One seed's slice payload — the single construction path for
         both ``slice`` and every ``slice_batch`` element, so their
-        output stays byte-identical."""
-        slicer = (
-            analyzed.traditional_slicer
-            if item["flavor"] == "traditional"
-            else analyzed.thin_slicer
-        )
+        output stays byte-identical.  Runs over whichever form the
+        entry holds: a flat view on warm-disk hits (zero
+        reconstruction), the rich program otherwise."""
+        slicer = entry.slicer(item["flavor"])
         result = slicer.slice_from_line(item["line"])
         payload = slice_payload(
             result,
@@ -504,14 +508,14 @@ class SliceServer:
 
         def analyze_group(
             gkey: tuple[str, bool]
-        ) -> tuple[AnalyzedProgram, str, str]:
+        ) -> tuple[CacheEntry, str, str]:
             first = groups[gkey]
             gparams = {
                 "source": first["source"],
                 "filename": first["name"],
                 "include_stdlib": first["include_stdlib"],
             }
-            return self._analyzed_program(gparams, budget)
+            return self._cache_entry(gparams, budget)
 
         if len(order) > 1:
             with ThreadPoolExecutor(
@@ -524,10 +528,10 @@ class SliceServer:
             resolved = {order[0]: analyze_group(order[0])}
 
         def slice_item(item: dict[str, Any]) -> dict[str, Any]:
-            analyzed, _name, origin = resolved[
+            entry, _name, origin = resolved[
                 (item["source"], item["include_stdlib"])
             ]
-            return self._slice_result(analyzed, item["name"], origin, item)
+            return self._slice_result(entry, item["name"], origin, item)
 
         if len(items) > 1:
             with ThreadPoolExecutor(
@@ -635,8 +639,10 @@ class SliceServer:
         self, params: dict[str, Any], budget: Budget | None
     ) -> dict[str, Any]:
         if "source" in params or "program" in params:
-            analyzed, name, origin = self._analyzed_program(params, budget)
-            payload = stats_payload(analyzed, name)
+            entry, name, origin = self._cache_entry(params, budget)
+            payload = stats_payload_from_counts(
+                entry.stats_counts(), program=name, timings=entry.timings
+            )
             payload["origin"] = origin
             return payload
         return self.server_stats()
@@ -710,9 +716,9 @@ class SliceServer:
             raise QueryError("BadParams", "'source' must be a string")
         return source, name
 
-    def _analyzed_program(
+    def _cache_entry(
         self, params: dict[str, Any], budget: Budget | None
-    ) -> tuple[AnalyzedProgram, str, str]:
+    ) -> tuple[CacheEntry, str, str]:
         source, name = self._resolve_source(params)
         options = AnalyzeOptions(
             include_stdlib=bool(params.get("include_stdlib", True)),
@@ -730,7 +736,7 @@ class SliceServer:
             self.process_pool is not None and self.breaker.allow_process()
         )
         try:
-            analyzed, origin = self.cache.get_or_analyze(
+            entry, origin = self.cache.get_entry(
                 source, name, options, executor_ok=use_process
             )
         except WorkerCrashed as exc:
@@ -750,10 +756,18 @@ class SliceServer:
             raise
         if use_process and origin == "analyzed":
             self.breaker.record_success()
-        if origin == "analyzed" and analyzed.timings:
+        if origin == "analyzed" and entry.timings:
             with self._pipeline_lock:
-                merge_timing_dicts(self._pipeline, analyzed.timings)
-        return analyzed, name, origin
+                merge_timing_dicts(self._pipeline, entry.timings)
+        return entry, name, origin
+
+    def _analyzed_program(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> tuple[AnalyzedProgram, str, str]:
+        """Materialized variant of :meth:`_cache_entry` for the rich
+        methods (explain/why/chop) that walk the object graph."""
+        entry, name, origin = self._cache_entry(params, budget)
+        return entry.program(), name, origin
 
     @staticmethod
     def _flavor_param(params: dict[str, Any]) -> str:

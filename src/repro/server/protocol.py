@@ -99,8 +99,7 @@ def slice_batch_payload(
 
 def stats_payload(analyzed: AnalyzedProgram, program: str) -> dict[str, Any]:
     graph = analyzed.pts.call_graph
-    return {
-        "program": program,
+    counts = {
         "classes": len(analyzed.compiled.table.classes),
         "functions_ir": len(analyzed.compiled.ir.functions),
         "reachable_functions": graph.function_count(),
@@ -108,7 +107,35 @@ def stats_payload(analyzed: AnalyzedProgram, program: str) -> dict[str, Any]:
         "call_graph_edges": graph.edge_count(),
         "sdg_statements": analyzed.sdg.statement_count(),
         "sdg_edges": analyzed.sdg.edge_count(),
-        "timings": analyzed.timings,
+    }
+    return stats_payload_from_counts(
+        counts, program=program, timings=analyzed.timings
+    )
+
+
+def stats_payload_from_counts(
+    counts: dict[str, Any],
+    *,
+    program: str,
+    timings: dict[str, Any] | None,
+) -> dict[str, Any]:
+    """:func:`stats_payload` from pre-extracted counts.
+
+    A flat artifact carries the counts in its META section, so the
+    daemon can answer ``stats`` for a warm entry without materializing
+    the object graph.  The field set is pinned here (extra keys in
+    ``counts`` are ignored) so both construction paths stay identical.
+    """
+    return {
+        "program": program,
+        "classes": counts["classes"],
+        "functions_ir": counts["functions_ir"],
+        "reachable_functions": counts["reachable_functions"],
+        "call_graph_nodes": counts["call_graph_nodes"],
+        "call_graph_edges": counts["call_graph_edges"],
+        "sdg_statements": counts["sdg_statements"],
+        "sdg_edges": counts["sdg_edges"],
+        "timings": timings,
     }
 
 

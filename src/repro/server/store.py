@@ -1,16 +1,22 @@
-"""On-disk content-addressed store of pickled analysis artifacts.
+"""On-disk content-addressed store of flat analysis artifacts.
 
-Each artifact lives at ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is
-the cache key from :func:`repro.server.cache.cache_key`.  The pickle
-is an envelope carrying a format version, the key itself, and — since
-format 2 — the *already-serialized* artifact bytes from
-:func:`repro.parallel.artifact_payload`, so bytes produced by a worker
-process are written through unchanged (serialize-once) and the stored
-payload is identical whichever executor produced it.  A stale or
-corrupted file — a truncated write, a pickle from an incompatible code
-version, a hash collision in a hand-edited store — is *discarded and
-recomputed*, never propagated and never fatal.
+Each artifact lives at ``<root>/<key[:2]>/<key>.art`` where ``key`` is
+the cache key from :func:`repro.server.cache.cache_key`.  Since format
+3 the file *is* the flat artifact (:mod:`repro.artifact`) — raw bytes
+straight from a worker, no envelope — and :meth:`load_view` serves it
+as a read-only ``mmap``-backed :class:`~repro.artifact.ArtifactView`:
+a warm-disk hit costs one map plus a header parse, and every process
+mapping the same file (all shards behind the router share one store
+root) shares one page-cache copy of it.
 
+Format-2 entries — pickle envelopes at ``<key>.pkl`` from older
+deployments — are still honored: :meth:`load_view` falls back to the
+legacy path, re-encodes the artifact flat, writes the ``.art`` file,
+and deletes the pickle (lazy migration; counted in ``stats.migrated``).
+
+A stale or corrupted file — a truncated write, an artifact from an
+incompatible code version, a hash collision in a hand-edited store —
+is *discarded and recomputed*, never propagated and never fatal.
 Writes go through a temp file + :func:`os.replace` so a crash mid-save
 leaves either the old artifact or none, but never a torn file at the
 final path.
@@ -22,15 +28,18 @@ import logging
 import os
 import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
 from repro import AnalyzedProgram, __version__
-from repro.parallel import artifact_payload, load_artifact
+from repro.artifact import ArtifactError, ArtifactView, encode_artifact
 from repro.server.faults import FaultPlan
 
-FORMAT_VERSION = 2
+#: Store format: 3 = raw flat artifacts (``.art``); 2 = legacy pickle
+#: envelopes (``.pkl``), still readable and lazily migrated.
+FORMAT_VERSION = 3
+LEGACY_FORMAT_VERSION = 2
 
 logger = logging.getLogger("repro.server")
 
@@ -46,6 +55,8 @@ class StoreStats:
     save_errors: int = 0
     evicted: int = 0
     tmp_swept: int = 0
+    #: Legacy pickle entries re-encoded flat on first warm read.
+    migrated: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -56,12 +67,13 @@ class StoreStats:
             "save_errors": self.save_errors,
             "evicted": self.evicted,
             "tmp_swept": self.tmp_swept,
+            "migrated": self.migrated,
         }
 
 
 @dataclass
 class DiskStore:
-    """Content-addressed pickle store under one root directory.
+    """Content-addressed flat-artifact store under one root directory.
 
     ``max_bytes`` gives the store a size budget: after every save the
     store prunes oldest-mtime artifacts until it fits (see
@@ -84,11 +96,43 @@ class DiskStore:
         self.sweep_tmp()
 
     def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.art"
+
+    def legacy_path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def load(self, key: str) -> AnalyzedProgram | None:
-        """Return the stored artifact, or None (missing / stale / corrupt)."""
+    def load_view(self, key: str) -> ArtifactView | None:
+        """Map the stored artifact read-only, or None (missing / stale /
+        corrupt).  This is the warm path: nothing is unpickled."""
         path = self.path_for(key)
+        try:
+            view = ArtifactView.open(path)
+        except FileNotFoundError:
+            return self._load_legacy(key)
+        except OSError as exc:
+            self.stats.misses += 1
+            logger.warning("store read failed for %s: %s", path, exc)
+            return None
+        except ArtifactError as exc:
+            self.stats.discarded += 1
+            logger.warning("discarding bad artifact %s: %s", path, exc)
+            path.unlink(missing_ok=True)
+            return None
+        try:
+            view.validate(key)
+        except ArtifactError as exc:
+            view.close()
+            self.stats.discarded += 1
+            logger.warning("discarding bad artifact %s: %s", path, exc)
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        return view
+
+    def _load_legacy(self, key: str) -> ArtifactView | None:
+        """Format-2 fallback: unpickle the envelope once, re-encode it
+        flat, persist the ``.art`` file, and retire the pickle."""
+        path = self.legacy_path_for(key)
         try:
             blob = path.read_bytes()
         except FileNotFoundError:
@@ -102,29 +146,54 @@ class DiskStore:
             envelope: Any = pickle.loads(blob)
             if (
                 not isinstance(envelope, dict)
-                or envelope.get("format") != FORMAT_VERSION
+                or envelope.get("format") != LEGACY_FORMAT_VERSION
                 or envelope.get("version") != __version__
                 or envelope.get("key") != key
             ):
                 raise ValueError("stale or mismatched envelope")
-            payload = envelope["payload"]
-            if not isinstance(payload, bytes):
+            legacy_payload = envelope["payload"]
+            if not isinstance(legacy_payload, bytes):
                 raise ValueError("unexpected payload type")
-            analyzed = load_artifact(payload)
+            analyzed = pickle.loads(legacy_payload)
             if not isinstance(analyzed, AnalyzedProgram):
                 raise ValueError("unexpected artifact type")
+            payload = encode_artifact(analyzed, key=key)
         except Exception as exc:
             self.stats.discarded += 1
             logger.warning("discarding bad artifact %s: %s", path, exc)
             path.unlink(missing_ok=True)
             return None
+        self.save_bytes(key, payload)
+        path.unlink(missing_ok=True)
+        self.stats.migrated += 1
         self.stats.hits += 1
-        return analyzed
+        view = ArtifactView.from_buffer(payload)
+        # Migration already paid the unpickle; keep the rich program so
+        # a follow-up to_analyzed_program() is free.
+        view._program = analyzed
+        return view
+
+    def load(self, key: str) -> AnalyzedProgram | None:
+        """Materialized variant of :meth:`load_view` for callers that
+        need the rich object graph (CLI batch mode, tests)."""
+        view = self.load_view(key)
+        if view is None:
+            return None
+        try:
+            return view.to_analyzed_program()
+        except Exception as exc:
+            self.stats.discarded += 1
+            logger.warning(
+                "discarding unmaterializable artifact %s: %s", key, exc
+            )
+            view.close()
+            self.path_for(key).unlink(missing_ok=True)
+            return None
 
     def save(self, key: str, analyzed: AnalyzedProgram) -> None:
         """Serialize and persist one artifact (thread-executor path)."""
         try:
-            payload = artifact_payload(analyzed)
+            payload = encode_artifact(analyzed, key=key)
         except Exception as exc:
             self.stats.save_errors += 1
             logger.warning("artifact serialization failed for %s: %s", key, exc)
@@ -132,9 +201,9 @@ class DiskStore:
         self.save_bytes(key, payload)
 
     def save_bytes(self, key: str, payload: bytes) -> None:
-        """Atomically persist pre-serialized artifact bytes.
+        """Atomically persist flat artifact bytes.
 
-        This is the *single* write path: :meth:`save` serializes and
+        This is the *single* write path: :meth:`save` encodes and
         delegates here, and the process executor hands worker-produced
         bytes straight through — so torn-write fault injection and the
         atomic tmp+replace discipline cover both executors identically.
@@ -142,25 +211,19 @@ class DiskStore:
         """
         path = self.path_for(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        envelope = {
-            "format": FORMAT_VERSION,
-            "version": __version__,
-            "key": key,
-            "payload": payload,
-        }
         if self.fault_plan is not None and self.fault_plan.torn_write():
-            # Injected fault: a truncated blob lands at the *final* path,
-            # as if the process died mid-write with no atomic replace.
-            # load() must discard it and the pipeline must recompute.
+            # Injected fault: a truncated artifact lands at the *final*
+            # path, as if the process died mid-write with no atomic
+            # replace.  load_view() must discard it (the section table
+            # overruns the mapping) and the pipeline must recompute.
             path.parent.mkdir(parents=True, exist_ok=True)
-            blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
-            path.write_bytes(blob[: max(1, len(blob) // 3)])
+            path.write_bytes(payload[: max(1, len(payload) // 3)])
             self.stats.saves += 1
             return
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as handle:
-                pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(payload)
             os.replace(tmp, path)
             self.stats.saves += 1
         except Exception as exc:
@@ -171,23 +234,46 @@ class DiskStore:
         if self.max_bytes is not None:
             self.prune(self.max_bytes)
 
+    def write_legacy_pickle(self, key: str, analyzed: AnalyzedProgram) -> None:
+        """Write a format-2 pickle envelope at the legacy path.
+
+        Exists for the migration tests and the flat-vs-pickle store
+        benchmark; production saves always go flat."""
+        path = self.legacy_path_for(key)
+        envelope = {
+            "format": LEGACY_FORMAT_VERSION,
+            "version": __version__,
+            "key": key,
+            "payload": pickle.dumps(
+                replace(analyzed, timings=None),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            ),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as handle:
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
     def prune(self, max_bytes: int) -> int:
         """Evict oldest-mtime artifacts until the store fits ``max_bytes``.
 
         Returns the total size (bytes) remaining.  Eviction order is
         modification time, so the most recently saved artifacts survive;
-        a concurrently vanished file is skipped, never fatal.
+        both flat and not-yet-migrated legacy entries count against the
+        budget; a concurrently vanished file is skipped, never fatal.
         """
         self.sweep_tmp()
         entries: list[tuple[float, int, Path]] = []
         total = 0
-        for path in self.root.glob("*/*.pkl"):
-            try:
-                info = path.stat()
-            except OSError:
-                continue
-            entries.append((info.st_mtime, info.st_size, path))
-            total += info.st_size
+        for pattern in ("*/*.art", "*/*.pkl"):
+            for path in self.root.glob(pattern):
+                try:
+                    info = path.stat()
+                except OSError:
+                    continue
+                entries.append((info.st_mtime, info.st_size, path))
+                total += info.st_size
         entries.sort()
         for _mtime, size, path in entries:
             if total <= max_bytes:
@@ -205,11 +291,11 @@ class DiskStore:
 
         A save that dies between opening its temp file and the atomic
         ``os.replace`` leaks the temp file forever — it matches no
-        artifact glob, so neither :meth:`load` nor :meth:`prune` would
-        ever reclaim it.  Runs at store open and before every prune;
-        files younger than ``tmp_max_age_s`` are spared because a live
-        sibling process may still be mid-save.  Returns how many files
-        this call removed.
+        artifact glob, so neither :meth:`load_view` nor :meth:`prune`
+        would ever reclaim it.  Runs at store open and before every
+        prune; files younger than ``tmp_max_age_s`` are spared because
+        a live sibling process may still be mid-save.  Returns how many
+        files this call removed.
         """
         cutoff = time.time() - self.tmp_max_age_s
         swept = 0

@@ -1,0 +1,152 @@
+"""Slicing directly over a flat artifact: no object graph, ever.
+
+:class:`FlatSlicer` runs the same backward reachability as
+:class:`~repro.slicing.engine.Slicer` but walks the CSR edge arrays of
+an :class:`~repro.artifact.ArtifactView` — node ids are dense ints, the
+edge-kind filter is a byte-table lookup, and seeds come from the
+artifact's binary-searched line index.  A warm-disk slice therefore
+touches only the pages holding the arrays it traverses; the pickled
+``RICH`` section (and the whole ``AnalyzedProgram`` graph it encodes)
+stays cold on disk.
+
+:class:`FlatSliceResult` duck-types :class:`~repro.slicing.engine.
+SliceResult` for everything the server payloads consume — ``seeds``,
+``lines``, ``statements``, ``source_view`` — and is differentially
+tested to produce byte-identical ``slice`` payloads against the rich
+path on every suite program.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sdg.nodes import EdgeKind, THIN_KINDS, TRADITIONAL_KINDS
+from repro.artifact.view import ArtifactView
+
+
+def _kind_table(kinds: frozenset[EdgeKind]) -> bytes:
+    """``EKND`` code -> 1 if the kind is followed (dense byte table)."""
+    table = bytearray(len(EdgeKind))
+    for kind in kinds:
+        table[kind.index] = 1
+    return bytes(table)
+
+
+@dataclass
+class FlatTraversal:
+    """Backward BFS over artifact node ids, in visit order."""
+
+    order: list[int] = field(default_factory=list)
+    distance: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class FlatSliceResult:
+    """A slice computed over an :class:`ArtifactView`.
+
+    Mirrors :class:`~repro.slicing.engine.SliceResult`'s consumer-facing
+    surface exactly — the server's ``slice_payload`` does not know (or
+    care) which one it was handed.
+    """
+
+    seeds: list[int]
+    traversal: FlatTraversal
+    view: ArtifactView
+
+    @property
+    def nodes(self) -> set[int]:
+        return set(self.traversal.order)
+
+    @property
+    def statements(self) -> list[int]:
+        view = self.view
+        return [n for n in self.traversal.order if view.is_statement(n)]
+
+    def _inspected_lines(self) -> list[int]:
+        """Distinct inspected lines in first-seen order (the flat twin
+        of :meth:`repro.slicing.engine.Traversal.lines`)."""
+        view = self.view
+        seen: set[int] = set()
+        result: list[int] = []
+        for node in self.traversal.order:
+            if not view.counts_as_inspected(node):
+                continue
+            line = view.node_line(node)
+            if line > 0 and line not in seen:
+                seen.add(line)
+                result.append(line)
+        return result
+
+    @property
+    def lines(self) -> set[int]:
+        return set(self._inspected_lines())
+
+    def source_view(self, context: int = 0) -> str:
+        lines = self.view.source_lines()
+        marked = self.lines
+        chosen = set(marked)
+        for line in list(chosen):
+            for offset in range(1, context + 1):
+                chosen.add(line - offset)
+                chosen.add(line + offset)
+        rows = []
+        for lineno in sorted(chosen):
+            if 1 <= lineno <= len(lines):
+                marker = "*" if lineno in marked else " "
+                rows.append(f"{marker}{lineno:5d}  {lines[lineno - 1]}")
+        return "\n".join(rows)
+
+
+class FlatSlicer:
+    """Backward reachability over CSR arrays, filtered by edge kind."""
+
+    def __init__(self, view: ArtifactView, kinds: frozenset[EdgeKind]) -> None:
+        self.view = view
+        self.kinds = kinds
+        self._allowed = _kind_table(kinds)
+
+    def seeds_at_line(self, line: int) -> list[int]:
+        return self.view.seeds_at_line(line)
+
+    def slice_from_line(self, line: int) -> FlatSliceResult:
+        return self.slice_from_nodes(self.seeds_at_line(line))
+
+    def slice_from_lines(self, lines) -> FlatSliceResult:
+        seeds: list[int] = []
+        for line in lines:
+            seeds.extend(self.seeds_at_line(line))
+        return self.slice_from_nodes(seeds)
+
+    def slice_from_nodes(self, seeds: list[int]) -> FlatSliceResult:
+        view = self.view
+        eidx, etgt, eknd = view.eidx, view.etgt, view.eknd
+        allowed = self._allowed
+        traversal = FlatTraversal()
+        distance = traversal.distance
+        order = traversal.order
+        queue: deque[int] = deque()
+        for seed in seeds:
+            if seed not in distance:
+                distance[seed] = 0
+                order.append(seed)
+                queue.append(seed)
+        while queue:
+            node = queue.popleft()
+            depth = distance[node] + 1
+            for i in range(eidx[node], eidx[node + 1]):
+                dep = etgt[i]
+                if allowed[eknd[i]] and dep not in distance:
+                    distance[dep] = depth
+                    order.append(dep)
+                    queue.append(dep)
+        return FlatSliceResult(seeds, traversal, view)
+
+
+def flat_slicer(view: ArtifactView, flavor: str) -> FlatSlicer:
+    """The flat twin of ``analyzed.thin_slicer`` / ``.traditional_slicer``."""
+    if flavor == "thin":
+        return FlatSlicer(view, THIN_KINDS)
+    if flavor == "traditional":
+        return FlatSlicer(view, TRADITIONAL_KINDS)
+    raise ValueError(f"unknown slice flavor: {flavor}")

@@ -11,6 +11,14 @@ path from one of its formal-ins to a formal-out.
 The *thin* context-sensitive variant uses the same machinery with
 producer-only same-level kinds (no BASE, no CONTROL), per §5.3.
 
+The slicer speaks the graph protocol shared by
+:class:`~repro.sdg.sdg.SDG` and :class:`~repro.artifact.ArtifactView`
+(``dependencies`` / ``node_role`` / ``site_of`` / ``formal_out_nodes``
+/ ``graph_nodes``), so the same tabulation runs over rich SDG nodes or
+over flat artifact ids straight off an mmap — pass ``compiled=None``
+with a view and the result is a
+:class:`~repro.slicing.flatslice.FlatSliceResult`.
+
 Summary computation is budgeted: exceeding ``max_path_edges`` raises
 :class:`TabulationBudgetExceeded`, reproducing the paper's observation
 that the context-sensitive traditional slicer does not scale to the
@@ -23,10 +31,9 @@ from collections import defaultdict, deque
 
 from repro.budget import Budget
 from repro.frontend import CompiledProgram
-from repro.ir import instructions as ins
-from repro.sdg.nodes import EdgeKind, ParamNode, SDGNode, StmtNode
-from repro.sdg.sdg import SDG
+from repro.sdg.nodes import EdgeKind
 from repro.slicing.engine import SliceResult, Traversal
+from repro.slicing.flatslice import FlatSliceResult
 
 #: Same-level kinds for thin context-sensitive slicing.
 THIN_SAME_LEVEL = frozenset({EdgeKind.FLOW, EdgeKind.HEAP, EdgeKind.CATCH})
@@ -43,22 +50,20 @@ class TabulationBudgetExceeded(Exception):
         super().__init__(f"tabulation exceeded budget at {path_edges} path edges")
 
 
-def _site_of(node: SDGNode) -> int | None:
-    """The call-site uid a node belongs to, for actual-in/out matching."""
-    if isinstance(node, ParamNode) and node.role in ("actual_in", "actual_out"):
-        return node.site
-    if isinstance(node, StmtNode) and isinstance(node.instr, ins.Call):
-        return node.instr.uid
-    return None
-
-
 class TabulationSlicer:
-    """Two-phase context-sensitive backward slicer."""
+    """Two-phase context-sensitive backward slicer.
+
+    ``sdg`` is anything implementing the graph protocol — a rich
+    :class:`~repro.sdg.sdg.SDG` or a flat
+    :class:`~repro.artifact.ArtifactView`.  In view mode pass
+    ``compiled=None``; line seeding then uses the artifact's own line
+    index.
+    """
 
     def __init__(
         self,
-        compiled: CompiledProgram,
-        sdg: SDG,
+        compiled: CompiledProgram | None,
+        sdg,
         same_level: frozenset[EdgeKind] = TRADITIONAL_SAME_LEVEL,
         max_path_edges: int | None = None,
         budget: Budget | None = None,
@@ -68,20 +73,20 @@ class TabulationSlicer:
         self.same_level = same_level
         self.max_path_edges = max_path_edges
         self.budget = budget
-        self.summaries: dict[SDGNode, set[SDGNode]] = defaultdict(set)
+        self.summaries: dict[object, set] = defaultdict(set)
         self.path_edge_count = 0
         self._summaries_ready = False
         # Incremental tabulation state: path edges, their index by source
         # node, and the worklist persist across calls, so summaries are
         # seeded per formal-out on demand and never recomputed.
-        self._path_edges: set[tuple[SDGNode, SDGNode]] = set()
-        self._by_node: dict[SDGNode, set[SDGNode]] = defaultdict(set)
-        self._worklist: deque[tuple[SDGNode, SDGNode]] = deque()
-        self._seeded: set[SDGNode] = set()
+        self._path_edges: set[tuple] = set()
+        self._by_node: dict[object, set] = defaultdict(set)
+        self._worklist: deque[tuple] = deque()
+        self._seeded: set = set()
         # (formal_out, call site) -> actual-out style nodes at that site
-        self._aouts: dict[tuple[SDGNode, int], list[SDGNode]] = defaultdict(list)
-        for node in sdg.nodes:
-            site = _site_of(node)
+        self._aouts: dict[tuple, list] = defaultdict(list)
+        for node in sdg.graph_nodes():
+            site = sdg.site_of(node)
             if site is None:
                 continue
             for dep, kind in sdg.dependencies(node):
@@ -96,10 +101,10 @@ class TabulationSlicer:
         """Summaries for every procedure instance (whole-program mode)."""
         if self._summaries_ready:
             return
-        self._ensure_summaries(self.sdg.formal_out.values())
+        self._ensure_summaries(self.sdg.formal_out_nodes())
         self._summaries_ready = True
 
-    def _propagate(self, node: SDGNode, formal_out: SDGNode) -> None:
+    def _propagate(self, node, formal_out) -> None:
         key = (node, formal_out)
         if key in self._path_edges:
             return
@@ -112,7 +117,7 @@ class TabulationSlicer:
         self._by_node[node].add(formal_out)
         self._worklist.append(key)
 
-    def _add_summary(self, actual_out: SDGNode, actual_in: SDGNode) -> None:
+    def _add_summary(self, actual_out, actual_in) -> None:
         if actual_in in self.summaries[actual_out]:
             return
         self.summaries[actual_out].add(actual_in)
@@ -134,23 +139,24 @@ class TabulationSlicer:
                 self._seeded.add(formal_out)
                 self._propagate(formal_out, formal_out)
 
+        sdg = self.sdg
         worklist = self._worklist
         budget = self.budget
         while worklist:
             if budget is not None:
                 budget.poll()
             node, formal_out = worklist.popleft()
-            if isinstance(node, ParamNode) and node.role == "formal_in":
-                for actual_in, kind in self.sdg.dependencies(node):
+            if sdg.node_role(node) == "formal_in":
+                for actual_in, kind in sdg.dependencies(node):
                     if kind is not EdgeKind.PARAM_IN:
                         continue
-                    site = _site_of(actual_in)
+                    site = sdg.site_of(actual_in)
                     if site is None:
                         continue
                     for actual_out in self._aouts.get((formal_out, site), ()):
                         self._add_summary(actual_out, actual_in)
                 continue
-            for dep, kind in self.sdg.dependencies(node):
+            for dep, kind in sdg.dependencies(node):
                 if kind in self.same_level:
                     self._propagate(dep, formal_out)
             for actual_in in list(self.summaries.get(node, ())):
@@ -158,7 +164,7 @@ class TabulationSlicer:
 
         self.path_edge_count = len(self._path_edges)
 
-    def _relevant_formal_outs(self, seeds: list[SDGNode]) -> list[SDGNode]:
+    def _relevant_formal_outs(self, seeds: list) -> list:
         """Formal-outs whose summaries a slice from ``seeds`` could use.
 
         Unconstrained backward closure over *all* raw edge kinds.  Every
@@ -168,14 +174,15 @@ class TabulationSlicer:
         any set of summary edges; formal-outs outside it can never be
         queried and need no tabulation.
         """
-        seen: set[SDGNode] = set(seeds)
-        stack: list[SDGNode] = list(seeds)
-        formal_outs: list[SDGNode] = []
+        sdg = self.sdg
+        seen: set = set(seeds)
+        stack: list = list(seeds)
+        formal_outs: list = []
         while stack:
             node = stack.pop()
-            if isinstance(node, ParamNode) and node.role == "formal_out":
+            if sdg.node_role(node) == "formal_out":
                 formal_outs.append(node)
-            for dep, _kind in self.sdg.dependencies(node):
+            for dep, _kind in sdg.dependencies(node):
                 if dep not in seen:
                     seen.add(dep)
                     stack.append(dep)
@@ -185,16 +192,14 @@ class TabulationSlicer:
     # Two-phase slicing
     # ------------------------------------------------------------------
 
-    def _neighbors(self, node: SDGNode, extra: EdgeKind):
+    def _neighbors(self, node, extra: EdgeKind):
         for dep, kind in self.sdg.dependencies(node):
             if kind in self.same_level or kind is extra:
                 yield dep
         yield from self.summaries.get(node, ())
 
-    def _bfs(
-        self, seeds: list[SDGNode], extra: EdgeKind, traversal: Traversal
-    ) -> None:
-        queue: deque[SDGNode] = deque()
+    def _bfs(self, seeds: list, extra: EdgeKind, traversal: Traversal) -> None:
+        queue: deque = deque()
         for seed in seeds:
             if seed not in traversal.distance:
                 traversal.distance[seed] = 0
@@ -210,7 +215,7 @@ class TabulationSlicer:
                 traversal.order.append(dep)
                 queue.append(dep)
 
-    def slice_from_nodes(self, seeds: list[SDGNode]) -> SliceResult:
+    def slice_from_nodes(self, seeds: list):
         if not self._summaries_ready:
             self._ensure_summaries(self._relevant_formal_outs(seeds))
         traversal = Traversal()
@@ -219,13 +224,17 @@ class TabulationSlicer:
         # Phase 2: descend into callees from everything phase 1 marked.
         phase1_nodes = list(traversal.order)
         self._bfs(phase1_nodes, EdgeKind.PARAM_OUT, traversal)
+        if self.compiled is None:
+            return FlatSliceResult(seeds, traversal, self.sdg)
         return SliceResult(seeds, traversal, self.compiled)
 
-    def seeds_at_line(self, line: int) -> list[SDGNode]:
-        seeds: list[SDGNode] = []
+    def seeds_at_line(self, line: int) -> list:
+        if self.compiled is None:
+            return self.sdg.seeds_at_line(line)
+        seeds: list = []
         for instr in self.compiled.instructions_at_line(line):
             seeds.extend(self.sdg.nodes_of_instruction(instr))
         return seeds
 
-    def slice_from_line(self, line: int) -> SliceResult:
+    def slice_from_line(self, line: int):
         return self.slice_from_nodes(self.seeds_at_line(line))

@@ -142,7 +142,7 @@ class TestWorkerFaults:
             assert len(cache) == 0
             assert cache.misses == 0
             assert store.stats.saves == 0
-            assert not list((tmp_path / "store").glob("*/*.pkl"))
+            assert not list((tmp_path / "store").glob("*/*.art"))
         finally:
             server.close()
 
@@ -208,7 +208,7 @@ class TestProcessExecutor:
         assert len(cache) == 0
         assert cache.misses == 0
         assert store.stats.saves == 0
-        assert not list(store.root.glob("*/*.pkl"))
+        assert not list(store.root.glob("*/*.art"))
 
         # The pool replaces the dead worker in the background.
         assert wait_until(

@@ -194,8 +194,18 @@ class TestArtifactTasks:
         assert timings  # ... but shipped out-of-band
 
     def test_artifact_bytes_are_deterministic_across_workers(self, pool):
+        """Every worker must encode the same analysis to the same
+        canonical sections.  The RICH pickle is deliberately excluded:
+        it serializes the object graph, whose set/dict iteration orders
+        depend on per-process ``hash(None)`` (address-derived under
+        ASLR on Python < 3.12) — which is exactly why the slice path
+        reads the canonical sections and never the pickle."""
+        from repro.artifact import canonical_bytes
+
         blobs = {
-            pool.run(analyze_artifact, self.SOURCE, "unit.mj", None)[0]
+            canonical_bytes(
+                pool.run(analyze_artifact, self.SOURCE, "unit.mj", None)[0]
+            )
             for _ in range(4)
         }
         assert len(blobs) == 1

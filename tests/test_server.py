@@ -269,13 +269,11 @@ class TestDispatch:
 
     def test_timeout_returns_structured_error(self):
         class SlowCache(AnalysisCache):
-            def get_or_analyze(
+            def get_entry(
                 self, source, filename="<input>", options=None, **kwargs
             ):
                 time.sleep(0.5)
-                return super().get_or_analyze(
-                    source, filename, options, **kwargs
-                )
+                return super().get_entry(source, filename, options, **kwargs)
 
         slow = make_server(SlowCache(), timeout=0.05)
         try:

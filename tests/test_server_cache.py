@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-import pickle
+import struct
 
 import pytest
 
 from repro import AnalyzeOptions
+from repro.artifact import ARTIFACT_FORMAT, MAGIC
 from repro.server.cache import AnalysisCache, cache_key
-from repro.server.store import FORMAT_VERSION, DiskStore
+from repro.server.store import DiskStore
 
 SMALL = 'class Main { static void main(String[] args) { print("a"); } }'
 OTHER = 'class Main { static void main(String[] args) { print("b"); } }'
@@ -103,11 +104,11 @@ class TestDiskTier:
         _, second = restarted.get_or_analyze(SMALL, "a.mj", OPTIONS)
         assert (first, second) == ("disk", "memory")
 
-    def test_corrupted_pickle_discarded_and_recomputed(self, tmp_path):
+    def test_corrupted_artifact_discarded_and_recomputed(self, tmp_path):
         store = DiskStore(tmp_path)
         AnalysisCache(store=store).get_or_analyze(SMALL, "a.mj", OPTIONS)
         path = store.path_for(cache_key(SMALL, OPTIONS))
-        path.write_bytes(b"\x80\x04 this is not a pickle")
+        path.write_bytes(b"\x80\x04 this is not an artifact")
         fresh_store = DiskStore(tmp_path)
         cache = AnalysisCache(store=fresh_store)
         analyzed, origin = cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
@@ -119,7 +120,7 @@ class TestDiskTier:
         _, origin = again.get_or_analyze(SMALL, "a.mj", OPTIONS)
         assert origin == "disk"
 
-    def test_truncated_pickle_discarded(self, tmp_path):
+    def test_truncated_artifact_discarded(self, tmp_path):
         store = DiskStore(tmp_path)
         AnalysisCache(store=store).get_or_analyze(SMALL, "a.mj", OPTIONS)
         path = store.path_for(cache_key(SMALL, OPTIONS))
@@ -132,9 +133,12 @@ class TestDiskTier:
         AnalysisCache(store=store).get_or_analyze(SMALL, "a.mj", OPTIONS)
         key = cache_key(SMALL, OPTIONS)
         path = store.path_for(key)
-        envelope = pickle.loads(path.read_bytes())
-        envelope["format"] = FORMAT_VERSION + 1
-        path.write_bytes(pickle.dumps(envelope))
+        # Patch the u32 format field that follows the 8-byte magic, as
+        # an artifact written by a future incompatible encoder would be.
+        blob = bytearray(path.read_bytes())
+        assert blob[: len(MAGIC)] == MAGIC
+        struct.pack_into("<I", blob, len(MAGIC), ARTIFACT_FORMAT + 1)
+        path.write_bytes(bytes(blob))
         fresh = DiskStore(tmp_path)
         assert fresh.load(key) is None
         assert fresh.stats.discarded == 1
@@ -157,13 +161,62 @@ class TestDiskTier:
     def test_save_failure_is_nonfatal(self, tmp_path, monkeypatch):
         store = DiskStore(tmp_path)
         monkeypatch.setattr(
-            "repro.server.store.pickle.dump",
+            "repro.server.store.encode_artifact",
             lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
         )
         cache = AnalysisCache(store=store)
         _, origin = cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
         assert origin == "analyzed"
         assert store.stats.save_errors == 1
+
+
+class TestLegacyMigration:
+    """Format-2 pickle envelopes are honored once and retired flat."""
+
+    def _seed_legacy(self, tmp_path):
+        analyzed, _ = AnalysisCache(store=None).get_or_analyze(
+            SMALL, "a.mj", OPTIONS
+        )
+        key = cache_key(SMALL, OPTIONS)
+        store = DiskStore(tmp_path)
+        store.write_legacy_pickle(key, analyzed)
+        return store, key
+
+    def test_legacy_pickle_is_served_and_migrated(self, tmp_path):
+        store, key = self._seed_legacy(tmp_path)
+        assert store.legacy_path_for(key).exists()
+        assert not store.path_for(key).exists()
+        view = store.load_view(key)
+        assert view is not None
+        assert view.counts["sdg_statements"] > 0
+        # The pickle is gone, the flat artifact is in its place.
+        assert not store.legacy_path_for(key).exists()
+        assert store.path_for(key).exists()
+        assert store.stats.migrated == 1 and store.stats.hits == 1
+
+    def test_migrated_artifact_serves_flat_next_time(self, tmp_path):
+        store, key = self._seed_legacy(tmp_path)
+        store.load_view(key)
+        fresh = DiskStore(tmp_path)
+        view = fresh.load_view(key)
+        assert view is not None
+        assert fresh.stats.migrated == 0 and fresh.stats.hits == 1
+        view.close()
+
+    def test_legacy_hit_counts_as_disk_origin(self, tmp_path):
+        store, key = self._seed_legacy(tmp_path)
+        cache = AnalysisCache(store=store)
+        analyzed, origin = cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
+        assert origin == "disk"
+        assert analyzed.sdg.statement_count() > 0
+
+    def test_stale_legacy_envelope_discarded(self, tmp_path):
+        store, key = self._seed_legacy(tmp_path)
+        path = store.legacy_path_for(key)
+        path.write_bytes(b"\x80\x04 not an envelope")
+        assert store.load_view(key) is None
+        assert store.stats.discarded == 1
+        assert not path.exists()
 
 
 class TestPrune:
@@ -214,7 +267,7 @@ class TestPrune:
 
         store = DiskStore(tmp_path / "store", max_bytes=2 * blob_size)
         self._fill(store, analyzed, 5)
-        kept = list((tmp_path / "store").glob("*/*.pkl"))
+        kept = list((tmp_path / "store").glob("*/*.art"))
         assert len(kept) <= 2
         assert store.stats.evicted >= 3
         assert store.stats.saves == 5
