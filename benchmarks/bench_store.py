@@ -12,6 +12,13 @@ for each stored program?  Two warm paths are measured end-to-end
   :class:`~repro.AnalyzedProgram` object graph, the way the store
   worked before the flat format landed.
 
+Since artifacts carry crc32 digests, the flat load also pays an
+integrity check, and the second question measured here is what each
+:data:`~repro.artifact.VERIFY_LEVELS` level costs on the same warm
+path: ``none`` (structural parse only — the old behavior), ``header``
+(one whole-file crc32 pass — the serving default), and ``deep``
+(per-section digests plus structural bounds — the scrubber's level).
+
 Corpus: every suite program plus the two mid-size generated programs
 from ``tests/scale/``.  Emits ``results/store.txt`` and
 ``results/BENCH_store.json``; asserts the flat path is ≥3x faster on
@@ -60,11 +67,13 @@ def _seed_line(view: ArtifactView) -> int:
     return lines[len(lines) // 2]
 
 
-def _flat_warm_ms(store: DiskStore, key: str, seed: int) -> float:
+def _flat_warm_ms(
+    store: DiskStore, key: str, seed: int, verify: str = "none"
+) -> float:
     best = float("inf")
     for _ in range(REPEATS):
         start = time.perf_counter()
-        view = store.load_view(key)
+        view = store.load_view(key, verify=verify)
         result = flat_slicer(view, "thin").slice_from_line(seed)
         assert result.lines
         best = min(best, (time.perf_counter() - start) * 1000)
@@ -109,6 +118,8 @@ def test_store_warm_path(results_dir, tmp_path):
         probe.close()
 
         flat_ms = _flat_warm_ms(flat_store, key, seed)
+        header_ms = _flat_warm_ms(flat_store, key, seed, verify="header")
+        deep_ms = _flat_warm_ms(flat_store, key, seed, verify="deep")
         pickle_ms = _pickle_warm_ms(legacy_store, key, seed)
         speedup = pickle_ms / flat_ms
         programs[name] = {
@@ -117,6 +128,14 @@ def test_store_warm_path(results_dir, tmp_path):
             "art_kb": round(art_bytes / 1024, 1),
             "pkl_kb": round(pkl_bytes / 1024, 1),
             "flat_warm_ms": round(flat_ms, 3),
+            "verify_header_ms": round(header_ms, 3),
+            "verify_deep_ms": round(deep_ms, 3),
+            "verify_header_overhead_pct": round(
+                (header_ms / flat_ms - 1) * 100, 1
+            ),
+            "verify_deep_overhead_pct": round(
+                (deep_ms / flat_ms - 1) * 100, 1
+            ),
             "pickle_warm_ms": round(pickle_ms, 3),
             "speedup": round(speedup, 2),
         }
@@ -126,6 +145,8 @@ def test_store_warm_path(results_dir, tmp_path):
                 f"{art_bytes / 1024:.0f}KB",
                 f"{pkl_bytes / 1024:.0f}KB",
                 f"{flat_ms:.2f}ms",
+                f"{header_ms:.2f}ms",
+                f"{deep_ms:.2f}ms",
                 f"{pickle_ms:.2f}ms",
                 f"{speedup:.1f}x",
             ]
@@ -142,11 +163,24 @@ def test_store_warm_path(results_dir, tmp_path):
         "programs": programs,
     }
     table = format_table(
-        ["program", "art", "pkl", "flat warm", "pickle warm", "speedup"], rows
+        [
+            "program",
+            "art",
+            "pkl",
+            "flat warm",
+            "+header",
+            "+deep",
+            "pickle warm",
+            "speedup",
+        ],
+        rows,
     )
     table += (
         f"\nwarm path = load + one thin slice, best of {REPEATS}; "
         f"floor: flat >= {SPEEDUP_FLOOR:.0f}x on {largest}\n"
+        "+header/+deep = the same warm path at each verify level "
+        "(header = whole-file crc32, the serving default; deep = "
+        "per-section digests + structural bounds, the scrubber level)\n"
     )
     emit(results_dir, "store.txt", table)
     (results_dir / "BENCH_store.json").write_text(

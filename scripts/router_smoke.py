@@ -7,8 +7,9 @@ then proves the deployment story end to end, from outside the process:
 1. cold slice → ``origin: analyzed``; same request again → warm hit;
 2. SIGKILL one shard mid-stream → every request in the stream still
    succeeds (failover re-routes via the ring);
-3. the aggregated ``health`` reports the dead shard unhealthy within
-   its probe interval, while the tier itself stays healthy;
+3. the pool respawns the dead shard on its original port: health
+   heals back to 2/2 with ``respawns_total >= 1`` and a new pid, and
+   the reborn shard serves traffic again;
 4. ``shutdown`` drains the tier and the process exits 0.
 
 Run from the repo root: ``PYTHONPATH=src python scripts/router_smoke.py``
@@ -121,18 +122,38 @@ def main() -> int:
                     fail(f"request {index} returned an empty slice")
             print("ok: 12/12 requests succeeded across the kill")
 
-            # 3. Health aggregate notices within the probe interval.
-            deadline = time.monotonic() + PROBE_INTERVAL_S * 10 + 5
+            # 3. The pool respawns the dead shard on its old port.
+            deadline = time.monotonic() + 30
             while time.monotonic() < deadline:
                 health = client.health()
-                if health["shards"][victim]["state"] == "unhealthy":
+                reborn = health["shards"][victim]
+                if (
+                    health["healthy_shards"] == 2
+                    and reborn["state"] == "healthy"
+                    and reborn.get("respawns", 0) >= 1
+                ):
                     break
                 time.sleep(PROBE_INTERVAL_S / 2)
             else:
-                fail(f"probe never demoted the dead shard: {health}")
-            if not health["healthy"] or health["healthy_shards"] != 1:
-                fail(f"tier should stay healthy on the survivor: {health}")
-            print("ok: health aggregate reports 1/2 shards, tier healthy")
+                fail(f"dead shard was never respawned: {health}")
+            if health.get("respawns_total", 0) < 1:
+                fail(f"router did not count the respawn: {health}")
+            if reborn["pid"] == pid:
+                fail(f"respawned shard kept the dead pid {pid}")
+            if not health["healthy"]:
+                fail(f"tier unhealthy after respawn: {health}")
+            print(
+                f"ok: shard {victim} respawned (pid {pid} -> "
+                f"{reborn['pid']}), tier back to 2/2"
+            )
+
+            # The reborn shard owns its old ring slot, so the same
+            # stream routes through it again without errors.
+            for index in range(8):
+                result = client.slice(sources[index % len(sources)], seed)
+                if result["line_count"] <= 0:
+                    fail(f"post-respawn request {index} empty")
+            print("ok: 8/8 requests succeeded after respawn")
 
             # 4. Drain.
             if client.shutdown() != {"stopping": True}:

@@ -29,8 +29,10 @@ from repro.artifact.format import (
     KIND_STMT,
     NO_SITE,
     ArtifactError,
+    ArtifactStaleError,
     pack_sections,
     parse_sections,
+    parse_sections_v1,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - the package imports us at init
@@ -268,6 +270,72 @@ def encode_artifact(
         )
         sections.append((b"RICH", rich))
     return pack_sections(sections)
+
+
+def migrate_flat_v1(payload: bytes, key: str) -> bytes:
+    """Re-encode a format-1 (digest-less) artifact as format 2.
+
+    Mirrors the pickle migration in ``DiskStore._load_legacy``: decode
+    the old envelope back to an :class:`AnalyzedProgram` (the embedded
+    ``RICH`` pickle if present, else a re-analysis of the embedded
+    source) and run it through the current encoder, which stamps the
+    digests.  Raises :class:`ArtifactError` if the old bytes are stale
+    (other package version, key mismatch) or corrupt — callers decide
+    whether that means discard or quarantine.
+    """
+    from repro import __version__
+
+    sections = parse_sections_v1(payload)
+    try:
+        meta = json.loads(
+            bytes(payload[slice(*_span(sections, b"META"))])
+        )
+    except (KeyError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"bad META section: {exc}") from None
+    if meta.get("version") != __version__:
+        raise ArtifactStaleError(
+            f"artifact from package {meta.get('version')!r} != {__version__!r}"
+        )
+    if key and meta.get("key") != key:
+        raise ArtifactStaleError("artifact key mismatch")
+    rich_span = sections.get(b"RICH")
+    if rich_span is not None:
+        offset, length = rich_span
+        try:
+            analyzed = pickle.loads(payload[offset : offset + length])
+        except Exception as exc:
+            raise ArtifactError(f"bad RICH section: {exc}") from None
+    else:
+        analyzed = _reanalyze_from_meta(payload, sections, meta)
+    return encode_artifact(analyzed, key=key)
+
+
+def _span(sections: dict, tag: bytes) -> tuple[int, int]:
+    offset, length = sections[tag]
+    return offset, offset + length
+
+
+def _reanalyze_from_meta(payload: bytes, sections: dict, meta: dict):
+    from repro import AnalyzeOptions, analyze
+
+    try:
+        text = bytes(payload[slice(*_span(sections, b"SRC "))]).decode("utf-8")
+    except (KeyError, UnicodeDecodeError) as exc:
+        raise ArtifactError(f"bad SRC section: {exc}") from None
+    recorded = meta.get("options", {})
+    containers = recorded.get("containers")
+    options = AnalyzeOptions(
+        include_stdlib=bool(recorded.get("include_stdlib", True)),
+        containers=None if containers is None else frozenset(containers),
+        heap_mode=recorded.get("heap_mode", "direct"),
+        include_control=bool(recorded.get("include_control", True)),
+    )
+    user_source = text[: meta.get("user_len", len(text))]
+    analyzed = analyze(
+        user_source, meta.get("filename", "<input>"), options=options
+    )
+    analyzed.timings = None
+    return analyzed
 
 
 def canonical_bytes(payload: bytes) -> bytes:

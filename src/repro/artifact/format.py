@@ -5,7 +5,10 @@ One artifact file is a header plus a table of named sections::
     offset 0   magic       8 bytes  b"REPROSDG"
     offset 8   format      u32      ARTIFACT_FORMAT
     offset 12  sections    u32      section count S
-    offset 16  table       S x (tag 4s, offset u64, length u64)
+    offset 16  file_crc    u32      crc32 of the whole file with this
+                                    field zeroed (torn-write detector)
+    offset 20  table       S x (tag 4s, offset u64, length u64,
+                                crc u32 of the payload bytes)
     ...        section payloads, 8-byte aligned, in table order
 
 All integers are little-endian.  Section payloads are struct-of-arrays
@@ -47,11 +50,16 @@ function of ``(source, options, package version)``.
 from __future__ import annotations
 
 import struct
+import zlib
 
 MAGIC = b"REPROSDG"
 
 #: Version of this binary layout; bumped on any incompatible change.
-ARTIFACT_FORMAT = 1
+#: Format 2 added the whole-file crc32 header field and per-section
+#: crc32 digests in the table; format-1 files are lazily re-encoded by
+#: :func:`repro.artifact.encode.migrate_flat_v1` the first time the
+#: store reads them (mirroring the format-2-pickle migration path).
+ARTIFACT_FORMAT = 2
 
 #: Sentinel in ``SITE`` for nodes that belong to no call site.
 NO_SITE = 0xFFFFFFFF
@@ -76,8 +84,16 @@ KIND_OF_ROLE = {
     "actual_out": KIND_ACTUAL_OUT,
 }
 
-_HEADER = struct.Struct("<8sII")
-_ENTRY = struct.Struct("<4sQQ")
+_HEADER = struct.Struct("<8sIII")
+_ENTRY = struct.Struct("<4sQQI")
+
+#: Byte offset of the whole-file crc32 field inside the header.
+_FILE_CRC_OFFSET = 16
+
+#: Format-1 layout (no digests) — kept so the store can detect old
+#: files and tests can fabricate them for the migration path.
+_HEADER_V1 = struct.Struct("<8sII")
+_ENTRY_V1 = struct.Struct("<4sQQ")
 
 #: Sections whose bytes are canonical (everything but the pickle).
 CANONICAL_TAGS = (
@@ -91,25 +107,175 @@ class ArtifactError(ValueError):
     sections, wrong format/package version, key mismatch)."""
 
 
+class ArtifactFormatError(ArtifactError):
+    """The buffer is an artifact, but from another layout version.
+
+    Carries the ``found`` format so the store can distinguish "old
+    format, migrate it" from "future format, discard it".
+    """
+
+    def __init__(self, found: int) -> None:
+        super().__init__(
+            f"artifact format {found} != supported format {ARTIFACT_FORMAT}"
+        )
+        self.found = found
+
+
+class ArtifactDigestError(ArtifactError):
+    """Stored bytes do not match their recorded crc32 digest —
+    bit rot, a torn write, or a tampered file."""
+
+
+class ArtifactStaleError(ArtifactError):
+    """The artifact is intact but no longer usable — written by another
+    package version or filed under the wrong cache key.  Stale files
+    are discarded (re-encoded on the next miss); corrupt files are
+    quarantined."""
+
+
 def _pad8(length: int) -> int:
     return (8 - length % 8) % 8
 
 
 def pack_sections(sections: list[tuple[bytes, bytes]]) -> bytes:
-    """Assemble header + table + 8-byte-aligned payloads."""
+    """Assemble header + digest table + 8-byte-aligned payloads.
+
+    Each table entry records ``crc32(payload)``; the header records a
+    whole-file crc computed over the finished buffer with the crc field
+    itself zeroed, so a single C-speed pass can prove the file intact
+    before any section bytes are trusted.
+    """
     table_size = _HEADER.size + _ENTRY.size * len(sections)
     offset = table_size + _pad8(table_size)
     entries = []
     chunks = []
     for tag, payload in sections:
         assert len(tag) == 4, tag
-        entries.append(_ENTRY.pack(tag, offset, len(payload)))
+        entries.append(
+            _ENTRY.pack(tag, offset, len(payload), zlib.crc32(payload))
+        )
         chunks.append(payload)
         pad = _pad8(len(payload))
         if pad:
             chunks.append(b"\x00" * pad)
         offset += len(payload) + pad
-    head = _HEADER.pack(MAGIC, ARTIFACT_FORMAT, len(sections))
+    head = _HEADER.pack(MAGIC, ARTIFACT_FORMAT, len(sections), 0)
+    parts = [head, *entries]
+    pad = _pad8(table_size)
+    if pad:
+        parts.append(b"\x00" * pad)
+    parts.extend(chunks)
+    buffer = bytearray(b"".join(parts))
+    struct.pack_into("<I", buffer, _FILE_CRC_OFFSET, _file_crc(buffer))
+    return bytes(buffer)
+
+
+def _file_crc(buffer) -> int:
+    """crc32 of ``buffer`` with the header crc field treated as zero.
+
+    Works on any buffer (bytes, memoryview, mmap) without copying it:
+    the crc is streamed around the 4 header bytes being excluded.
+    """
+    view = memoryview(buffer)
+    crc = zlib.crc32(view[:_FILE_CRC_OFFSET])
+    crc = zlib.crc32(b"\x00\x00\x00\x00", crc)
+    return zlib.crc32(view[_FILE_CRC_OFFSET + 4 :], crc)
+
+
+def verify_file_digest(buffer) -> None:
+    """Check the whole-file crc32 (the ``verify="header"`` level).
+
+    One sequential :func:`zlib.crc32` pass over the mapping — this
+    catches any random corruption anywhere in the file, including in
+    the section table itself, before a single array read trusts it.
+    """
+    if len(buffer) < _HEADER.size:
+        raise ArtifactError("buffer shorter than the artifact header")
+    (recorded,) = struct.unpack_from("<I", buffer, _FILE_CRC_OFFSET)
+    actual = _file_crc(buffer)
+    if actual != recorded:
+        raise ArtifactDigestError(
+            f"file digest mismatch: crc32 {actual:#010x} != "
+            f"recorded {recorded:#010x}"
+        )
+
+
+def verify_section_digests(buffer, sections: dict[bytes, tuple[int, int]]) -> None:
+    """Check every per-section crc32 (part of ``verify="deep"``).
+
+    Localizes corruption to one named section — the quarantine report
+    says *which* array rotted, not just "the file is bad".
+    """
+    view = memoryview(buffer)
+    for index, (tag, (offset, length)) in enumerate(sections.items()):
+        (recorded,) = struct.unpack_from(
+            "<I",
+            buffer,
+            _HEADER.size + _ENTRY.size * index + _ENTRY.size - 4,
+        )
+        actual = zlib.crc32(view[offset : offset + length])
+        if actual != recorded:
+            raise ArtifactDigestError(
+                f"section {tag!r} digest mismatch: crc32 {actual:#010x}"
+                f" != recorded {recorded:#010x}"
+            )
+
+
+def parse_sections(buffer) -> dict[bytes, tuple[int, int]]:
+    """Validate the header and return ``{tag: (offset, length)}``.
+
+    Every section must lie entirely inside ``buffer`` — a torn write
+    that truncated the file fails here instead of producing a view
+    whose array reads walk off the end of the mapping.  Digest checks
+    are separate (:func:`verify_file_digest`,
+    :func:`verify_section_digests`) so callers choose how much
+    verification the open pays for.
+    """
+    size = len(buffer)
+    if size < _HEADER.size:
+        raise ArtifactError("buffer shorter than the artifact header")
+    magic, fmt, count, _file_digest = _HEADER.unpack_from(buffer, 0)
+    if magic != MAGIC:
+        raise ArtifactError("bad magic: not an artifact file")
+    if fmt != ARTIFACT_FORMAT:
+        raise ArtifactFormatError(fmt)
+    table_end = _HEADER.size + _ENTRY.size * count
+    if size < table_end:
+        raise ArtifactError("truncated section table")
+    sections: dict[bytes, tuple[int, int]] = {}
+    for index in range(count):
+        tag, offset, length, _crc = _ENTRY.unpack_from(
+            buffer, _HEADER.size + _ENTRY.size * index
+        )
+        if offset + length > size:
+            raise ArtifactError(
+                f"section {tag!r} overruns the buffer (torn write?)"
+            )
+        sections[tag] = (offset, length)
+    return sections
+
+
+# ----------------------------------------------------------------------
+# Format-1 compatibility (no digests) — read side for lazy migration,
+# write side for tests that fabricate old files.
+# ----------------------------------------------------------------------
+
+
+def pack_sections_v1(sections: list[tuple[bytes, bytes]]) -> bytes:
+    """Assemble a format-1 artifact (header + digest-less table)."""
+    table_size = _HEADER_V1.size + _ENTRY_V1.size * len(sections)
+    offset = table_size + _pad8(table_size)
+    entries = []
+    chunks = []
+    for tag, payload in sections:
+        assert len(tag) == 4, tag
+        entries.append(_ENTRY_V1.pack(tag, offset, len(payload)))
+        chunks.append(payload)
+        pad = _pad8(len(payload))
+        if pad:
+            chunks.append(b"\x00" * pad)
+        offset += len(payload) + pad
+    head = _HEADER_V1.pack(MAGIC, 1, len(sections))
     parts = [head, *entries]
     pad = _pad8(table_size)
     if pad:
@@ -118,30 +284,23 @@ def pack_sections(sections: list[tuple[bytes, bytes]]) -> bytes:
     return b"".join(parts)
 
 
-def parse_sections(buffer) -> dict[bytes, tuple[int, int]]:
-    """Validate the header and return ``{tag: (offset, length)}``.
-
-    Every section must lie entirely inside ``buffer`` — a torn write
-    that truncated the file fails here instead of producing a view
-    whose array reads walk off the end of the mapping.
-    """
+def parse_sections_v1(buffer) -> dict[bytes, tuple[int, int]]:
+    """Parse a format-1 buffer (used only by the migration path)."""
     size = len(buffer)
-    if size < _HEADER.size:
+    if size < _HEADER_V1.size:
         raise ArtifactError("buffer shorter than the artifact header")
-    magic, fmt, count = _HEADER.unpack_from(buffer, 0)
+    magic, fmt, count = _HEADER_V1.unpack_from(buffer, 0)
     if magic != MAGIC:
         raise ArtifactError("bad magic: not an artifact file")
-    if fmt != ARTIFACT_FORMAT:
-        raise ArtifactError(
-            f"artifact format {fmt} != supported format {ARTIFACT_FORMAT}"
-        )
-    table_end = _HEADER.size + _ENTRY.size * count
+    if fmt != 1:
+        raise ArtifactFormatError(fmt)
+    table_end = _HEADER_V1.size + _ENTRY_V1.size * count
     if size < table_end:
         raise ArtifactError("truncated section table")
     sections: dict[bytes, tuple[int, int]] = {}
     for index in range(count):
-        tag, offset, length = _ENTRY.unpack_from(
-            buffer, _HEADER.size + _ENTRY.size * index
+        tag, offset, length = _ENTRY_V1.unpack_from(
+            buffer, _HEADER_V1.size + _ENTRY_V1.size * index
         )
         if offset + length > size:
             raise ArtifactError(

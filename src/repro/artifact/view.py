@@ -41,21 +41,45 @@ from repro.artifact.format import (
     NO_SITE,
     NODE_ROLES,
     ArtifactError,
+    ArtifactStaleError,
     parse_sections,
+    verify_file_digest,
+    verify_section_digests,
 )
 
 #: ``EKND`` code -> EdgeKind member (index-aligned with EdgeKind.index).
 EDGE_KINDS = tuple(EdgeKind)
 
+#: Verification levels, cheapest first.  ``none`` trusts the bytes
+#: (structural section-table parse only); ``header`` adds one C-speed
+#: crc32 pass over the whole file (catches any random corruption —
+#: the serving default); ``deep`` additionally re-checks every
+#: per-section digest and runs :meth:`ArtifactView.verify_structure`
+#: (the scrubber's level).
+VERIFY_LEVELS = ("none", "header", "deep")
+
 
 class ArtifactView:
     """Lazily-materializing, read-only view of one flat artifact."""
 
-    def __init__(self, buffer, *, mapped: mmap.mmap | None = None) -> None:
+    def __init__(
+        self,
+        buffer,
+        *,
+        mapped: mmap.mmap | None = None,
+        verify: str = "none",
+    ) -> None:
+        if verify not in VERIFY_LEVELS:
+            raise ValueError(f"unknown verify level {verify!r}")
         self._buffer = memoryview(buffer)
         self._mmap = mapped
         try:
             self._init_sections()
+            if verify != "none":
+                verify_file_digest(self._buffer)
+            if verify == "deep":
+                verify_section_digests(self._buffer, self._sections)
+                self.verify_structure()
         except ArtifactError:
             # Drop every buffer export before the caller sees the error,
             # or closing the mmap underneath would raise BufferError.
@@ -63,7 +87,7 @@ class ArtifactView:
             raise
 
     def _init_sections(self) -> None:
-        sections = parse_sections(self._buffer)
+        sections = self._sections = parse_sections(self._buffer)
         try:
             self._meta = json.loads(bytes(self._section(sections, b"META")))
         except (KeyError, UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -108,11 +132,14 @@ class ArtifactView:
     # ------------------------------------------------------------------
 
     @classmethod
-    def open(cls, path: str | Path) -> "ArtifactView":
+    def open(cls, path: str | Path, verify: str = "header") -> "ArtifactView":
         """Map ``path`` read-only and wrap it (zero-copy).
 
         The mapping — not a private heap copy — backs every array
         accessor, so concurrent opens of one store file share pages.
+        ``verify`` (see :data:`VERIFY_LEVELS`) defaults to ``header``:
+        bytes that came off a disk are checked against their whole-file
+        digest before any slicer trusts them.
         """
         with open(path, "rb") as handle:
             try:
@@ -120,15 +147,19 @@ class ArtifactView:
             except ValueError as exc:  # empty file
                 raise ArtifactError(f"unmappable artifact: {exc}") from None
         try:
-            return cls(mapped, mapped=mapped)
+            return cls(mapped, mapped=mapped, verify=verify)
         except ArtifactError:
             mapped.close()
             raise
 
     @classmethod
-    def from_buffer(cls, payload: bytes) -> "ArtifactView":
-        """Wrap in-memory artifact bytes (e.g. a worker's payload)."""
-        return cls(payload)
+    def from_buffer(cls, payload: bytes, verify: str = "none") -> "ArtifactView":
+        """Wrap in-memory artifact bytes (e.g. a worker's payload).
+
+        Defaults to ``verify="none"``: in-memory bytes were encoded by
+        this process tree moments ago and never crossed a disk.
+        """
+        return cls(payload, verify=verify)
 
     def close(self) -> None:
         """Release the array views and the mapping (idempotent)."""
@@ -174,12 +205,77 @@ class ArtifactView:
         from repro import __version__
 
         if self.package_version != __version__:
-            raise ArtifactError(
+            raise ArtifactStaleError(
                 f"artifact from package {self.package_version!r} != "
                 f"{__version__!r}"
             )
         if key is not None and self.key != key:
-            raise ArtifactError("artifact key mismatch")
+            raise ArtifactStaleError("artifact key mismatch")
+
+    def verify_structure(self) -> None:
+        """Bounds-check every index array (part of ``verify="deep"``).
+
+        Digests prove the bytes are the ones the encoder wrote; this
+        proves the arrays the encoder wrote are a well-formed graph —
+        a defense against encoder bugs and crafted files alike.  After
+        it passes, no slicer walk can index out of range.
+        """
+        n = self.node_count
+        eidx, etgt, eknd = self.eidx, self.etgt, self.eknd
+        if eidx[0] != 0 or eidx[n] != len(etgt):
+            raise ArtifactError("EIDX does not span ETGT")
+        prev = 0
+        for value in eidx:
+            if value < prev:
+                raise ArtifactError("EIDX not monotonic")
+            prev = value
+        if len(etgt) and max(etgt) >= n:
+            raise ArtifactError("ETGT edge target out of node range")
+        if len(eknd) and max(eknd) >= len(EDGE_KINDS):
+            raise ArtifactError("EKND edge kind out of range")
+        if n and max(self.kind) >= len(NODE_ROLES):
+            raise ArtifactError("KIND node kind out of range")
+        lkey, lidx, lnod = self._lkey, self._lidx, self._lnod
+        for row in range(1, len(lkey)):
+            if lkey[row] <= lkey[row - 1]:
+                raise ArtifactError("LKEY seed lines not strictly sorted")
+        if lidx[0] != 0 or lidx[len(lkey)] != len(lnod):
+            raise ArtifactError("LIDX does not span LNOD")
+        prev = 0
+        for value in lidx:
+            if value < prev:
+                raise ArtifactError("LIDX not monotonic")
+            prev = value
+        if len(lnod) and max(lnod) >= n:
+            raise ArtifactError("LNOD seed node out of node range")
+        strs = self._strs
+        if len(strs) < 8:
+            raise ArtifactError("STRS table truncated")
+        count = strs[:4].cast("I")[0]
+        base = 4 * (count + 2)
+        if base > len(strs):
+            raise ArtifactError("STRS offset table truncated")
+        offsets = strs[:base].cast("I")
+        if offsets[1] != 0:
+            raise ArtifactError("STRS first offset not zero")
+        for ref in range(1, count + 1):
+            if offsets[ref + 1] < offsets[ref]:
+                raise ArtifactError("STRS offsets not monotonic")
+        if base + offsets[count + 1] > len(strs):
+            raise ArtifactError("STRS blob overruns the section")
+        func = self._func
+        if len(func) % 3 != 0:
+            raise ArtifactError("FUNC table length not a multiple of 3")
+        cursor = 0
+        for row in range(len(func) // 3):
+            ref, start, end = func[row * 3], func[row * 3 + 1], func[row * 3 + 2]
+            if ref >= count:
+                raise ArtifactError("FUNC name ref out of string range")
+            if start != cursor or end < start:
+                raise ArtifactError("FUNC node ranges not contiguous")
+            cursor = end
+        if cursor != n:
+            raise ArtifactError("FUNC ranges do not cover all nodes")
 
     # ------------------------------------------------------------------
     # Graph protocol (shared with repro.sdg.sdg.SDG)
@@ -234,14 +330,17 @@ class ArtifactView:
         return self.string(func[row * 3])
 
     def string(self, ref: int) -> str:
-        offsets = self._strs.cast("I")
-        count = offsets[0]
+        # Cast only the offsets prefix: the UTF-8 blob that follows it
+        # is not u32-aligned, so casting the whole section would raise.
+        strs = self._strs
+        count = strs[:4].cast("I")[0]
+        base = 4 * (count + 2)
         if not 0 <= ref < count:
             raise ArtifactError(f"string ref {ref} out of range")
-        base = 4 * (count + 2)
+        offsets = strs[:base].cast("I")
         start = base + offsets[ref + 1]
         end = base + offsets[ref + 2]
-        return bytes(self._strs[start:end]).decode("utf-8")
+        return bytes(strs[start:end]).decode("utf-8")
 
     # ------------------------------------------------------------------
     # Source text

@@ -585,6 +585,8 @@ def _shard_serve_args(args: argparse.Namespace) -> list[str]:
         forwarded += ["--memory-limit-mb", str(args.memory_limit_mb)]
     if args.poison_threshold is not None:
         forwarded += ["--poison-threshold", str(args.poison_threshold)]
+    if args.scrub_interval is not None:
+        forwarded += ["--scrub-interval", str(args.scrub_interval)]
     return forwarded
 
 
@@ -671,6 +673,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool = ShardPool(
             probe_interval_s=args.probe_interval,
             echo_shard_logs=not args.quiet,
+            respawn=not args.no_respawn,
         )
         try:
             pool.spawn_local(args.shards, _shard_serve_args(args))
@@ -713,6 +716,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.poison_threshold < 1:
             raise SystemExit("error: --poison-threshold must be >= 1")
         quarantine = Quarantine(threshold=args.poison_threshold)
+    scrub_interval = args.scrub_interval
+    if scrub_interval is not None and scrub_interval <= 0:
+        raise SystemExit("error: --scrub-interval must be positive")
     server = SliceServer(
         cache,
         timeout=timeout,
@@ -721,6 +727,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor or default_executor(args.workers),
         memory_limit_mb=memory_limit,
         quarantine=quarantine,
+        scrub_interval_s=scrub_interval,
     )
     server.prestart()
     if args.tcp:
@@ -883,6 +890,14 @@ def main(argv: list[str] | None = None) -> int:
         "quarantined and answered with PoisonInput (default: 3)",
     )
     p_serve.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=None,
+        help="seconds between background deep-verify sweeps of the "
+        "disk store; corrupt artifacts are quarantined under "
+        "corrupt/ (default: no scrubber; first sweep runs at start)",
+    )
+    p_serve.add_argument(
         "--quiet", action="store_true", help="suppress structured logs"
     )
     p_serve.add_argument(
@@ -903,6 +918,12 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=64,
         help="virtual nodes per shard on the hash ring (--shards mode)",
+    )
+    p_serve.add_argument(
+        "--no-respawn",
+        action="store_true",
+        help="do not respawn locally spawned shards that die "
+        "(--shards mode; default is to respawn on the same port)",
     )
     p_serve.set_defaults(fn=_cmd_serve)
 

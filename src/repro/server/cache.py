@@ -256,6 +256,20 @@ class AnalysisCache:
         view = ArtifactView.from_buffer(payload)
         return CacheEntry(view=view, timings=timings), payload
 
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry from the memory tier (serve-time degrade).
+
+        The daemon calls this when a slice blows up *inside* a flat
+        walk — bytes that passed load-time verification but turned out
+        poisoned anyway.  The entry's view is deliberately *not*
+        closed: another worker thread may be mid-slice over the same
+        mapping, and releasing the buffer under it would turn one bad
+        request into a crash.  The mmap is reclaimed when the last
+        reference drops.  Returns whether an entry was removed.
+        """
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
     def _put(self, key: str, entry: CacheEntry) -> None:
         self._entries[key] = entry
         self._entries.move_to_end(key)

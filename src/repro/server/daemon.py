@@ -38,6 +38,13 @@ Design rules:
   :class:`~repro.artifact.ArtifactView` and never reconstructs the
   object graph.  Only the rich methods (``explain``/``why``/``chop``)
   materialize, once per entry, via :meth:`CacheEntry.program`.
+* **Artifact integrity** — stored artifacts are digest-verified at
+  load (see :mod:`repro.artifact.format`); a background scrubber
+  deep-verifies the whole store on a timer, quarantining corrupt
+  files; and if a flat slice still blows up mid-walk the request
+  degrades to a transparent cold re-analysis (``degraded_recomputes``
+  in health/stats) — a corrupt store costs latency, never a wrong
+  answer.
 
 Two serving loops: :func:`serve_stdio` (one client on stdin/stdout)
 and :func:`serve_tcp` (a threading TCP server, many clients, one
@@ -52,6 +59,7 @@ import json
 import logging
 import socket
 import socketserver
+import struct
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -60,6 +68,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, TextIO
 
 from repro import AnalyzedProgram, AnalyzeOptions, __version__
+from repro.artifact import ArtifactError
 from repro.budget import Budget, BudgetExceeded
 from repro.parallel import ProcessPool, WorkerCrashed, WorkerError
 from repro.profiling import merge_timing_dicts
@@ -98,6 +107,19 @@ _WAIT_SLICE_S = 0.05
 #: Hard cap on seeds in one ``slice_batch`` request (admission sanity:
 #: one request should not monopolize the daemon indefinitely).
 MAX_BATCH_ITEMS = 256
+
+#: What a flat slicer raises when it walks bytes that passed load-time
+#: verification but are wrong anyway (an encoder bug, or corruption
+#: under ``verify="none"``).  The slice path catches exactly these and
+#: degrades to a transparent cold re-analysis — anything else is a
+#: genuine server bug and must surface as an Internal error.
+_FLAT_CORRUPTION_ERRORS = (
+    ArtifactError,
+    IndexError,
+    struct.error,
+    UnicodeDecodeError,
+    OverflowError,
+)
 
 
 def default_executor(workers: int) -> str:
@@ -156,6 +178,7 @@ class SliceServer:
         memory_limit_mb: float | None = None,
         quarantine: Quarantine | None = None,
         breaker: CircuitBreaker | None = None,
+        scrub_interval_s: float | None = None,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor: {executor!r}")
@@ -201,6 +224,22 @@ class SliceServer:
         # touch — write or read — goes through this dedicated lock.
         self._pipeline: dict[str, Any] = {}
         self._pipeline_lock = threading.Lock()
+        # Serve-time corruption recoveries: a flat slice blew up on
+        # verified-at-load bytes, the entry was invalidated, the file
+        # quarantined, and the request transparently re-analyzed.
+        self.degraded_recomputes = 0
+        # Periodic store scrubber.  The first pass runs right away on
+        # the scrub thread (the "scrub at open" the store wants) so a
+        # daemon pointed at a rotted store quarantines it before the
+        # first unlucky request finds out; serving is never blocked.
+        self.scrub_interval_s = scrub_interval_s
+        self._scrub_stop = threading.Event()
+        self._scrub_thread: threading.Thread | None = None
+        if scrub_interval_s is not None and self.cache.store is not None:
+            self._scrub_thread = threading.Thread(
+                target=self._scrub_loop, name="repro-scrub", daemon=True
+            )
+            self._scrub_thread.start()
         self._methods: dict[
             str, Callable[[dict[str, Any], Budget | None], dict[str, Any]]
         ] = {
@@ -425,6 +464,7 @@ class SliceServer:
         with self._load_lock:
             busy, queued = self._busy, self._queued
             shed, cancelled = self.shed_total, self.cancelled_total
+            degraded = self.degraded_recomputes
         payload = {
             "healthy": not self.shutting_down,
             "shutting_down": self.shutting_down,
@@ -434,6 +474,7 @@ class SliceServer:
             "max_queue": self.max_queue,
             "shed_total": shed,
             "cancelled_total": cancelled,
+            "degraded_recomputes": degraded,
             "executor": self.executor,
             "uptime_s": round(time.time() - self.started, 3),
             "quarantine": self.quarantine.stats(),
@@ -443,6 +484,15 @@ class SliceServer:
             payload["memory_limit_mb"] = self.memory_limit_mb
         if self.process_pool is not None:
             payload["pool"] = self.process_pool.stats()
+        store = self.cache.store
+        if store is not None:
+            payload["store"] = {
+                "quarantined": store.stats.quarantined,
+                "corrupt_found": store.stats.corrupt_found,
+                "scrubs": store.stats.scrubs,
+                "scrubbed": store.stats.scrubbed,
+                "last_scrub": store.last_scrub,
+            }
         return payload
 
     def _method_shutdown(
@@ -460,7 +510,59 @@ class SliceServer:
             "context": self._opt_int_param(params, "context", 0),
             "flavor": self._flavor_param(params),
         }
-        return self._slice_result(entry, name, origin, item)
+        return self._slice_recovering(entry, name, origin, item, params, budget)
+
+    def _slice_recovering(
+        self,
+        entry: CacheEntry,
+        name: str,
+        origin: str,
+        item: dict[str, Any],
+        params: dict[str, Any],
+        budget: Budget | None,
+    ) -> dict[str, Any]:
+        """:meth:`_slice_result`, degrading gracefully on corruption.
+
+        If a *flat* walk blows up mid-slice (bytes that passed load
+        verification but are wrong anyway), the poisoned entry is
+        dropped from the memory tier, its backing file quarantined, and
+        the request re-analyzed cold — the client gets the same
+        byte-identical answer it would have gotten from a healthy
+        store, one analysis slower.  Rich-program slices never take
+        this path: their failures are real bugs and must surface.
+        """
+        try:
+            return self._slice_result(entry, name, origin, item)
+        except _FLAT_CORRUPTION_ERRORS as exc:
+            if entry.view is None or entry._program is not None:
+                raise
+            entry, name, origin = self._recover_entry(params, budget, exc)
+            return self._slice_result(entry, name, origin, item)
+
+    def _recover_entry(
+        self, params: dict[str, Any], budget: Budget | None, cause: Exception
+    ) -> tuple[CacheEntry, str, str]:
+        source, _name = self._resolve_source(params)
+        options = AnalyzeOptions(
+            include_stdlib=bool(params.get("include_stdlib", True)),
+            memory_limit_mb=self.memory_limit_mb,
+        )
+        key = cache_key(source, options)
+        logger.warning(
+            "slice failed over flat artifact %s (%s: %s); degrading to "
+            "cold re-analysis", key[:12], type(cause).__name__, cause,
+        )
+        self.cache.invalidate(key)
+        store = self.cache.store
+        if store is not None:
+            store.stats.corrupt_found += 1
+            store._quarantine(
+                store.path_for(key),
+                f"served bytes failed mid-slice: {type(cause).__name__}: {cause}",
+            )
+        with self._load_lock:
+            self.degraded_recomputes += 1
+        return self._cache_entry(params, budget)
 
     def _slice_result(
         self,
@@ -531,7 +633,14 @@ class SliceServer:
             entry, _name, origin = resolved[
                 (item["source"], item["include_stdlib"])
             ]
-            return self._slice_result(entry, item["name"], origin, item)
+            item_params = {
+                "source": item["source"],
+                "filename": item["name"],
+                "include_stdlib": item["include_stdlib"],
+            }
+            return self._slice_recovering(
+                entry, item["name"], origin, item, item_params, budget
+            )
 
         if len(items) > 1:
             with ThreadPoolExecutor(
@@ -667,6 +776,7 @@ class SliceServer:
                 "max_queue": self.max_queue,
                 "shed_total": self.shed_total,
                 "cancelled_total": self.cancelled_total,
+                "degraded_recomputes": self.degraded_recomputes,
                 "timeout_s": self.timeout,
                 "executor": self.executor,
             }
@@ -810,7 +920,23 @@ class SliceServer:
             ),
         )
 
+    def _scrub_loop(self) -> None:
+        """Background scrubber: one pass at startup, then every
+        ``scrub_interval_s``.  Scrub failures are logged, never fatal —
+        a broken scrubber must not take serving down with it."""
+        store = self.cache.store
+        while not self._scrub_stop.is_set():
+            try:
+                summary = store.scrub()
+                if summary["corrupt"] or summary["stale"]:
+                    logger.warning("scrub: %s", json.dumps(summary))
+            except Exception as exc:  # noqa: BLE001 - keep scrubbing
+                logger.warning("scrub pass failed: %s", exc)
+            if self._scrub_stop.wait(self.scrub_interval_s):
+                break
+
     def close(self) -> None:
+        self._scrub_stop.set()
         self._pool.shutdown(wait=False, cancel_futures=True)
         if self.process_pool is not None:
             self.process_pool.close()

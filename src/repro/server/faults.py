@@ -12,7 +12,17 @@ components consult at well-defined points:
   (deliberately slow analyses, budget-aware so cancellation works);
 * :class:`~repro.server.store.DiskStore` — :meth:`FaultPlan.torn_write`
   replaces the next N atomic saves with a truncated write straight to
-  the final path, simulating a crash that bypassed the temp-file dance.
+  the final path, simulating a crash that bypassed the temp-file dance;
+  :meth:`FaultPlan.on_store_load` corrupts the next N stored artifacts
+  *before* the store maps them (``bit_flips``, ``truncate_artifacts``,
+  ``stale_meta``), drilling the detect → quarantine → recompute path.
+
+The corruptors (:func:`flip_artifact_bit` and friends) rewrite the file
+via copy + :func:`os.replace` — a *new inode* — rather than in place.
+In-place writes would tear pages out from under every live mmap of the
+file (page cache is shared); real bit rot lands on platters, not in
+mapped pages, and the new-inode dance reproduces exactly that: already
+open views keep their intact bytes, the *next* open sees the damage.
 
 Every hook is a no-op on a default-constructed plan, and ``None`` plans
 cost one attribute check — production paths pay nothing.  Counter-style
@@ -26,8 +36,10 @@ asserts it keeps answering with correct counters afterwards.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+from pathlib import Path
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -80,6 +92,17 @@ class FaultPlan:
     #: shard-slow drill: inflates in-flight occupancy so admission
     #: control sheds load with ``Overloaded``).
     shard_slow_s: float = 0.0
+    #: Flip one payload bit in the next N stored artifacts right before
+    #: the store maps them (silent bit rot: the file still parses, the
+    #: digest check must catch it, quarantine it, and recompute).
+    bit_flips: int = 0
+    #: Truncate the next N stored artifacts to a prefix before the
+    #: store maps them (a torn write that survived a crash).
+    truncate_artifacts: int = 0
+    #: Rewrite the next N stored artifacts with *valid* digests but a
+    #: stale package-version stamp (a bad deploy that mixed store
+    #: generations: digests pass, semantic validation must refuse it).
+    stale_meta: int = 0
     #: Pin this many MiB of extra RSS inside process-executor analyses
     #: while set (held across several parent poll cycles), so the
     #: memory-sentinel drills can trip ``AnalyzeOptions.memory_limit_mb``
@@ -140,3 +163,86 @@ class FaultPlan:
             time.sleep(self.shard_slow_s)
         if self._take("shard_kills"):
             pool.kill_shard(address)
+
+    def on_store_load(self, path: "Any") -> None:
+        """Called by the store right before mapping a stored artifact.
+
+        Corrupts the file on disk (new inode — see the module
+        docstring) so the very load that follows must detect it.
+        Counters are only consumed when the file actually exists, so a
+        cold miss does not eat the fault meant for a warm read.
+        """
+        path = Path(path)
+        if not path.exists():
+            return
+        if self._take("bit_flips"):
+            flip_artifact_bit(path)
+        elif self._take("truncate_artifacts"):
+            truncate_artifact(path)
+        elif self._take("stale_meta"):
+            stale_artifact_meta(path)
+
+
+# ----------------------------------------------------------------------
+# Artifact corruptors (shared by FaultPlan, tests, and chaos_soak.py).
+# Each rewrites via tmp + os.replace — a new inode — so live mmaps of
+# the old file keep their intact bytes, exactly like real disk rot.
+# ----------------------------------------------------------------------
+
+
+def _replace_file(path: Path, data: bytes) -> None:
+    tmp = path.with_suffix(f".tmp.fault.{os.getpid()}")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def flip_artifact_bit(
+    path: str | Path, position: int | None = None, mask: int = 0x10
+) -> None:
+    """Flip one bit in the artifact's payload region (silent bit rot).
+
+    Skips the first 12 bytes (magic + format) so the file still *looks*
+    like an artifact of the current format — only a digest check can
+    tell it rotted.
+    """
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    floor = min(12, len(blob) - 1)
+    if position is None:
+        position = max(floor, len(blob) // 2)
+    position = min(max(floor, position), len(blob) - 1)
+    blob[position] ^= mask & 0xFF or 0x10
+    _replace_file(path, bytes(blob))
+
+
+def truncate_artifact(path: str | Path, keep: int | None = None) -> None:
+    """Cut the artifact to a prefix (a torn write that survived)."""
+    path = Path(path)
+    blob = path.read_bytes()
+    if keep is None:
+        keep = max(1, len(blob) // 3)
+    _replace_file(path, blob[: max(1, min(keep, len(blob)))])
+
+
+def stale_artifact_meta(path: str | Path, version: str = "0.0.0-stale") -> None:
+    """Re-stamp the artifact with a stale package version.
+
+    The file is re-packed, so every digest is *valid* — only semantic
+    validation (version/key) can refuse it.  Drills the stale-vs-corrupt
+    distinction: this file must be discarded, not quarantined.
+    """
+    import json
+
+    from repro.artifact.format import pack_sections, parse_sections
+
+    path = Path(path)
+    blob = path.read_bytes()
+    sections = []
+    for tag, (offset, length) in parse_sections(blob).items():
+        payload = blob[offset : offset + length]
+        if tag == b"META":
+            meta = json.loads(payload)
+            meta["version"] = version
+            payload = json.dumps(meta, sort_keys=True).encode("utf-8")
+        sections.append((tag, payload))
+    _replace_file(path, pack_sections(sections))

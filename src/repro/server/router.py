@@ -427,6 +427,7 @@ class Router:
             "role": "router",
             "shard_count": len(shards),
             "healthy_shards": len(healthy),
+            "respawns_total": self.pool.respawns_total,
             "probe_interval_s": self.pool.probe_interval_s,
             "failure_threshold": self.pool.failure_threshold,
             "uptime_s": round(time.time() - self.started, 3),

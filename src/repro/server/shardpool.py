@@ -28,6 +28,16 @@ service:
   shut down via the ``shutdown`` RPC, and kills any that linger.
   Externally attached shards are left running — they may be serving
   other routers.
+* **Respawn** — a *spawned* shard whose process has exited is restarted
+  by the probe thread on the **same port** (the consistent-hash ring is
+  built from addresses once, so the reborn shard slots straight back
+  into its ring position; the daemon's listener sets
+  ``SO_REUSEADDR``, so the rebind wins over ``TIME_WAIT``).  Between
+  death and respawn the ring's failover answers that shard's keys from
+  its neighbors — zero failed requests, then the tier heals itself.
+  Exponential backoff caps the churn when a shard dies at startup
+  every time; externally attached shards are never respawned (their
+  lifecycle belongs to whoever started them).
 """
 
 from __future__ import annotations
@@ -52,6 +62,11 @@ PROBE_TIMEOUT_S = 2.0
 
 #: How long to wait for a spawned shard to report its bound port.
 SPAWN_TIMEOUT_S = 30.0
+
+#: Base delay before re-respawning a shard that died again; doubles per
+#: consecutive failed respawn (a shard that cannot hold its port or
+#: crashes during startup must not be restarted in a hot loop).
+RESPAWN_BACKOFF_S = 0.5
 
 HEALTHY = "healthy"
 UNHEALTHY = "unhealthy"
@@ -83,6 +98,11 @@ class Shard:
         self.failed_total = 0
         self.last_probe: dict[str, Any] | None = None
         self.last_error: str | None = None
+        #: Times this shard's process was resurrected, and the backoff
+        #: bookkeeping for the next attempt.
+        self.respawns = 0
+        self.respawn_failures = 0
+        self.next_respawn_at = 0.0
         self._lock = threading.Lock()
         self._free: list[SliceClient] = []
 
@@ -160,6 +180,7 @@ class Shard:
                 "forwarded_total": self.forwarded_total,
                 "failed_total": self.failed_total,
                 "spawned": self.process is not None,
+                "respawns": self.respawns,
                 "last_probe": self.last_probe,
             }
             if self.process is not None:
@@ -178,6 +199,7 @@ class ShardPool:
         probe_interval_s: float = DEFAULT_PROBE_INTERVAL_S,
         request_timeout: float = 30.0,
         echo_shard_logs: bool = True,
+        respawn: bool = True,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -185,11 +207,19 @@ class ShardPool:
         self.probe_interval_s = probe_interval_s
         self.request_timeout = request_timeout
         self.echo_shard_logs = echo_shard_logs
+        #: Resurrect spawned shards whose process has exited (probes
+        #: notice the death; ``respawn=False`` restores the PR 6
+        #: demote-only behavior for drills that need a shard to stay
+        #: dead).
+        self.respawn = respawn
+        self.respawns_total = 0
         self._shards: dict[str, Shard] = {}
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._probe_thread: threading.Thread | None = None
         self._drains: list[threading.Thread] = []
+        self._spawn_python: str = sys.executable
+        self._spawn_serve_args: list[str] = []
 
     # ------------------------------------------------------------------
     # Membership
@@ -216,40 +246,50 @@ class ShardPool:
         which a drain thread forwards the shard's remaining logs to
         this process's stderr.
         """
+        self._spawn_python = python
+        self._spawn_serve_args = list(serve_args or [])
         spawned = []
         for _ in range(count):
-            process = subprocess.Popen(
-                [python, "-m", "repro.cli", "serve", "--tcp", "127.0.0.1:0"]
-                + list(serve_args or []),
-                stdin=subprocess.DEVNULL,
-                stdout=subprocess.DEVNULL,
-                stderr=subprocess.PIPE,
-                text=True,
-            )
-            try:
-                port = self._await_listening(process)
-            except Exception:
-                process.kill()
-                process.wait()
-                raise
+            process, port = self._spawn_process("127.0.0.1:0")
             shard = Shard(
                 "127.0.0.1",
                 port,
                 process=process,
                 request_timeout=self.request_timeout,
             )
-            drain = threading.Thread(
-                target=self._drain_stderr,
-                args=(process, shard.address, self.echo_shard_logs),
-                name=f"repro-shard-log-{port}",
-                daemon=True,
-            )
-            drain.start()
-            self._drains.append(drain)
+            self._start_drain(process, shard.address)
             with self._lock:
                 self._shards[shard.address] = shard
             spawned.append(shard)
         return spawned
+
+    def _spawn_process(self, bind: str) -> tuple[subprocess.Popen, int]:
+        """Fork one shard daemon bound to ``bind`` and await its port."""
+        process = subprocess.Popen(
+            [self._spawn_python, "-m", "repro.cli", "serve", "--tcp", bind]
+            + self._spawn_serve_args,
+            stdin=subprocess.DEVNULL,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            port = self._await_listening(process)
+        except Exception:
+            process.kill()
+            process.wait()
+            raise
+        return process, port
+
+    def _start_drain(self, process: subprocess.Popen, address: str) -> None:
+        drain = threading.Thread(
+            target=self._drain_stderr,
+            args=(process, address, self.echo_shard_logs),
+            name=f"repro-shard-log-{address.rsplit(':', 1)[-1]}",
+            daemon=True,
+        )
+        drain.start()
+        self._drains.append(drain)
 
     @staticmethod
     def _await_listening(process: subprocess.Popen) -> int:
@@ -350,6 +390,8 @@ class ShardPool:
                 f"shard process exited with code {shard.process.poll()}",
                 definitely_down=True,
             )
+            if self.respawn and not self._stop.is_set():
+                self._try_respawn(shard)
             return
         try:
             payload = shard.probe()
@@ -385,6 +427,47 @@ class ShardPool:
     def _probe_loop(self) -> None:
         while not self._stop.wait(self.probe_interval_s):
             self.probe_all()
+
+    def _try_respawn(self, shard: Shard) -> None:
+        """Resurrect a dead spawned shard on its original port.
+
+        Runs on the probe thread.  The shard keeps its ring identity —
+        same host:port, same :class:`Shard` object — so no ring rebuild
+        and no key reshuffle; only the process and its connections are
+        new.  A failed attempt backs off exponentially and leaves the
+        shard demoted; the next probe round tries again.
+        """
+        now = time.monotonic()
+        with shard._lock:
+            if shard.process is None or now < shard.next_respawn_at:
+                return
+        shard.close_connections()
+        try:
+            process, _port = self._spawn_process(shard.address)
+        except ShardSpawnError as exc:
+            with shard._lock:
+                shard.respawn_failures += 1
+                shard.next_respawn_at = now + RESPAWN_BACKOFF_S * (
+                    2 ** min(shard.respawn_failures, 6)
+                )
+                shard.last_error = f"respawn failed: {exc}"
+            return
+        self._start_drain(process, shard.address)
+        with shard._lock:
+            shard.process = process
+            shard.respawns += 1
+            shard.respawn_failures = 0
+            shard.next_respawn_at = now + RESPAWN_BACKOFF_S
+        with self._lock:
+            self.respawns_total += 1
+        # Promote immediately if the reborn daemon answers: the ring
+        # should not wait a probe round to use a shard that is up.
+        try:
+            payload = shard.probe()
+        except ServerError as exc:
+            self.note_failure(shard.address, str(exc))
+        else:
+            self.note_success(shard.address, probe=payload)
 
     # ------------------------------------------------------------------
     # Drills and draining

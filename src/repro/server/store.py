@@ -14,12 +14,33 @@ deployments — are still honored: :meth:`load_view` falls back to the
 legacy path, re-encodes the artifact flat, writes the ``.art`` file,
 and deletes the pickle (lazy migration; counted in ``stats.migrated``).
 
-A stale or corrupted file — a truncated write, an artifact from an
-incompatible code version, a hash collision in a hand-edited store —
-is *discarded and recomputed*, never propagated and never fatal.
-Writes go through a temp file + :func:`os.replace` so a crash mid-save
-leaves either the old artifact or none, but never a torn file at the
-final path.
+Bad files are never propagated and never fatal, but *stale* and
+*corrupt* are handled differently.  Stale files (written by another
+package version, filed under the wrong key) are legitimate encodings
+nobody wants anymore: they are discarded and recomputed.  Corrupt
+files (digest mismatch, truncated section table, garbage bytes,
+persistently unreadable) are evidence of a disk or deployment problem:
+they are moved to ``<root>/corrupt/`` for post-mortem instead of being
+silently unlinked, counted in ``stats.quarantined``, and the entry is
+recomputed.  Format-1 flat artifacts (no digests) are lazily
+re-encoded to format 2 on first read, exactly like the pickle path.
+
+Writes go through a temp file + ``fsync`` + :func:`os.replace` so a
+crash mid-save leaves either the old artifact or none, but never a
+torn file at the final path — and the bytes named by the rename are
+actually on the platter when the rename lands.
+
+:meth:`scrub` deep-verifies every stored artifact (digests plus
+structural bounds), quarantining what fails; the daemon runs it at
+startup and on a periodic timer.
+
+Eviction semantics worth knowing: :meth:`prune` unlinks backing files
+while ``mmap``-backed views of them may still be held by the in-memory
+LRU.  That is safe on POSIX — the mapping keeps the inode alive, so an
+LRU-held :class:`~repro.artifact.ArtifactView` keeps serving correct
+bytes after its directory entry is gone; the disk space is reclaimed
+when the last mapping closes.  The same applies to quarantine moves:
+a live view follows the old inode, not the path.
 """
 
 from __future__ import annotations
@@ -33,7 +54,15 @@ from pathlib import Path
 from typing import Any
 
 from repro import AnalyzedProgram, __version__
-from repro.artifact import ArtifactError, ArtifactView, encode_artifact
+from repro.artifact import (
+    ARTIFACT_FORMAT,
+    ArtifactError,
+    ArtifactFormatError,
+    ArtifactStaleError,
+    ArtifactView,
+    encode_artifact,
+    migrate_flat_v1,
+)
 from repro.server.faults import FaultPlan
 
 #: Store format: 3 = raw flat artifacts (``.art``); 2 = legacy pickle
@@ -55,8 +84,17 @@ class StoreStats:
     save_errors: int = 0
     evicted: int = 0
     tmp_swept: int = 0
-    #: Legacy pickle entries re-encoded flat on first warm read.
+    #: Legacy entries (format-2 pickles and format-1 flat artifacts)
+    #: re-encoded to the current format on first warm read.
     migrated: int = 0
+    #: Corruption detected (serve-time load or scrub), whatever became
+    #: of the file afterwards.
+    corrupt_found: int = 0
+    #: Corrupt files moved to ``corrupt/`` for post-mortem.
+    quarantined: int = 0
+    #: Scrub passes completed, and artifacts that passed deep verify.
+    scrubs: int = 0
+    scrubbed: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -68,6 +106,10 @@ class StoreStats:
             "evicted": self.evicted,
             "tmp_swept": self.tmp_swept,
             "migrated": self.migrated,
+            "corrupt_found": self.corrupt_found,
+            "quarantined": self.quarantined,
+            "scrubs": self.scrubs,
+            "scrubbed": self.scrubbed,
         }
 
 
@@ -89,10 +131,24 @@ class DiskStore:
     #: between open and ``os.replace``) and get swept; young ones may
     #: belong to a concurrent in-flight save and are left alone.
     tmp_max_age_s: float = 60.0
+    #: Verification level every load pays (see
+    #: :data:`repro.artifact.VERIFY_LEVELS`).  ``header`` — one crc32
+    #: pass over the mapping — is the serving default; ``deep`` is the
+    #: scrubber's level; ``none`` trusts the bytes (benchmark baseline).
+    verify: str = "header"
+    #: Consecutive :meth:`load_view` read failures (EIO and friends)
+    #: before an unreadable ``.art`` file is quarantined like a corrupt
+    #: one instead of counting a miss on every request forever.
+    read_failure_limit: int = 3
+    #: Quarantine keeps at most this many files; oldest beyond the cap
+    #: are deleted so a corruption storm cannot fill the disk twice.
+    quarantine_max_files: int = 64
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._read_failures: dict[str, int] = {}
+        self.last_scrub: dict[str, Any] | None = None
         self.sweep_tmp()
 
     def path_for(self, key: str) -> Path:
@@ -101,33 +157,131 @@ class DiskStore:
     def legacy_path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def load_view(self, key: str) -> ArtifactView | None:
+    @property
+    def corrupt_dir(self) -> Path:
+        return self.root / "corrupt"
+
+    def load_view(self, key: str, verify: str | None = None) -> ArtifactView | None:
         """Map the stored artifact read-only, or None (missing / stale /
-        corrupt).  This is the warm path: nothing is unpickled."""
+        corrupt).  This is the warm path: nothing is unpickled.
+
+        ``verify`` overrides the store's configured level for this one
+        load (the store benchmark measures the levels against each
+        other); corrupt bytes are quarantined, stale ones discarded.
+        """
         path = self.path_for(key)
+        if self.fault_plan is not None:
+            self.fault_plan.on_store_load(path)
         try:
-            view = ArtifactView.open(path)
+            view = ArtifactView.open(
+                path, verify=self.verify if verify is None else verify
+            )
         except FileNotFoundError:
+            self._read_failures.pop(str(path), None)
             return self._load_legacy(key)
-        except OSError as exc:
-            self.stats.misses += 1
-            logger.warning("store read failed for %s: %s", path, exc)
-            return None
-        except ArtifactError as exc:
+        except ArtifactFormatError as exc:
+            if exc.found < ARTIFACT_FORMAT:
+                return self._migrate_flat(key, path)
             self.stats.discarded += 1
-            logger.warning("discarding bad artifact %s: %s", path, exc)
+            logger.warning("discarding stale artifact %s: %s", path, exc)
             path.unlink(missing_ok=True)
             return None
+        except ArtifactError as exc:
+            self.stats.corrupt_found += 1
+            self._quarantine(path, str(exc))
+            return None
+        except OSError as exc:
+            failures = self._read_failures.get(str(path), 0) + 1
+            if failures >= self.read_failure_limit:
+                self._read_failures.pop(str(path), None)
+                self.stats.corrupt_found += 1
+                self._quarantine(
+                    path, f"unreadable after {failures} attempts: {exc}"
+                )
+            else:
+                self._read_failures[str(path)] = failures
+                self.stats.misses += 1
+                logger.warning("store read failed for %s: %s", path, exc)
+            return None
+        self._read_failures.pop(str(path), None)
         try:
             view.validate(key)
         except ArtifactError as exc:
             view.close()
             self.stats.discarded += 1
-            logger.warning("discarding bad artifact %s: %s", path, exc)
+            logger.warning("discarding stale artifact %s: %s", path, exc)
             path.unlink(missing_ok=True)
             return None
         self.stats.hits += 1
         return view
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt file to ``corrupt/`` for post-mortem.
+
+        The move is a same-filesystem :func:`os.replace`, so any
+        LRU-held mmap of the old path keeps serving its (old, intact)
+        inode.  A ``.reason`` sidecar records why the file was pulled.
+        Never raises: if even the move fails the file is unlinked so it
+        cannot be served again.
+        """
+        logger.warning("quarantining corrupt artifact %s: %s", path, reason)
+        target = self.corrupt_dir / path.name
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            if target.exists():
+                target = self.corrupt_dir / f"{path.stem}.{os.getpid()}{path.suffix}"
+            os.replace(path, target)
+            self.stats.quarantined += 1
+        except OSError as exc:
+            logger.warning("quarantine move failed for %s: %s", path, exc)
+            path.unlink(missing_ok=True)
+            return
+        try:
+            target.with_suffix(target.suffix + ".reason").write_text(
+                reason + "\n", encoding="utf-8"
+            )
+        except OSError:
+            pass
+        self._trim_quarantine()
+
+    def _trim_quarantine(self) -> None:
+        try:
+            entries = sorted(
+                (p for p in self.corrupt_dir.iterdir() if p.suffix == ".art"),
+                key=lambda p: p.stat().st_mtime,
+            )
+        except OSError:
+            return
+        for stale in entries[: max(0, len(entries) - self.quarantine_max_files)]:
+            stale.unlink(missing_ok=True)
+            stale.with_suffix(stale.suffix + ".reason").unlink(missing_ok=True)
+
+    def _migrate_flat(self, key: str, path: Path) -> ArtifactView | None:
+        """Format-1 flat fallback: re-encode with digests, in place.
+
+        Mirrors :meth:`_load_legacy` one format later — the store
+        upgrades itself one warm read at a time, no offline rewrite."""
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            self.stats.misses += 1
+            logger.warning("store read failed for %s: %s", path, exc)
+            return None
+        try:
+            payload = migrate_flat_v1(blob, key)
+        except ArtifactStaleError as exc:
+            self.stats.discarded += 1
+            logger.warning("discarding stale artifact %s: %s", path, exc)
+            path.unlink(missing_ok=True)
+            return None
+        except ArtifactError as exc:
+            self.stats.corrupt_found += 1
+            self._quarantine(path, f"format-1 migration failed: {exc}")
+            return None
+        self.save_bytes(key, payload)
+        self.stats.migrated += 1
+        self.stats.hits += 1
+        return ArtifactView.from_buffer(payload)
 
     def _load_legacy(self, key: str) -> ArtifactView | None:
         """Format-2 fallback: unpickle the envelope once, re-encode it
@@ -182,12 +336,11 @@ class DiskStore:
         try:
             return view.to_analyzed_program()
         except Exception as exc:
-            self.stats.discarded += 1
-            logger.warning(
-                "discarding unmaterializable artifact %s: %s", key, exc
-            )
+            self.stats.corrupt_found += 1
             view.close()
-            self.path_for(key).unlink(missing_ok=True)
+            self._quarantine(
+                self.path_for(key), f"unmaterializable artifact: {exc}"
+            )
             return None
 
     def save(self, key: str, analyzed: AnalyzedProgram) -> None:
@@ -207,15 +360,18 @@ class DiskStore:
         delegates here, and the process executor hands worker-produced
         bytes straight through — so torn-write fault injection and the
         atomic tmp+replace discipline cover both executors identically.
-        Failures are logged, not raised.
+        The temp file is fsync'd before the rename (and the directory
+        after it, best-effort) so the artifact the rename names is
+        durable, not sitting in a write-back cache a power cut would
+        tear.  Failures are logged, not raised.
         """
         path = self.path_for(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         if self.fault_plan is not None and self.fault_plan.torn_write():
             # Injected fault: a truncated artifact lands at the *final*
             # path, as if the process died mid-write with no atomic
-            # replace.  load_view() must discard it (the section table
-            # overruns the mapping) and the pipeline must recompute.
+            # replace.  load_view() must detect it (truncated section
+            # table / digest mismatch), quarantine it, and recompute.
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_bytes(payload[: max(1, len(payload) // 3)])
             self.stats.saves += 1
@@ -224,6 +380,8 @@ class DiskStore:
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as handle:
                 handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
             self.stats.saves += 1
         except Exception as exc:
@@ -231,6 +389,14 @@ class DiskStore:
             logger.warning("store save failed for %s: %s", path, exc)
             tmp.unlink(missing_ok=True)
             return
+        try:
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass
         if self.max_bytes is not None:
             self.prune(self.max_bytes)
 
@@ -255,6 +421,64 @@ class DiskStore:
             pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
 
+    def scrub(self) -> dict[str, Any]:
+        """Deep-verify every stored artifact; quarantine what fails.
+
+        Walks all ``.art`` files, re-checking the whole-file digest,
+        every per-section digest, structural bounds, and the package
+        version/key stamp.  Corrupt files move to ``corrupt/``; stale
+        files are discarded; format-1 files are left for lazy per-read
+        migration.  Returns (and records in :attr:`last_scrub`) a
+        summary dict.  The daemon runs this at startup and on a timer;
+        it is safe concurrently with serving — a live mmap follows its
+        inode, not the path the scrubber moves.
+        """
+        self.stats.scrubs += 1
+        self.sweep_tmp()
+        clean = corrupt = stale = legacy = 0
+        for path in sorted(self.root.glob("*/*.art")):
+            if path.parent.name == "corrupt":
+                continue
+            key = path.stem
+            try:
+                view = ArtifactView.open(path, verify="deep")
+            except FileNotFoundError:
+                continue
+            except ArtifactFormatError as exc:
+                if exc.found < ARTIFACT_FORMAT:
+                    legacy += 1
+                    continue
+                self.stats.discarded += 1
+                stale += 1
+                path.unlink(missing_ok=True)
+                continue
+            except (ArtifactError, OSError) as exc:
+                self.stats.corrupt_found += 1
+                corrupt += 1
+                self._quarantine(path, f"scrub: {exc}")
+                continue
+            try:
+                view.validate(key)
+            except ArtifactError as exc:
+                self.stats.discarded += 1
+                stale += 1
+                logger.warning("scrub discarding stale %s: %s", path, exc)
+                path.unlink(missing_ok=True)
+            else:
+                clean += 1
+            finally:
+                view.close()
+        self.stats.scrubbed += clean
+        summary = {
+            "at": time.time(),
+            "clean": clean,
+            "corrupt": corrupt,
+            "stale": stale,
+            "legacy": legacy,
+        }
+        self.last_scrub = summary
+        return summary
+
     def prune(self, max_bytes: int) -> int:
         """Evict oldest-mtime artifacts until the store fits ``max_bytes``.
 
@@ -262,12 +486,20 @@ class DiskStore:
         modification time, so the most recently saved artifacts survive;
         both flat and not-yet-migrated legacy entries count against the
         budget; a concurrently vanished file is skipped, never fatal.
+
+        Pruning unlinks *paths*, not mappings: an ``ArtifactView`` the
+        in-memory LRU still holds keeps its mmap — and therefore the
+        inode and its intact bytes — alive until the view closes, so a
+        pruned-but-cached entry keeps serving correct slices (POSIX
+        unlink semantics; regression-tested in tests/test_integrity.py).
         """
         self.sweep_tmp()
         entries: list[tuple[float, int, Path]] = []
         total = 0
         for pattern in ("*/*.art", "*/*.pkl"):
             for path in self.root.glob(pattern):
+                if path.parent.name == "corrupt":
+                    continue
                 try:
                     info = path.stat()
                 except OSError:

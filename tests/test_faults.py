@@ -264,7 +264,7 @@ class TestProcessExecutor:
 
 
 class TestTornWrites:
-    def test_torn_artifact_is_discarded_and_recomputed(self, tmp_path):
+    def test_torn_artifact_is_quarantined_and_recomputed(self, tmp_path):
         plan = FaultPlan(torn_writes=1)
         store = DiskStore(tmp_path / "store", fault_plan=plan)
         first = AnalysisCache(store=store)
@@ -272,12 +272,13 @@ class TestTornWrites:
         assert origin == "analyzed"
         assert store.stats.saves == 1  # the torn one
 
-        # A fresh process: the torn artifact must be discarded, never
+        # A fresh process: the torn artifact must be quarantined, never
         # unpickled into a bad object, and the analysis recomputed.
         second = AnalysisCache(store=DiskStore(tmp_path / "store"))
         recomputed, origin = second.get_or_analyze(SOURCE, "figure2.mj")
         assert origin == "analyzed"
-        assert second.store.stats.discarded == 1
+        assert second.store.stats.quarantined == 1
+        assert any(second.store.corrupt_dir.glob("*.art"))
         assert second.store.stats.saves == 1  # the clean rewrite
 
         # Third process: the clean artifact loads from disk.

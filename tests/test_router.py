@@ -514,21 +514,31 @@ class TestShardKillDrill:
                 assert ok == 12
                 assert plan.shard_kills == 0  # the drill fired
                 assert router.failover_total >= 1
-                # The probe notices the corpse within its interval.
-                deadline = time.monotonic() + 5
+                # The probe notices the corpse within its interval,
+                # then respawns it on the same port: the tier heals to
+                # 2/2 healthy with one recorded resurrection.
+                deadline = time.monotonic() + 30
+                respawned = None
                 while time.monotonic() < deadline:
                     payload = client.health()
-                    if payload["healthy_shards"] == 1:
+                    respawned = [
+                        a
+                        for a, s in payload["shards"].items()
+                        if s.get("respawns", 0) >= 1
+                    ]
+                    if payload["healthy_shards"] == 2 and respawned:
                         break
                     time.sleep(0.1)
-                assert payload["healthy_shards"] == 1
+                assert payload["healthy_shards"] == 2
                 assert payload["healthy"] is True
-                dead = [
-                    a
-                    for a, s in payload["shards"].items()
-                    if s["state"] == UNHEALTHY
-                ]
-                assert len(dead) == 1
+                assert len(respawned) == 1
+                # The reborn shard kept its ring slot: the same key
+                # stream lands on it again and every request succeeds.
+                reborn = pool.shard(respawned[0])
+                before = reborn.forwarded_total
+                for source in sources:
+                    assert client.slice(source, line)["line_count"] > 0
+                assert reborn.forwarded_total > before
         finally:
             router.stop()
 

@@ -104,7 +104,7 @@ class TestDiskTier:
         _, second = restarted.get_or_analyze(SMALL, "a.mj", OPTIONS)
         assert (first, second) == ("disk", "memory")
 
-    def test_corrupted_artifact_discarded_and_recomputed(self, tmp_path):
+    def test_corrupted_artifact_quarantined_and_recomputed(self, tmp_path):
         store = DiskStore(tmp_path)
         AnalysisCache(store=store).get_or_analyze(SMALL, "a.mj", OPTIONS)
         path = store.path_for(cache_key(SMALL, OPTIONS))
@@ -113,20 +113,26 @@ class TestDiskTier:
         cache = AnalysisCache(store=fresh_store)
         analyzed, origin = cache.get_or_analyze(SMALL, "a.mj", OPTIONS)
         assert origin == "analyzed"
-        assert fresh_store.stats.discarded == 1
+        # Corrupt bytes are evidence: moved to corrupt/, not unlinked.
+        assert fresh_store.stats.quarantined == 1
+        assert fresh_store.stats.corrupt_found == 1
+        assert (fresh_store.corrupt_dir / path.name).exists()
         assert analyzed.sdg.statement_count() > 0
         # The bad file was replaced by a good artifact.
         again = AnalysisCache(store=DiskStore(tmp_path))
         _, origin = again.get_or_analyze(SMALL, "a.mj", OPTIONS)
         assert origin == "disk"
 
-    def test_truncated_artifact_discarded(self, tmp_path):
+    def test_truncated_artifact_quarantined(self, tmp_path):
         store = DiskStore(tmp_path)
         AnalysisCache(store=store).get_or_analyze(SMALL, "a.mj", OPTIONS)
         path = store.path_for(cache_key(SMALL, OPTIONS))
         path.write_bytes(path.read_bytes()[: 100])
-        assert DiskStore(tmp_path).load(cache_key(SMALL, OPTIONS)) is None
+        fresh = DiskStore(tmp_path)
+        assert fresh.load(cache_key(SMALL, OPTIONS)) is None
         assert not path.exists()
+        assert fresh.stats.quarantined == 1
+        assert (fresh.corrupt_dir / path.name).exists()
 
     def test_stale_format_version_discarded(self, tmp_path):
         store = DiskStore(tmp_path)
