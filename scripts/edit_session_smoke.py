@@ -1,0 +1,85 @@
+"""CI smoke: edit-session differential for the incremental engine.
+
+Replays deterministic warm-edit sessions (one seeded
+``random.Random`` per suite program) through
+:func:`repro.fuzz.oracle.check_edit_session`, which demands that every
+incrementally served step is **byte-identical** to a cold analysis and
+that invalid edits decline instead of fabricating.  Time-boxed and
+seed-pinned, so a failure here reproduces locally::
+
+    PYTHONPATH=src python scripts/edit_session_smoke.py --seed 0
+
+Exits non-zero on any finding; prints one line per session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--steps", type=int, default=6, help="edits per session"
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=120.0,
+        help="wall-clock box in seconds; remaining programs are skipped",
+    )
+    parser.add_argument(
+        "--input-budget",
+        type=float,
+        default=10.0,
+        help="per-analysis budget in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.fuzz.oracle import check_edit_session
+    from repro.suite.loader import load_source, program_names
+
+    start = time.monotonic()
+    findings = 0
+    sessions = 0
+    verified = 0
+    for index, name in enumerate(program_names()):
+        if time.monotonic() - start > args.budget:
+            print(f"budget reached; skipped remaining programs after {name}")
+            break
+        rng = random.Random(args.seed * 1_000_003 + index)
+        result = check_edit_session(
+            load_source(name),
+            rng,
+            steps=args.steps,
+            budget_s=args.input_budget,
+        )
+        sessions += 1
+        verified += result.steps_verified
+        status = result.verdict
+        detail = (
+            f"checked={result.steps_checked} verified={result.steps_verified}"
+        )
+        if result.failed:
+            findings += 1
+            print(f"FAIL {name}: {result.error_type}: {result.message}")
+            if result.failing_source:
+                print("---- failing source ----")
+                print(result.failing_source)
+                print("------------------------")
+        else:
+            print(f"ok   {name}: {status} {detail}")
+    elapsed = time.monotonic() - start
+    print(
+        f"\n{sessions} sessions, {verified} steps byte-verified, "
+        f"{findings} findings in {elapsed:.1f}s (seed {args.seed})"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -141,15 +141,37 @@ def _parse_with_stdlib(text: str, full_text: str, filename: str) -> ast.Program:
     return program
 
 
+def normalize_source(text: str) -> str:
+    """Canonicalize line endings and trailing whitespace.
+
+    The one normalization shared by every content-addressing layer:
+    :func:`source_fingerprint` (the whole-source cache key), the
+    per-function unit fingerprints of :mod:`repro.incremental`, and
+    :func:`compile_source` itself — which consumes the normalized text,
+    so the bytes an artifact embeds in ``SRC`` are exactly the bytes the
+    keys were derived from.  If only the fingerprints normalized, two
+    sources differing in ``\\r\\n`` vs ``\\n`` would collide on one key
+    while producing different artifact bytes.
+    """
+    if "\r" in text:
+        text = text.replace("\r\n", "\n").replace("\r", "\n")
+    if " \n" in text or "\t\n" in text or text.endswith((" ", "\t")):
+        text = "\n".join(line.rstrip(" \t") for line in text.split("\n"))
+    return text
+
+
 def source_fingerprint(text: str, include_stdlib: bool = False) -> str:
     """SHA-256 over exactly the text :func:`compile_source` would consume.
 
-    With ``include_stdlib=True`` the stdlib source participates in the
+    The text is passed through :func:`normalize_source` first — the same
+    helper the compiler and the per-function fingerprints use, so the
+    two key levels can never disagree about the same source.  With
+    ``include_stdlib=True`` the stdlib source participates in the
     digest, so a stdlib change invalidates cached analyses even though
     the user-visible source text is unchanged.
     """
     hasher = hashlib.sha256()
-    hasher.update(text.encode("utf-8"))
+    hasher.update(normalize_source(text).encode("utf-8"))
     if include_stdlib:
         hasher.update(b"\x00stdlib\x00")
         hasher.update(stdlib_source().encode("utf-8"))
@@ -179,6 +201,7 @@ def compile_source(
     """
     if profiler is None:
         profiler = StageProfiler()
+    text = normalize_source(text)
     full_text = text
     if include_stdlib:
         full_text = text + "\n" + stdlib_source()

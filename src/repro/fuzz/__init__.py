@@ -3,14 +3,21 @@
 The oracle contract under test: any input text, valid or garbage, must
 end in a slice or a structured error (``MJError`` /
 ``BudgetExceeded`` / ``ResourceExceeded``) — never an uncaught
-exception, never a hang the budget cannot bound.  See
+exception, never a hang the budget cannot bound.  Warm-edit sessions
+add a differential contract on top: the incremental engine's artifact
+must be byte-identical to a cold analysis at every step.  See
 ``docs/HARDENING.md`` and the ``repro fuzz`` CLI subcommand.
 """
 
 from repro.fuzz.grammar import ProgramGenerator, generate_program
 from repro.fuzz.minimize import minimize_source
-from repro.fuzz.mutate import mutate_source
-from repro.fuzz.oracle import OracleResult, check_source
+from repro.fuzz.mutate import edit_session, mutate_source
+from repro.fuzz.oracle import (
+    EditSessionResult,
+    OracleResult,
+    check_edit_session,
+    check_source,
+)
 from repro.fuzz.runner import (
     CrashRecord,
     FuzzReport,
@@ -20,11 +27,14 @@ from repro.fuzz.runner import (
 
 __all__ = [
     "CrashRecord",
+    "EditSessionResult",
     "FuzzReport",
     "OracleResult",
     "ProgramGenerator",
+    "check_edit_session",
     "check_source",
     "default_corpus",
+    "edit_session",
     "generate_program",
     "minimize_source",
     "mutate_source",

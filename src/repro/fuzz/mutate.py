@@ -10,6 +10,12 @@ soup.  The oracle's contract for these is not "analyzes fine" but
 position, never an uncaught exception, hang, or interpreter-level
 crash.
 
+:func:`edit_session` is the third mode: instead of one corrupted input
+it produces a *sequence* of mostly-valid single-function edits, the
+workload of the incremental engine — its oracle
+(:func:`repro.fuzz.oracle.check_edit_session`) demands byte-identical
+incremental-vs-cold artifacts at every step.
+
 All mutations draw from the supplied ``random.Random`` only, so a
 mutated input is reproducible from ``(corpus, seed)``.
 """
@@ -157,3 +163,85 @@ def mutate_source(
         else:
             lines = rng.choice(_SINGLE)(rng, lines)
     return "\n".join(lines)
+
+
+def edit_session(
+    source: str,
+    rng: random.Random,
+    steps: int = 6,
+) -> list[tuple[str, str]]:
+    """A warm-edit session: successive single-function edits of ``source``.
+
+    Where :func:`mutate_source` damages a program once, this models the
+    workload the incremental engine (:mod:`repro.incremental`) serves: a
+    developer editing one function at a time.  Each step edits the
+    *previous* step's text — mostly validity-preserving statement
+    inserts, comment/blank-line shifts, and whitespace churn, plus the
+    occasional statement deletion that may break the program (the
+    incremental path must then fail exactly like a cold analysis).
+
+    Returns up to ``steps`` ``(label, edited_source)`` pairs — fewer if
+    the text stops splitting into units.  Deterministic in ``rng``.
+    """
+    from repro.incremental import DeclinedError, split_units
+
+    out: list[tuple[str, str]] = []
+    current = source
+    for step in range(steps):
+        try:
+            shape = split_units(current)
+        except DeclinedError:
+            break
+        units = shape.units
+        if not units:
+            break
+        lines = current.split("\n")
+        # Multi-line function bodies are where statement edits can land.
+        bodies = [
+            u
+            for u in units
+            if u.kind in ("method", "constructor")
+            and u.end_line > u.start_line
+        ]
+        roll = rng.random()
+        if bodies and roll < 0.40:
+            label = "stmt-insert"
+            m = rng.choice(bodies)
+            at = rng.randrange(m.start_line, m.end_line)
+            stmt = f'        String __fz{step} = "s{rng.randrange(100)}";'
+            lines.insert(at, stmt)
+        elif bodies and roll < 0.55:
+            m = rng.choice(bodies)
+            interior = range(m.start_line, m.end_line - 1)
+            if interior:
+                label = "stmt-dup"
+                at = rng.choice(interior)
+                lines.insert(at, lines[at])
+            else:
+                label = "stmt-insert"
+                lines.insert(m.start_line, f'        String __fz{step} = "d";')
+        elif bodies and roll < 0.60:
+            # Destructive on purpose: both paths must reject identically.
+            label = "stmt-del"
+            m = rng.choice(bodies)
+            interior = range(m.start_line, m.end_line - 1)
+            if interior:
+                del lines[rng.choice(interior)]
+            else:
+                del lines[m.start_line]
+        elif roll < 0.78:
+            label = "comment-shift"
+            u = rng.choice(units)
+            lines.insert(u.start_line - 1, f"// edit-session probe {step}")
+        elif roll < 0.90:
+            label = "blank-shift"
+            u = rng.choice(units)
+            lines.insert(u.start_line - 1, "")
+        else:
+            label = "trailing-ws"
+            u = rng.choice(units)
+            at = u.start_line - 1
+            lines[at] = lines[at] + "  "
+        current = "\n".join(lines)
+        out.append((label, current))
+    return out

@@ -21,6 +21,7 @@ campaign de-duplicates and the minimizer preserves while shrinking.
 
 from __future__ import annotations
 
+import random
 import time
 import traceback
 from dataclasses import dataclass
@@ -101,4 +102,171 @@ def check_source(
         return done(
             "crash", type(exc).__name__, str(exc), traceback.format_exc()
         )
+    return done("ok", None, "")
+
+
+@dataclass
+class EditSessionResult(OracleResult):
+    """Oracle result for a warm-edit session, plus the failing text."""
+
+    #: The edited source at the step that produced the finding (empty
+    #: when the session passed) — the repro input the campaign records.
+    failing_source: str = ""
+    steps_checked: int = 0
+    #: Steps served incrementally and confirmed byte-identical to cold
+    #: (the rest were declines, where cold fallback is the contract).
+    steps_verified: int = 0
+
+
+def check_edit_session(
+    source: str,
+    rng: random.Random,
+    *,
+    steps: int = 6,
+    budget_s: float = DEFAULT_INPUT_BUDGET_S,
+    filename: str = "<fuzz-edit>",
+) -> EditSessionResult:
+    """Differential oracle for the incremental engine.
+
+    Replays an :func:`repro.fuzz.mutate.edit_session` against a live
+    :class:`repro.incremental.IncrementalSession` and, at every step,
+    against a cold analysis of the same text.  The contract:
+
+    * cold succeeds → the session either *declines* (cold fallback is
+      always sound) or returns a payload **byte-identical** to the cold
+      artifact;
+    * cold fails structurally → the session must not fabricate a
+      result: anything but a decline is a finding;
+    * the session must never die on an unexpected exception
+      (:class:`repro.incremental.SessionDeadError`).
+
+    Findings surface as verdict ``"crash"`` with error types
+    ``IncrementalMismatch`` / ``IncrementalAcceptedInvalid`` /
+    ``SessionDead:<cause>``, so the campaign de-duplicates them like
+    any other crash signature.
+    """
+    from repro.artifact import content_key, encode_artifact
+    from repro.fuzz.mutate import edit_session
+    from repro.incremental import (
+        DeclinedError,
+        IncrementalSession,
+        SessionDeadError,
+    )
+
+    start = time.monotonic()
+    checked = verified = 0
+
+    def done(
+        verdict: str,
+        error_type: str | None,
+        message: str,
+        tb: str = "",
+        failing: str = "",
+    ) -> EditSessionResult:
+        return EditSessionResult(
+            verdict,
+            error_type,
+            message,
+            time.monotonic() - start,
+            tb,
+            failing,
+            checked,
+            verified,
+        )
+
+    options = AnalyzeOptions(budget=Budget.from_timeout(budget_s))
+    try:
+        cold = analyze(source, filename, options=options)
+    except (MJError, BudgetExceeded, ResourceExceeded) as exc:
+        return done(
+            "error", type(exc).__name__, f"seed did not analyze: {exc}"
+        )
+    except Exception as exc:
+        # check_source territory, but classify rather than propagate.
+        return done(
+            "crash", type(exc).__name__, str(exc), traceback.format_exc()
+        )
+    try:
+        session = IncrementalSession.from_analyzed(
+            cold,
+            source,
+            payload=encode_artifact(
+                cold, key=content_key(source, options), include_rich=False
+            ),
+        )
+    except DeclinedError as exc:
+        return done(
+            "error", "IncrementalDeclined", f"seed declined: {exc.reason}"
+        )
+
+    for label, edited in edit_session(source, rng, steps=steps):
+        checked += 1
+        cold_error: Exception | None = None
+        step_options = AnalyzeOptions(budget=Budget.from_timeout(budget_s))
+        try:
+            step_cold = analyze(edited, filename, options=step_options)
+        except MJError as exc:
+            cold_error = exc
+        except (BudgetExceeded, ResourceExceeded) as exc:
+            return done("error", type(exc).__name__, str(exc))
+        except Exception as exc:
+            return done(
+                "crash",
+                type(exc).__name__,
+                f"cold analysis crashed at step {checked} ({label}): {exc}",
+                traceback.format_exc(),
+                failing=edited,
+            )
+        try:
+            outcome = session.apply_edit(
+                edited, filename, budget=Budget.from_timeout(budget_s)
+            )
+        except DeclinedError:
+            # Cold fallback; keep the session aligned with the newest
+            # good text so later steps stay comparable.
+            if cold_error is None:
+                session = IncrementalSession.from_analyzed(
+                    step_cold,
+                    edited,
+                    payload=encode_artifact(
+                        step_cold,
+                        key=content_key(edited, step_options),
+                        include_rich=False,
+                    ),
+                )
+            continue
+        except BudgetExceeded as exc:
+            return done("error", "BudgetExceeded", str(exc))
+        except SessionDeadError as exc:
+            cause = type(exc.__cause__).__name__
+            return done(
+                "crash",
+                f"SessionDead:{cause}",
+                f"session died at step {checked} ({label}): {exc.__cause__}",
+                traceback.format_exc(),
+                failing=edited,
+            )
+        if cold_error is not None:
+            return done(
+                "crash",
+                "IncrementalAcceptedInvalid",
+                f"step {checked} ({label}): incremental produced tier="
+                f"{outcome.tier} but cold raised "
+                f"{type(cold_error).__name__}: {cold_error}",
+                failing=edited,
+            )
+        want = encode_artifact(
+            step_cold,
+            key=content_key(edited, step_options),
+            include_rich=False,
+        )
+        if outcome.payload != want:
+            return done(
+                "crash",
+                "IncrementalMismatch",
+                f"step {checked} ({label}): tier={outcome.tier} payload "
+                f"({len(outcome.payload)} bytes) != cold ({len(want)} bytes)",
+                failing=edited,
+            )
+        verified += 1
     return done("ok", None, "")

@@ -28,10 +28,17 @@ from pathlib import Path
 from repro.fuzz.grammar import generate_program
 from repro.fuzz.minimize import minimize_source
 from repro.fuzz.mutate import mutate_source
-from repro.fuzz.oracle import DEFAULT_INPUT_BUDGET_S, check_source
+from repro.fuzz.oracle import (
+    DEFAULT_INPUT_BUDGET_S,
+    check_edit_session,
+    check_source,
+)
 
-#: Of every 4 inputs, this many are grammar-generated (rest mutated).
-_GENERATED_PER_CYCLE = 2
+#: Of every 8 inputs: this many grammar-generated, one warm-edit
+#: session against the incremental engine, the rest mutated.
+_GENERATED_PER_CYCLE = 4
+_CYCLE = 8
+_EDIT_SESSION_SLOT = 7
 
 
 @dataclass
@@ -54,6 +61,9 @@ class FuzzReport:
     executed: int = 0
     generated: int = 0
     mutated: int = 0
+    edit_sessions: int = 0
+    #: Edit steps confirmed byte-identical incremental-vs-cold.
+    edit_steps_verified: int = 0
     ok: int = 0
     structured_errors: int = 0
     crashes: list[CrashRecord] = field(default_factory=list)
@@ -70,6 +80,8 @@ class FuzzReport:
             "executed": self.executed,
             "generated": self.generated,
             "mutated": self.mutated,
+            "edit_sessions": self.edit_sessions,
+            "edit_steps_verified": self.edit_steps_verified,
             "ok": self.ok,
             "structured_errors": self.structured_errors,
             "elapsed_s": round(self.elapsed_s, 2),
@@ -117,11 +129,16 @@ def run_campaign(
         if max_inputs is not None and index >= max_inputs:
             break
         input_seed = seed * 1_000_003 + index
-        generated = index % 4 < _GENERATED_PER_CYCLE or not corpus
-        if generated:
+        slot = index % _CYCLE
+        if slot < _GENERATED_PER_CYCLE or not corpus:
             source = generate_program(input_seed)
             kind = "generated"
             report.generated += 1
+        elif slot == _EDIT_SESSION_SLOT:
+            rng = random.Random(input_seed)
+            source = rng.choice(corpus)
+            kind = "edit-session"
+            report.edit_sessions += 1
         else:
             rng = random.Random(input_seed)
             source = mutate_source(rng.choice(corpus), rng, donors=corpus)
@@ -129,7 +146,17 @@ def run_campaign(
             report.mutated += 1
         index += 1
         report.executed += 1
-        result = check_source(source, budget_s=input_budget_s)
+        if kind == "edit-session":
+            result = check_edit_session(
+                source, rng, budget_s=input_budget_s
+            )
+            report.edit_steps_verified += result.steps_verified
+            # A session finding reproduces from the failing *edited*
+            # text plus its lineage, not from one input text — record
+            # that step's source verbatim instead of ddmin shrinking.
+            source = result.failing_source or source
+        else:
+            result = check_source(source, budget_s=input_budget_s)
         if result.verdict == "ok":
             report.ok += 1
         elif not result.failed:
@@ -167,9 +194,14 @@ def _record_crash(
         probe = check_source(candidate, budget_s=input_budget_s)
         return probe.signature == signature
 
-    minimized = minimize_source(
-        source, still_fails, max_checks=minimize_checks
-    )
+    if kind == "edit-session":
+        # The differential finding depends on the session's lineage;
+        # single-input ddmin cannot preserve it.  Ship the step as-is.
+        minimized = source
+    else:
+        minimized = minimize_source(
+            source, still_fails, max_checks=minimize_checks
+        )
     record = CrashRecord(
         signature=signature,
         seed=input_seed,

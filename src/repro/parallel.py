@@ -206,6 +206,13 @@ def analyze_artifact(
         # tasks, so rewinding the uid counter is safe here (and only
         # here): it keeps instruction uids — which the artifact stores
         # as call-site ids — identical across workers and restarts.
+        # The parent process must never do this: its incremental edit
+        # sessions (repro.incremental) hold live instructions across
+        # requests and only ever advance the counter.  The two schemes
+        # coexist because artifact bytes encode call sites as *ranks*
+        # within the uid order, not absolute uids, so a worker's cold
+        # payload and the parent's incremental payload stay
+        # byte-identical.
         reset_instruction_uids()
         # The frontend's stdlib AST cache bakes the filename string into
         # positions it reuses across analyses; interning keeps a warm

@@ -7,9 +7,15 @@ submissions of byte-identical source with the same options therefore
 hit, regardless of filename; changing any option (or any byte of the
 source) misses.
 
-Lookup order: memory → disk → :func:`repro.analyze`.  Every analysis
-result is promoted into both tiers, so a restarted process finds the
-artifact on disk and a long-lived process answers from memory.
+Lookup order: memory → disk → incremental → :func:`repro.analyze`.
+Every analysis result is promoted into both tiers, so a restarted
+process finds the artifact on disk and a long-lived process answers
+from memory.  The incremental level (an optional
+:class:`~repro.server.fragments.FragmentStore`) catches the
+highest-traffic *near*-miss: a source that is an edit of a program the
+server recently analyzed re-analyzes only its changed functions and
+still yields byte-identical artifact bytes (see
+:mod:`repro.incremental`).
 
 The unit cached is a :class:`CacheEntry`: a flat
 :class:`~repro.artifact.ArtifactView` and/or the rich
@@ -38,6 +44,7 @@ from repro.artifact import ArtifactView, content_key
 from repro.parallel import ProcessPool, WorkerError, analyze_artifact
 from repro.resources import ResourceExceeded
 from repro.server.faults import FaultPlan
+from repro.server.fragments import FragmentStore
 from repro.server.store import DiskStore
 from repro.slicing.flatslice import flat_slicer
 
@@ -130,6 +137,7 @@ class AnalysisCache:
         store: DiskStore | None = None,
         fault_plan: "FaultPlan | None" = None,
         executor: ProcessPool | None = None,
+        fragments: FragmentStore | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -137,12 +145,16 @@ class AnalysisCache:
         self.store = store
         self.fault_plan = fault_plan
         self.executor = executor
+        self.fragments = fragments
+        if fragments is not None and fragments.loader is None:
+            fragments.loader = self._load_for_seed
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self._lock = threading.Lock()
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.evictions = 0
+        self.incremental_hits = 0
 
     def get_entry(
         self,
@@ -151,7 +163,8 @@ class AnalysisCache:
         options: AnalyzeOptions | None = None,
         executor_ok: bool = True,
     ) -> tuple[CacheEntry, str]:
-        """Return ``(entry, origin)``, origin ∈ memory | disk | analyzed.
+        """Return ``(entry, origin)``, origin ∈ memory | disk |
+        incremental | analyzed.
 
         ``executor_ok=False`` forces a cold miss to run in-process even
         when a process executor is attached — the daemon's circuit
@@ -174,6 +187,25 @@ class AnalysisCache:
                     self.disk_hits += 1
                     self._put(key, entry)
                 return entry, "disk"
+        if self.fragments is not None:
+            # Incremental level: if this source is an *edit* of a
+            # lineage we hold a session for, re-analyze only the dirty
+            # functions.  The payload is byte-identical to cold, so it
+            # is promoted into both tiers exactly like a cold result.
+            outcome = self.fragments.try_incremental(
+                key, source, filename, options
+            )
+            if outcome is not None:
+                entry = CacheEntry(
+                    view=ArtifactView.from_buffer(outcome.payload),
+                    timings=outcome.timings,
+                )
+                with self._lock:
+                    self.incremental_hits += 1
+                    self._put(key, entry)
+                if self.store is not None:
+                    self.store.save_bytes(key, outcome.payload)
+                return entry, "incremental"
         if self.fault_plan is not None:
             # Injected slow analysis / analysis-time faults.  Raising
             # here (BudgetExceeded on cancellation) leaves no cache
@@ -195,6 +227,11 @@ class AnalysisCache:
                 self.store.save_bytes(key, payload)
             else:
                 self.store.save(key, entry.program())
+        if self.fragments is not None:
+            # A completed cold analysis is the seed material for this
+            # lineage's future edits (materialized lazily on the next
+            # miss against the same program structure).
+            self.fragments.note_cold(key, source, filename, options)
         return entry, "analyzed"
 
     def get_or_analyze(
@@ -256,6 +293,39 @@ class AnalysisCache:
         view = ArtifactView.from_buffer(payload)
         return CacheEntry(view=view, timings=timings), payload
 
+    def _load_for_seed(
+        self, key: str, source: str, filename: str, options: AnalyzeOptions
+    ) -> tuple[AnalyzedProgram, bytes | None] | None:
+        """Retrieve a cold result for session seeding (memory, then
+        disk).  Materializing a no-rich artifact re-analyzes from its
+        embedded source — the one-time cost of converting a lineage to
+        incremental serving; returns None when the result is gone from
+        both tiers (the lineage just stays cold)."""
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is not None:
+            payload = None
+            view = entry.view
+            if view is not None:
+                buffer = getattr(view, "_buffer", None)
+                if buffer is not None:
+                    payload = bytes(buffer)
+            try:
+                return entry.program(), payload
+            except Exception:
+                return None
+        if self.store is not None:
+            payload = self.store.load_payload(key)
+            if payload is not None:
+                try:
+                    program = ArtifactView.from_buffer(
+                        payload
+                    ).to_analyzed_program()
+                except Exception:
+                    return None
+                return program, payload
+        return None
+
     def invalidate(self, key: str) -> bool:
         """Drop one entry from the memory tier (serve-time degrade).
 
@@ -286,6 +356,7 @@ class AnalysisCache:
             payload: dict[str, Any] = {
                 "memory_hits": self.memory_hits,
                 "disk_hits": self.disk_hits,
+                "incremental_hits": self.incremental_hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "entries": len(self._entries),
@@ -293,5 +364,8 @@ class AnalysisCache:
             }
         payload["disk"] = (
             self.store.stats.as_dict() if self.store is not None else None
+        )
+        payload["fragments"] = (
+            self.fragments.stats() if self.fragments is not None else None
         )
         return payload

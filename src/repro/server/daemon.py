@@ -75,6 +75,7 @@ from repro.profiling import merge_timing_dicts
 from repro.resources import ResourceExceeded
 from repro.server.cache import AnalysisCache, CacheEntry, cache_key
 from repro.server.faults import FaultPlan
+from repro.server.fragments import DEFAULT_SESSION_CAPACITY, FragmentStore
 from repro.server.quarantine import CircuitBreaker, Quarantine
 from repro.server.protocol import (
     PROTOCOL_VERSION,
@@ -179,10 +180,19 @@ class SliceServer:
         quarantine: Quarantine | None = None,
         breaker: CircuitBreaker | None = None,
         scrub_interval_s: float | None = None,
+        incremental: bool = True,
+        fragment_sessions: int = DEFAULT_SESSION_CAPACITY,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor: {executor!r}")
         self.cache = cache if cache is not None else AnalysisCache()
+        if incremental and self.cache.fragments is None:
+            # Attach the incremental level (edit-aware warm path).  The
+            # cache injects its own seed loader; ``incremental=False``
+            # (or a pre-wired cache) leaves serving strictly two-tier.
+            fragments = FragmentStore(capacity=fragment_sessions)
+            fragments.loader = self.cache._load_for_seed
+            self.cache.fragments = fragments
         self.timeout = timeout
         self.workers = workers
         self.max_queue = max_queue
@@ -493,6 +503,15 @@ class SliceServer:
                 "scrubbed": store.stats.scrubbed,
                 "last_scrub": store.last_scrub,
             }
+        fragments = self.cache.fragments
+        if fragments is not None:
+            fragment_stats = fragments.stats()
+            payload["incremental_hits"] = fragment_stats["incremental_hits"]
+            payload["functions_reused"] = fragment_stats["functions_reused"]
+            payload["functions_reanalyzed"] = fragment_stats[
+                "functions_reanalyzed"
+            ]
+            payload["fragments"] = fragment_stats
         return payload
 
     def _method_shutdown(
@@ -866,7 +885,7 @@ class SliceServer:
             raise
         if use_process and origin == "analyzed":
             self.breaker.record_success()
-        if origin == "analyzed" and entry.timings:
+        if origin in ("analyzed", "incremental") and entry.timings:
             with self._pipeline_lock:
                 merge_timing_dicts(self._pipeline, entry.timings)
         return entry, name, origin

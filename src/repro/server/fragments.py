@@ -1,0 +1,246 @@
+"""Per-function fragment store: the serving tier's incremental level.
+
+The :class:`~repro.server.cache.AnalysisCache` key is the whole-source
+content address — any edit misses it.  The :class:`FragmentStore` sits
+between that miss and the cold fallback: it keeps a small LRU of live
+:class:`~repro.incremental.IncrementalSession` objects keyed by
+``(structure fingerprint, options token)``, so an edited source whose
+*structure* (classes, signatures, fields) matches a session's lineage
+is re-analyzed function-granularly and served byte-identical to cold.
+
+Sessions are seeded lazily: a miss with no session records a *pending
+seed* (the request's key/source), the cold analysis proceeds as usual
+and :meth:`note_cold` remembers it; the **next** miss in the same slot
+materializes the session from the cached cold result via the injected
+``loader`` and then applies its edit.  This keeps session construction
+(a deep copy of the full object graph) off the path of sources that
+are analyzed once and never edited.
+
+Thread-safety: the store lock guards the LRU and counters; each slot
+carries its own lock so edits against one lineage serialize while
+different lineages proceed in parallel.  A session that dies mid-edit
+(:class:`~repro.incremental.SessionDeadError`, or a budget
+cancellation) is discarded and its slot reverts to pending-seed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro import AnalyzeOptions
+from repro.budget import BudgetExceeded
+from repro.incremental import (
+    DeclinedError,
+    IncrementalOutcome,
+    IncrementalSession,
+    SessionDeadError,
+    split_units,
+)
+
+DEFAULT_SESSION_CAPACITY = 4
+
+#: ``loader(key, source, filename, options)`` returns the cold result
+#: to seed a session from — ``(analyzed_program, payload_bytes|None)``
+#: — or None when it is no longer retrievable.
+SeedLoader = Callable[..., "tuple[Any, bytes | None] | None"]
+
+
+class _Slot:
+    """One program lineage: a live session and/or a pending seed."""
+
+    __slots__ = ("lock", "session", "pending")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.session: IncrementalSession | None = None
+        # (key, source, filename) of the cold analysis to seed from.
+        self.pending: tuple[str, str, str] | None = None
+
+
+class FragmentStore:
+    """LRU of incremental edit sessions plus the counters they feed."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_SESSION_CAPACITY,
+        loader: SeedLoader | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.loader = loader
+        self._slots: OrderedDict[tuple[str, str], _Slot] = OrderedDict()
+        self._lock = threading.Lock()
+        self.incremental_hits = 0
+        self.incremental_misses = 0
+        self.functions_reused = 0
+        self.functions_reanalyzed = 0
+        self.sessions_seeded = 0
+        self.sessions_dropped = 0
+        self.declines: dict[str, int] = {}
+        self.tiers: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _slot_key(
+        self, source: str, options: AnalyzeOptions
+    ) -> tuple[str, str] | None:
+        try:
+            shape = split_units(source)
+        except DeclinedError as exc:
+            self._decline(exc.reason)
+            return None
+        return (shape.structure_fingerprint, options.cache_token())
+
+    def _decline(self, reason: str) -> None:
+        with self._lock:
+            self.incremental_misses += 1
+            self.declines[reason] = self.declines.get(reason, 0) + 1
+
+    def _get_slot(self, slot_key: tuple[str, str]) -> _Slot:
+        with self._lock:
+            slot = self._slots.get(slot_key)
+            if slot is None:
+                slot = _Slot()
+                self._slots[slot_key] = slot
+                while len(self._slots) > self.capacity:
+                    _, evicted = self._slots.popitem(last=False)
+                    if evicted.session is not None:
+                        self.sessions_dropped += 1
+            else:
+                self._slots.move_to_end(slot_key)
+            return slot
+
+    # ------------------------------------------------------------------
+
+    def try_incremental(
+        self,
+        key: str,
+        source: str,
+        filename: str,
+        options: AnalyzeOptions,
+    ) -> IncrementalOutcome | None:
+        """Attempt to serve the edited ``source`` from a session.
+
+        Returns the outcome (payload byte-identical to a cold analysis)
+        or None — in which case the caller falls back to cold and, if a
+        seed was registered for this slot, reports the result back via
+        :meth:`note_cold`.  :class:`~repro.budget.BudgetExceeded`
+        propagates (the request was cancelled, not declined).
+        """
+        slot_key = self._slot_key(source, options)
+        if slot_key is None:
+            return None
+        slot = self._get_slot(slot_key)
+        with slot.lock:
+            if slot.session is None and slot.pending is not None:
+                self._materialize(slot, options)
+            session = slot.session
+            if session is None:
+                # Nothing to edit against yet; remember this request so
+                # its cold result can seed the lineage.
+                slot.pending = (key, source, filename)
+                self._decline("no-session")
+                return None
+            try:
+                outcome = session.apply_edit(
+                    source, filename, budget=options.budget
+                )
+            except DeclinedError as exc:
+                self._decline(exc.reason)
+                return None
+            except BudgetExceeded:
+                slot.session = None
+                slot.pending = (key, source, filename)
+                with self._lock:
+                    self.sessions_dropped += 1
+                raise
+            except SessionDeadError as exc:
+                slot.session = None
+                slot.pending = (key, source, filename)
+                with self._lock:
+                    self.sessions_dropped += 1
+                self._decline(f"session-died:{type(exc.__cause__).__name__}")
+                return None
+        with self._lock:
+            self.incremental_hits += 1
+            self.functions_reused += outcome.functions_reused
+            self.functions_reanalyzed += outcome.functions_reanalyzed
+            self.tiers[outcome.tier] = self.tiers.get(outcome.tier, 0) + 1
+        return outcome
+
+    def note_cold(
+        self, key: str, source: str, filename: str, options: AnalyzeOptions
+    ) -> None:
+        """Record that a cold analysis for ``source`` just completed.
+
+        If this slot was waiting for a seed, point the pending marker at
+        the freshest cold result; materialization stays lazy.
+        """
+        slot_key = self._slot_key_quiet(source, options)
+        if slot_key is None:
+            return
+        slot = self._get_slot(slot_key)
+        with slot.lock:
+            if slot.session is None:
+                slot.pending = (key, source, filename)
+
+    def _slot_key_quiet(
+        self, source: str, options: AnalyzeOptions
+    ) -> tuple[str, str] | None:
+        try:
+            shape = split_units(source)
+        except DeclinedError:
+            return None
+        return (shape.structure_fingerprint, options.cache_token())
+
+    def _materialize(self, slot: _Slot, options: AnalyzeOptions) -> None:
+        """Build the slot's session from its pending cold result.
+
+        Called with the slot lock held.  Failures just clear the seed
+        — the lineage reverts to cold until another analysis lands.
+        """
+        if self.loader is None or slot.pending is None:
+            return
+        key, source, filename = slot.pending
+        loaded = self.loader(key, source, filename, options)
+        if loaded is None:
+            slot.pending = None
+            return
+        analyzed, payload = loaded
+        try:
+            session = IncrementalSession.from_analyzed(
+                analyzed, source, payload=payload
+            )
+        except DeclinedError as exc:
+            self._decline(f"seed:{exc.reason}")
+            slot.pending = None
+            return
+        slot.session = session
+        slot.pending = None
+        with self._lock:
+            self.sessions_seeded += 1
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "incremental_hits": self.incremental_hits,
+                "incremental_misses": self.incremental_misses,
+                "functions_reused": self.functions_reused,
+                "functions_reanalyzed": self.functions_reanalyzed,
+                "sessions": sum(
+                    1 for s in self._slots.values() if s.session is not None
+                ),
+                "seeds_pending": sum(
+                    1 for s in self._slots.values() if s.pending is not None
+                ),
+                "sessions_seeded": self.sessions_seeded,
+                "sessions_dropped": self.sessions_dropped,
+                "capacity": self.capacity,
+                "declines": dict(sorted(self.declines.items())),
+                "tiers": dict(sorted(self.tiers.items())),
+            }

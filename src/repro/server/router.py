@@ -447,6 +447,11 @@ class Router:
         ``stats`` fan-out to every shard."""
         shard_stats: dict[str, Any] = {}
         requests_total = 0
+        incremental = {
+            "incremental_hits": 0,
+            "functions_reused": 0,
+            "functions_reanalyzed": 0,
+        }
         for address in self.pool.addresses():
             try:
                 payload = self.pool.shard(address).call("stats", {})
@@ -457,6 +462,9 @@ class Router:
                 continue
             shard_stats[address] = payload
             requests_total += payload.get("requests_total", 0)
+            fragments = (payload.get("cache") or {}).get("fragments") or {}
+            for counter in incremental:
+                incremental[counter] += fragments.get(counter, 0)
         with self._stats_lock:
             methods = {
                 name: stats.as_dict()
@@ -472,6 +480,7 @@ class Router:
             "shard_requests_total": requests_total,
             "methods": methods,
             "router": self._router_counters(),
+            "incremental": incremental,
             "shards": shard_stats,
             "ring": {
                 "replicas": self.ring.replicas,

@@ -327,6 +327,29 @@ class DiskStore:
         view._program = analyzed
         return view
 
+    def load_payload(self, key: str) -> bytes | None:
+        """Raw validated artifact bytes for ``key``, or None.
+
+        Used by the incremental fragment store to seed an edit session
+        from a previously persisted artifact: the session needs owned
+        bytes it can slice for the pure-line-shift rewrite, not a
+        long-lived mapping.  Integrity failures just report a miss —
+        the caller is on a best-effort reuse path and the regular
+        :meth:`load_view` flow owns quarantine policy.
+        """
+        path = self.path_for(key)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            view = ArtifactView.from_buffer(payload, verify="header")
+            view.validate(key)
+        except ArtifactError:
+            return None
+        view.close()
+        return payload
+
     def load(self, key: str) -> AnalyzedProgram | None:
         """Materialized variant of :meth:`load_view` for callers that
         need the rich object graph (CLI batch mode, tests)."""

@@ -493,7 +493,10 @@ class TestFuzzCampaign:
             input_budget_s=5.0,
         )
         assert report.executed == 16
-        assert report.generated + report.mutated == 16
+        assert (
+            report.generated + report.mutated + report.edit_sessions == 16
+        )
+        assert report.edit_sessions >= 1  # the warm-edit differential ran
         assert report.ok + report.structured_errors == 16
         assert not report.failed
         assert list(tmp_path.iterdir()) == []

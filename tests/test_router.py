@@ -250,6 +250,18 @@ class TestBatch:
             )
             direct = json.loads(single.handle_line(request))
             routed = json.loads(tier.router.handle_line(request))
+            # ``origin`` reflects per-server warm state: the items are
+            # structurally identical, so after each server's first cold
+            # analysis the fragment store serves the rest incrementally
+            # — and *which* items are cold differs between one server
+            # and a 2-shard tier.  Everything else must match exactly,
+            # in request order.
+            origins = {
+                entry.pop("origin")
+                for payload in (direct, routed)
+                for entry in payload["result"]["results"]
+            }
+            assert origins <= {"analyzed", "memory", "disk", "incremental"}
             assert routed == direct
             assert routed["result"]["count"] == len(items)
             assert routed["result"]["distinct_programs"] == len(items)
