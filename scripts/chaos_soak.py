@@ -22,6 +22,13 @@ Two phases, both time-boxed and driven by one seeded RNG:
   At the end the tier must be back to 2/2 healthy with
   ``respawns_total >= 1``.
 
+* **Phase C — restart storm.**  A replicated 2-shard tier
+  (``--replicate 2``) under the same corruptors, with seeded rolling
+  restarts fired mid-stream between replays.  Every restart must
+  complete with zero failed shards and the replay after it must still
+  match the pre-chaos truth — the roll may cost latency, never an
+  answer.
+
 On any violation the script writes a failure corpus (the surviving
 store bytes plus a JSON record of the divergence) under
 ``--corpus-dir`` and exits 1.
@@ -112,11 +119,13 @@ def spawn_tier(extra: list[str], cache_dir: str) -> tuple[subprocess.Popen, int]
 
 
 def artifact_files(cache_dir: str) -> list[Path]:
+    """Every live artifact, across both store layouts: a single
+    daemon's flat ``xx/*.art`` and the replicated tier's per-shard
+    ``shard-N/xx/*.art`` roots.  Quarantined files are off-limits."""
     root = Path(cache_dir)
+    candidates = list(root.glob("*/*.art")) + list(root.glob("*/*/*.art"))
     return sorted(
-        path
-        for path in root.glob("*/*.art")
-        if path.parent.name != "corrupt"
+        path for path in candidates if "corrupt" not in path.parts
     )
 
 
@@ -320,6 +329,91 @@ def run_phase_b(
         shutil.rmtree(cache_dir, ignore_errors=True)
 
 
+def run_phase_c(
+    rng: random.Random,
+    sources: list[str],
+    seed_line: int,
+    deadline: float,
+    corpus_dir: str,
+) -> None:
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-c-")
+    tier, port = spawn_tier(
+        [
+            "--shards",
+            "2",
+            "--workers",
+            "1",
+            "--memory-capacity",
+            "2",
+            "--replicate",
+            "2",
+            "--repair-interval",
+            "1",
+            "--probe-interval",
+            str(PROBE_INTERVAL_S),
+        ],
+        cache_dir,
+    )
+    rounds = 0
+    restarts = 0
+    try:
+        with SliceClient.connect("127.0.0.1", port) as client:
+            truth = [
+                client.slice(source, seed_line)["lines"]
+                for source in sources
+            ]
+            while time.monotonic() < deadline:
+                rounds += 1
+                context = {
+                    "phase": "C",
+                    "round": rounds,
+                    "corrupted": corrupt_some(rng, cache_dir),
+                }
+                # Seeded storm: some rounds roll the whole tier before
+                # the replay, so warm state must survive the respawns.
+                if restarts == 0 or rng.random() < 0.4:
+                    summary = client.request(
+                        "rolling_restart", retries=0, drain_timeout_s=30.0
+                    )
+                    if summary["failed"]:
+                        dump_corpus(
+                            corpus_dir,
+                            cache_dir,
+                            {**context, "restart": summary},
+                        )
+                        raise SystemExit(
+                            f"FAIL: rolling restart lost a shard: {summary}"
+                        )
+                    restarts += len(summary["restarted"])
+                    context["restarted"] = len(summary["restarted"])
+                try:
+                    replay(client, sources, seed_line, truth, context)
+                except Violation as violation:
+                    dump_corpus(corpus_dir, cache_dir, violation.record)
+                    raise SystemExit(f"FAIL: {violation}") from None
+            health = client.health()
+            if health["healthy_shards"] != 2:
+                dump_corpus(
+                    corpus_dir,
+                    cache_dir,
+                    {"phase": "C", "rounds": rounds, "health": health},
+                )
+                raise SystemExit(
+                    f"FAIL: tier not 2/2 after the storm: {health}"
+                )
+            client.shutdown()
+        tier.wait(timeout=30)
+        print(
+            f"ok: phase C, {rounds} rounds, {restarts} shard restarts, "
+            "zero wrong answers, 2/2 healthy"
+        )
+    finally:
+        if tier.poll() is None:
+            tier.kill()
+            tier.wait()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=1234)
@@ -346,14 +440,21 @@ def main() -> int:
         rng,
         sources,
         seed_line,
-        start + args.budget * 0.6,
+        start + args.budget * 0.4,
         args.corpus_dir,
     )
     run_phase_b(
         rng,
         sources,
         seed_line,
-        time.monotonic() + args.budget * 0.4,
+        time.monotonic() + args.budget * 0.3,
+        args.corpus_dir,
+    )
+    run_phase_c(
+        rng,
+        sources,
+        seed_line,
+        time.monotonic() + args.budget * 0.3,
         args.corpus_dir,
     )
     print(f"PASS (seed {args.seed}, {time.monotonic() - start:.0f}s)")

@@ -559,9 +559,11 @@ def _setup_server_logging(quiet: bool) -> None:
 def _shard_serve_args(args: argparse.Namespace) -> list[str]:
     """The ``serve`` flags forwarded to each spawned local shard.
 
-    The disk cache is deliberately shared: the store is
-    content-addressed with atomic writes, so concurrent shards are
-    safe, and a failover re-route finds the artifact already on disk.
+    Each shard gets a *private* store root (``shard-<i>`` under the
+    cache dir, appended per shard after these base flags — argparse
+    keeps the last ``--cache-dir``) and the ring replicator copies
+    artifacts between shards, so a failover re-route lands on a shard
+    that already holds a warm replica.
     """
     forwarded = [
         "--memory-capacity",
@@ -601,8 +603,13 @@ def _run_router(
     replicas: int,
     max_inflight: int,
     max_queue: int,
+    hedge_delay: float | None = None,
 ) -> int:
-    """Serve a router over ``pool`` in the foreground until shutdown."""
+    """Serve a router over ``pool`` in the foreground until shutdown.
+
+    ``hedge_delay``: None = adaptive (p95 of observed forwards), 0 =
+    hedging off, positive = fixed hedge delay in seconds.
+    """
     from repro.server.router import Router
 
     router = Router(
@@ -610,6 +617,8 @@ def _run_router(
         replicas=replicas,
         max_inflight=max_inflight,
         max_queue=max_queue,
+        hedge=hedge_delay is None or hedge_delay > 0,
+        hedge_delay_s=hedge_delay if hedge_delay else None,
     )
     pool.probe_all()
     pool.start_probing()
@@ -626,6 +635,40 @@ def _run_router(
 def _cmd_route(args: argparse.Namespace) -> int:
     from repro.server.shardpool import ShardPool
 
+    if args.rolling_restart:
+        # Admin mode: ask a *running* router (serve --shards) to drain
+        # and respawn each of its shards in sequence, then report.
+        from repro.server.client import ServerError, SliceClient
+
+        host, port = _parse_hostport(args.rolling_restart)
+        if args.drain_timeout <= 0:
+            raise SystemExit("error: --drain-timeout must be positive")
+        client = SliceClient.connect(
+            host,
+            port,
+            # One shard can take up to drain-timeout to drain plus its
+            # respawn and health-verify time; budget the whole roll.
+            timeout=(args.drain_timeout + 60.0) * 16,
+            retries=0,
+        )
+        try:
+            result = client.request(
+                "rolling_restart",
+                retries=0,
+                drain_timeout_s=args.drain_timeout,
+            )
+        except ServerError as exc:
+            raise SystemExit(f"error: rolling restart failed: {exc}") from None
+        finally:
+            client.close()
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 1 if result.get("failed") else 0
+
+    if not args.shard:
+        raise SystemExit(
+            "error: --shard HOST:PORT is required (or use "
+            "--rolling-restart HOST:PORT against a running router)"
+        )
     _setup_server_logging(args.quiet)
     if args.probe_interval <= 0:
         raise SystemExit("error: --probe-interval must be positive")
@@ -647,6 +690,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         replicas=args.replicas,
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
+        hedge_delay=args.hedge_delay,
     )
 
 
@@ -671,18 +715,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "error: --shards needs --tcp HOST:PORT for the router "
                 "frontend (shards listen on ephemeral local ports)"
             )
+        if args.replicate < 1:
+            raise SystemExit("error: --replicate must be >= 1")
+        if args.repair_interval is not None and args.repair_interval < 0:
+            raise SystemExit("error: --repair-interval must be >= 0")
         _setup_server_logging(args.quiet)
         host, port = _parse_hostport(args.tcp)
+        per_shard_args = None
+        repair_every = 0
+        if not args.no_disk_cache:
+            # Per-shard private store roots — the replication tier
+            # assumes each shard owns its store; copies move over RPC,
+            # not through a shared filesystem.
+            base = Path(
+                args.cache_dir
+                or os.environ.get("REPRO_CACHE_DIR")
+                or str(DEFAULT_CACHE_DIR)
+            )
+            per_shard_args = [
+                ["--cache-dir", str(base / f"shard-{index}")]
+                for index in range(args.shards)
+            ]
+            interval = (
+                args.repair_interval
+                if args.repair_interval is not None
+                else 30.0
+            )
+            if interval:
+                repair_every = max(
+                    1, round(interval / args.probe_interval)
+                )
         pool = ShardPool(
             probe_interval_s=args.probe_interval,
             echo_shard_logs=not args.quiet,
             respawn=not args.no_respawn,
+            repair_every=repair_every,
         )
         try:
-            pool.spawn_local(args.shards, _shard_serve_args(args))
+            pool.spawn_local(
+                args.shards,
+                _shard_serve_args(args),
+                per_shard_args=per_shard_args,
+            )
         except ShardSpawnError as exc:
             pool.stop()
             raise SystemExit(f"error: {exc}") from None
+        if (
+            per_shard_args is not None
+            and args.shards > 1
+            and args.replicate > 1
+        ):
+            pool.configure_replication(
+                args.replicate, ring_replicas=args.replicas
+            )
         return _run_router(
             pool,
             host,
@@ -690,6 +775,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             replicas=args.replicas,
             max_inflight=args.workers * args.shards,
             max_queue=args.max_queue * args.shards,
+            hedge_delay=args.hedge_delay,
         )
 
     _setup_server_logging(args.quiet)
@@ -945,6 +1031,30 @@ def main(argv: list[str] | None = None) -> int:
         help="do not respawn locally spawned shards that die "
         "(--shards mode; default is to respawn on the same port)",
     )
+    p_serve.add_argument(
+        "--replicate",
+        type=int,
+        default=2,
+        help="total copies of each artifact across the shard tier "
+        "(--shards mode with a disk store; 1 disables replication; "
+        "default: 2)",
+    )
+    p_serve.add_argument(
+        "--repair-interval",
+        type=float,
+        default=None,
+        help="seconds between anti-entropy repair passes that "
+        "re-converge replicas after a shard was down (--shards mode; "
+        "0 disables; default: 30)",
+    )
+    p_serve.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        help="seconds before a slow keyed request is hedged to its "
+        "first replica (0 disables hedging; default: adaptive p95 of "
+        "observed forward latency)",
+    )
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_route = sub.add_parser(
@@ -956,7 +1066,7 @@ def main(argv: list[str] | None = None) -> int:
         "--shard",
         metavar="HOST:PORT",
         action="append",
-        required=True,
+        default=None,
         help="a running `repro serve --tcp` daemon; repeat per shard",
     )
     p_route.add_argument(
@@ -1003,6 +1113,29 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=30.0,
         help="per-forward transport timeout in seconds (default: 30)",
+    )
+    p_route.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        help="seconds before a slow keyed request is hedged to its "
+        "first replica (0 disables hedging; default: adaptive p95 of "
+        "observed forward latency)",
+    )
+    p_route.add_argument(
+        "--rolling-restart",
+        metavar="HOST:PORT",
+        default=None,
+        help="instead of serving, ask the running router at HOST:PORT "
+        "to drain and respawn each of its shards in turn, print the "
+        "summary, and exit (non-zero if any shard failed)",
+    )
+    p_route.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for each shard's in-flight requests to "
+        "finish during --rolling-restart (default: 30)",
     )
     p_route.add_argument(
         "--quiet", action="store_true", help="suppress structured logs"

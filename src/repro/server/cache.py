@@ -7,7 +7,13 @@ submissions of byte-identical source with the same options therefore
 hit, regardless of filename; changing any option (or any byte of the
 source) misses.
 
-Lookup order: memory → disk → incremental → :func:`repro.analyze`.
+Lookup order: memory → disk → replica → incremental →
+:func:`repro.analyze`.  The replica level (an optional
+``replica_fetch`` hook, installed by
+:class:`repro.server.replication.Replicator`) asks the other ring
+holders of the key for a copy before recomputing; fetched bytes are
+validated, persisted locally (read repair), and served with origin
+``"replica"``.
 Every analysis result is promoted into both tiers, so a restarted
 process finds the artifact on disk and a long-lived process answers
 from memory.  The incremental level (an optional
@@ -34,6 +40,7 @@ holds a view over the same buffer — serialize once, deserialize never.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 from dataclasses import replace
@@ -47,6 +54,8 @@ from repro.server.faults import FaultPlan
 from repro.server.fragments import FragmentStore
 from repro.server.store import DiskStore
 from repro.slicing.flatslice import flat_slicer
+
+logger = logging.getLogger("repro.server")
 
 DEFAULT_MEMORY_CAPACITY = 8
 
@@ -148,6 +157,9 @@ class AnalysisCache:
         self.fragments = fragments
         if fragments is not None and fragments.loader is None:
             fragments.loader = self._load_for_seed
+        #: Replica tier hook: ``replica_fetch(key) -> bytes | None``.
+        #: Installed by the daemon when replication is configured.
+        self.replica_fetch = None
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self._lock = threading.Lock()
         self.memory_hits = 0
@@ -155,6 +167,7 @@ class AnalysisCache:
         self.misses = 0
         self.evictions = 0
         self.incremental_hits = 0
+        self.replica_hits = 0
 
     def get_entry(
         self,
@@ -164,7 +177,7 @@ class AnalysisCache:
         executor_ok: bool = True,
     ) -> tuple[CacheEntry, str]:
         """Return ``(entry, origin)``, origin ∈ memory | disk |
-        incremental | analyzed.
+        replica | incremental | analyzed.
 
         ``executor_ok=False`` forces a cold miss to run in-process even
         when a process executor is attached — the daemon's circuit
@@ -187,6 +200,26 @@ class AnalysisCache:
                     self.disk_hits += 1
                     self._put(key, entry)
                 return entry, "disk"
+        if self.replica_fetch is not None:
+            # Replica level: another ring holder may have this artifact
+            # warm.  A hit costs one peer round trip instead of a cold
+            # analysis, and the fetched (already-validated) bytes are
+            # persisted locally so the *next* miss is a plain disk hit.
+            # A fetch failure of any kind is strictly a miss: replica
+            # trouble may cost a recompute, never fail the request.
+            try:
+                payload = self.replica_fetch(key)
+            except Exception as exc:  # noqa: BLE001
+                logger.warning("replica fetch failed for %s: %s", key, exc)
+                payload = None
+            if payload is not None:
+                entry = CacheEntry(view=ArtifactView.from_buffer(payload))
+                with self._lock:
+                    self.replica_hits += 1
+                    self._put(key, entry)
+                if self.store is not None:
+                    self.store.save_bytes(key, payload, replicate=False)
+                return entry, "replica"
         if self.fragments is not None:
             # Incremental level: if this source is an *edit* of a
             # lineage we hold a session for, re-analyze only the dirty
@@ -357,6 +390,7 @@ class AnalysisCache:
                 "memory_hits": self.memory_hits,
                 "disk_hits": self.disk_hits,
                 "incremental_hits": self.incremental_hits,
+                "replica_hits": self.replica_hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "entries": len(self._entries),

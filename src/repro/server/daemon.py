@@ -77,6 +77,14 @@ from repro.server.cache import AnalysisCache, CacheEntry, cache_key
 from repro.server.faults import FaultPlan
 from repro.server.fragments import DEFAULT_SESSION_CAPACITY, FragmentStore
 from repro.server.quarantine import CircuitBreaker, Quarantine
+from repro.server.replication import (
+    DEFAULT_REPLICATION_FACTOR,
+    Replicator,
+    decode_payload,
+    encode_payload,
+    validate_artifact,
+)
+from repro.server.ring import DEFAULT_REPLICAS
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -120,6 +128,23 @@ _FLAT_CORRUPTION_ERRORS = (
     struct.error,
     UnicodeDecodeError,
     OverflowError,
+)
+
+
+#: Methods answered inline on the connection thread — never dispatched
+#: to the worker pool, so they stay responsive under saturation.
+_INLINE_METHODS = frozenset(
+    {
+        "ping",
+        "shutdown",
+        "health",
+        "put_artifact",
+        "get_artifact",
+        "sync_offer",
+        "replicate_config",
+        "replicate_key",
+        "repair",
+    }
 )
 
 
@@ -192,6 +217,11 @@ class SliceServer:
             # (or a pre-wired cache) leaves serving strictly two-tier.
             fragments = FragmentStore(capacity=fragment_sessions)
             fragments.loader = self.cache._load_for_seed
+            if self.cache.store is not None:
+                # Crash anchors ride in the artifact store's directory:
+                # a respawned shard pointed at the same root reseeds
+                # its warm lineages lazily from these sidecars.
+                fragments.checkpoint_dir = self.cache.store.root / "sessions"
             self.cache.fragments = fragments
         self.timeout = timeout
         self.workers = workers
@@ -250,6 +280,10 @@ class SliceServer:
                 target=self._scrub_loop, name="repro-scrub", daemon=True
             )
             self._scrub_thread.start()
+        # Replication engine; attached post-start via the
+        # ``replicate_config`` RPC because shard ports are ephemeral —
+        # nobody knows the peer list until the whole tier is listening.
+        self.replicator: Replicator | None = None
         self._methods: dict[
             str, Callable[[dict[str, Any], Budget | None], dict[str, Any]]
         ] = {
@@ -262,6 +296,12 @@ class SliceServer:
             "chop": self._method_chop,
             "stats": self._method_stats_rpc,
             "shutdown": self._method_shutdown,
+            "put_artifact": self._method_put_artifact,
+            "get_artifact": self._method_get_artifact,
+            "sync_offer": self._method_sync_offer,
+            "replicate_config": self._method_replicate_config,
+            "replicate_key": self._method_replicate_key,
+            "repair": self._method_repair,
         }
 
     def prestart(self) -> None:
@@ -316,7 +356,12 @@ class SliceServer:
         start = time.perf_counter()
         timed_out = False
         try:
-            introspection = method in ("ping", "shutdown", "health") or (
+            # Replication traffic rides the introspection path too: a
+            # saturated worker pool must not be able to starve artifact
+            # convergence (the RPCs touch only the store, never a
+            # worker), and repair/config calls must answer during a
+            # drain when every worker slot is busy finishing requests.
+            introspection = method in _INLINE_METHODS or (
                 method == "stats"
                 and "source" not in params
                 and "program" not in params
@@ -384,7 +429,18 @@ class SliceServer:
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    self._abort(future, budget, "deadline")
+                    dropped = self._abort(future, budget, "deadline")
+                    if dropped:
+                        # The deadline passed while the request was
+                        # still *queued*: no worker ever touched it, so
+                        # it is shed with its own error type — the
+                        # router counts these as free admission sheds,
+                        # not as burned analysis time.
+                        raise QueryError(
+                            "DeadlineExpired",
+                            f"{limit:g}s deadline passed while queued; "
+                            "no worker was consumed",
+                        )
                     raise QueryError(
                         "Timeout", f"request exceeded {limit:g}s budget"
                     )
@@ -435,6 +491,17 @@ class SliceServer:
             self._queued -= 1
             self._busy += 1
         try:
+            remaining = budget.remaining()
+            if not budget.cancelled and remaining is not None and remaining <= 0:
+                # Queued past its own deadline: shed before any work
+                # starts instead of burning the worker on an answer the
+                # client has already given up on.  (A *cancellation*
+                # that raced us here still reports as Cancelled via the
+                # check below.)
+                raise QueryError(
+                    "DeadlineExpired",
+                    "deadline passed while the request was queued",
+                )
             budget.check()  # cancelled while still queued -> free at once
             if self.fault_plan is not None:
                 self.fault_plan.on_worker(budget)
@@ -443,16 +510,19 @@ class SliceServer:
             with self._load_lock:
                 self._busy -= 1
 
-    def _abort(self, future, budget: Budget, reason: str) -> None:
+    def _abort(self, future, budget: Budget, reason: str) -> bool:
         """Cancel an in-flight request: flag its budget (the worker's
         next poll raises) and, if it never started, drop it from the
-        queue accounting ourselves (the worker wrapper will not run)."""
+        queue accounting ourselves (the worker wrapper will not run).
+        Returns whether the request was dropped before a worker ever
+        started it."""
         budget.cancel(reason)
         dropped = future.cancel()
         with self._load_lock:
             if dropped:
                 self._queued -= 1
             self.cancelled_total += 1
+        return dropped
 
     # ------------------------------------------------------------------
     # Methods
@@ -497,12 +567,16 @@ class SliceServer:
         store = self.cache.store
         if store is not None:
             payload["store"] = {
+                "root": str(store.root),
+                "saves": store.stats.saves,
                 "quarantined": store.stats.quarantined,
                 "corrupt_found": store.stats.corrupt_found,
                 "scrubs": store.stats.scrubs,
                 "scrubbed": store.stats.scrubbed,
                 "last_scrub": store.last_scrub,
             }
+        if self.replicator is not None:
+            payload["replication"] = self.replicator.stats()
         fragments = self.cache.fragments
         if fragments is not None:
             fragment_stats = fragments.stats()
@@ -519,6 +593,141 @@ class SliceServer:
     ) -> dict[str, Any]:
         self.shutting_down = True
         return {"stopping": True}
+
+    # ------------------------------------------------------------------
+    # Replication RPCs (peer-to-peer; see repro.server.replication)
+    # ------------------------------------------------------------------
+
+    def _require_store(self):
+        store = self.cache.store
+        if store is None:
+            raise QueryError("BadParams", "this daemon has no disk store")
+        return store
+
+    @staticmethod
+    def _key_param(params: dict[str, Any]) -> str:
+        key = params.get("key")
+        if not isinstance(key, str) or not key:
+            raise QueryError("BadParams", "'key' must be a non-empty string")
+        return key
+
+    def _method_put_artifact(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
+        """Receive one replicated artifact from a peer shard.
+
+        The bytes are digest-validated against the key before landing,
+        and saved with ``replicate=False`` so a received copy terminates
+        here instead of fanning back out around the ring."""
+        store = self._require_store()
+        key = self._key_param(params)
+        try:
+            payload = decode_payload(params.get("payload"))
+            validate_artifact(key, payload)
+        except (ValueError, ArtifactError) as exc:
+            raise QueryError(
+                "BadParams", f"rejected artifact for {key[:12]}: {exc}"
+            ) from exc
+        store.save_bytes(key, payload, replicate=False)
+        return {"stored": True, "bytes": len(payload)}
+
+    def _method_get_artifact(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
+        """Serve one stored artifact to a peer (replica read-through)."""
+        store = self._require_store()
+        key = self._key_param(params)
+        payload = store.load_payload(key)
+        if payload is None:
+            raise QueryError("NotFound", f"no stored artifact for {key[:12]}")
+        return {"key": key, "payload": encode_payload(payload)}
+
+    def _method_sync_offer(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
+        """Anti-entropy handshake: given keys a peer holds, report which
+        of them this shard is missing (the peer pushes exactly those)."""
+        keys = params.get("keys")
+        if not isinstance(keys, list) or not all(
+            isinstance(k, str) for k in keys
+        ):
+            raise QueryError("BadParams", "'keys' must be a list of strings")
+        store = self.cache.store
+        if store is None:
+            return {"missing": []}
+        have = set(store.keys())
+        return {"missing": [k for k in keys if k not in have]}
+
+    def _method_replicate_config(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
+        """Install (or replace) this shard's replication engine.
+
+        Pushed by the shard pool after spawn — and re-pushed after every
+        respawn — because shard ports are ephemeral: nobody knows the
+        peer list until the whole tier is listening."""
+        store = self._require_store()
+        self_address = params.get("self_address")
+        peers = params.get("peers")
+        factor = params.get("factor", DEFAULT_REPLICATION_FACTOR)
+        if not isinstance(self_address, str) or not self_address:
+            raise QueryError("BadParams", "'self_address' must be this shard's address")
+        if not isinstance(peers, list) or not all(
+            isinstance(p, str) and p for p in peers
+        ):
+            raise QueryError("BadParams", "'peers' must be a list of addresses")
+        if not isinstance(factor, int) or isinstance(factor, bool) or factor < 1:
+            raise QueryError("BadParams", "'factor' must be a positive integer")
+        ring_replicas = params.get("ring_replicas", DEFAULT_REPLICAS)
+        if not isinstance(ring_replicas, int) or ring_replicas < 1:
+            raise QueryError("BadParams", "'ring_replicas' must be >= 1")
+        old = self.replicator
+        replicator = Replicator(
+            store,
+            self_address,
+            list(peers),
+            factor=factor,
+            ring_replicas=ring_replicas,
+        )
+        self.replicator = replicator
+        store.on_save = replicator.artifact_saved
+        self.cache.replica_fetch = replicator.fetch
+        if old is not None:
+            old.close()
+        return {
+            "configured": True,
+            "self_address": self_address,
+            "peers": len(replicator.ring) - 1,
+            "factor": replicator.factor,
+        }
+
+    def _method_replicate_key(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
+        """Read-repair trigger: re-fan one stored artifact out to its
+        designated holders (the router calls this after a failover read
+        served a key whose owner was down)."""
+        key = self._key_param(params)
+        if self.replicator is None:
+            return {"scheduled": False}
+        payload = self.cache.store.load_payload(key)
+        if payload is None:
+            raise QueryError("NotFound", f"no stored artifact for {key[:12]}")
+        self.replicator.artifact_saved(key, payload)
+        return {"scheduled": True}
+
+    def _method_repair(
+        self, params: dict[str, Any], budget: Budget | None
+    ) -> dict[str, Any]:
+        """One anti-entropy pass.  ``wait=true`` runs inline and returns
+        the summary (drills); default kicks a background pass (the shard
+        pool's probe-loop cadence must never block on peer RPCs)."""
+        if self.replicator is None:
+            raise QueryError("BadParams", "replication is not configured")
+        if params.get("wait"):
+            return self.replicator.repair()
+        self.replicator.repair_async()
+        return {"scheduled": True}
 
     def _method_slice(
         self, params: dict[str, Any], budget: Budget | None
@@ -956,6 +1165,8 @@ class SliceServer:
 
     def close(self) -> None:
         self._scrub_stop.set()
+        if self.replicator is not None:
+            self.replicator.close()
         self._pool.shutdown(wait=False, cancel_futures=True)
         if self.process_pool is not None:
             self.process_pool.close()

@@ -21,12 +21,30 @@ carries its own lock so edits against one lineage serialize while
 different lineages proceed in parallel.  A session that dies mid-edit
 (:class:`~repro.incremental.SessionDeadError`, or a budget
 cancellation) is discarded and its slot reverts to pending-seed.
+
+**Checkpointing** (PR 10): sessions live in process memory, so a shard
+crash or rolling restart used to reset every warm lineage to cold.
+When ``checkpoint_dir`` is set, the store writes a small JSON sidecar
+per slot — structure fingerprint, options token, per-unit
+fingerprints, and the latest artifact key + source — atomically
+(tmp + rename) whenever a lineage advances (cold seed recorded,
+edit applied).  The sidecar is *not* a session dump: it is the
+pending-seed anchor, pointing at an artifact that is already durable
+in the disk store (and replicated).  A respawned shard that misses a
+slot consults the sidecar, restores the pending seed, and rebuilds
+the session through the ordinary lazy materialization path — the
+first post-restart edit is function-granular again instead of cold.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import logging
+import os
 import threading
 from collections import OrderedDict
+from pathlib import Path
 from typing import Any, Callable
 
 from repro import AnalyzeOptions
@@ -39,7 +57,13 @@ from repro.incremental import (
     split_units,
 )
 
+logger = logging.getLogger("repro.server")
+
 DEFAULT_SESSION_CAPACITY = 4
+
+#: Sidecar format version; bumped when the schema changes so a new
+#: binary quietly ignores old checkpoints instead of mis-reading them.
+CHECKPOINT_VERSION = 1
 
 #: ``loader(key, source, filename, options)`` returns the cold result
 #: to seed a session from — ``(analyzed_program, payload_bytes|None)``
@@ -66,11 +90,15 @@ class FragmentStore:
         self,
         capacity: int = DEFAULT_SESSION_CAPACITY,
         loader: SeedLoader | None = None,
+        checkpoint_dir: Path | str | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.loader = loader
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
         self._slots: OrderedDict[tuple[str, str], _Slot] = OrderedDict()
         self._lock = threading.Lock()
         self.incremental_hits = 0
@@ -79,6 +107,9 @@ class FragmentStore:
         self.functions_reanalyzed = 0
         self.sessions_seeded = 0
         self.sessions_dropped = 0
+        self.sessions_restored = 0
+        self.checkpoints_written = 0
+        self.checkpoint_errors = 0
         self.declines: dict[str, int] = {}
         self.tiers: dict[str, int] = {}
 
@@ -135,6 +166,11 @@ class FragmentStore:
             return None
         slot = self._get_slot(slot_key)
         with slot.lock:
+            if slot.session is None and slot.pending is None:
+                # Fresh process (crash or rolling restart): the lineage
+                # may have a checkpoint sidecar pointing at a durable
+                # artifact — restore the pending seed from it.
+                self._restore(slot, slot_key)
             if slot.session is None and slot.pending is not None:
                 self._materialize(slot, options)
             session = slot.session
@@ -169,6 +205,9 @@ class FragmentStore:
             self.functions_reused += outcome.functions_reused
             self.functions_reanalyzed += outcome.functions_reanalyzed
             self.tiers[outcome.tier] = self.tiers.get(outcome.tier, 0) + 1
+        # The edited source's artifact is about to land in the durable
+        # store under ``key`` — advance the lineage's crash anchor.
+        self._checkpoint(slot_key, key, source, filename)
         return outcome
 
     def note_cold(
@@ -186,6 +225,7 @@ class FragmentStore:
         with slot.lock:
             if slot.session is None:
                 slot.pending = (key, source, filename)
+        self._checkpoint(slot_key, key, source, filename)
 
     def _slot_key_quiet(
         self, source: str, options: AnalyzeOptions
@@ -224,6 +264,109 @@ class FragmentStore:
             self.sessions_seeded += 1
 
     # ------------------------------------------------------------------
+    # Checkpoint sidecars
+    # ------------------------------------------------------------------
+
+    def _checkpoint_path(self, slot_key: tuple[str, str]) -> Path | None:
+        if self.checkpoint_dir is None:
+            return None
+        digest = hashlib.sha256(
+            f"{slot_key[0]}\x00{slot_key[1]}".encode("utf-8")
+        ).hexdigest()
+        return self.checkpoint_dir / f"{digest[:40]}.json"
+
+    def _checkpoint(
+        self, slot_key: tuple[str, str], key: str, source: str, filename: str
+    ) -> None:
+        """Atomically persist the lineage's pending-seed anchor.
+
+        Best-effort: a full disk or unwritable directory degrades the
+        store to its pre-checkpoint behavior (warm state dies with the
+        process) — it never fails the request that triggered it.
+        """
+        path = self._checkpoint_path(slot_key)
+        if path is None:
+            return
+        try:
+            shape = split_units(source)
+            record = {
+                "version": CHECKPOINT_VERSION,
+                "structure_fingerprint": slot_key[0],
+                "options_token": slot_key[1],
+                "key": key,
+                "filename": filename,
+                "source": source,
+                "unit_fingerprints": {
+                    unit.name: unit.fingerprint for unit in shape.units
+                },
+            }
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(record, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+            self._trim_checkpoints()
+        except (OSError, DeclinedError) as exc:
+            with self._lock:
+                self.checkpoint_errors += 1
+            logger.warning("session checkpoint failed: %s", exc)
+            return
+        with self._lock:
+            self.checkpoints_written += 1
+
+    def _trim_checkpoints(self) -> None:
+        """Keep the sidecar population bounded at a small multiple of
+        the session capacity, oldest-written first — mirrors the LRU."""
+        assert self.checkpoint_dir is not None
+        sidecars = sorted(
+            self.checkpoint_dir.glob("*.json"),
+            key=lambda p: p.stat().st_mtime,
+            reverse=True,
+        )
+        for stale in sidecars[max(4 * self.capacity, 8):]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def _restore(self, slot: _Slot, slot_key: tuple[str, str]) -> None:
+        """Repopulate an empty slot's pending seed from its sidecar.
+
+        Called with the slot lock held.  Every validation failure is
+        silent — a missing/stale/corrupt sidecar simply means the
+        lineage starts cold, exactly as if checkpointing were off.
+        """
+        path = self._checkpoint_path(slot_key)
+        if path is None:
+            return
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(record, dict):
+            return
+        if record.get("version") != CHECKPOINT_VERSION:
+            return
+        if (
+            record.get("structure_fingerprint") != slot_key[0]
+            or record.get("options_token") != slot_key[1]
+        ):
+            return
+        key = record.get("key")
+        source = record.get("source")
+        filename = record.get("filename")
+        if not (
+            isinstance(key, str)
+            and isinstance(source, str)
+            and isinstance(filename, str)
+        ):
+            return
+        slot.pending = (key, source, filename)
+        with self._lock:
+            self.sessions_restored += 1
+
+    # ------------------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
         with self._lock:
@@ -240,6 +383,9 @@ class FragmentStore:
                 ),
                 "sessions_seeded": self.sessions_seeded,
                 "sessions_dropped": self.sessions_dropped,
+                "sessions_restored": self.sessions_restored,
+                "checkpoints_written": self.checkpoints_written,
+                "checkpoint_errors": self.checkpoint_errors,
                 "capacity": self.capacity,
                 "declines": dict(sorted(self.declines.items())),
                 "tiers": dict(sorted(self.tiers.items())),

@@ -122,6 +122,20 @@ class HashRing:
                     break
         return ordered
 
+    def replicas_for(self, key: str, count: int) -> list[str]:
+        """The ``count`` distinct nodes holding copies of ``key`` — the
+        owner first, then its clockwise successors.
+
+        ``count`` is the *total* copy count (owner included), clamped to
+        the ring size: asking for 3 copies on a 2-node ring returns both
+        nodes.  Because the list is a prefix of :meth:`preference`, the
+        router's failover walk visits exactly the nodes that hold a
+        replica before falling through to nodes that would recompute.
+        """
+        if count < 1:
+            raise ValueError("replica count must be >= 1")
+        return self.preference(key)[:count]
+
     def ownership(self) -> dict[str, float]:
         """Fraction of the hash space each node owns (sums to ~1.0)."""
         if not self._points:

@@ -55,7 +55,10 @@ import json
 import logging
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures import wait as futures_wait
 from typing import Any
 
 from repro import __version__
@@ -89,6 +92,7 @@ ROUTER_METHODS = frozenset(
         "chop",
         "stats",
         "shutdown",
+        "rolling_restart",
     }
 )
 
@@ -107,6 +111,16 @@ DEFAULT_MAX_INFLIGHT = 16
 #: Admitted-but-waiting requests beyond busy slots before shedding.
 DEFAULT_MAX_QUEUE = 64
 
+#: Hedging needs at least this many latency samples before trusting
+#: the adaptive quantile; below it only a fixed ``hedge_delay_s`` hedges.
+_HEDGE_MIN_SAMPLES = 16
+
+#: The hedge quantile and its floor: hedge after the observed p95 of
+#: successful keyed forwards, never sooner than 50 ms (a hedge against
+#: ordinary jitter just doubles load for nothing).
+_HEDGE_QUANTILE = 0.95
+_HEDGE_MIN_DELAY_S = 0.05
+
 
 class Router:
     """Routes protocol requests across a :class:`ShardPool` via a ring."""
@@ -119,6 +133,8 @@ class Router:
         max_queue: int = DEFAULT_MAX_QUEUE,
         fault_plan: FaultPlan | None = None,
         line_limit: int = MAX_LINE_BYTES,
+        hedge: bool = True,
+        hedge_delay_s: float | None = None,
     ) -> None:
         self.pool = pool
         self.ring = HashRing(pool.addresses(), replicas=replicas)
@@ -126,17 +142,36 @@ class Router:
         self.max_queue = max_queue
         self.fault_plan = fault_plan
         self.line_limit = line_limit
+        #: Hedged requests: after a quantile-based delay, a slow keyed
+        #: ``slice`` is re-issued to the key's first replica and the
+        #: first answer wins (byte-identity across shards makes racing
+        #: them safe).  ``hedge_delay_s`` pins the delay (tests, CLI);
+        #: None adapts to the observed p95 once enough samples exist.
+        self.hedge = hedge
+        self.hedge_delay_s = hedge_delay_s
         self.started = time.time()
         self.shutting_down = False
         self.address: tuple[str, int] | None = None
         self._executor = ThreadPoolExecutor(
             max_workers=max_inflight, thread_name_prefix="repro-route"
         )
+        # Hedge attempts run on their own pool: a hedge losing the race
+        # stays blocked on its shard until that call returns, and those
+        # parked threads must not eat forwarding slots.
+        self._hedge_executor = ThreadPoolExecutor(
+            max_workers=max(4, max_inflight * 2),
+            thread_name_prefix="repro-hedge",
+        )
         self._stats_lock = threading.Lock()
         self._method_stats: dict[str, MethodStats] = {}
+        self._latencies: deque[float] = deque(maxlen=128)
         self.forwarded_total = 0
         self.failover_total = 0
         self.shed_total = 0
+        self.hedges_total = 0
+        self.hedge_wins = 0
+        self.read_repairs = 0
+        self.deadline_expired_total = 0
         # Event-loop plumbing (populated by start()).
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -188,6 +223,10 @@ class Router:
                 "source" in params or "program" in params
             ):
                 response = ok_response(request_id, self.stats_payload())
+            elif method == "rolling_restart":
+                response = ok_response(
+                    request_id, self._rolling_restart(params)
+                )
             elif method == "slice_batch":
                 response = self._route_batch(params, request_id)
             else:
@@ -245,6 +284,113 @@ class Router:
         ]
         return healthy + fallback
 
+    def _call_shard(
+        self, method: str, params: dict[str, Any], address: str
+    ) -> tuple[str, Any]:
+        """One attempt against one shard, with all health accounting.
+
+        Returns ``("ok", result)``, ``("relay", ServerError)`` for a
+        structured shard answer (the shard is alive — relay verbatim),
+        or ``("retryable", ServerError)`` for a transport-level failure
+        (the failover walk advances).  Shared by the plain failover walk
+        and the hedged path so both account identically.
+        """
+        shard = self.pool.shard(address)
+        attempt_started = time.monotonic()
+        try:
+            result = shard.call(method, dict(params))
+        except ServerError as exc:
+            if exc.error_type in RETRYABLE:
+                refused = isinstance(
+                    exc.__cause__, ConnectionRefusedError
+                ) or shard.process_exited()
+                self.pool.note_failure(
+                    address, str(exc), definitely_down=refused
+                )
+                with shard._lock:
+                    shard.failed_total += 1
+                with self._stats_lock:
+                    self.failover_total += 1
+                return "retryable", exc
+            self.pool.note_success(address)
+            return "relay", exc
+        self.pool.note_success(address)
+        with shard._lock:
+            shard.forwarded_total += 1
+        with self._stats_lock:
+            self.forwarded_total += 1
+            if method == "slice":
+                # The hedge delay estimate feeds on successful keyed
+                # forwards only — failures would teach it to hedge at
+                # timeout latency.
+                self._latencies.append(time.monotonic() - attempt_started)
+        return "ok", result
+
+    def _hedge_delay(self) -> float | None:
+        """Seconds to wait before hedging, or None (not enough signal).
+
+        A fixed ``hedge_delay_s`` always wins; otherwise the observed
+        p95 of successful keyed forwards, floored at 50 ms, once at
+        least :data:`_HEDGE_MIN_SAMPLES` samples exist.
+        """
+        if not self.hedge:
+            return None
+        if self.hedge_delay_s is not None:
+            return self.hedge_delay_s
+        with self._stats_lock:
+            if len(self._latencies) < _HEDGE_MIN_SAMPLES:
+                return None
+            ordered = sorted(self._latencies)
+        quantile = ordered[int(_HEDGE_QUANTILE * (len(ordered) - 1))]
+        return max(quantile, _HEDGE_MIN_DELAY_S)
+
+    def _hedged_attempt(
+        self,
+        method: str,
+        params: dict[str, Any],
+        primary: str,
+        backup: str,
+        delay_s: float,
+    ) -> tuple[str, Any, str]:
+        """Race ``primary`` against ``backup`` after ``delay_s``.
+
+        Byte-identity across shards makes the race safe: whichever
+        answers first is *the* answer.  The loser is abandoned — its
+        thread unblocks when its shard call returns and its accounting
+        still lands (a hedge is real extra load, not free).  Returns
+        ``(status, value, served_by)`` like :meth:`_call_shard` plus
+        the address that produced the outcome.
+        """
+        primary_future = self._hedge_executor.submit(
+            self._call_shard, method, params, primary
+        )
+        try:
+            status, value = primary_future.result(timeout=delay_s)
+            return status, value, primary
+        except FutureTimeout:
+            pass
+        with self._stats_lock:
+            self.hedges_total += 1
+        backup_future = self._hedge_executor.submit(
+            self._call_shard, method, params, backup
+        )
+        futures = {primary_future: primary, backup_future: backup}
+        pending = set(futures)
+        fallback: tuple[str, Any, str] | None = None
+        while pending:
+            done, pending = futures_wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                status, value = future.result()
+                if status == "ok":
+                    if futures[future] == backup:
+                        with self._stats_lock:
+                            self.hedge_wins += 1
+                    return status, value, futures[future]
+                if fallback is None or futures[future] == primary:
+                    fallback = (status, value, futures[future])
+        assert fallback is not None
+        return fallback
+
     def _forward(
         self,
         method: str,
@@ -260,54 +406,88 @@ class Router:
                 "no shard available (all draining or none attached); "
                 "retry with backoff",
             )
+        # Deadline propagation: the shard should see the time *left*,
+        # not the client's original allowance — elapsed routing/failover
+        # time comes out of the budget.  Non-positive or malformed
+        # deadlines pass through untouched so the daemon's own param
+        # validation answers authoritatively.
+        original_deadline = params.get("deadline")
+        if not isinstance(original_deadline, (int, float)) or isinstance(
+            original_deadline, bool
+        ) or original_deadline <= 0:
+            original_deadline = None
+        forward_started = time.monotonic()
+        hedge_delay = (
+            self._hedge_delay()
+            if method == "slice" and key is not None and len(candidates) >= 2
+            else None
+        )
         last: ServerError | None = None
-        for attempt, address in enumerate(candidates):
+        attempt = 0
+        index = 0
+        while index < len(candidates):
+            address = candidates[index]
             if self.fault_plan is not None:
                 self.fault_plan.on_route(self.pool, address)
-            shard = self.pool.shard(address)
-            try:
-                result = shard.call(method, dict(params))
-            except ServerError as exc:
-                if exc.error_type in RETRYABLE:
-                    refused = isinstance(
-                        exc.__cause__, ConnectionRefusedError
-                    ) or shard.process_exited()
-                    self.pool.note_failure(
-                        address, str(exc), definitely_down=refused
-                    )
-                    with shard._lock:
-                        shard.failed_total += 1
+            attempt_params = params
+            if original_deadline is not None:
+                remaining = original_deadline - (
+                    time.monotonic() - forward_started
+                )
+                if remaining <= 0:
                     with self._stats_lock:
-                        self.failover_total += 1
-                    last = exc
-                    continue
+                        self.deadline_expired_total += 1
+                    return error_response(
+                        request_id,
+                        "DeadlineExpired",
+                        f"{original_deadline:g}s deadline exhausted at the "
+                        "router before a shard could answer",
+                    )
+                attempt_params = dict(params)
+                attempt_params["deadline"] = remaining
+            if hedge_delay is not None and index == 0:
+                status, value, served_by = self._hedged_attempt(
+                    method, attempt_params, address, candidates[1], hedge_delay
+                )
+                # Both racers failed transport-level: the walk resumes
+                # after the pair (each already fed failover accounting).
+                consumed = 2 if status == "retryable" else 1
+            else:
+                status, value = self._call_shard(
+                    method, attempt_params, address
+                )
+                served_by, consumed = address, 1
+            if status == "relay":
                 # A structured answer proves the shard is alive; relay
                 # it stamped with the shard's address.
-                self.pool.note_success(address)
+                exc = value
                 response = error_response(
                     request_id, exc.error_type, exc.message
                 )
-                response["error"]["endpoint"] = exc.endpoint or address
+                response["error"]["endpoint"] = exc.endpoint or served_by
                 return response
-            self.pool.note_success(address)
-            with shard._lock:
-                shard.forwarded_total += 1
-            with self._stats_lock:
-                self.forwarded_total += 1
-            if attempt:
-                logger.info(
-                    "%s",
-                    json.dumps(
-                        {
-                            "event": "failover",
-                            "method": method,
-                            "served_by": address,
-                            "attempts": attempt + 1,
-                        },
-                        sort_keys=True,
-                    ),
-                )
-            return ok_response(request_id, result)
+            if status == "ok":
+                if attempt or served_by != candidates[0]:
+                    logger.info(
+                        "%s",
+                        json.dumps(
+                            {
+                                "event": "failover",
+                                "method": method,
+                                "served_by": served_by,
+                                "attempts": attempt + 1,
+                            },
+                            sort_keys=True,
+                        ),
+                    )
+                    # The shard that answered may not be the key's
+                    # owner: re-fan its stored artifact so the replica
+                    # set heals without waiting for anti-entropy.
+                    self._read_repair(served_by, params, key)
+                return ok_response(request_id, value)
+            last = value
+            index += consumed
+            attempt += 1
         assert last is not None
         response = error_response(
             request_id,
@@ -317,6 +497,92 @@ class Router:
         if last.endpoint:
             response["error"]["endpoint"] = last.endpoint
         return response
+
+    def _read_repair(
+        self, address: str, params: dict[str, Any], key: str | None
+    ) -> None:
+        """Fire-and-forget ``replicate_key`` after a failover-served
+        keyed request: the serving shard re-fans the artifact to the
+        key's designated holders.  Best-effort by design — anti-entropy
+        repair converges anything this misses."""
+        if key is None:
+            return
+        try:
+            from repro import AnalyzeOptions
+            from repro.artifact import content_key
+
+            source = params.get("source")
+            if source is None:
+                program = params.get("program")
+                if not isinstance(program, str):
+                    return
+                from repro.suite.loader import load_source
+
+                source = load_source(program)
+            if not isinstance(source, str):
+                return
+            store_key = content_key(
+                source,
+                AnalyzeOptions(
+                    include_stdlib=bool(params.get("include_stdlib", True))
+                ),
+            )
+        except Exception:  # noqa: BLE001 - repair must never fail a request
+            return
+        with self._stats_lock:
+            self.read_repairs += 1
+
+        def push() -> None:
+            try:
+                self.pool.shard(address).call(
+                    "replicate_key", {"key": store_key}
+                )
+            except Exception:  # noqa: BLE001
+                pass
+
+        threading.Thread(
+            target=push, name="repro-read-repair", daemon=True
+        ).start()
+
+    def _rolling_restart(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Restart every spawned shard, one at a time, zero downtime.
+
+        Each shard drains through :meth:`ShardPool.restart_shard` while
+        the rest of the tier keeps serving (replicas answer the
+        draining shard's keys warm).  Stops at the first failure — a
+        roll that keeps going after losing a shard would shrink
+        capacity with every step.
+        """
+        drain_timeout = params.get("drain_timeout_s", 30.0)
+        if (
+            not isinstance(drain_timeout, (int, float))
+            or isinstance(drain_timeout, bool)
+            or drain_timeout <= 0
+        ):
+            raise ValueError("'drain_timeout_s' must be a positive number")
+        started = time.monotonic()
+        restarted: list[dict[str, Any]] = []
+        failed: list[dict[str, Any]] = []
+        for address in self.pool.addresses():
+            shard = self.pool.shard(address)
+            if shard.process is None:
+                failed.append(
+                    {"address": address, "error": "externally managed"}
+                )
+                continue
+            try:
+                info = self.pool.restart_shard(
+                    address, drain_timeout_s=float(drain_timeout)
+                )
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                failed.append({"address": address, "error": str(exc)})
+                break
+            restarted.append(info)
+        return {
+            "restarted": restarted,
+            "failed": failed,
+            "duration_s": round(time.monotonic() - started, 3),
+        }
 
     def _route_batch(
         self, params: dict[str, Any], request_id: Any
@@ -412,6 +678,10 @@ class Router:
                 "forwarded_total": self.forwarded_total,
                 "failover_total": self.failover_total,
                 "shed_total": self.shed_total,
+                "hedges_total": self.hedges_total,
+                "hedge_wins": self.hedge_wins,
+                "read_repairs": self.read_repairs,
+                "deadline_expired_total": self.deadline_expired_total,
                 "max_inflight": self.max_inflight,
                 "max_queue": self.max_queue,
             }
@@ -532,6 +802,7 @@ class Router:
             self._thread.join(timeout=10)
         self.pool.stop()
         self._executor.shutdown(wait=False, cancel_futures=True)
+        self._hedge_executor.shutdown(wait=False, cancel_futures=True)
 
     def start(
         self, host: str = "127.0.0.1", port: int = 0

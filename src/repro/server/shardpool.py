@@ -43,6 +43,7 @@ service:
 from __future__ import annotations
 
 import json
+import random
 import subprocess
 import sys
 import threading
@@ -50,6 +51,7 @@ import time
 from typing import Any
 
 from repro.server.client import ServerError, SliceClient
+from repro.server.ring import DEFAULT_REPLICAS
 
 #: Consecutive probe/forward failures before a shard is demoted.
 DEFAULT_FAILURE_THRESHOLD = 2
@@ -65,8 +67,23 @@ SPAWN_TIMEOUT_S = 30.0
 
 #: Base delay before re-respawning a shard that died again; doubles per
 #: consecutive failed respawn (a shard that cannot hold its port or
-#: crashes during startup must not be restarted in a hot loop).
+#: crashes during startup must not be restarted in a hot loop), with
+#: 0.5–1.5x jitter (so N crash-looping shards don't respawn in
+#: lockstep) and a hard cap.
 RESPAWN_BACKOFF_S = 0.5
+RESPAWN_BACKOFF_CAP_S = 30.0
+
+#: A respawned shard that stays up this long is considered stable: its
+#: consecutive-respawn count resets, so health distinguishes a
+#: crash-*looping* shard (count climbing) from one that bounced once.
+RESPAWN_STABLE_S = 10.0
+
+
+def _respawn_backoff(failures: int) -> float:
+    delay = min(
+        RESPAWN_BACKOFF_S * (2 ** min(failures, 6)), RESPAWN_BACKOFF_CAP_S
+    )
+    return delay * (0.5 + random.random())
 
 HEALTHY = "healthy"
 UNHEALTHY = "unhealthy"
@@ -103,6 +120,16 @@ class Shard:
         self.respawns = 0
         self.respawn_failures = 0
         self.next_respawn_at = 0.0
+        #: Crash-loop visibility: wall time of the last respawn and how
+        #: many respawns happened without a stable stretch between them
+        #: (reset once the shard stays healthy RESPAWN_STABLE_S).
+        self.last_respawn_ts: float | None = None
+        self.consecutive_respawns = 0
+        self._respawn_monotonic: float | None = None
+        #: Extra ``serve`` CLI args this shard was spawned with; a
+        #: respawn must reuse them verbatim (per-shard stores mean the
+        #: args differ shard to shard — same port, same store root).
+        self.serve_args: list[str] = []
         self._lock = threading.Lock()
         self._free: list[SliceClient] = []
 
@@ -181,6 +208,8 @@ class Shard:
                 "failed_total": self.failed_total,
                 "spawned": self.process is not None,
                 "respawns": self.respawns,
+                "consecutive_respawns": self.consecutive_respawns,
+                "last_respawn_ts": self.last_respawn_ts,
                 "last_probe": self.last_probe,
             }
             if self.process is not None:
@@ -200,6 +229,7 @@ class ShardPool:
         request_timeout: float = 30.0,
         echo_shard_logs: bool = True,
         respawn: bool = True,
+        repair_every: int = 0,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -207,6 +237,11 @@ class ShardPool:
         self.probe_interval_s = probe_interval_s
         self.request_timeout = request_timeout
         self.echo_shard_logs = echo_shard_logs
+        #: Trigger an anti-entropy ``repair`` pass on every shard each
+        #: ``repair_every`` probe rounds (0 = never).  Only meaningful
+        #: after :meth:`configure_replication`.
+        self.repair_every = repair_every
+        self._replication: dict[str, Any] | None = None
         #: Resurrect spawned shards whose process has exited (probes
         #: notice the death; ``respawn=False`` restores the PR 6
         #: demote-only behavior for drills that need a shard to stay
@@ -237,37 +272,49 @@ class ShardPool:
         count: int,
         serve_args: list[str] | None = None,
         python: str = sys.executable,
+        per_shard_args: list[list[str]] | None = None,
     ) -> list[Shard]:
         """Fork ``count`` local shard daemons on ephemeral ports.
 
         Each shard is ``python -m repro.cli serve --tcp 127.0.0.1:0``
-        plus ``serve_args``; the bound port is read back from the
-        daemon's structured ``listening`` log line on stderr, after
-        which a drain thread forwards the shard's remaining logs to
-        this process's stderr.
+        plus ``serve_args`` plus its own ``per_shard_args[i]`` (how the
+        tier gives each shard a private store root); the bound port is
+        read back from the daemon's structured ``listening`` log line
+        on stderr, after which a drain thread forwards the shard's
+        remaining logs to this process's stderr.  Each shard remembers
+        its full arg list so respawns reproduce it exactly.
         """
         self._spawn_python = python
         self._spawn_serve_args = list(serve_args or [])
+        if per_shard_args is not None and len(per_shard_args) != count:
+            raise ValueError("per_shard_args must have one entry per shard")
         spawned = []
-        for _ in range(count):
-            process, port = self._spawn_process("127.0.0.1:0")
+        for index in range(count):
+            extra = self._spawn_serve_args + (
+                list(per_shard_args[index]) if per_shard_args else []
+            )
+            process, port = self._spawn_process("127.0.0.1:0", extra)
             shard = Shard(
                 "127.0.0.1",
                 port,
                 process=process,
                 request_timeout=self.request_timeout,
             )
+            shard.serve_args = extra
             self._start_drain(process, shard.address)
             with self._lock:
                 self._shards[shard.address] = shard
             spawned.append(shard)
         return spawned
 
-    def _spawn_process(self, bind: str) -> tuple[subprocess.Popen, int]:
+    def _spawn_process(
+        self, bind: str, serve_args: list[str] | None = None
+    ) -> tuple[subprocess.Popen, int]:
         """Fork one shard daemon bound to ``bind`` and await its port."""
+        args = self._spawn_serve_args if serve_args is None else serve_args
         process = subprocess.Popen(
             [self._spawn_python, "-m", "repro.cli", "serve", "--tcp", bind]
-            + self._spawn_serve_args,
+            + args,
             stdin=subprocess.DEVNULL,
             stdout=subprocess.DEVNULL,
             stderr=subprocess.PIPE,
@@ -363,6 +410,15 @@ class ShardPool:
             shard.last_error = None
             if probe is not None:
                 shard.last_probe = probe
+            if (
+                shard.consecutive_respawns
+                and shard._respawn_monotonic is not None
+                and time.monotonic() - shard._respawn_monotonic
+                >= RESPAWN_STABLE_S
+            ):
+                # The reborn process has stayed up long enough to count
+                # as recovered rather than mid-crash-loop.
+                shard.consecutive_respawns = 0
             if shard.state != DRAINING:
                 shard.state = HEALTHY
 
@@ -425,8 +481,12 @@ class ShardPool:
         self._probe_thread.start()
 
     def _probe_loop(self) -> None:
+        rounds = 0
         while not self._stop.wait(self.probe_interval_s):
             self.probe_all()
+            rounds += 1
+            if self.repair_every and rounds % self.repair_every == 0:
+                self.trigger_repair()
 
     def _try_respawn(self, shard: Shard) -> None:
         """Resurrect a dead spawned shard on its original port.
@@ -443,12 +503,14 @@ class ShardPool:
                 return
         shard.close_connections()
         try:
-            process, _port = self._spawn_process(shard.address)
+            process, _port = self._spawn_process(
+                shard.address, shard.serve_args
+            )
         except ShardSpawnError as exc:
             with shard._lock:
                 shard.respawn_failures += 1
-                shard.next_respawn_at = now + RESPAWN_BACKOFF_S * (
-                    2 ** min(shard.respawn_failures, 6)
+                shard.next_respawn_at = now + _respawn_backoff(
+                    shard.respawn_failures
                 )
                 shard.last_error = f"respawn failed: {exc}"
             return
@@ -456,10 +518,16 @@ class ShardPool:
         with shard._lock:
             shard.process = process
             shard.respawns += 1
+            shard.consecutive_respawns += 1
+            shard.last_respawn_ts = time.time()
+            shard._respawn_monotonic = time.monotonic()
             shard.respawn_failures = 0
             shard.next_respawn_at = now + RESPAWN_BACKOFF_S
         with self._lock:
             self.respawns_total += 1
+        # A reborn shard starts with an empty replication engine; push
+        # the tier's config before any traffic lands on it.
+        self._push_replication(shard)
         # Promote immediately if the reborn daemon answers: the ring
         # should not wait a probe round to use a shard that is up.
         try:
@@ -470,8 +538,160 @@ class ShardPool:
             self.note_success(shard.address, probe=payload)
 
     # ------------------------------------------------------------------
+    # Replication config (pushed, because shard ports are ephemeral)
+    # ------------------------------------------------------------------
+
+    def configure_replication(
+        self, factor: int, ring_replicas: int = DEFAULT_REPLICAS
+    ) -> int:
+        """Push the replication topology to every shard.
+
+        Runs after the whole tier is listening: the peer list is the
+        final address set, clamped ``factor`` total copies per key.
+        Stored so respawns and rolling restarts re-push it to reborn
+        shards.  Returns how many shards accepted the config.
+        """
+        with self._lock:
+            addresses = sorted(self._shards)
+        factor = max(1, min(int(factor), len(addresses)))
+        self._replication = {
+            "peers": addresses,
+            "factor": factor,
+            "ring_replicas": ring_replicas,
+        }
+        accepted = 0
+        for address in addresses:
+            if self._push_replication(self.shard(address)):
+                accepted += 1
+        return accepted
+
+    def _push_replication(self, shard: Shard) -> bool:
+        config = self._replication
+        if config is None:
+            return False
+        try:
+            shard.call(
+                "replicate_config",
+                {
+                    "self_address": shard.address,
+                    "peers": config["peers"],
+                    "factor": config["factor"],
+                    "ring_replicas": config["ring_replicas"],
+                },
+            )
+            return True
+        except ServerError as exc:
+            with shard._lock:
+                shard.last_error = f"replicate_config failed: {exc}"
+            return False
+
+    def trigger_repair(self) -> None:
+        """Kick a background anti-entropy pass on every healthy shard
+        (the probe loop's repair cadence; also handy for drills)."""
+        if self._replication is None:
+            return
+        for address in self.healthy_addresses():
+            try:
+                self.shard(address).call("repair", {})
+            except ServerError:
+                pass
+
+    # ------------------------------------------------------------------
     # Drills and draining
     # ------------------------------------------------------------------
+
+    def restart_shard(
+        self, address: str, drain_timeout_s: float = 30.0
+    ) -> dict[str, Any]:
+        """Zero-downtime restart of one spawned shard.
+
+        Drain (the router stops routing new work here) → wait for
+        in-flight requests to finish → polite ``shutdown`` → wait for
+        the process to exit → respawn on the **original port** with the
+        original args (same ring slot, same store root) → re-push
+        replication config → verify health.  Raises
+        :class:`ShardSpawnError` if the reborn shard never answers; the
+        shard is left demoted so the probe thread's normal heal path
+        owns it from there.
+        """
+        shard = self.shard(address)
+        if shard.process is None:
+            raise ValueError(f"{address} is externally managed; not restarting")
+        started = time.monotonic()
+        with shard._lock:
+            shard.state = DRAINING
+        try:
+            # In-flight work finishes; nothing new is routed to a
+            # draining shard, so busy+queued can only go down.
+            deadline = time.monotonic() + drain_timeout_s
+            while time.monotonic() < deadline:
+                try:
+                    payload = shard.probe()
+                except ServerError:
+                    break
+                if not payload.get("busy") and not payload.get("queued"):
+                    break
+                time.sleep(0.05)
+            shard.close_connections()
+            if shard.process.poll() is None:
+                try:
+                    client = shard._dial(timeout=5.0)
+                    try:
+                        client.shutdown()
+                    finally:
+                        client.close()
+                except ServerError:
+                    pass
+                try:
+                    shard.process.wait(timeout=drain_timeout_s)
+                except subprocess.TimeoutExpired:
+                    shard.process.kill()
+                    shard.process.wait()
+            process, _port = self._spawn_process(
+                shard.address, shard.serve_args
+            )
+        except Exception:
+            # Leave the shard demoted (not draining) so probes resume
+            # respawn attempts through the normal heal path.
+            with shard._lock:
+                shard.state = UNHEALTHY
+            raise
+        self._start_drain(process, shard.address)
+        with shard._lock:
+            shard.process = process
+            shard.respawns += 1
+            shard.consecutive_respawns += 1
+            shard.last_respawn_ts = time.time()
+            shard._respawn_monotonic = time.monotonic()
+        with self._lock:
+            self.respawns_total += 1
+        self._push_replication(shard)
+        payload = None
+        last_error: ServerError | None = None
+        deadline = time.monotonic() + drain_timeout_s
+        while time.monotonic() < deadline:
+            try:
+                payload = shard.probe()
+                break
+            except ServerError as exc:
+                last_error = exc
+                time.sleep(0.1)
+        if payload is None:
+            with shard._lock:
+                shard.state = UNHEALTHY
+            raise ShardSpawnError(
+                f"restarted shard {address} never answered health: {last_error}"
+            )
+        with shard._lock:
+            shard.state = HEALTHY
+            shard.consecutive_failures = 0
+            shard.last_probe = payload
+            shard.last_error = None
+        return {
+            "address": address,
+            "pid": shard.process.pid,
+            "duration_s": round(time.monotonic() - started, 3),
+        }
 
     def kill_shard(self, address: str) -> bool:
         """Hard-kill a *spawned* shard (the chaos drill's hammer).

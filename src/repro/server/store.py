@@ -143,6 +143,13 @@ class DiskStore:
     #: Quarantine keeps at most this many files; oldest beyond the cap
     #: are deleted so a corruption storm cannot fill the disk twice.
     quarantine_max_files: int = 64
+    #: Replication hook: called as ``on_save(key, payload)`` after a
+    #: successful :meth:`save_bytes` unless the save was flagged
+    #: ``replicate=False`` (a replica-received copy — re-fanning those
+    #: out would loop writes around the ring forever).  Installed by
+    #: :class:`repro.server.replication.Replicator`; must never raise
+    #: into the save path (the hook is wrapped defensively anyway).
+    on_save: Any = None
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -376,7 +383,7 @@ class DiskStore:
             return
         self.save_bytes(key, payload)
 
-    def save_bytes(self, key: str, payload: bytes) -> None:
+    def save_bytes(self, key: str, payload: bytes, replicate: bool = True) -> None:
         """Atomically persist flat artifact bytes.
 
         This is the *single* write path: :meth:`save` encodes and
@@ -387,6 +394,11 @@ class DiskStore:
         after it, best-effort) so the artifact the rename names is
         durable, not sitting in a write-back cache a power cut would
         tear.  Failures are logged, not raised.
+
+        ``replicate=False`` marks a copy received *from* a peer: it is
+        persisted identically but the :attr:`on_save` fan-out hook is
+        suppressed, so replicated writes terminate instead of orbiting
+        the ring.
         """
         path = self.path_for(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -422,6 +434,23 @@ class DiskStore:
             pass
         if self.max_bytes is not None:
             self.prune(self.max_bytes)
+        if replicate and self.on_save is not None:
+            try:
+                self.on_save(key, payload)
+            except Exception as exc:
+                logger.warning("replication hook failed for %s: %s", key, exc)
+
+    def keys(self) -> list[str]:
+        """All flat-artifact keys currently on disk (sorted).
+
+        The anti-entropy repair pass walks this to offer each locally
+        held artifact to the peers that should also hold it."""
+        found: list[str] = []
+        for path in self.root.glob("*/*.art"):
+            if path.parent.name == "corrupt":
+                continue
+            found.append(path.stem)
+        return sorted(found)
 
     def write_legacy_pickle(self, key: str, analyzed: AnalyzedProgram) -> None:
         """Write a format-2 pickle envelope at the legacy path.

@@ -133,6 +133,83 @@ class TestStability:
         assert len(seconds) > 1
 
 
+class TestReplicaPlacement:
+    """Properties the replicated artifact tier leans on: R distinct
+    live holders per key, balance no worse than single-owner placement,
+    and a shard loss remapping only the arcs it held."""
+
+    @pytest.mark.parametrize("shards,want", [(2, 2), (4, 2), (4, 3), (8, 3)])
+    def test_replicas_are_distinct_live_shards(self, shards, want):
+        ring = HashRing(_nodes(shards), replicas=64)
+        live = set(ring.nodes())
+        for key in KEYS[:500]:
+            holders = ring.replicas_for(key, want)
+            assert len(holders) == want
+            assert len(set(holders)) == want
+            assert set(holders) <= live
+
+    def test_replicas_clamp_to_ring_size(self):
+        ring = HashRing(_nodes(2), replicas=64)
+        for key in KEYS[:100]:
+            assert sorted(ring.replicas_for(key, 5)) == ring.nodes()
+
+    def test_replicas_prefix_preference_owner_first(self):
+        """The replica set is exactly the failover order's head — a
+        failed-over read lands on a node that holds a copy."""
+        ring = HashRing(_nodes(6), replicas=64)
+        for key in KEYS[:300]:
+            holders = ring.replicas_for(key, 3)
+            assert holders[0] == ring.owner(key)
+            assert holders == ring.preference(key)[:3]
+
+    @pytest.mark.parametrize("shards", [4, 8])
+    def test_replica_load_stays_within_ownership_bounds(self, shards):
+        """Counting every replica a shard holds (not just arcs it owns),
+        the per-shard load stays within the same 2x-of-fair band the
+        single-owner balance tests enforce."""
+        ring = HashRing(_nodes(shards), replicas=64)
+        held = {node: 0 for node in ring.nodes()}
+        r = 2
+        for key in KEYS:
+            for node in ring.replicas_for(key, r):
+                held[node] += 1
+        fair = len(KEYS) * r / shards
+        for node, count in held.items():
+            assert fair / 2 <= count <= fair * 2, (
+                f"{node} holds {count} replicas (fair {fair:.0f})"
+            )
+
+    @pytest.mark.parametrize("shards", [4, 8])
+    def test_losing_one_shard_remaps_only_its_arcs(self, shards):
+        """Replica sets for keys the leaver held nowhere are untouched;
+        keys it did hold keep every surviving holder (only the lost
+        copy is re-homed)."""
+        ring = HashRing(_nodes(shards), replicas=64)
+        r = 2
+        before = {key: ring.replicas_for(key, r) for key in KEYS}
+        leaver = ring.nodes()[1]
+        ring.remove(leaver)
+        changed = 0
+        for key in KEYS:
+            after = ring.replicas_for(key, r)
+            if leaver not in before[key]:
+                assert after == before[key]
+            else:
+                changed += 1
+                survivors = [n for n in before[key] if n != leaver]
+                # Surviving copies keep their rank; exactly one new
+                # holder is appended from further along the walk.
+                assert after[: len(survivors)] == survivors
+                assert len(after) == r
+        # The leaver held ~r/N of all (key, copy) placements.
+        assert changed / len(KEYS) <= 2 * r / shards
+
+    def test_replica_count_must_be_positive(self):
+        ring = HashRing(_nodes(2))
+        with pytest.raises(ValueError):
+            ring.replicas_for("abc", 0)
+
+
 class TestEdges:
     def test_empty_ring(self):
         ring = HashRing()

@@ -69,7 +69,11 @@ def hammer(host: str, port: int, worker_id: int, failures: list):
                         unique, SEED_LINE, deadline=0.001, retries=0
                     )
                 except ServerError as exc:
-                    if exc.error_type not in ("Timeout", "Cancelled"):
+                    if exc.error_type not in (
+                        "Timeout",
+                        "Cancelled",
+                        "DeadlineExpired",
+                    ):
                         raise
                 else:
                     # A fast machine may finish inside the deadline —
